@@ -1,0 +1,106 @@
+//! Simulated annealing over prefix grids (cf. Moto & Kaneko, ISCAS 2018
+//! — heuristic search baselines in the paper's related work).
+
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_prefix::{mutate, topologies};
+use cv_synth::CachedEvaluator;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaConfig {
+    /// Starting temperature (in cost units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// Restart from the best-so-far when stuck for this many moves.
+    pub restart_after: usize,
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig { t_start: 0.5, t_end: 0.005, restart_after: 200 }
+    }
+}
+
+/// Simulated-annealing searcher.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    config: SaConfig,
+    width: usize,
+}
+
+impl SimulatedAnnealing {
+    /// Creates an annealer for `width`-bit circuits.
+    pub fn new(width: usize, config: SaConfig) -> Self {
+        SimulatedAnnealing { config, width }
+    }
+
+    /// Runs until `budget` simulations are consumed.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        rng: &mut R,
+    ) -> SearchOutcome {
+        let mut tracker = BestTracker::new(false);
+        let start = evaluator.counter().count();
+        let used = |ev: &CachedEvaluator| ev.counter().count() - start;
+
+        let mut current = topologies::sklansky(self.width);
+        let mut current_cost = eval_and_track(evaluator, &mut tracker, &current);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut stuck = 0usize;
+
+        while used(evaluator) < budget {
+            let frac = used(evaluator) as f64 / budget.max(1) as f64;
+            let temp = self.config.t_start * (self.config.t_end / self.config.t_start).powf(frac);
+            let cand = mutate::neighbour(&current, rng);
+            let cand_cost = eval_and_track(evaluator, &mut tracker, &cand);
+            let accept = cand_cost < current_cost
+                || rng.gen_bool(((current_cost - cand_cost) / temp).exp().clamp(0.0, 1.0));
+            if accept {
+                current = cand;
+                current_cost = cand_cost;
+            }
+            if cand_cost < best_cost {
+                best_cost = cand_cost;
+                best = current.clone();
+                stuck = 0;
+            } else {
+                stuck += 1;
+                if stuck >= self.config.restart_after {
+                    current = best.clone();
+                    current_cost = best_cost;
+                    stuck = 0;
+                }
+            }
+        }
+        tracker.finish(used(evaluator));
+        tracker.into_outcome()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::CircuitKind;
+    use cv_synth::{CostParams, Objective, SynthesisFlow};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sa_improves_on_seed() {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 12);
+        let ev = CachedEvaluator::new(Objective::new(flow, CostParams::new(0.66)));
+        let mut rng = StdRng::seed_from_u64(3);
+        let sa = SimulatedAnnealing::new(12, SaConfig::default());
+        let out = sa.run(&ev, 120, &mut rng);
+        let seed_cost = out.history.first().unwrap().1;
+        assert!(out.best_cost <= seed_cost);
+        assert!(ev.counter().count() <= 120);
+    }
+}

@@ -1,0 +1,46 @@
+//! Uniform random search — the sanity-floor baseline.
+
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_prefix::mutate;
+use cv_synth::CachedEvaluator;
+use rand::Rng;
+
+/// Samples random legalized grids across a density sweep until the
+/// budget is spent.
+pub fn random_search<R: Rng + ?Sized>(
+    width: usize,
+    evaluator: &CachedEvaluator,
+    budget: usize,
+    rng: &mut R,
+) -> SearchOutcome {
+    let mut tracker = BestTracker::new(false);
+    let start = evaluator.counter().count();
+    while evaluator.counter().count() - start < budget {
+        let density = rng.gen_range(0.0..0.6);
+        let g = mutate::random_grid(width, density, rng);
+        let _ = eval_and_track(evaluator, &mut tracker, &g);
+    }
+    tracker.finish(evaluator.counter().count() - start);
+    tracker.into_outcome()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::CircuitKind;
+    use cv_synth::{CostParams, Objective, SynthesisFlow};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_search_spends_budget_and_tracks() {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 10);
+        let ev = CachedEvaluator::new(Objective::new(flow, CostParams::new(0.5)));
+        let mut rng = StdRng::seed_from_u64(9);
+        let out = random_search(10, &ev, 40, &mut rng);
+        assert!(ev.counter().count() >= 40);
+        assert!(out.best_cost.is_finite());
+        assert!(!out.history.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! PrefixRL-lite: a deep Q-learning baseline in the spirit of
+//! Roy et al. (DAC 2021), the paper's "RL" comparison.
+//!
+//! The MDP follows PrefixRL: states are (legalized) prefix grids, actions
+//! toggle one free cell, and the reward is the decrease in synthesized
+//! cost. The agent is a DQN: an MLP Q-network over the dense grid image,
+//! a replay buffer, a target network, and ε-greedy exploration. Every
+//! environment step costs one simulation — the axis all methods are
+//! compared on.
+
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_nn::{AdamConfig, Graph, Mlp, ParamStore, Tensor};
+use cv_prefix::{bitvec, mutate, topologies, PrefixGrid};
+use cv_synth::CachedEvaluator;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlConfig {
+    /// Hidden width of the Q-network MLP.
+    pub hidden: usize,
+    /// Steps per episode before reset.
+    pub episode_len: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+    /// Training minibatch size.
+    pub batch_size: usize,
+    /// Environment steps between gradient updates.
+    pub train_interval: usize,
+    /// Gradient updates between target-network syncs.
+    pub target_sync: usize,
+    /// Discount factor.
+    pub gamma: f32,
+    /// Initial exploration rate.
+    pub eps_start: f64,
+    /// Final exploration rate.
+    pub eps_end: f64,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig {
+            hidden: 128,
+            episode_len: 24,
+            replay_capacity: 4096,
+            batch_size: 32,
+            train_interval: 2,
+            target_sync: 50,
+            gamma: 0.9,
+            eps_start: 1.0,
+            eps_end: 0.05,
+            lr: 1e-3,
+        }
+    }
+}
+
+struct Transition {
+    state: Vec<f32>,
+    action: usize,
+    reward: f32,
+    next_state: Vec<f32>,
+    terminal: bool,
+}
+
+/// The DQN searcher.
+pub struct PrefixRlLite {
+    config: RlConfig,
+    width: usize,
+    actions: usize,
+}
+
+impl PrefixRlLite {
+    /// Creates an agent for `width`-bit circuits.
+    pub fn new(width: usize, config: RlConfig) -> Self {
+        let actions = (width - 1) * (width - 2) / 2;
+        PrefixRlLite { config, width, actions }
+    }
+
+    /// Runs DQN until `budget` simulations are consumed.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        rng: &mut R,
+    ) -> SearchOutcome {
+        let cfg = &self.config;
+        let n = self.width;
+        let state_dim = n * n;
+
+        let mut store = ParamStore::new();
+        let qnet = Mlp::new(&mut store, &[state_dim, cfg.hidden, cfg.hidden, self.actions], rng);
+        let mut target_store = store.clone();
+        let adam = AdamConfig { lr: cfg.lr, ..AdamConfig::default() };
+
+        let mut replay: Vec<Transition> = Vec::with_capacity(cfg.replay_capacity);
+        let mut replay_head = 0usize;
+        let mut tracker = BestTracker::new(false);
+        let start = evaluator.counter().count();
+        let used = |ev: &CachedEvaluator| ev.counter().count() - start;
+
+        let free_cells: Vec<(usize, usize)> = PrefixGrid::free_cells(n).collect();
+        let mut train_steps = 0usize;
+        let mut env_steps = 0usize;
+
+        'outer: while used(evaluator) < budget {
+            // Episode reset: a classical seed or a random grid.
+            let mut grid = self.reset_state(rng);
+            let mut cost = eval_and_track(evaluator, &mut tracker, &grid);
+            for step in 0..cfg.episode_len {
+                if used(evaluator) >= budget {
+                    break 'outer;
+                }
+                let state = bitvec::encode_dense(&grid);
+                // ε-greedy with linear decay over the budget.
+                let progress = (used(evaluator) as f64 / budget.max(1) as f64).min(1.0);
+                let eps = cfg.eps_start + (cfg.eps_end - cfg.eps_start) * progress;
+                let action = if rng.gen_bool(eps.clamp(0.0, 1.0)) {
+                    rng.gen_range(0..self.actions)
+                } else {
+                    self.greedy_action(&qnet, &store, &state)
+                };
+                let (i, j) = free_cells[action];
+                let mut next = grid.clone();
+                let _ = next.toggle(i, j);
+                next.legalize();
+                let next_cost = eval_and_track(evaluator, &mut tracker, &next);
+                let reward = (cost - next_cost) as f32;
+                let terminal = step + 1 == cfg.episode_len;
+                let t = Transition {
+                    state,
+                    action,
+                    reward,
+                    next_state: bitvec::encode_dense(&next),
+                    terminal,
+                };
+                if replay.len() < cfg.replay_capacity {
+                    replay.push(t);
+                } else {
+                    replay[replay_head] = t;
+                    replay_head = (replay_head + 1) % cfg.replay_capacity;
+                }
+                grid = next;
+                cost = next_cost;
+                env_steps += 1;
+
+                if env_steps.is_multiple_of(cfg.train_interval) && replay.len() >= cfg.batch_size {
+                    self.train_step(&qnet, &mut store, &target_store, &replay, &adam, rng);
+                    train_steps += 1;
+                    if train_steps.is_multiple_of(cfg.target_sync) {
+                        target_store = store.clone();
+                    }
+                }
+            }
+        }
+        tracker.finish(used(evaluator));
+        tracker.into_outcome()
+    }
+
+    fn reset_state<R: Rng + ?Sized>(&self, rng: &mut R) -> PrefixGrid {
+        // Episodes start from scratch (ripple is the minimal legal
+        // structure; random densities add exploration) so the comparison
+        // with GA/VAE/BO — which also search from scratch — is fair.
+        if rng.gen_bool(0.25) {
+            topologies::ripple(self.width)
+        } else {
+            mutate::random_grid(self.width, rng.gen_range(0.02..0.5), rng)
+        }
+    }
+
+    fn greedy_action(&self, qnet: &Mlp, store: &ParamStore, state: &[f32]) -> usize {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new([1, state.len()], state.to_vec()));
+        let q = qnet.forward(&mut g, store, x);
+        let qv = g.value(q).data();
+        let mut best = 0usize;
+        for (i, v) in qv.iter().enumerate() {
+            if *v > qv[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn train_step<R: Rng + ?Sized>(
+        &self,
+        qnet: &Mlp,
+        store: &mut ParamStore,
+        target_store: &ParamStore,
+        replay: &[Transition],
+        adam: &AdamConfig,
+        rng: &mut R,
+    ) {
+        let cfg = &self.config;
+        let b = cfg.batch_size;
+        let state_dim = self.width * self.width;
+        let idx: Vec<usize> = (0..b).map(|_| rng.gen_range(0..replay.len())).collect();
+
+        // Target values from the frozen network: y = r + γ·max_a' Q'(s').
+        let mut next_states = Vec::with_capacity(b * state_dim);
+        for &i in &idx {
+            next_states.extend_from_slice(&replay[i].next_state);
+        }
+        let next_q_max: Vec<f32> = {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::new([b, state_dim], next_states));
+            let q = qnet.forward(&mut g, target_store, x);
+            let qd = g.value(q).data();
+            (0..b)
+                .map(|r| {
+                    qd[r * self.actions..(r + 1) * self.actions]
+                        .iter()
+                        .cloned()
+                        .fold(f32::NEG_INFINITY, f32::max)
+                })
+                .collect()
+        };
+        let targets: Vec<f32> = idx
+            .iter()
+            .enumerate()
+            .map(|(r, &i)| {
+                let t = &replay[i];
+                if t.terminal {
+                    t.reward
+                } else {
+                    t.reward + cfg.gamma * next_q_max[r]
+                }
+            })
+            .collect();
+
+        // One-hot action mask so loss = Σ (Q(s,a) − y)² via mask-mul-sum.
+        let mut states = Vec::with_capacity(b * state_dim);
+        let mut mask = vec![0.0f32; b * self.actions];
+        let mut yfull = vec![0.0f32; b * self.actions];
+        for (r, &i) in idx.iter().enumerate() {
+            let t = &replay[i];
+            states.extend_from_slice(&t.state);
+            mask[r * self.actions + t.action] = 1.0;
+            yfull[r * self.actions + t.action] = targets[r];
+        }
+
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new([b, state_dim], states));
+        let q = qnet.forward(&mut g, store, x);
+        let m = g.input(Tensor::new([b, self.actions], mask));
+        let y = g.input(Tensor::new([b, self.actions], yfull));
+        let qm = g.mul(q, m);
+        let err = g.sub(qm, y);
+        let sq = g.mul(err, err);
+        let sum = g.sum(sq);
+        let loss = g.mul_scalar(sum, 1.0 / b as f32);
+        let grads = g.backward(loss);
+        let mut buf = store.zero_grads();
+        g.accumulate_param_grads(&grads, &mut buf);
+        store.adam_step(&buf, adam);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::CircuitKind;
+    use cv_synth::{CachedEvaluator, CostParams, Objective, SynthesisFlow};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn evaluator(n: usize) -> CachedEvaluator {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, n);
+        CachedEvaluator::new(Objective::new(flow, CostParams::new(0.66)))
+    }
+
+    #[test]
+    fn rl_runs_within_budget_and_finds_something() {
+        let ev = evaluator(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let rl = PrefixRlLite::new(
+            10,
+            RlConfig { hidden: 32, episode_len: 8, batch_size: 8, ..RlConfig::default() },
+        );
+        let out = rl.run(&ev, 80, &mut rng);
+        assert!(ev.counter().count() <= 80);
+        assert!(out.best_cost.is_finite());
+        assert!(out.best_grid.is_some());
+    }
+
+    #[test]
+    fn action_space_matches_free_cells() {
+        let rl = PrefixRlLite::new(12, RlConfig::default());
+        assert_eq!(rl.actions, 11 * 10 / 2);
+    }
+}

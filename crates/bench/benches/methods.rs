@@ -1,0 +1,62 @@
+//! Criterion benches for the baseline searchers at fixed tiny budgets:
+//! cost per budget-unit of GA, SA, RL and random search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_baselines::{GaConfig, GeneticAlgorithm, PrefixRlLite, RlConfig, SaConfig, SimulatedAnnealing};
+use cv_bench::harness::{build_evaluator, ExperimentSpec};
+use cv_prefix::CircuitKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn spec() -> ExperimentSpec {
+    ExperimentSpec::standard(10, CircuitKind::Adder, 0.66, 30)
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("ga_budget30_w10", |b| {
+        b.iter(|| {
+            let ev = build_evaluator(&spec());
+            let mut rng = StdRng::seed_from_u64(0);
+            GeneticAlgorithm::new(10, GaConfig { population: 12, ..GaConfig::default() })
+                .run(&ev, 30, 10, false, &mut rng)
+        });
+    });
+    group.bench_function("sa_budget30_w10", |b| {
+        b.iter(|| {
+            let ev = build_evaluator(&spec());
+            let mut rng = StdRng::seed_from_u64(0);
+            SimulatedAnnealing::new(10, SaConfig::default()).run(&ev, 30, &mut rng)
+        });
+    });
+    group.bench_function("random_budget30_w10", |b| {
+        b.iter(|| {
+            let ev = build_evaluator(&spec());
+            let mut rng = StdRng::seed_from_u64(0);
+            cv_baselines::random_search(10, &ev, 30, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_rl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rl");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("dqn_budget30_w10", |b| {
+        b.iter(|| {
+            let ev = build_evaluator(&spec());
+            let mut rng = StdRng::seed_from_u64(0);
+            PrefixRlLite::new(
+                10,
+                RlConfig { hidden: 32, episode_len: 8, batch_size: 8, ..RlConfig::default() },
+            )
+            .run(&ev, 30, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga, bench_rl);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for the VAE model: training step, latent search,
+//! encode/decode throughput.
+
+use circuitvae::{
+    initial_latents, run_trajectories, CircuitVaeConfig, CircuitVaeModel, Dataset, InitStrategy,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_nn::ParamStore;
+use cv_prefix::{bitvec, mutate, GridMetrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn setup(width: usize) -> (CircuitVaeModel, ParamStore, Dataset, CircuitVaeConfig) {
+    let config = CircuitVaeConfig::smoke(width);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut store = ParamStore::new();
+    let model = CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+    let entries: Vec<_> = (0..64)
+        .map(|_| {
+            let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+            let c = GridMetrics::of(&g).analytic_proxy();
+            (g, c)
+        })
+        .collect();
+    let mut ds = Dataset::new(width, entries);
+    ds.recompute_weights(1e-3, true);
+    (model, store, ds, config)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vae");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (model, mut store, ds, config) = setup(16);
+    let mut rng = StdRng::seed_from_u64(1);
+    group.bench_function("train_step_w16", |b| {
+        b.iter(|| circuitvae::train(&model, &mut store, &ds, &config, 1, &mut rng));
+    });
+    group.finish();
+}
+
+fn bench_latent_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latent_search");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (model, store, ds, config) = setup(16);
+    let mut rng = StdRng::seed_from_u64(2);
+    group.bench_function("trajectories_8x20_w16", |b| {
+        b.iter(|| {
+            let starts =
+                initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 8, &mut rng);
+            run_trajectories(&model, &store, starts, &config, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    let (model, store, ds, _config) = setup(16);
+    let rows: Vec<Vec<f32>> = ds
+        .entries()
+        .iter()
+        .take(32)
+        .map(|(g, _)| bitvec::encode_dense(g))
+        .collect();
+    group.bench_function("encode_32_designs_w16", |b| {
+        b.iter(|| model.encode_values(&store, &rows));
+    });
+    let (mu, _) = model.encode_values(&store, &rows);
+    group.bench_function("decode_32_latents_w16", |b| {
+        b.iter(|| model.decode_probs(&store, &mu));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_latent_search, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Miniature end-to-end versions of the paper's experiments, as
+//! criterion benches: one per artifact family. These exist so
+//! `cargo bench` exercises the same code paths the figure binaries use
+//! (at smoke scale); the full regenerators are the `cv-bench` binaries
+//! (`fig3_curves`, `table1`, ... — see DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cv_bench::harness::{run_method, run_vae_variant, ExperimentSpec, Method};
+use cv_prefix::CircuitKind;
+use std::time::Duration;
+
+fn mini_spec(kind: CircuitKind, width: usize) -> ExperimentSpec {
+    ExperimentSpec::standard(width, kind, 0.66, 30)
+}
+
+/// Fig. 3 / Table 1 family: the four-method comparison loop.
+fn bench_fig3_table1_mini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_fig3_table1");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for method in Method::PAPER_SET {
+        group.bench_function(format!("{}_w8_budget30", method.label()), |b| {
+            b.iter(|| run_method(method, &mini_spec(CircuitKind::Adder, 8), 1));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 4 family: one ablated CircuitVAE variant.
+fn bench_fig4_mini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_fig4");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("no_reweight_w8_budget30", |b| {
+        b.iter(|| {
+            run_vae_variant(&mini_spec(CircuitKind::Adder, 8), 1, |c| c.reweight_data = false)
+        });
+    });
+    group.finish();
+}
+
+/// Fig. 7 / Fig. 8 family: the gray-to-binary task end to end.
+fn bench_fig7_mini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_fig7");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("vae_g2b_w8_budget30", |b| {
+        b.iter(|| run_method(Method::CircuitVae, &mini_spec(CircuitKind::GrayToBinary, 8), 1));
+    });
+    group.finish();
+}
+
+/// Fig. 6 family: the commercial-tool portfolio sweep.
+fn bench_fig6_mini(c: &mut Criterion) {
+    use cv_bench::harness::TechLibrary;
+    use cv_sta::IoTiming;
+    use cv_synth::CommercialTool;
+    let mut group = c.benchmark_group("paper_fig6");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("commercial_portfolio_w16", |b| {
+        let tool = CommercialTool::new(
+            TechLibrary::Scaled8nmLike.build(),
+            CircuitKind::Adder,
+            16,
+            IoTiming::datapath_profile(16, 0.05),
+        );
+        b.iter(|| tool.pareto_front());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_table1_mini,
+    bench_fig4_mini,
+    bench_fig7_mini,
+    bench_fig6_mini
+);
+criterion_main!(benches);

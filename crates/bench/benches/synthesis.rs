@@ -1,0 +1,50 @@
+//! Criterion benches for the physical-synthesis substrate: technology
+//! mapping, buffering, sizing and STA across circuit sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cv_cells::nangate45_like;
+use cv_netlist::map_adder;
+use cv_prefix::{topologies, CircuitKind};
+use cv_sta::{analyze, IoTiming};
+use cv_synth::SynthesisFlow;
+use std::time::Duration;
+
+fn bench_full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for width in [16usize, 32, 64] {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width);
+        let grid = topologies::sklansky(width);
+        group.bench_with_input(BenchmarkId::new("sklansky", width), &width, |b, _| {
+            b.iter(|| flow.synthesize(&grid));
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping_and_sta(c: &mut Criterion) {
+    let lib = nangate45_like();
+    let graph = topologies::kogge_stone(64).to_graph();
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("map_adder_64", |b| b.iter(|| map_adder(&graph, &lib)));
+    let nl = map_adder(&graph, &lib);
+    let io = IoTiming::uniform(64);
+    group.bench_function("sta_64", |b| b.iter(|| analyze(&nl, &lib, &io)));
+    group.finish();
+}
+
+fn bench_legalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix");
+    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group.bench_function("legalize_64", |b| {
+        let mut base = cv_prefix::PrefixGrid::ripple(64);
+        base.set(63, 32, true).unwrap();
+        base.set(47, 13, true).unwrap();
+        b.iter(|| base.legalized());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_flow, bench_mapping_and_sta, bench_legalize);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Surrogate-capacity ablation (DESIGN.md §6, probing the paper's §5.2
+//! hypothesis): "our higher-capacity neural cost predictor can learn
+//! more from large datasets than the Bayesian surrogate model."
+//!
+//! Trains the joint model with cost heads of increasing width on the
+//! same dataset and reports held-out cost MSE, alongside an exact-GP
+//! surrogate fit on the same encoded latents for reference.
+//!
+//! Usage: `ablation_surrogate [--scale smoke|default|paper]`.
+
+use circuitvae::{CircuitVaeConfig, CircuitVaeModel, Dataset};
+use cv_bench::harness::{build_evaluator, ExperimentSpec, Scale};
+use cv_gp::{GpRegressor, Kernel};
+use cv_nn::{Graph, ParamStore, Tensor};
+use cv_prefix::{bitvec, mutate, CircuitKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_data = (240.0 * scale.budget_factor()) as usize;
+    let width = 16;
+    let spec = ExperimentSpec::standard(width, CircuitKind::Adder, 0.66, n_data);
+    let ev = build_evaluator(&spec);
+    let mut rng = StdRng::seed_from_u64(4);
+    let all: Vec<_> = (0..n_data)
+        .map(|_| {
+            let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+            let c = ev.evaluate(&g).cost;
+            (g, c)
+        })
+        .collect();
+    // 80/20 train/held-out split: surrogates are compared on designs
+    // they have never seen, which is what acquisition actually needs.
+    let split = all.len() * 4 / 5;
+    let entries: Vec<_> = all[..split].to_vec();
+    let heldout: Vec<_> = all[split..].to_vec();
+
+    println!("dataset: {} train / {} held-out, width {width}", entries.len(), heldout.len());
+    println!("{:>14} {:>12} {:>12}", "surrogate", "cost MSE", "corr");
+
+    for head in [8usize, 32, 128] {
+        let mut cfg = CircuitVaeConfig::smoke(width);
+        cfg.cost_head_hidden = head;
+        let mut store = ParamStore::new();
+        let mut srng = StdRng::seed_from_u64(9);
+        let model = CircuitVaeModel::new(&mut store, &cfg, width, &mut srng);
+        let mut ds = Dataset::new(width, entries.clone());
+        ds.recompute_weights(1e-3, true);
+        let _ = circuitvae::train(&model, &mut store, &ds, &cfg, 250, &mut srng);
+        let (mse, corr) = probe(&model, &store, &ds, &heldout);
+        println!("{:>14} {:>12.4} {:>12.3}", format!("mlp-head-{head}"), mse, corr);
+    }
+
+    // GP reference on the latents of a trained (default-head) model.
+    let cfg = CircuitVaeConfig::smoke(width);
+    let mut store = ParamStore::new();
+    let mut srng = StdRng::seed_from_u64(9);
+    let model = CircuitVaeModel::new(&mut store, &cfg, width, &mut srng);
+    let mut ds = Dataset::new(width, entries.clone());
+    ds.recompute_weights(1e-3, true);
+    let _ = circuitvae::train(&model, &mut store, &ds, &cfg, 250, &mut srng);
+    let dense: Vec<Vec<f32>> = ds.entries().iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+    let (mu, _) = model.encode_values(&store, &dense);
+    let xs: Vec<Vec<f64>> = mu.iter().map(|r| r.iter().map(|&v| f64::from(v)).collect()).collect();
+    let ys: Vec<f64> = ds.entries().iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
+    match GpRegressor::fit(&xs, &ys, Kernel::Matern52, 1e-4) {
+        Ok(gp) => {
+            let ho_dense: Vec<Vec<f32>> =
+                heldout.iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+            let (ho_mu, _) = model.encode_values(&store, &ho_dense);
+            let preds: Vec<f64> = ho_mu
+                .iter()
+                .map(|r| {
+                    let x: Vec<f64> = r.iter().map(|&v| f64::from(v)).collect();
+                    gp.predict(&x).0
+                })
+                .collect();
+            let truth: Vec<f64> =
+                heldout.iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
+            let mse = preds.iter().zip(&truth).map(|(p, y)| (p - y) * (p - y)).sum::<f64>()
+                / truth.len() as f64;
+            println!("{:>14} {:>12.4} {:>12}", "exact-gp", mse, "-");
+        }
+        Err(e) => println!("{:>14} fit failed: {e}", "exact-gp"),
+    }
+    println!(
+        "\nExpected: larger MLP heads fit the cost signal better on big\n\
+         datasets (the paper's §5.2 hypothesis for why gradient search\n\
+         beats latent BO once properly regularized)."
+    );
+}
+
+fn probe(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    ds: &Dataset,
+    heldout: &[(cv_prefix::PrefixGrid, f64)],
+) -> (f64, f64) {
+    let dense: Vec<Vec<f32>> = heldout.iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+    let (mu, _) = model.encode_values(store, &dense);
+    let mut g = Graph::new();
+    let flat: Vec<f32> = mu.iter().flatten().copied().collect();
+    let z = g.input(Tensor::new([mu.len(), model.latent_dim()], flat));
+    let p = model.predict_cost(&mut g, store, z);
+    let preds: Vec<f64> = g.value(p).data().iter().map(|&v| f64::from(v)).collect();
+    let ys: Vec<f64> = heldout.iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
+    let mse =
+        preds.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum::<f64>() / ys.len() as f64;
+    let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mp, ma) = (m(&preds), m(&ys));
+    let cov: f64 = preds.iter().zip(&ys).map(|(p, a)| (p - mp) * (a - ma)).sum();
+    let vp: f64 = preds.iter().map(|p| (p - mp) * (p - mp)).sum();
+    let va: f64 = ys.iter().map(|a| (a - ma) * (a - ma)).sum();
+    (mse, cov / (vp.sqrt() * va.sqrt()).max(1e-12))
+}

@@ -1,0 +1,45 @@
+//! Regenerates **Figure 1**: a sample evolution of 32-bit adders as
+//! CircuitVAE navigates its latent space, starting from the Sklansky
+//! structure and ending at the lowest-cost design found.
+//!
+//! Usage: `fig1_evolution [--scale smoke|default|paper]`.
+
+use circuitvae::CircuitVae;
+use cv_bench::harness::{build_evaluator, vae_config, ExperimentSpec, Scale};
+use cv_prefix::{mutate, render, topologies, CircuitKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let scale = Scale::from_args();
+    let budget = (160.0 * scale.budget_factor()) as usize;
+    let width = 32;
+    let spec = ExperimentSpec::standard(width, CircuitKind::Adder, 0.66, budget);
+    let evaluator = build_evaluator(&spec);
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // Initial dataset: Sklansky plus random designs near it.
+    let sklansky = topologies::sklansky(width);
+    let mut initial = vec![(sklansky.clone(), evaluator.evaluate(&sklansky).cost)];
+    while initial.len() < budget / 4 {
+        let g = mutate::random_grid(width, rng.gen_range(0.05..0.3), &mut rng);
+        let c = evaluator.evaluate(&g).cost;
+        initial.push((g, c));
+    }
+    println!("frame 0: Sklansky seed (cost {:.3})", initial[0].1);
+    println!("{}", render::grid_ascii(&sklansky));
+
+    let mut vae = CircuitVae::new(width, vae_config(&spec), initial, 12);
+    let chunk = (budget - evaluator.counter().count()).max(4) / 4;
+    for frame in 1..=4 {
+        let _ = vae.run(&evaluator, chunk);
+        let (best, cost) = vae.dataset().best().expect("dataset non-empty");
+        println!(
+            "frame {frame}: after {} simulations (cost {:.3}) — {}",
+            evaluator.counter().count(),
+            cost,
+            render::summary_line(best)
+        );
+        println!("{}", render::grid_ascii(&best.legalized()));
+    }
+}

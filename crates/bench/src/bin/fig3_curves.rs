@@ -1,0 +1,64 @@
+//! Regenerates **Figure 3**: cost vs. simulation budget for CircuitVAE,
+//! latent BO, RL and GA across bitwidths {32, 64} and delay weights
+//! {0.33, 0.66, 0.95} (six panels).
+//!
+//! Usage: `fig3_curves [--scale smoke|default|paper]`.
+
+use cv_bench::harness::{run_method_seeds, ExperimentSpec, Method, Scale};
+use cv_bench::stats::{checkpoints, render_series_csv, render_series_table};
+use cv_prefix::CircuitKind;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds = scale.seeds();
+    let f = scale.budget_factor();
+    let mut vae_wins = 0usize;
+    let mut panels = 0usize;
+    let mut summary = String::new();
+
+    for &width in &[32usize, 64] {
+        for &dw in &[0.33, 0.66, 0.95] {
+            let budget = ((if width == 64 { 250.0 } else { 300.0 }) * f) as usize;
+            let spec = ExperimentSpec::standard(width, CircuitKind::Adder, dw, budget);
+            let t0 = Instant::now();
+            let curves: Vec<_> = Method::PAPER_SET
+                .iter()
+                .map(|&m| run_method_seeds(m, &spec, seeds))
+                .collect();
+            let cps = checkpoints(budget, 8);
+            let title = format!("Fig.3 panel: width={width} delay_weight={dw} budget={budget}");
+            println!("{}", render_series_table(&title, &curves, &cps));
+            let csv = render_series_csv(&curves, &cps);
+            let path = cv_bench::harness::results_dir()
+                .join(format!("fig3_w{width}_dw{dw}.csv"));
+            std::fs::write(&path, csv).expect("write csv");
+
+            // Paper claim: CircuitVAE achieves the lowest final median.
+            let finals: Vec<(String, f64)> = curves
+                .iter()
+                .map(|c| {
+                    (c.label.clone(), c.final_quartiles().map_or(f64::INFINITY, |q| q.median))
+                })
+                .collect();
+            let winner = finals
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty")
+                .clone();
+            panels += 1;
+            if winner.0 == "CircuitVAE" {
+                vae_wins += 1;
+            }
+            summary.push_str(&format!(
+                "width={width} dw={dw}: winner {} ({:.3}) [{:.0}s]\n",
+                winner.0,
+                winner.1,
+                t0.elapsed().as_secs_f64()
+            ));
+        }
+    }
+    println!("== Fig.3 summary ==");
+    print!("{summary}");
+    println!("CircuitVAE wins {vae_wins}/{panels} panels (paper: 6/6)");
+}

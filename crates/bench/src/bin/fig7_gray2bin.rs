@@ -1,0 +1,42 @@
+//! Regenerates **Figure 7**: cost vs. simulation budget for the 26-bit
+//! gray-to-binary converter at delay weight 0.6, same four methods as
+//! Fig. 3.
+//!
+//! Usage: `fig7_gray2bin [--scale smoke|default|paper]`.
+
+use cv_bench::harness::{run_method_seeds, ExperimentSpec, Method, Scale};
+use cv_bench::stats::{checkpoints, render_series_csv, render_series_table};
+use cv_prefix::CircuitKind;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds = scale.seeds();
+    let budget = (300.0 * scale.budget_factor()) as usize;
+    let spec = ExperimentSpec::standard(26, CircuitKind::GrayToBinary, 0.6, budget);
+
+    let curves: Vec<_> = Method::PAPER_SET
+        .iter()
+        .map(|&m| run_method_seeds(m, &spec, seeds))
+        .collect();
+    let cps = checkpoints(budget, 8);
+    println!(
+        "{}",
+        render_series_table(
+            &format!("Fig.7: 26-bit gray-to-binary, delay_weight=0.6, budget={budget}"),
+            &curves,
+            &cps
+        )
+    );
+    std::fs::write(
+        cv_bench::harness::results_dir().join("fig7_gray2bin.csv"),
+        render_series_csv(&curves, &cps),
+    )
+    .expect("write csv");
+
+    let finals: Vec<(String, f64)> = curves
+        .iter()
+        .map(|c| (c.label.clone(), c.final_quartiles().map_or(f64::INFINITY, |q| q.median)))
+        .collect();
+    let winner = finals.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
+    println!("winner: {} ({:.3})  (paper: CircuitVAE)", winner.0, winner.1);
+}

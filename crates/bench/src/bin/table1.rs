@@ -1,0 +1,96 @@
+//! Regenerates **Table 1**: detailed comparison in the 64-bit,
+//! high-budget setting — cost / area / delay (median and IQR across
+//! seeds) of each method's best adder, and the "VAE speedup" column
+//! (simulations a method needed for its best adder divided by the
+//! simulations CircuitVAE needed to match it).
+//!
+//! Usage: `table1 [--scale smoke|default|paper]`.
+
+use cv_bench::harness::{build_evaluator, run_method, ExperimentSpec, Method, Scale};
+use cv_bench::stats::median_iqr;
+use cv_prefix::CircuitKind;
+use cv_synth::SearchOutcome;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seeds = scale.seeds();
+    let f = scale.budget_factor();
+    let budget = (250.0 * f) as usize;
+    let width = 64;
+
+    println!(
+        "{:>5} {:<11} {:>22} {:>22} {:>24} {:>20}",
+        "w", "Alg.", "Cost", "Area (um2)", "Delay (ns)", "VAE speedup"
+    );
+    let mut rows = String::from("omega,method,cost_med,area_med,delay_med,speedup_med\n");
+
+    for &dw in &[0.33, 0.66, 0.95] {
+        let spec = ExperimentSpec::standard(width, CircuitKind::Adder, dw, budget);
+        // Run every method across seeds; keep outcomes to compute speedups.
+        let all: Vec<(Method, Vec<SearchOutcome>)> = Method::PAPER_SET
+            .iter()
+            .map(|&m| {
+                let outs: Vec<SearchOutcome> =
+                    (0..seeds as u64).map(|s| run_method(m, &spec, 2000 + s)).collect();
+                (m, outs)
+            })
+            .collect();
+        let vae_outs = &all[0].1;
+
+        for (m, outs) in &all {
+            let costs: Vec<f64> = outs.iter().map(|o| o.best_cost).collect();
+            // Area/delay of each seed's best design (cached re-evaluation).
+            let ev = build_evaluator(&spec);
+            let (mut areas, mut delays) = (Vec::new(), Vec::new());
+            for o in outs {
+                if let Some(g) = &o.best_grid {
+                    let rec = ev.evaluate(g);
+                    areas.push(rec.ppa.area_um2);
+                    delays.push(rec.ppa.delay_ns);
+                }
+            }
+            // Speedup vs CircuitVAE: sims_m(best_m) / sims_vae(<= best_m).
+            let speedups: Vec<f64> = if *m == Method::CircuitVae {
+                vec![]
+            } else {
+                outs.iter()
+                    .flat_map(|o| {
+                        let t_m = o.sims_to_reach(o.best_cost)?;
+                        // Median VAE seed that matches this cost.
+                        let t_vaes: Vec<f64> = vae_outs
+                            .iter()
+                            .filter_map(|v| v.sims_to_reach(o.best_cost))
+                            .map(|t| t as f64)
+                            .collect();
+                        let t_vae = median_iqr(&t_vaes)?.median;
+                        Some(t_m as f64 / t_vae.max(1.0))
+                    })
+                    .collect()
+            };
+
+            let fmt = |vals: &[f64]| -> String {
+                median_iqr(vals).map_or("-".into(), |q| q.to_string())
+            };
+            println!(
+                "{:>5} {:<11} {:>22} {:>22} {:>24} {:>20}",
+                dw,
+                m.label(),
+                fmt(&costs),
+                fmt(&areas),
+                fmt(&delays),
+                if *m == Method::CircuitVae { "-".into() } else { fmt(&speedups) }
+            );
+            rows.push_str(&format!(
+                "{dw},{},{:.4},{:.2},{:.4},{:.3}\n",
+                m.label(),
+                median_iqr(&costs).map_or(f64::NAN, |q| q.median),
+                median_iqr(&areas).map_or(f64::NAN, |q| q.median),
+                median_iqr(&delays).map_or(f64::NAN, |q| q.median),
+                median_iqr(&speedups).map_or(f64::NAN, |q| q.median),
+            ));
+        }
+        println!();
+    }
+    let path = cv_bench::harness::results_dir().join("table1.csv");
+    std::fs::write(path, rows).expect("write csv");
+}

@@ -1,0 +1,15 @@
+//! Experiment harness regenerating every table and figure of the
+//! CircuitVAE paper (see `DESIGN.md` §5 for the experiment index).
+//!
+//! Binaries (one per paper artifact) live in `src/bin/`; criterion
+//! smoke benches live in `benches/`. This library provides the shared
+//! machinery: method dispatch, multi-seed statistics, and plain-text
+//! table/series printers.
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod stats;
+
+pub use harness::{build_evaluator, run_method, ExperimentSpec, Method, Scale, TechLibrary};
+pub use stats::{median_iqr, CurveSet, Quartiles};

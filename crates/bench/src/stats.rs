@@ -1,0 +1,182 @@
+//! Multi-seed statistics: medians, interquartile ranges, and stepwise
+//! best-cost curves sampled at budget checkpoints.
+
+use cv_synth::SearchOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Median and interquartile range of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+}
+
+impl std::fmt::Display for Quartiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3} ({:.3} - {:.3})", self.median, self.q1, self.q3)
+    }
+}
+
+/// Median and IQR of `values` (ignores non-finite entries).
+///
+/// Returns `None` when no finite values remain.
+pub fn median_iqr(values: &[f64]) -> Option<Quartiles> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(f64::total_cmp);
+    let q = |p: f64| -> f64 {
+        let pos = p * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    };
+    Some(Quartiles { q1: q(0.25), median: q(0.5), q3: q(0.75) })
+}
+
+/// Multi-seed best-cost curves for one method on one setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurveSet {
+    /// Method label (e.g. "CircuitVAE").
+    pub label: String,
+    /// One outcome per seed.
+    pub outcomes: Vec<SearchOutcome>,
+}
+
+impl CurveSet {
+    /// Creates a labelled curve set.
+    pub fn new(label: impl Into<String>, outcomes: Vec<SearchOutcome>) -> Self {
+        CurveSet { label: label.into(), outcomes }
+    }
+
+    /// Median/IQR of best-cost-so-far at each budget checkpoint.
+    /// Seeds that have not produced any design by a checkpoint are
+    /// skipped at that checkpoint.
+    pub fn at_checkpoints(&self, checkpoints: &[usize]) -> Vec<(usize, Option<Quartiles>)> {
+        checkpoints
+            .iter()
+            .map(|&b| {
+                let vals: Vec<f64> =
+                    self.outcomes.iter().map(|o| o.best_within(b)).collect();
+                (b, median_iqr(&vals))
+            })
+            .collect()
+    }
+
+    /// Median final best cost across seeds.
+    pub fn final_quartiles(&self) -> Option<Quartiles> {
+        let vals: Vec<f64> = self.outcomes.iter().map(|o| o.best_cost).collect();
+        median_iqr(&vals)
+    }
+}
+
+/// Renders a set of curves as an aligned text table: one row per
+/// checkpoint, one column per method (the text analogue of a Fig. 3 /
+/// Fig. 7 panel).
+pub fn render_series_table(title: &str, curves: &[CurveSet], checkpoints: &[usize]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!("{:>10}", "sims"));
+    for c in curves {
+        out.push_str(&format!("{:>24}", c.label));
+    }
+    out.push('\n');
+    let columns: Vec<Vec<(usize, Option<Quartiles>)>> =
+        curves.iter().map(|c| c.at_checkpoints(checkpoints)).collect();
+    for (row, &b) in checkpoints.iter().enumerate() {
+        out.push_str(&format!("{b:>10}"));
+        for col in &columns {
+            match col[row].1 {
+                Some(q) => out.push_str(&format!("{:>24}", q.to_string())),
+                None => out.push_str(&format!("{:>24}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes `(x, y...)` series as CSV (one column set per curve) for
+/// external plotting.
+pub fn render_series_csv(curves: &[CurveSet], checkpoints: &[usize]) -> String {
+    let mut out = String::from("sims");
+    for c in curves {
+        out.push_str(&format!(",{}_q1,{}_med,{}_q3", c.label, c.label, c.label));
+    }
+    out.push('\n');
+    let columns: Vec<Vec<(usize, Option<Quartiles>)>> =
+        curves.iter().map(|c| c.at_checkpoints(checkpoints)).collect();
+    for (row, &b) in checkpoints.iter().enumerate() {
+        out.push_str(&b.to_string());
+        for col in &columns {
+            match col[row].1 {
+                Some(q) => out.push_str(&format!(",{:.4},{:.4},{:.4}", q.q1, q.median, q.q3)),
+                None => out.push_str(",,,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Evenly spaced budget checkpoints `step, 2·step, ..., budget`.
+pub fn checkpoints(budget: usize, count: usize) -> Vec<usize> {
+    let count = count.max(1);
+    (1..=count).map(|i| budget * i / count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(history: Vec<(usize, f64)>) -> SearchOutcome {
+        let best = history.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        SearchOutcome { history, best_cost: best, best_grid: None, evaluated: vec![] }
+    }
+
+    #[test]
+    fn quartiles_of_known_sample() {
+        let q = median_iqr(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.q3, 4.0);
+        assert!(median_iqr(&[]).is_none());
+        assert!(median_iqr(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn curves_at_checkpoints() {
+        let cs = CurveSet::new(
+            "m",
+            vec![
+                outcome(vec![(10, 5.0), (50, 3.0)]),
+                outcome(vec![(10, 6.0), (40, 4.0)]),
+            ],
+        );
+        let rows = cs.at_checkpoints(&[10, 60]);
+        assert_eq!(rows[0].1.unwrap().median, 5.5);
+        assert_eq!(rows[1].1.unwrap().median, 3.5);
+    }
+
+    #[test]
+    fn render_contains_labels_and_rows() {
+        let cs = CurveSet::new("CircuitVAE", vec![outcome(vec![(5, 2.0)])]);
+        let s = render_series_table("panel", &[cs.clone()], &[5, 10]);
+        assert!(s.contains("CircuitVAE"));
+        assert_eq!(s.lines().count(), 4);
+        let csv = render_series_csv(&[cs], &[5, 10]);
+        assert!(csv.starts_with("sims,CircuitVAE_q1"));
+    }
+
+    #[test]
+    fn checkpoint_spacing() {
+        assert_eq!(checkpoints(100, 4), vec![25, 50, 75, 100]);
+        assert_eq!(checkpoints(7, 1), vec![7]);
+    }
+}

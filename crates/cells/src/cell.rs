@@ -1,0 +1,215 @@
+//! Individual standard-cell models.
+
+use serde::{Deserialize, Serialize};
+
+/// Logic function of a standard cell.
+///
+/// The set covers everything the prefix-circuit technology mapper in
+/// `cv-netlist` emits: inverters/buffers for fanout repair, the basic
+/// two-input gates, XORs for propagate/sum logic, and the AO21/AOI21
+/// compound gates implementing the carry operator
+/// `g_out = g_hi + p_hi·g_lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Function {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR: `y = a·b + c`.
+    Ao21,
+    /// AND-OR-INVERT: `y = !(a·b + c)`.
+    Aoi21,
+}
+
+impl Function {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        match self {
+            Function::Inv | Function::Buf => 1,
+            Function::Ao21 | Function::Aoi21 => 3,
+            _ => 2,
+        }
+    }
+
+    /// All functions, for library iteration.
+    pub const ALL: [Function; 10] = [
+        Function::Inv,
+        Function::Buf,
+        Function::And2,
+        Function::Or2,
+        Function::Nand2,
+        Function::Nor2,
+        Function::Xor2,
+        Function::Xnor2,
+        Function::Ao21,
+        Function::Aoi21,
+    ];
+}
+
+impl std::fmt::Display for Function {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Function::Inv => "INV",
+            Function::Buf => "BUF",
+            Function::And2 => "AND2",
+            Function::Or2 => "OR2",
+            Function::Nand2 => "NAND2",
+            Function::Nor2 => "NOR2",
+            Function::Xor2 => "XOR2",
+            Function::Xnor2 => "XNOR2",
+            Function::Ao21 => "AO21",
+            Function::Aoi21 => "AOI21",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Drive strength variant of a cell. Larger drives have lower output
+/// resistance (faster under load) but more area and input capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Drive {
+    /// Unit drive.
+    X1,
+    /// Double drive.
+    X2,
+    /// Quadruple drive.
+    X4,
+}
+
+impl Drive {
+    /// All drive strengths, weakest first.
+    pub const ALL: [Drive; 3] = [Drive::X1, Drive::X2, Drive::X4];
+
+    /// Numeric strength multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            Drive::X1 => 1.0,
+            Drive::X2 => 2.0,
+            Drive::X4 => 4.0,
+        }
+    }
+
+    /// The next stronger drive, if any.
+    pub fn upsized(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => Some(Drive::X2),
+            Drive::X2 => Some(Drive::X4),
+            Drive::X4 => None,
+        }
+    }
+
+    /// The next weaker drive, if any.
+    pub fn downsized(self) -> Option<Drive> {
+        match self {
+            Drive::X1 => None,
+            Drive::X2 => Some(Drive::X1),
+            Drive::X4 => Some(Drive::X2),
+        }
+    }
+}
+
+impl std::fmt::Display for Drive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Drive::X1 => "X1",
+            Drive::X2 => "X2",
+            Drive::X4 => "X4",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A characterized standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Logic function.
+    pub function: Function,
+    /// Drive strength.
+    pub drive: Drive,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Input capacitance per pin in fF.
+    pub input_cap_ff: f64,
+    /// Output drive resistance in ns/fF (delay slope vs. load).
+    pub drive_res_ns_per_ff: f64,
+    /// Parasitic (zero-load) delay in ns.
+    pub intrinsic_ns: f64,
+}
+
+impl Cell {
+    /// Propagation delay driving `load_ff` femtofarads.
+    #[inline]
+    pub fn delay_ns(&self, load_ff: f64) -> f64 {
+        self.intrinsic_ns + self.drive_res_ns_per_ff * load_ff
+    }
+
+    /// Liberty-style name, e.g. `AO21_X2`.
+    pub fn name(&self) -> String {
+        format!("{}_{}", self.function, self.drive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_function() {
+        assert_eq!(Function::Inv.arity(), 1);
+        assert_eq!(Function::Nand2.arity(), 2);
+        assert_eq!(Function::Ao21.arity(), 3);
+        for f in Function::ALL {
+            assert!((1..=3).contains(&f.arity()));
+        }
+    }
+
+    #[test]
+    fn drive_ordering_and_sizing() {
+        assert!(Drive::X1 < Drive::X2 && Drive::X2 < Drive::X4);
+        assert_eq!(Drive::X1.upsized(), Some(Drive::X2));
+        assert_eq!(Drive::X4.upsized(), None);
+        assert_eq!(Drive::X1.downsized(), None);
+        assert_eq!(Drive::X4.downsized(), Some(Drive::X2));
+    }
+
+    #[test]
+    fn delay_is_affine_in_load() {
+        let c = Cell {
+            function: Function::Inv,
+            drive: Drive::X1,
+            area_um2: 0.5,
+            input_cap_ff: 1.6,
+            drive_res_ns_per_ff: 0.005,
+            intrinsic_ns: 0.015,
+        };
+        let d0 = c.delay_ns(0.0);
+        let d1 = c.delay_ns(10.0);
+        assert!((d0 - 0.015).abs() < 1e-12);
+        assert!((d1 - d0 - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_liberty_style() {
+        let c = Cell {
+            function: Function::Ao21,
+            drive: Drive::X2,
+            area_um2: 1.0,
+            input_cap_ff: 1.0,
+            drive_res_ns_per_ff: 0.01,
+            intrinsic_ns: 0.01,
+        };
+        assert_eq!(c.name(), "AO21_X2");
+    }
+}

@@ -1,0 +1,141 @@
+//! Concrete technology libraries.
+//!
+//! `nangate45_like` is calibrated against public Nangate45
+//! characterization: INV_X1 area 0.532 µm², NAND2_X1 0.798 µm²
+//! (one site = 0.19 µm × 1.4 µm), input caps ~1.6 fF, FO4 ≈ 50 ps.
+//! `scaled_8nm_like` shrinks area ×0.18 and delay/caps ×0.45, standing in
+//! for the proprietary 8 nm library of the paper's §5.4.
+
+use crate::cell::{Cell, Drive, Function};
+use crate::library::{CellLibrary, WireModel};
+
+/// Per-function characterization at X1 drive:
+/// (area µm², input cap fF, drive resistance ns/fF, intrinsic ns).
+fn base_params(f: Function) -> (f64, f64, f64, f64) {
+    match f {
+        Function::Inv => (0.532, 1.6, 0.0055, 0.012),
+        Function::Buf => (0.798, 1.7, 0.0055, 0.028),
+        Function::And2 => (1.064, 1.8, 0.0062, 0.032),
+        Function::Or2 => (1.064, 1.8, 0.0065, 0.034),
+        Function::Nand2 => (0.798, 1.7, 0.0058, 0.016),
+        Function::Nor2 => (0.798, 1.7, 0.0068, 0.020),
+        Function::Xor2 => (1.596, 2.6, 0.0075, 0.046),
+        Function::Xnor2 => (1.596, 2.6, 0.0075, 0.048),
+        Function::Ao21 => (1.330, 2.0, 0.0070, 0.042),
+        Function::Aoi21 => (1.064, 1.9, 0.0066, 0.026),
+    }
+}
+
+/// Applies drive scaling: stronger cells have proportionally lower output
+/// resistance, larger area and input capacitance, and slightly higher
+/// parasitic delay.
+fn sized(f: Function, d: Drive) -> Cell {
+    let (area, cap, res, intr) = base_params(f);
+    let s = d.factor();
+    Cell {
+        function: f,
+        drive: d,
+        area_um2: area * (0.62 + 0.38 * s),
+        input_cap_ff: cap * (0.55 + 0.45 * s),
+        drive_res_ns_per_ff: res / s,
+        intrinsic_ns: intr * (0.92 + 0.08 * s),
+    }
+}
+
+fn full_matrix() -> Vec<Cell> {
+    Function::ALL
+        .into_iter()
+        .flat_map(|f| Drive::ALL.into_iter().map(move |d| sized(f, d)))
+        .collect()
+}
+
+/// A calibrated stand-in for the open Nangate45 (45 nm) cell library.
+pub fn nangate45_like() -> CellLibrary {
+    CellLibrary::new(
+        "nangate45-like",
+        full_matrix(),
+        WireModel { cap_per_fanout_ff: 0.45, congestion: 0.004 },
+        /* output_load_ff = */ 3.0,
+        /* input_drive_res = */ 0.004,
+    )
+}
+
+/// A calibrated stand-in for a proprietary 8 nm library: ~5.5× denser,
+/// ~2.2× faster, with relatively more expensive wires (wire delay scales
+/// worse than gate delay at advanced nodes).
+pub fn scaled_8nm_like() -> CellLibrary {
+    let cells = full_matrix()
+        .into_iter()
+        .map(|c| Cell {
+            area_um2: c.area_um2 * 0.18,
+            input_cap_ff: c.input_cap_ff * 0.45,
+            drive_res_ns_per_ff: c.drive_res_ns_per_ff * 1.0,
+            intrinsic_ns: c.intrinsic_ns * 0.45,
+            ..c
+        })
+        .collect();
+    CellLibrary::new(
+        "scaled-8nm-like",
+        cells,
+        WireModel { cap_per_fanout_ff: 0.28, congestion: 0.007 },
+        /* output_load_ff = */ 1.4,
+        /* input_drive_res = */ 0.004,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_in_45nm_range() {
+        let lib = nangate45_like();
+        let inv = lib.cell(Function::Inv, Drive::X1);
+        let fo4 = inv.delay_ns(4.0 * inv.input_cap_ff);
+        assert!((0.03..0.07).contains(&fo4), "FO4 {fo4} outside 30–70 ps");
+    }
+
+    #[test]
+    fn upsizing_trades_area_for_speed() {
+        let lib = nangate45_like();
+        for f in Function::ALL {
+            let x1 = lib.cell(f, Drive::X1);
+            let x4 = lib.cell(f, Drive::X4);
+            assert!(x4.area_um2 > x1.area_um2, "{f}: X4 must be larger");
+            assert!(x4.input_cap_ff > x1.input_cap_ff, "{f}: X4 must load more");
+            assert!(
+                x4.drive_res_ns_per_ff < x1.drive_res_ns_per_ff,
+                "{f}: X4 must drive harder"
+            );
+            // Under heavy load the big cell must win outright.
+            assert!(x4.delay_ns(30.0) < x1.delay_ns(30.0), "{f}: X4 under 30fF");
+            // Under tiny load the small cell should be competitive.
+            assert!(x1.delay_ns(0.5) < x4.delay_ns(30.0), "{f}: sanity");
+        }
+    }
+
+    #[test]
+    fn eight_nm_is_denser_and_faster() {
+        let n45 = nangate45_like();
+        let n8 = scaled_8nm_like();
+        for f in Function::ALL {
+            let a = n45.cell(f, Drive::X1);
+            let b = n8.cell(f, Drive::X1);
+            assert!(b.area_um2 < 0.25 * a.area_um2, "{f} area scaling");
+            let fo4_a = a.delay_ns(4.0 * a.input_cap_ff);
+            let fo4_b = b.delay_ns(4.0 * b.input_cap_ff);
+            assert!(fo4_b < 0.65 * fo4_a, "{f} delay scaling: {fo4_b} vs {fo4_a}");
+        }
+    }
+
+    #[test]
+    fn xor_is_the_expensive_gate() {
+        // Sanity: XOR dominates area/delay among 2-input gates, which is
+        // why adder cost is sensitive to the number of propagate signals.
+        let lib = nangate45_like();
+        let xor = lib.cell(Function::Xor2, Drive::X1);
+        let nand = lib.cell(Function::Nand2, Drive::X1);
+        assert!(xor.area_um2 > 1.5 * nand.area_um2);
+        assert!(xor.intrinsic_ns > 2.0 * nand.intrinsic_ns);
+    }
+}

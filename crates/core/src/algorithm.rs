@@ -1,0 +1,320 @@
+//! The CircuitVAE outer loop (Algorithm 1): alternate model refitting
+//! with latent-space acquisition until the simulation budget is spent.
+
+use crate::bo::{propose_by_ei, BoConfig};
+use crate::config::CircuitVaeConfig;
+use crate::dataset::Dataset;
+use crate::model::CircuitVaeModel;
+use crate::search::{decode_candidates, initial_latents, run_trajectories};
+use crate::train;
+use cv_nn::ParamStore;
+use cv_prefix::{mutate, PrefixGrid};
+use cv_synth::{BestTracker, CachedEvaluator, SearchOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How new designs are acquired from the shared latent space each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Acquisition {
+    /// Prior-regularized gradient descent through the cost predictor —
+    /// the CircuitVAE method.
+    GradientSearch,
+    /// GP Expected Improvement in the latent space — the "BO" baseline.
+    BayesOpt,
+}
+
+/// Per-round diagnostics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Simulations consumed so far (this run).
+    pub sims_used: usize,
+    /// Best cost so far.
+    pub best_cost: f64,
+    /// Mean training loss of the round.
+    pub train_loss: f64,
+    /// Candidates proposed this round.
+    pub proposed: usize,
+    /// Of those, how many were new designs (cache misses).
+    pub newly_simulated: usize,
+}
+
+/// The CircuitVAE optimizer.
+pub struct CircuitVae {
+    config: CircuitVaeConfig,
+    acquisition: Acquisition,
+    bo_config: BoConfig,
+    model: CircuitVaeModel,
+    store: ParamStore,
+    dataset: Dataset,
+    rng: StdRng,
+    rounds_done: usize,
+    reports: Vec<RoundReport>,
+}
+
+impl CircuitVae {
+    /// Creates an optimizer for `width`-bit circuits from an initial
+    /// dataset of `(design, cost)` pairs (the paper seeds with early GA
+    /// generations; those simulations count against the budget via the
+    /// shared evaluator).
+    pub fn new(
+        width: usize,
+        config: CircuitVaeConfig,
+        initial: Vec<(PrefixGrid, f64)>,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        let model = CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+        let dataset = Dataset::new(width, initial);
+        CircuitVae {
+            config,
+            acquisition: Acquisition::GradientSearch,
+            bo_config: BoConfig::default(),
+            model,
+            store,
+            dataset,
+            rng,
+            rounds_done: 0,
+            reports: Vec::new(),
+        }
+    }
+
+    /// Switches the acquisition strategy (gradient search vs BO).
+    #[must_use]
+    pub fn with_acquisition(mut self, acquisition: Acquisition) -> Self {
+        self.acquisition = acquisition;
+        self
+    }
+
+    /// The model (for analysis binaries).
+    pub fn model(&self) -> &CircuitVaeModel {
+        &self.model
+    }
+
+    /// The parameter store.
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// The dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CircuitVaeConfig {
+        &self.config
+    }
+
+    /// Per-round reports accumulated so far.
+    pub fn reports(&self) -> &[RoundReport] {
+        &self.reports
+    }
+
+    /// Runs Algorithm 1 until `budget` simulations (counted by the
+    /// evaluator relative to its state at call time) are consumed.
+    pub fn run(&mut self, evaluator: &CachedEvaluator, budget: usize) -> SearchOutcome {
+        let start = evaluator.counter().count();
+        let used = |ev: &CachedEvaluator| ev.counter().count() - start;
+        let mut tracker = BestTracker::new(false);
+        // Seed the curve with the initial dataset's best.
+        if let Some((g, c)) = self.dataset.best().map(|(g, c)| (g.clone(), *c)) {
+            tracker.observe(used(evaluator), &g, c);
+        }
+
+        while used(evaluator) < budget {
+            let remaining = budget - used(evaluator);
+            let report = self.step_round(evaluator, start, remaining, &mut tracker);
+            self.reports.push(report);
+        }
+        tracker.finish(used(evaluator));
+        tracker.into_outcome()
+    }
+
+    /// One Algorithm-1 iteration: reweight, refit, acquire, simulate,
+    /// absorb. `remaining` caps how many new simulations may be spent.
+    fn step_round(
+        &mut self,
+        evaluator: &CachedEvaluator,
+        run_start: usize,
+        remaining: usize,
+        tracker: &mut BestTracker,
+    ) -> RoundReport {
+        let cfg = self.config.clone();
+        // Line 4: recompute sample weights.
+        self.dataset.recompute_weights(cfg.rank_k, cfg.reweight_data);
+        // Line 5: fit VAE + cost predictor.
+        let steps = if self.rounds_done == 0 { cfg.warmup_steps } else { cfg.train_steps_per_round };
+        let train_loss = if self.dataset.is_empty() {
+            0.0
+        } else {
+            train::train(&self.model, &mut self.store, &self.dataset, &cfg, steps, &mut self.rng)
+        };
+
+        // Lines 6-9: acquire candidate designs.
+        let latents: Vec<Vec<f32>> = match self.acquisition {
+            Acquisition::GradientSearch => {
+                let starts = initial_latents(
+                    &self.model,
+                    &self.store,
+                    &self.dataset,
+                    cfg.init,
+                    cfg.trajectories,
+                    &mut self.rng,
+                );
+                run_trajectories(&self.model, &self.store, starts, &cfg, &mut self.rng)
+                    .into_iter()
+                    .flat_map(|r| r.points.into_iter().map(|p| p.z))
+                    .collect()
+            }
+            Acquisition::BayesOpt => {
+                let per_round = cfg.trajectories * cfg.search_steps.div_ceil(cfg.capture_every);
+                propose_by_ei(
+                    &self.model,
+                    &self.store,
+                    &self.dataset,
+                    &self.bo_config,
+                    per_round,
+                    &mut self.rng,
+                )
+            }
+        };
+        let mut candidates = decode_candidates(&self.model, &self.store, &latents, &mut self.rng);
+
+        // Exploration floor: if the decoder collapses to known designs the
+        // round would spend no budget and the loop would stall; pad with
+        // random neighbours of the current best (still counted sims).
+        let known: std::collections::HashSet<PrefixGrid> = self
+            .dataset
+            .entries()
+            .iter()
+            .map(|(g, _)| if g.is_legal() { g.clone() } else { g.legalized() })
+            .collect();
+        let fresh = candidates
+            .iter()
+            .filter(|g| !known.contains(&g.legalized()))
+            .count();
+        if fresh == 0 {
+            let base = self
+                .dataset
+                .best()
+                .map(|(g, _)| g.clone())
+                .unwrap_or_else(|| PrefixGrid::ripple(self.model.width()));
+            for _ in 0..cfg.trajectories {
+                candidates.push(mutate::neighbour(&base, &mut self.rng));
+            }
+        }
+
+        // Line 10: query the black box (respecting the remaining budget).
+        let before = evaluator.counter().count();
+        let mut proposed = 0usize;
+        for grid in candidates {
+            if evaluator.counter().count() - before >= remaining {
+                break;
+            }
+            proposed += 1;
+            let rec = evaluator.evaluate(&grid);
+            tracker.observe(evaluator.counter().count() - run_start, &grid, rec.cost);
+            // Line 11: D ← D ∪ D_i (store the legalized twin so dataset
+            // keys match evaluator cache keys).
+            let key = if grid.is_legal() { grid } else { grid.legalized() };
+            self.dataset.insert(key, rec.cost);
+        }
+        let newly = evaluator.counter().count() - before;
+
+        self.rounds_done += 1;
+        RoundReport {
+            round: self.rounds_done - 1,
+            sims_used: evaluator.counter().count() - run_start,
+            best_cost: tracker.best_cost(),
+            train_loss,
+            proposed,
+            newly_simulated: newly,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_baselines_shim::ga_like_dataset;
+    use cv_cells::nangate45_like;
+    use cv_prefix::CircuitKind;
+    use cv_synth::{CostParams, Objective, SynthesisFlow};
+
+    /// Local stand-in for `cv_baselines::ga_initial_dataset` (that crate
+    /// depends on us transitively through the bench harness; tests here
+    /// build datasets from random sampling instead).
+    mod cv_baselines_shim {
+        use super::*;
+        use rand::Rng;
+
+        pub fn ga_like_dataset(
+            width: usize,
+            evaluator: &CachedEvaluator,
+            count: usize,
+            seed: u64,
+        ) -> Vec<(PrefixGrid, f64)> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut out = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            while out.len() < count {
+                let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+                if seen.insert(g.clone()) {
+                    let rec = evaluator.evaluate(&g);
+                    out.push((g, rec.cost));
+                }
+            }
+            out
+        }
+    }
+
+    fn evaluator(n: usize) -> CachedEvaluator {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, n);
+        CachedEvaluator::new(Objective::new(flow, CostParams::new(0.66)))
+    }
+
+    #[test]
+    fn full_loop_improves_over_initial_data() {
+        let width = 10;
+        let ev = evaluator(width);
+        let initial = ga_like_dataset(width, &ev, 40, 7);
+        let init_sims = ev.counter().count();
+        let init_best = initial.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 42);
+        let out = vae.run(&ev, 160);
+        assert!(out.best_cost <= init_best, "{} vs {init_best}", out.best_cost);
+        assert!(out.best_grid.is_some());
+        assert!(!vae.reports().is_empty());
+        assert!(ev.counter().count() <= init_sims + 160, "budget respected");
+    }
+
+    #[test]
+    fn bo_acquisition_also_runs() {
+        let width = 10;
+        let ev = evaluator(width);
+        let initial = ga_like_dataset(width, &ev, 30, 9);
+        let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 43)
+            .with_acquisition(Acquisition::BayesOpt);
+        let out = vae.run(&ev, 120);
+        assert!(out.best_cost.is_finite());
+    }
+
+    #[test]
+    fn rounds_report_budget_progress() {
+        let width = 10;
+        let ev = evaluator(width);
+        let initial = ga_like_dataset(width, &ev, 20, 11);
+        let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 44);
+        let _ = vae.run(&ev, 80);
+        let reports = vae.reports();
+        assert!(reports.len() >= 1);
+        for w in reports.windows(2) {
+            assert!(w[1].sims_used >= w[0].sims_used);
+            assert!(w[1].best_cost <= w[0].best_cost);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Latent-space Bayesian optimization — the paper's "BO" comparison
+//! (§2.2, §5.2): the *same* VAE latent space, but candidates are chosen
+//! by GP Expected Improvement instead of gradient descent through the
+//! cost predictor.
+
+use crate::dataset::Dataset;
+use crate::model::CircuitVaeModel;
+use cv_gp::{expected_improvement, GpRegressor, Kernel};
+use cv_nn::{randn, ParamStore};
+use cv_prefix::bitvec;
+use rand::Rng;
+
+/// Configuration for the latent-BO acquisition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoConfig {
+    /// Maximum training points for the exact GP (best-k plus random fill;
+    /// exact GPs are cubic in this).
+    pub max_gp_points: usize,
+    /// Candidate-pool size scored by EI.
+    pub pool: usize,
+    /// Observation-noise variance for the GP.
+    pub noise: f64,
+    /// Kernel choice.
+    pub kernel: Kernel,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig { max_gp_points: 256, pool: 512, noise: 1e-4, kernel: Kernel::Matern52 }
+    }
+}
+
+/// Selects `count` candidate latents by Expected Improvement.
+///
+/// The GP is fit on encoded posterior means of a subset of the dataset
+/// (the `max_gp_points/2` best entries plus a random fill — standard
+/// practice to keep exact GP inference tractable). The candidate pool
+/// mixes prior samples with Gaussian perturbations of the best encoded
+/// points.
+pub fn propose_by_ei<R: Rng + ?Sized>(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    dataset: &Dataset,
+    config: &BoConfig,
+    count: usize,
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    let l = model.latent_dim();
+    // Subset selection.
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.sort_by(|&a, &b| dataset.entries()[a].1.total_cmp(&dataset.entries()[b].1));
+    let keep_best = (config.max_gp_points / 2).min(order.len());
+    let mut chosen: Vec<usize> = order[..keep_best].to_vec();
+    while chosen.len() < config.max_gp_points.min(dataset.len()) {
+        let i = rng.gen_range(0..dataset.len());
+        if !chosen.contains(&i) {
+            chosen.push(i);
+        }
+    }
+    let rows: Vec<Vec<f32>> = chosen
+        .iter()
+        .map(|&i| bitvec::encode_dense(&dataset.entries()[i].0))
+        .collect();
+    let (mu, _) = model.encode_values(store, &rows);
+    let xs: Vec<Vec<f64>> = mu
+        .iter()
+        .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+        .collect();
+    let ys: Vec<f64> = chosen
+        .iter()
+        .map(|&i| dataset.normalize_cost(dataset.entries()[i].1))
+        .collect();
+
+    let Ok(gp) = GpRegressor::fit(&xs, &ys, config.kernel, config.noise) else {
+        // Degenerate data: fall back to prior sampling.
+        return (0..count).map(|_| (0..l).map(|_| randn(rng)).collect()).collect();
+    };
+    let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    // Candidate pool: prior samples + perturbations of the best points.
+    let mut pool: Vec<Vec<f64>> = Vec::with_capacity(config.pool);
+    for i in 0..config.pool {
+        if i % 2 == 0 || xs.is_empty() {
+            pool.push((0..l).map(|_| f64::from(randn(rng))).collect());
+        } else {
+            let base = &xs[rng.gen_range(0..keep_best.max(1).min(xs.len()))];
+            pool.push(base.iter().map(|&v| v + 0.3 * f64::from(randn(rng))).collect());
+        }
+    }
+    let mut scored: Vec<(f64, usize)> = pool
+        .iter()
+        .enumerate()
+        .map(|(i, z)| {
+            let (m, v) = gp.predict(z);
+            (expected_improvement(m, v, best), i)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+    scored
+        .into_iter()
+        .take(count)
+        .map(|(_, i)| pool[i].iter().map(|&v| v as f32).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CircuitVaeConfig;
+    use crate::model::CircuitVaeModel;
+    use crate::train;
+    use cv_prefix::{mutate, GridMetrics};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn proposes_requested_count() {
+        let width = 10;
+        let config = CircuitVaeConfig::smoke(width);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+        let entries: Vec<_> = (0..40)
+            .map(|_| {
+                let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+                let c = GridMetrics::of(&g).analytic_proxy();
+                (g, c)
+            })
+            .collect();
+        let mut ds = Dataset::new(width, entries);
+        ds.recompute_weights(1e-3, true);
+        let _ = train::train(&model, &mut store, &ds, &config, 20, &mut rng);
+
+        let props = propose_by_ei(&model, &store, &ds, &BoConfig::default(), 12, &mut rng);
+        assert_eq!(props.len(), 12);
+        assert!(props.iter().all(|z| z.len() == model.latent_dim()));
+        assert!(props.iter().all(|z| z.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn degenerate_dataset_falls_back() {
+        let width = 10;
+        let config = CircuitVaeConfig::smoke(width);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let model = CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+        // Single-entry dataset cannot fit a GP.
+        let g = mutate::random_grid(width, 0.2, &mut rng);
+        let mut ds = Dataset::new(width, vec![(g, 1.0)]);
+        ds.recompute_weights(1e-3, true);
+        let props = propose_by_ei(&model, &store, &ds, &BoConfig::default(), 5, &mut rng);
+        assert_eq!(props.len(), 5);
+    }
+}

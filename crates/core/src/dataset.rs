@@ -1,0 +1,279 @@
+//! The growing dataset `D` of Algorithm 1 with rank-based reweighting
+//! (Eq. 2, after Tripp et al. 2020).
+
+use cv_prefix::PrefixGrid;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// A deduplicated dataset of `(design, cost)` pairs with cached rank
+/// weights and cost normalization statistics.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    width: usize,
+    entries: Vec<(PrefixGrid, f64)>,
+    index: HashMap<PrefixGrid, usize>,
+    weights: Vec<f64>,
+    cum_weights: Vec<f64>,
+    cost_mean: f64,
+    cost_std: f64,
+}
+
+impl Dataset {
+    /// Creates a dataset for `width`-bit designs from initial pairs
+    /// (duplicates collapse to their latest cost).
+    pub fn new(width: usize, initial: Vec<(PrefixGrid, f64)>) -> Self {
+        let mut ds = Dataset {
+            width,
+            entries: Vec::new(),
+            index: HashMap::new(),
+            weights: Vec::new(),
+            cum_weights: Vec::new(),
+            cost_mean: 0.0,
+            cost_std: 1.0,
+        };
+        for (g, c) in initial {
+            ds.insert(g, c);
+        }
+        ds
+    }
+
+    /// Inserts or updates one design. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid width differs from the dataset width.
+    pub fn insert(&mut self, grid: PrefixGrid, cost: f64) -> bool {
+        assert_eq!(grid.width(), self.width, "dataset width mismatch");
+        match self.index.get(&grid) {
+            Some(&i) => {
+                self.entries[i].1 = cost;
+                false
+            }
+            None => {
+                self.index.insert(grid.clone(), self.entries.len());
+                self.entries.push((grid, cost));
+                true
+            }
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The design width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[(PrefixGrid, f64)] {
+        &self.entries
+    }
+
+    /// The best (lowest-cost) entry.
+    pub fn best(&self) -> Option<&(PrefixGrid, f64)> {
+        self.entries.iter().min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// Recomputes Eq. 2 weights `w(x) ∝ 1/(k·n + rank(x))` and cost
+    /// normalization stats. Call after inserting new data (the paper
+    /// recomputes each round). With `reweight = false` (Fig. 4 ablation)
+    /// weights become uniform.
+    pub fn recompute_weights(&mut self, k: f64, reweight: bool) {
+        let n = self.entries.len();
+        if n == 0 {
+            self.weights.clear();
+            self.cum_weights.clear();
+            return;
+        }
+        // Ranks: position of each entry when sorted by cost ascending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| self.entries[a].1.total_cmp(&self.entries[b].1));
+        let mut rank = vec![0usize; n];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r;
+        }
+        self.weights = if reweight {
+            rank.iter().map(|&r| 1.0 / (k * n as f64 + r as f64)).collect()
+        } else {
+            vec![1.0; n]
+        };
+        let total: f64 = self.weights.iter().sum();
+        for w in &mut self.weights {
+            *w /= total;
+        }
+        self.cum_weights = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for w in &self.weights {
+            acc += w;
+            self.cum_weights.push(acc);
+        }
+        // Cost normalization for the predictor head.
+        let mean = self.entries.iter().map(|e| e.1).sum::<f64>() / n as f64;
+        let var = self.entries.iter().map(|e| (e.1 - mean).powi(2)).sum::<f64>() / n as f64;
+        self.cost_mean = mean;
+        self.cost_std = var.sqrt().max(1e-6);
+    }
+
+    /// The normalized weight of entry `i` (Eq. 2).
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Samples one entry index proportional to the rank weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if weights were never computed or the dataset is empty.
+    pub fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        assert!(!self.cum_weights.is_empty(), "call recompute_weights first");
+        let u: f64 = rng.gen();
+        match self.cum_weights.binary_search_by(|w| w.total_cmp(&u)) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cum_weights.len() - 1),
+        }
+    }
+
+    /// Normalizes a raw cost for the predictor (z-score against the
+    /// current dataset).
+    pub fn normalize_cost(&self, cost: f64) -> f64 {
+        (cost - self.cost_mean) / self.cost_std
+    }
+
+    /// Inverts [`Dataset::normalize_cost`].
+    pub fn denormalize_cost(&self, z: f64) -> f64 {
+        z * self.cost_std + self.cost_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_with(cells: &[(usize, usize)]) -> PrefixGrid {
+        let mut g = PrefixGrid::ripple(8);
+        for &(i, j) in cells {
+            g.set(i, j, true).unwrap();
+        }
+        g.legalize();
+        g
+    }
+
+    #[test]
+    fn dedup_updates_cost() {
+        let g = grid_with(&[(5, 3)]);
+        let mut ds = Dataset::new(8, vec![(g.clone(), 5.0)]);
+        assert!(!ds.insert(g, 4.0));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.entries()[0].1, 4.0);
+    }
+
+    #[test]
+    fn weights_favor_low_cost() {
+        let mut ds = Dataset::new(
+            8,
+            vec![
+                (grid_with(&[]), 10.0),
+                (grid_with(&[(5, 3)]), 1.0),
+                (grid_with(&[(6, 2)]), 5.0),
+            ],
+        );
+        ds.recompute_weights(1e-3, true);
+        // Entry 1 has rank 0 → highest weight.
+        assert!(ds.weight(1) > ds.weight(2));
+        assert!(ds.weight(2) > ds.weight(0));
+        let sum: f64 = (0..3).map(|i| ds.weight(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_when_reweighting_disabled() {
+        let mut ds = Dataset::new(
+            8,
+            vec![(grid_with(&[]), 10.0), (grid_with(&[(5, 3)]), 1.0)],
+        );
+        ds.recompute_weights(1e-3, false);
+        assert!((ds.weight(0) - ds.weight(1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sampling_hits_best_often() {
+        let mut ds = Dataset::new(
+            8,
+            vec![
+                (grid_with(&[]), 10.0),
+                (grid_with(&[(5, 3)]), 1.0),
+                (grid_with(&[(6, 2)]), 5.0),
+                (grid_with(&[(7, 4)]), 7.0),
+            ],
+        );
+        ds.recompute_weights(1e-3, true);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut hits = [0usize; 4];
+        for _ in 0..4000 {
+            hits[ds.sample_weighted(&mut rng)] += 1;
+        }
+        assert!(hits[1] > 2000, "best entry should dominate sampling: {hits:?}");
+        assert!(hits[0] < hits[2], "worst entry sampled least: {hits:?}");
+    }
+
+    #[test]
+    fn smaller_k_is_greedier() {
+        let entries: Vec<_> = (0..50)
+            .map(|i| {
+                let mut g = PrefixGrid::ripple(8);
+                // Unique grids via distinct free cells of an 8-bit grid.
+                let cells: Vec<(usize, usize)> = PrefixGrid::free_cells(8).collect();
+                let (r, c) = cells[i % cells.len()];
+                let _ = g.set(r, c, true);
+                if i >= cells.len() {
+                    let (r2, c2) = cells[(i * 7) % cells.len()];
+                    let _ = g.set(r2, c2, true);
+                }
+                g.legalize();
+                (g, i as f64)
+            })
+            .collect();
+        let mut ds = Dataset::new(8, entries);
+        let n = ds.len();
+        let best_idx = (0..n)
+            .min_by(|&a, &b| ds.entries()[a].1.total_cmp(&ds.entries()[b].1))
+            .unwrap();
+        ds.recompute_weights(1e-4, true);
+        let tight_top = ds.weight(best_idx);
+        ds.recompute_weights(1.0, true);
+        let loose_top = ds.weight(best_idx);
+        assert!(tight_top > loose_top, "{tight_top} vs {loose_top} (n={n})");
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let mut ds = Dataset::new(
+            8,
+            vec![(grid_with(&[]), 10.0), (grid_with(&[(5, 3)]), 20.0)],
+        );
+        ds.recompute_weights(1e-3, true);
+        let z = ds.normalize_cost(17.0);
+        assert!((ds.denormalize_cost(z) - 17.0).abs() < 1e-9);
+        // Mean maps to 0.
+        assert!(ds.normalize_cost(15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_entry() {
+        let mut ds = Dataset::new(8, vec![]);
+        assert!(ds.best().is_none());
+        ds.insert(grid_with(&[]), 3.0);
+        ds.insert(grid_with(&[(5, 3)]), 2.0);
+        assert_eq!(ds.best().unwrap().1, 2.0);
+    }
+}

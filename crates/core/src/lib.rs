@@ -1,0 +1,65 @@
+//! **CircuitVAE** — efficient and scalable latent circuit optimization.
+//!
+//! A from-scratch Rust reproduction of Song et al., *CircuitVAE:
+//! Efficient and Scalable Latent Circuit Optimization* (DAC 2024).
+//!
+//! The method embeds discrete prefix-circuit design spaces into a
+//! continuous latent space using a β-VAE trained jointly with a neural
+//! cost predictor, then searches that space by gradient descent on the
+//! predictor, regularized toward the prior (Eq. 4) and initialized by
+//! cost-weighted sampling of the dataset. The outer loop (Algorithm 1)
+//! alternates retraining with batched acquisition against a physical
+//! synthesis objective.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use circuitvae::{Acquisition, CircuitVae, CircuitVaeConfig};
+//! use cv_synth::{CachedEvaluator, CostParams, Objective, SynthesisFlow};
+//! use cv_cells::nangate45_like;
+//! use cv_prefix::{mutate, CircuitKind};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let width = 32;
+//! let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width);
+//! let evaluator = CachedEvaluator::new(Objective::new(flow, CostParams::new(0.66)));
+//!
+//! // Initial dataset (the paper uses early GA generations; random works too).
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let initial: Vec<_> = (0..200)
+//!     .map(|_| {
+//!         let g = mutate::random_grid(width, 0.15, &mut rng);
+//!         let cost = evaluator.evaluate(&g).cost;
+//!         (g, cost)
+//!     })
+//!     .collect();
+//!
+//! let mut vae = CircuitVae::new(width, CircuitVaeConfig::for_width(width), initial, 1);
+//! let outcome = vae.run(&evaluator, 2000);
+//! println!("best cost {} after {} sims", outcome.best_cost, evaluator.counter().count());
+//! # let _ = Acquisition::GradientSearch;
+//! ```
+//!
+//! The `cv-bench` crate regenerates every table and figure of the paper
+//! on top of this API; see `DESIGN.md` and `EXPERIMENTS.md` at the
+//! workspace root.
+
+#![deny(missing_docs)]
+
+mod algorithm;
+mod bo;
+mod config;
+mod dataset;
+mod model;
+mod search;
+mod train;
+
+pub use algorithm::{Acquisition, CircuitVae, RoundReport};
+pub use bo::{propose_by_ei, BoConfig};
+pub use config::{CircuitVaeConfig, InitStrategy, ModelArch, SearchRegularizer};
+pub use dataset::Dataset;
+pub use model::CircuitVaeModel;
+pub use search::{
+    decode_candidates, initial_latents, run_trajectories, CapturedLatent, TrajectoryRecord,
+};
+pub use train::{evaluate_losses, sample_batch, train, LossReport, TrainItem};

@@ -1,0 +1,265 @@
+//! The CircuitVAE model: encoder `q(z|x)`, decoder `p(x|z)`, and the MLP
+//! cost-prediction head `f_π(z)` (paper §4.1, §5.1).
+
+use crate::config::{CircuitVaeConfig, ModelArch};
+use cv_nn::{Conv2d, Graph, Linear, Mlp, ParamStore, Tensor, Var};
+use rand::Rng;
+
+/// Encoder/decoder weights plus the cost head, operating on dense
+/// `width × width` grid images.
+pub struct CircuitVaeModel {
+    width: usize,
+    latent_dim: usize,
+    arch: ModelArch,
+    // CNN pieces (present when arch is Cnn).
+    enc_conv1: Option<Conv2d>,
+    enc_conv2: Option<Conv2d>,
+    dec_conv1: Option<Conv2d>,
+    dec_conv2: Option<Conv2d>,
+    // Dense pieces.
+    enc_trunk: Mlp,
+    enc_mu: Linear,
+    enc_logvar: Linear,
+    dec_trunk: Mlp,
+    cost_head: Mlp,
+    // CNN geometry.
+    half: usize,
+    quarter: usize,
+}
+
+impl CircuitVaeModel {
+    /// Registers all parameters into `store`.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        config: &CircuitVaeConfig,
+        width: usize,
+        rng: &mut R,
+    ) -> Self {
+        let n = width;
+        let l = config.latent_dim;
+        match config.arch {
+            ModelArch::Cnn { channels, hidden } => {
+                let c = channels;
+                let half = n.div_ceil(2);
+                let quarter = half.div_ceil(2);
+                let enc_conv1 = Conv2d::new(store, 1, c, 3, 2, 1, rng);
+                let enc_conv2 = Conv2d::new(store, c, 2 * c, 3, 2, 1, rng);
+                let flat = 2 * c * quarter * quarter;
+                let enc_trunk = Mlp::new(store, &[flat, hidden], rng);
+                let enc_mu = Linear::new_xavier(store, hidden, l, rng);
+                let enc_logvar = Linear::new_xavier(store, hidden, l, rng);
+                // Decoder: z → dense → [2c, q, q] → up → conv → up → conv → crop.
+                let dec_trunk = Mlp::new(store, &[l, hidden, flat], rng);
+                let dec_conv1 = Conv2d::new(store, 2 * c, c, 3, 1, 1, rng);
+                let dec_conv2 = Conv2d::new(store, c, 1, 3, 1, 1, rng);
+                let cost_head = Mlp::new(store, &[l, config.cost_head_hidden, config.cost_head_hidden, 1], rng);
+                CircuitVaeModel {
+                    width: n,
+                    latent_dim: l,
+                    arch: config.arch,
+                    enc_conv1: Some(enc_conv1),
+                    enc_conv2: Some(enc_conv2),
+                    dec_conv1: Some(dec_conv1),
+                    dec_conv2: Some(dec_conv2),
+                    enc_trunk,
+                    enc_mu,
+                    enc_logvar,
+                    dec_trunk,
+                    cost_head,
+                    half,
+                    quarter,
+                }
+            }
+            ModelArch::Mlp { hidden } => {
+                let flat = n * n;
+                let enc_trunk = Mlp::new(store, &[flat, hidden], rng);
+                let enc_mu = Linear::new_xavier(store, hidden, l, rng);
+                let enc_logvar = Linear::new_xavier(store, hidden, l, rng);
+                let dec_trunk = Mlp::new(store, &[l, hidden, flat], rng);
+                let cost_head = Mlp::new(store, &[l, config.cost_head_hidden, config.cost_head_hidden, 1], rng);
+                CircuitVaeModel {
+                    width: n,
+                    latent_dim: l,
+                    arch: config.arch,
+                    enc_conv1: None,
+                    enc_conv2: None,
+                    dec_conv1: None,
+                    dec_conv2: None,
+                    enc_trunk,
+                    enc_mu,
+                    enc_logvar,
+                    dec_trunk,
+                    cost_head,
+                    half: 0,
+                    quarter: 0,
+                }
+            }
+        }
+    }
+
+    /// Circuit width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Encodes dense grid images `[batch, n·n]` to `(mu, logvar)`,
+    /// each `[batch, latent]`.
+    pub fn encode(&self, g: &mut Graph, store: &ParamStore, x: Var) -> (Var, Var) {
+        let b = g.value(x).shape()[0];
+        let h = match self.arch {
+            ModelArch::Cnn { .. } => {
+                let img = g.reshape(x, [b, 1, self.width, self.width]);
+                let c1 = self.enc_conv1.as_ref().expect("cnn").forward(g, store, img);
+                let a1 = g.relu(c1);
+                let c2 = self.enc_conv2.as_ref().expect("cnn").forward(g, store, a1);
+                let a2 = g.relu(c2);
+                let flat_dim = g.value(a2).numel() / b;
+                let flat = g.reshape(a2, [b, flat_dim]);
+                let t = self.enc_trunk.forward(g, store, flat);
+                g.relu(t)
+            }
+            ModelArch::Mlp { .. } => {
+                let t = self.enc_trunk.forward(g, store, x);
+                g.relu(t)
+            }
+        };
+        let mu = self.enc_mu.forward(g, store, h);
+        let logvar_raw = self.enc_logvar.forward(g, store, h);
+        // Soft-bound logvar to (-6, 6) for numerical stability.
+        let t = g.tanh(logvar_raw);
+        let logvar = g.mul_scalar(t, 6.0);
+        (mu, logvar)
+    }
+
+    /// Decodes latents `[batch, latent]` to grid logits `[batch, n·n]`.
+    pub fn decode(&self, g: &mut Graph, store: &ParamStore, z: Var) -> Var {
+        let b = g.value(z).shape()[0];
+        match self.arch {
+            ModelArch::Cnn { channels, .. } => {
+                let t = self.dec_trunk.forward(g, store, z);
+                let a = g.relu(t);
+                let c2 = 2 * channels;
+                let img = g.reshape(a, [b, c2, self.quarter, self.quarter]);
+                let up1 = g.upsample2x(img);
+                let up1 = g.crop2d(up1, self.half, self.half);
+                let d1 = self.dec_conv1.as_ref().expect("cnn").forward(g, store, up1);
+                let a1 = g.relu(d1);
+                let up2 = g.upsample2x(a1);
+                let up2 = g.crop2d(up2, self.width, self.width);
+                let d2 = self.dec_conv2.as_ref().expect("cnn").forward(g, store, up2);
+                g.reshape(d2, [b, self.width * self.width])
+            }
+            ModelArch::Mlp { .. } => self.dec_trunk.forward(g, store, z),
+        }
+    }
+
+    /// Predicts normalized cost from latents: `[batch, latent] → [batch, 1]`.
+    pub fn predict_cost(&self, g: &mut Graph, store: &ParamStore, z: Var) -> Var {
+        self.cost_head.forward(g, store, z)
+    }
+
+    /// Encodes dense images and returns host-side `(mu, logvar)` rows —
+    /// convenience for search initialization and BO (no gradients kept).
+    pub fn encode_values(
+        &self,
+        store: &ParamStore,
+        dense_rows: &[Vec<f32>],
+    ) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
+        if dense_rows.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let b = dense_rows.len();
+        let d = dense_rows[0].len();
+        let flat: Vec<f32> = dense_rows.iter().flatten().copied().collect();
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new([b, d], flat));
+        let (mu, logvar) = self.encode(&mut g, store, x);
+        let l = self.latent_dim;
+        let take = |v: &Tensor| -> Vec<Vec<f32>> {
+            (0..b).map(|r| v.data()[r * l..(r + 1) * l].to_vec()).collect()
+        };
+        (take(g.value(mu)), take(g.value(logvar)))
+    }
+
+    /// Decodes latent rows to Bernoulli probabilities per dense-grid cell.
+    pub fn decode_probs(&self, store: &ParamStore, latents: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if latents.is_empty() {
+            return Vec::new();
+        }
+        let b = latents.len();
+        let flat: Vec<f32> = latents.iter().flatten().copied().collect();
+        let mut g = Graph::new();
+        let z = g.input(Tensor::new([b, self.latent_dim], flat));
+        let logits = self.decode(&mut g, store, z);
+        let probs = g.sigmoid(logits);
+        let d = self.width * self.width;
+        (0..b).map(|r| g.value(probs).data()[r * d..(r + 1) * d].to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CircuitVaeConfig;
+    use cv_prefix::{bitvec, topologies};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn build(width: usize, cnn: bool) -> (CircuitVaeModel, ParamStore) {
+        let mut cfg = CircuitVaeConfig::smoke(width);
+        if cnn {
+            cfg.arch = ModelArch::Cnn { channels: 4, hidden: 32 };
+        }
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = CircuitVaeModel::new(&mut store, &cfg, width, &mut rng);
+        (model, store)
+    }
+
+    #[test]
+    fn shapes_roundtrip_mlp() {
+        let (model, store) = build(16, false);
+        let x = bitvec::encode_dense(&topologies::sklansky(16));
+        let (mu, lv) = model.encode_values(&store, &[x.clone(), x]);
+        assert_eq!(mu.len(), 2);
+        assert_eq!(mu[0].len(), model.latent_dim());
+        assert_eq!(lv[0].len(), model.latent_dim());
+        let probs = model.decode_probs(&store, &mu);
+        assert_eq!(probs[0].len(), 16 * 16);
+        assert!(probs[0].iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn shapes_roundtrip_cnn_odd_width() {
+        // Odd widths exercise the crop path (e.g. 31-bit datapath adder).
+        for width in [26usize, 31] {
+            let (model, store) = build(width, true);
+            let x = bitvec::encode_dense(&topologies::brent_kung(width));
+            let (mu, _) = model.encode_values(&store, &[x]);
+            let probs = model.decode_probs(&store, &mu);
+            assert_eq!(probs[0].len(), width * width, "width {width}");
+        }
+    }
+
+    #[test]
+    fn logvar_is_bounded() {
+        let (model, store) = build(16, false);
+        let x = vec![1.0f32; 256];
+        let (_, lv) = model.encode_values(&store, &[x]);
+        assert!(lv[0].iter().all(|v| v.abs() <= 6.0));
+    }
+
+    #[test]
+    fn cost_head_outputs_scalar_per_row() {
+        let (model, store) = build(16, false);
+        let mut g = Graph::new();
+        let z = g.input(Tensor::zeros([3, model.latent_dim()]));
+        let c = model.predict_cost(&mut g, &store, z);
+        assert_eq!(g.value(c).shape(), &[3, 1]);
+    }
+}

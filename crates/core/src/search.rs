@@ -1,0 +1,326 @@
+//! Prior-regularized latent gradient search with cost-weighted sampling
+//! (paper §4.2, Eq. 4; ablations of Figs. 4 and 5).
+
+use crate::config::{CircuitVaeConfig, InitStrategy, SearchRegularizer};
+use crate::dataset::Dataset;
+use crate::model::CircuitVaeModel;
+use cv_nn::{randn, Graph, ParamStore, Tensor};
+use cv_prefix::{bitvec, topologies, PrefixGrid};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One captured point along a search trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapturedLatent {
+    /// The latent vector.
+    pub z: Vec<f32>,
+    /// Which trajectory produced it.
+    pub trajectory: usize,
+    /// Gradient step at capture time.
+    pub step: usize,
+    /// Predicted (normalized) cost at this point.
+    pub predicted_norm: f64,
+    /// The γ used by this trajectory (0 for box/none regularizers).
+    pub gamma: f64,
+    /// Euclidean distance from the latent origin.
+    pub origin_distance: f64,
+}
+
+/// A full trajectory record (used by the Fig. 5 analysis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrajectoryRecord {
+    /// γ for this trajectory.
+    pub gamma: f64,
+    /// Captured points, in step order.
+    pub points: Vec<CapturedLatent>,
+}
+
+/// Draws initial latents according to the configured strategy.
+pub fn initial_latents<R: Rng + ?Sized>(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    dataset: &Dataset,
+    init: InitStrategy,
+    m: usize,
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    let l = model.latent_dim();
+    match init {
+        InitStrategy::Prior => (0..m).map(|_| (0..l).map(|_| randn(rng)).collect()).collect(),
+        InitStrategy::Sklansky => {
+            let dense = bitvec::encode_dense(&topologies::sklansky(model.width()));
+            let rows: Vec<Vec<f32>> = (0..m).map(|_| dense.clone()).collect();
+            posterior_samples(model, store, &rows, rng)
+        }
+        InitStrategy::CostWeighted => {
+            let rows: Vec<Vec<f32>> = (0..m)
+                .map(|_| {
+                    let i = dataset.sample_weighted(rng);
+                    bitvec::encode_dense(&dataset.entries()[i].0)
+                })
+                .collect();
+            posterior_samples(model, store, &rows, rng)
+        }
+    }
+}
+
+/// Encodes dense rows and samples `z ~ q(z|x)` once per row.
+fn posterior_samples<R: Rng + ?Sized>(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    rows: &[Vec<f32>],
+    rng: &mut R,
+) -> Vec<Vec<f32>> {
+    let (mu, logvar) = model.encode_values(store, rows);
+    mu.into_iter()
+        .zip(logvar)
+        .map(|(m, lv)| {
+            m.iter()
+                .zip(&lv)
+                .map(|(&mean, &l)| mean + randn(rng) * (0.5 * l).exp())
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs batched gradient descent on `g(z) = f_π(z) + γ·½‖z‖²`
+/// from the given starting latents, capturing points every
+/// `config.capture_every` steps (plus the final step).
+///
+/// Each trajectory gets its own γ per the configured regularizer. The
+/// gradient of the prior term is simply `γ·z` since
+/// `−log p(z) = ½‖z‖² + const` for the unit Gaussian prior.
+pub fn run_trajectories<R: Rng + ?Sized>(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    starts: Vec<Vec<f32>>,
+    config: &CircuitVaeConfig,
+    rng: &mut R,
+) -> Vec<TrajectoryRecord> {
+    let m = starts.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let l = model.latent_dim();
+    let gammas: Vec<f64> = (0..m)
+        .map(|_| match config.regularizer {
+            SearchRegularizer::PriorLogUniform { lo, hi } => {
+                let u: f64 = rng.gen();
+                (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+            }
+            SearchRegularizer::PriorFixed { gamma } => gamma,
+            SearchRegularizer::Box { .. } | SearchRegularizer::None => 0.0,
+        })
+        .collect();
+
+    let mut z: Vec<f32> = starts.into_iter().flatten().collect();
+    let mut records: Vec<TrajectoryRecord> = gammas
+        .iter()
+        .map(|&gamma| TrajectoryRecord { gamma, points: Vec::new() })
+        .collect();
+
+    for step in 1..=config.search_steps {
+        // Predicted cost and its gradient w.r.t. the latents.
+        let (pred, grad) = {
+            let mut g = Graph::new();
+            let zin = g.input(Tensor::new([m, l], z.clone()));
+            let c = model.predict_cost(&mut g, store, zin);
+            let total = g.sum(c);
+            let grads = g.backward(total);
+            (g.value(c).data().to_vec(), grads.of(zin, &g).into_data())
+        };
+        // Gradient step with per-trajectory regularization.
+        let lr = config.search_lr as f32;
+        for t in 0..m {
+            let gamma = gammas[t] as f32;
+            for d in 0..l {
+                let i = t * l + d;
+                z[i] -= lr * (grad[i] + gamma * z[i]);
+            }
+            if let SearchRegularizer::Box { radius } = config.regularizer {
+                let r = radius as f32;
+                for d in 0..l {
+                    z[t * l + d] = z[t * l + d].clamp(-r, r);
+                }
+            }
+        }
+        // Capture.
+        if step % config.capture_every == 0 || step == config.search_steps {
+            for t in 0..m {
+                let zt = z[t * l..(t + 1) * l].to_vec();
+                let dist = zt.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt();
+                records[t].points.push(CapturedLatent {
+                    z: zt,
+                    trajectory: t,
+                    step,
+                    predicted_norm: f64::from(pred[t]),
+                    gamma: gammas[t],
+                    origin_distance: dist,
+                });
+            }
+        }
+    }
+    records
+}
+
+/// Decodes captured latents into candidate designs by sampling each grid
+/// cell from the decoder's Bernoulli distribution (Line 9 of Alg. 1).
+/// Candidates are *not* legalized — legalization happens inside the
+/// objective, as in the paper.
+pub fn decode_candidates<R: Rng + ?Sized>(
+    model: &CircuitVaeModel,
+    store: &ParamStore,
+    latents: &[Vec<f32>],
+    rng: &mut R,
+) -> Vec<PrefixGrid> {
+    let probs = model.decode_probs(store, latents);
+    let n = model.width();
+    probs
+        .iter()
+        .map(|p| {
+            let sampled: Vec<f32> = p
+                .iter()
+                .map(|&prob| if rng.gen::<f32>() < prob { 1.0 } else { 0.0 })
+                .collect();
+            bitvec::decode_dense(n, &sampled).expect("decoder emits n*n probabilities")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CircuitVaeConfig;
+    use crate::train;
+    use cv_prefix::{mutate, GridMetrics};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(width: usize) -> (CircuitVaeModel, ParamStore, Dataset, CircuitVaeConfig) {
+        let config = CircuitVaeConfig::smoke(width);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let model = CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+        let entries: Vec<_> = (0..50)
+            .map(|_| {
+                let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+                let c = GridMetrics::of(&g).analytic_proxy();
+                (g, c)
+            })
+            .collect();
+        let mut ds = Dataset::new(width, entries);
+        ds.recompute_weights(1e-3, true);
+        let _ = train::train(&model, &mut store, &ds, &config, 30, &mut rng);
+        (model, store, ds, config)
+    }
+
+    #[test]
+    fn trajectories_capture_expected_counts() {
+        let (model, store, ds, config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let starts = initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 6, &mut rng);
+        let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
+        assert_eq!(recs.len(), 6);
+        // capture_every=5, steps=20 → captures at 5, 10, 15, 20.
+        assert_eq!(recs[0].points.len(), 4);
+        for r in &recs {
+            assert!((0.01..=0.1).contains(&r.gamma), "gamma {} in paper range", r.gamma);
+        }
+    }
+
+    #[test]
+    fn prior_regularization_pulls_toward_origin() {
+        let (model, store, ds, mut config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        let far_start: Vec<Vec<f32>> =
+            (0..8).map(|_| (0..model.latent_dim()).map(|_| 4.0).collect()).collect();
+
+        config.regularizer = SearchRegularizer::PriorFixed { gamma: 1.0 };
+        let strong = run_trajectories(&model, &store, far_start.clone(), &config, &mut rng);
+        config.regularizer = SearchRegularizer::None;
+        let none = run_trajectories(&model, &store, far_start, &config, &mut rng);
+
+        let end_dist = |recs: &[TrajectoryRecord]| -> f64 {
+            recs.iter().map(|r| r.points.last().unwrap().origin_distance).sum::<f64>()
+                / recs.len() as f64
+        };
+        assert!(
+            end_dist(&strong) < end_dist(&none),
+            "γ=1 must end closer to origin: {} vs {}",
+            end_dist(&strong),
+            end_dist(&none)
+        );
+        let _ = ds;
+    }
+
+    #[test]
+    fn box_regularizer_clips() {
+        let (model, store, _ds, mut config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        config.regularizer = SearchRegularizer::Box { radius: 0.5 };
+        let starts: Vec<Vec<f32>> =
+            (0..4).map(|_| (0..model.latent_dim()).map(|_| 3.0).collect()).collect();
+        let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
+        for r in &recs {
+            for p in &r.points {
+                assert!(p.z.iter().all(|v| v.abs() <= 0.5 + 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_predicted_cost() {
+        let (model, store, ds, config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let starts = initial_latents(&model, &store, &ds, InitStrategy::Prior, 16, &mut rng);
+        let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
+        let first: f64 =
+            recs.iter().map(|r| r.points.first().unwrap().predicted_norm).sum::<f64>();
+        let last: f64 = recs.iter().map(|r| r.points.last().unwrap().predicted_norm).sum::<f64>();
+        assert!(last < first, "predicted cost must decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn decoded_candidates_have_right_width_and_vary() {
+        let (model, store, ds, config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let starts = initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 8, &mut rng);
+        let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
+        let latents: Vec<Vec<f32>> =
+            recs.iter().flat_map(|r| r.points.iter().map(|p| p.z.clone())).collect();
+        let grids = decode_candidates(&model, &store, &latents, &mut rng);
+        assert_eq!(grids.len(), latents.len());
+        assert!(grids.iter().all(|g| g.width() == 10));
+        let unique: std::collections::HashSet<_> = grids.iter().cloned().collect();
+        assert!(unique.len() > 1, "candidates should be diverse");
+    }
+
+    #[test]
+    fn init_strategies_differ() {
+        let (model, store, ds, _config) = setup(10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let prior = initial_latents(&model, &store, &ds, InitStrategy::Prior, 16, &mut rng);
+        let cw = initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 16, &mut rng);
+        let sk = initial_latents(&model, &store, &ds, InitStrategy::Sklansky, 16, &mut rng);
+        assert_eq!(prior.len(), 16);
+        assert_eq!(cw.len(), 16);
+        assert_eq!(sk.len(), 16);
+        // Sklansky inits cluster (same posterior mean); prior inits do not.
+        let spread = |v: &[Vec<f32>]| -> f32 {
+            let l = v[0].len();
+            let mut mean = vec![0.0f32; l];
+            for row in v {
+                for (m, x) in mean.iter_mut().zip(row) {
+                    *m += x / v.len() as f32;
+                }
+            }
+            v.iter()
+                .map(|row| {
+                    row.iter().zip(&mean).map(|(x, m)| (x - m) * (x - m)).sum::<f32>().sqrt()
+                })
+                .sum::<f32>()
+                / v.len() as f32
+        };
+        assert!(spread(&sk) < spread(&prior), "sklansky inits should cluster");
+    }
+}

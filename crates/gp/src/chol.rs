@@ -1,0 +1,165 @@
+//! Dense Cholesky factorization and triangular solves.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from GP fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpError {
+    /// The kernel matrix was not positive definite even after jitter.
+    NotPositiveDefinite,
+    /// Fewer than two training points, or inconsistent dimensions.
+    BadTrainingSet,
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::NotPositiveDefinite => {
+                write!(f, "kernel matrix not positive definite after jitter")
+            }
+            GpError::BadTrainingSet => write!(f, "training set empty or dimensionally inconsistent"),
+        }
+    }
+}
+
+impl Error for GpError {}
+
+/// In-place lower Cholesky of a row-major symmetric `n×n` matrix.
+/// Returns the lower factor `L` (upper triangle zeroed) or an error if a
+/// pivot goes non-positive.
+///
+/// # Errors
+///
+/// [`GpError::NotPositiveDefinite`] when a pivot is not strictly positive.
+pub fn cholesky(mut a: Vec<f64>, n: usize) -> Result<Vec<f64>, GpError> {
+    assert_eq!(a.len(), n * n, "matrix shape");
+    for j in 0..n {
+        let mut diag = a[j * n + j];
+        for k in 0..j {
+            diag -= a[j * n + k] * a[j * n + k];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(GpError::NotPositiveDefinite);
+        }
+        let diag = diag.sqrt();
+        a[j * n + j] = diag;
+        for i in (j + 1)..n {
+            let mut v = a[i * n + j];
+            for k in 0..j {
+                v -= a[i * n + k] * a[j * n + k];
+            }
+            a[i * n + j] = v / diag;
+        }
+        for k in (j + 1)..n {
+            a[j * n + k] = 0.0;
+        }
+    }
+    Ok(a)
+}
+
+/// Solves `L Lᵀ x = b` given the lower Cholesky factor.
+pub fn solve_cholesky(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), n, "rhs length");
+    // Forward: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[i * n + k] * y[k];
+        }
+        y[i] = v / l[i * n + i];
+    }
+    // Backward: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in (i + 1)..n {
+            v -= l[k * n + i] * x[k];
+        }
+        x[i] = v / l[i * n + i];
+    }
+    x
+}
+
+/// Forward-solves `L y = b` only (used for predictive variance).
+pub fn forward_solve(l: &[f64], n: usize, b: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut v = b[i];
+        for k in 0..i {
+            v -= l[i * n + k] * y[k];
+        }
+        y[i] = v / l[i * n + i];
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizes_spd_matrix() {
+        // A = [[4,2],[2,3]] -> L = [[2,0],[1,sqrt(2)]]
+        let l = cholesky(vec![4.0, 2.0, 2.0, 3.0], 2).unwrap();
+        assert!((l[0] - 2.0).abs() < 1e-12);
+        assert!((l[2] - 1.0).abs() < 1e-12);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[1], 0.0);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        assert_eq!(
+            cholesky(vec![1.0, 2.0, 2.0, 1.0], 2).unwrap_err(),
+            GpError::NotPositiveDefinite
+        );
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = vec![4.0, 2.0, 2.0, 3.0];
+        let l = cholesky(a.clone(), 2).unwrap();
+        let x = solve_cholesky(&l, 2, &[1.0, 2.0]);
+        // Check A x = b.
+        let b0 = 4.0 * x[0] + 2.0 * x[1];
+        let b1 = 2.0 * x[0] + 3.0 * x[1];
+        assert!((b0 - 1.0).abs() < 1e-10 && (b1 - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn larger_random_spd_roundtrip() {
+        // Build SPD as B Bᵀ + n·I.
+        let n = 12;
+        let mut b = vec![0.0f64; n * n];
+        let mut state = 12345u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for v in &mut b {
+            *v = next();
+        }
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += b[i * n + k] * b[j * n + k];
+                }
+                a[i * n + j] = s + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64 - 3.0).collect();
+        let l = cholesky(a.clone(), n).unwrap();
+        let x = solve_cholesky(&l, n, &rhs);
+        for i in 0..n {
+            let mut got = 0.0;
+            for j in 0..n {
+                got += a[i * n + j] * x[j];
+            }
+            assert!((got - rhs[i]).abs() < 1e-8, "row {i}: {got} vs {}", rhs[i]);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Covariance kernels.
+
+use serde::{Deserialize, Serialize};
+
+/// Stationary covariance kernels over Euclidean inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Squared-exponential (RBF).
+    Rbf,
+    /// Matérn ν = 5/2 — the common default for BO (rougher than RBF).
+    Matern52,
+}
+
+impl Kernel {
+    /// Covariance between two points for signal variance `sigma2` and
+    /// lengthscale `ell`.
+    pub fn eval(self, a: &[f64], b: &[f64], sigma2: f64, ell: f64) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        match self {
+            Kernel::Rbf => sigma2 * (-0.5 * d2 / (ell * ell)).exp(),
+            Kernel::Matern52 => {
+                let d = d2.sqrt();
+                let s = 5.0f64.sqrt() * d / ell;
+                sigma2 * (1.0 + s + s * s / 3.0) * (-s).exp()
+            }
+        }
+    }
+}
+
+/// Median pairwise distance of a sample of points — the standard
+/// lengthscale heuristic. Falls back to 1.0 for degenerate inputs.
+pub fn median_distance(points: &[Vec<f64>]) -> f64 {
+    let n = points.len();
+    if n < 2 {
+        return 1.0;
+    }
+    // Subsample pairs for large sets to stay O(n) in practice.
+    let mut dists = Vec::new();
+    let stride = (n * (n - 1) / 2 / 2048).max(1);
+    let mut counter = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            counter += 1;
+            if !counter.is_multiple_of(stride) {
+                continue;
+            }
+            let d2: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            dists.push(d2.sqrt());
+        }
+    }
+    if dists.is_empty() {
+        return 1.0;
+    }
+    dists.sort_by(f64::total_cmp);
+    let m = dists[dists.len() / 2];
+    if m > 1e-12 {
+        m
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_one_at_zero_distance() {
+        for k in [Kernel::Rbf, Kernel::Matern52] {
+            let v = k.eval(&[1.0, 2.0], &[1.0, 2.0], 2.5, 0.7);
+            assert!((v - 2.5).abs() < 1e-12, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn kernels_decay_with_distance() {
+        for k in [Kernel::Rbf, Kernel::Matern52] {
+            let near = k.eval(&[0.0], &[0.1], 1.0, 1.0);
+            let far = k.eval(&[0.0], &[3.0], 1.0, 1.0);
+            assert!(near > far && far > 0.0, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn longer_lengthscale_decays_slower() {
+        let short = Kernel::Rbf.eval(&[0.0], &[1.0], 1.0, 0.5);
+        let long = Kernel::Rbf.eval(&[0.0], &[1.0], 1.0, 2.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn median_distance_sane() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let m = median_distance(&pts);
+        assert!(m >= 1.0 && m <= 2.0);
+        assert_eq!(median_distance(&[]), 1.0);
+        assert_eq!(median_distance(&[vec![1.0]]), 1.0);
+        // Identical points fall back to 1.0.
+        assert_eq!(median_distance(&[vec![2.0], vec![2.0]]), 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! GP regression with marginal-likelihood hyperparameter selection, and
+//! the Expected Improvement acquisition.
+
+use crate::chol::{cholesky, forward_solve, solve_cholesky, GpError};
+use crate::kernel::{median_distance, Kernel};
+
+/// A fitted exact GP.
+#[derive(Debug, Clone)]
+pub struct GpRegressor {
+    xs: Vec<Vec<f64>>,
+    kernel: Kernel,
+    sigma2: f64,
+    ell: f64,
+    noise: f64,
+    l: Vec<f64>,
+    alpha: Vec<f64>,
+    y_mean: f64,
+}
+
+impl GpRegressor {
+    /// Fits a GP to `(xs, ys)` with observation noise `noise`.
+    ///
+    /// The signal variance is set to the sample variance of `ys`; the
+    /// lengthscale is selected by log marginal likelihood over
+    /// `{0.25, 0.5, 1, 2, 4} × median pairwise distance`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::BadTrainingSet`] for fewer than 2 points or ragged
+    ///   inputs.
+    /// * [`GpError::NotPositiveDefinite`] if factorization fails even at
+    ///   the largest jitter.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel, noise: f64) -> Result<Self, GpError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(GpError::BadTrainingSet);
+        }
+        let dim = xs[0].len();
+        if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+            return Err(GpError::BadTrainingSet);
+        }
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - y_mean).collect();
+        let sigma2 = (centered.iter().map(|y| y * y).sum::<f64>() / n as f64).max(1e-8);
+        let base_ell = median_distance(xs);
+
+        let mut best: Option<(f64, f64, Vec<f64>, Vec<f64>)> = None;
+        for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+            let ell = base_ell * mult;
+            let Some((l, alpha, lml)) = Self::factor(xs, &centered, kernel, sigma2, ell, noise)
+            else {
+                continue;
+            };
+            if best.as_ref().is_none_or(|(b_lml, ..)| lml > *b_lml) {
+                best = Some((lml, ell, l, alpha));
+            }
+        }
+        let (_, ell, l, alpha) = best.ok_or(GpError::NotPositiveDefinite)?;
+        Ok(GpRegressor { xs: xs.to_vec(), kernel, sigma2, ell, noise, l, alpha, y_mean })
+    }
+
+    fn factor(
+        xs: &[Vec<f64>],
+        centered: &[f64],
+        kernel: Kernel,
+        sigma2: f64,
+        ell: f64,
+        noise: f64,
+    ) -> Option<(Vec<f64>, Vec<f64>, f64)> {
+        let n = xs.len();
+        let mut k = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = kernel.eval(&xs[i], &xs[j], sigma2, ell);
+                k[i * n + j] = v;
+                k[j * n + i] = v;
+            }
+        }
+        for jitter_mult in [1.0, 10.0, 100.0, 1000.0] {
+            let mut kj = k.clone();
+            let jitter = (noise + 1e-10) * jitter_mult + 1e-9 * sigma2;
+            for i in 0..n {
+                kj[i * n + i] += jitter;
+            }
+            if let Ok(l) = cholesky(kj, n) {
+                let alpha = solve_cholesky(&l, n, centered);
+                // log ML = -0.5 yᵀα − Σ log L_ii − n/2 log 2π
+                let quad: f64 = centered.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+                let logdet: f64 = (0..n).map(|i| l[i * n + i].ln()).sum();
+                let lml = -0.5 * quad - logdet - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+                return Some((l, alpha, lml));
+            }
+        }
+        None
+    }
+
+    /// Posterior mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let n = self.xs.len();
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| self.kernel.eval(xi, x, self.sigma2, self.ell))
+            .collect();
+        let mean = self.y_mean + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let v = forward_solve(&self.l, n, &kstar);
+        let var = self.sigma2 + self.noise - v.iter().map(|x| x * x).sum::<f64>();
+        (mean, var.max(0.0))
+    }
+
+    /// The selected lengthscale (for diagnostics).
+    pub fn lengthscale(&self) -> f64 {
+        self.ell
+    }
+
+    /// Training-set size.
+    pub fn train_len(&self) -> usize {
+        self.xs.len()
+    }
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ≈ 1.5e-7, plenty for acquisition ranking).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Expected Improvement for *minimization*: how much we expect a point
+/// with posterior `(mean, var)` to improve on `best` (the incumbent
+/// minimum).
+pub fn expected_improvement(mean: f64, var: f64, best: f64) -> f64 {
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return (best - mean).max(0.0);
+    }
+    let z = (best - mean) / std;
+    (best - mean) * normal_cdf(z) + std * normal_pdf(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 * 0.25]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] - 3.0).powi(2) + 1.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_data() {
+        let (xs, ys) = toy();
+        let gp = GpRegressor::fit(&xs, &ys, Kernel::Rbf, 1e-6).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, v) = gp.predict(x);
+            assert!((m - y).abs() < 0.2, "mean {m} vs {y}");
+            assert!(v < 0.5, "variance at training point should be small: {v}");
+        }
+    }
+
+    #[test]
+    fn extrapolation_variance_grows() {
+        let (xs, ys) = toy();
+        let gp = GpRegressor::fit(&xs, &ys, Kernel::Matern52, 1e-6).unwrap();
+        let (_, v_in) = gp.predict(&[3.0]);
+        let (_, v_out) = gp.predict(&[50.0]);
+        assert!(v_out > 10.0 * v_in.max(1e-6), "{v_out} vs {v_in}");
+    }
+
+    #[test]
+    fn rejects_bad_training_sets() {
+        assert!(matches!(
+            GpRegressor::fit(&[vec![1.0]], &[1.0], Kernel::Rbf, 1e-6),
+            Err(GpError::BadTrainingSet)
+        ));
+        assert!(matches!(
+            GpRegressor::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], Kernel::Rbf, 1e-6),
+            Err(GpError::BadTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn duplicate_points_survive_via_jitter() {
+        let xs = vec![vec![1.0], vec![1.0], vec![2.0], vec![2.0]];
+        let ys = vec![1.0, 1.1, 2.0, 2.1];
+        let gp = GpRegressor::fit(&xs, &ys, Kernel::Rbf, 1e-6).unwrap();
+        let (m, _) = gp.predict(&[1.0]);
+        assert!((m - 1.05).abs() < 0.3);
+    }
+
+    #[test]
+    fn cdf_and_pdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!(normal_cdf(5.0) > 0.999_999);
+        assert!(normal_cdf(-5.0) < 1e-6);
+        assert!((normal_pdf(0.0) - 0.398_942).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ei_prefers_low_mean_and_high_variance() {
+        let best = 1.0;
+        let low_mean = expected_improvement(0.5, 0.01, best);
+        let high_mean = expected_improvement(2.0, 0.01, best);
+        assert!(low_mean > high_mean);
+        let low_var = expected_improvement(1.5, 0.01, best);
+        let high_var = expected_improvement(1.5, 4.0, best);
+        assert!(high_var > low_var, "exploration bonus");
+        // Zero variance, worse than best: no improvement.
+        assert_eq!(expected_improvement(2.0, 0.0, best), 0.0);
+    }
+
+    #[test]
+    fn gp_guides_toward_minimum() {
+        // EI over a grid should peak near the true minimum x=3.
+        let (xs, ys) = toy();
+        let gp = GpRegressor::fit(&xs, &ys, Kernel::Rbf, 1e-6).unwrap();
+        let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut best_x = 0.0;
+        let mut best_ei = -1.0;
+        for i in 0..100 {
+            let x = i as f64 * 0.06;
+            let (m, v) = gp.predict(&[x]);
+            let ei = expected_improvement(m, v, best);
+            if ei > best_ei {
+                best_ei = ei;
+                best_x = x;
+            }
+        }
+        assert!((best_x - 3.0).abs() < 1.0, "EI argmax {best_x} should be near 3");
+    }
+}

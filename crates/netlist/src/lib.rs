@@ -1,0 +1,33 @@
+//! Gate-level netlists and technology mapping for prefix circuits.
+//!
+//! This crate turns an abstract [`cv_prefix::PrefixGraph`] into a list of
+//! standard cells from a [`cv_cells::CellLibrary`]:
+//!
+//! * **Adders** use the Brent-Kung carry-operator mapping: per-bit
+//!   generate/propagate preprocessing (`AND2`/`XOR2`), an `AO21 (+AND2)`
+//!   pair per prefix node, and an `XOR2` sum stage. Propagate gates are
+//!   emitted *demand-driven*: a node's `p` output is only built if some
+//!   consumer actually needs it, which rewards sparse graphs exactly the
+//!   way a real synthesis flow does.
+//! * **Gray-to-binary converters** map each prefix node to a single
+//!   `XOR2` (the prefix operator for XOR-prefix sums is XOR itself).
+//!
+//! ```
+//! use cv_netlist::map_circuit;
+//! use cv_prefix::{topologies, CircuitKind};
+//! use cv_cells::nangate45_like;
+//!
+//! let lib = nangate45_like();
+//! let graph = topologies::sklansky(16).to_graph();
+//! let netlist = map_circuit(&graph, CircuitKind::Adder, &lib);
+//! assert!(netlist.gate_count() > 3 * 16); // pre + prefix + sum stages
+//! assert!(netlist.area_um2(&lib) > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod mapper;
+mod netlist;
+
+pub use mapper::{map_adder, map_circuit, map_gray_to_binary, map_leading_zero};
+pub use netlist::{Driver, Gate, GateId, NetId, Netlist, PrimaryOutput};

@@ -1,0 +1,374 @@
+//! Technology mapping: prefix graph → gate-level netlist.
+
+use crate::netlist::{NetId, Netlist};
+use cv_cells::{CellLibrary, Drive, Function};
+use cv_prefix::{CircuitKind, PrefixGraph};
+
+/// Maps a prefix graph to a netlist for the given circuit kind.
+///
+/// The library is only used for sanity (functions must exist); all gates
+/// are emitted at `X1` drive — the sizing pass in `cv-synth` picks final
+/// strengths.
+pub fn map_circuit(graph: &PrefixGraph, kind: CircuitKind, lib: &CellLibrary) -> Netlist {
+    match kind {
+        CircuitKind::Adder => map_adder(graph, lib),
+        CircuitKind::GrayToBinary => map_gray_to_binary(graph, lib),
+        CircuitKind::LeadingZero => map_leading_zero(graph, lib),
+    }
+}
+
+/// Maps an `N`-bit binary adder.
+///
+/// * Pre-stage: `g_i = AND2(a_i, b_i)`, `p_i = XOR2(a_i, b_i)`.
+/// * Each prefix node `[i:j]` with parents `hi = [i:k]`, `lo = [k-1:j]`:
+///   `g = AO21(p_hi, g_lo, g_hi)`, and `p = AND2(p_hi, p_lo)` *only if
+///   some consumer demands it* (column-0 carries never need `p`).
+/// * Sum stage: `s_0 = p_0`, `s_i = XOR2(p_i, carry_{i-1})`, plus a carry
+///   out from the top output node.
+pub fn map_adder(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
+    let n = graph.width();
+    let nodes = graph.nodes();
+    let mut nl = Netlist::new();
+
+    // Primary inputs, two per bit, interleaved so bit timing lookups work.
+    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(i)).collect();
+    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(i)).collect();
+
+    // Demand analysis for propagate signals. A node's `p` is needed if:
+    // it is the `hi` parent of any node (AO21 consumes p_hi; a demanded
+    // child `p` consumes it too), or the `lo` parent of a node whose own
+    // `p` is demanded, or it is a diagonal node feeding the sum stage.
+    let mut need_p = vec![false; nodes.len()];
+    for i in 0..n {
+        // s_i consumes p_i of the diagonal (input) node [i:i].
+        // Find the diagonal node: the input span [i:i] is always present.
+        if let Some(idx) = nodes.iter().position(|nd| nd.span.msb == i && nd.span.lsb == i) {
+            need_p[idx] = true;
+        }
+    }
+    // Children appear after parents in topological order; iterate in
+    // reverse so each node's own demand is final before it propagates
+    // demand to its parents.
+    for idx in (0..nodes.len()).rev() {
+        if let Some((hi, lo)) = nodes[idx].parents {
+            need_p[hi] = true;
+            if need_p[idx] {
+                need_p[lo] = true;
+            }
+        }
+    }
+
+    // Emit gates in topological node order; record each node's g/p nets.
+    let mut g_net = vec![usize::MAX; nodes.len()];
+    let mut p_net = vec![usize::MAX; nodes.len()];
+    for (idx, node) in nodes.iter().enumerate() {
+        match node.parents {
+            None => {
+                let bit = node.span.msb;
+                g_net[idx] = nl.add_gate(Function::And2, Drive::X1, vec![a[bit], b[bit]]);
+                // Diagonal p is always structurally demanded by the sum
+                // stage (need_p set above), so emit unconditionally.
+                p_net[idx] = nl.add_gate(Function::Xor2, Drive::X1, vec![a[bit], b[bit]]);
+            }
+            Some((hi, lo)) => {
+                debug_assert!(p_net[hi] != usize::MAX, "hi parent p must be demanded");
+                g_net[idx] = nl.add_gate(
+                    Function::Ao21,
+                    Drive::X1,
+                    vec![p_net[hi], g_net[lo], g_net[hi]],
+                );
+                if need_p[idx] {
+                    debug_assert!(p_net[lo] != usize::MAX, "lo parent p must be demanded");
+                    p_net[idx] =
+                        nl.add_gate(Function::And2, Drive::X1, vec![p_net[hi], p_net[lo]]);
+                }
+            }
+        }
+    }
+
+    // Sum stage. Carry into bit i is the output node [i-1:0].
+    for i in 0..n {
+        let p_i = {
+            let idx = nodes
+                .iter()
+                .position(|nd| nd.span.msb == i && nd.span.lsb == i)
+                .expect("diagonal present");
+            p_net[idx]
+        };
+        if i == 0 {
+            nl.add_output(p_i, 0);
+        } else {
+            let carry = g_net[graph.output_node(i - 1)];
+            let s = nl.add_gate(Function::Xor2, Drive::X1, vec![p_i, carry]);
+            nl.add_output(s, i);
+        }
+    }
+    // Carry out: the full-width generate.
+    nl.add_output(g_net[graph.output_node(n - 1)], n - 1);
+
+    debug_assert!(nl.is_well_formed());
+    nl
+}
+
+/// Maps an `N`-bit gray-to-binary converter.
+///
+/// `b_i = g_i ⊕ g_{i+1} ⊕ ... ⊕ g_{N-1}` (Doran 2007): a prefix-XOR
+/// computed from the MSB downward. Grid position `j` is wired to gray bit
+/// `N-1-j`, so the grid's output span `[i:0]` is binary bit `N-1-i`.
+/// Every prefix node is a single `XOR2`.
+pub fn map_gray_to_binary(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
+    let n = graph.width();
+    let nodes = graph.nodes();
+    let mut nl = Netlist::new();
+
+    // gray[k] primary inputs; grid position j reads gray[n-1-j].
+    let gray: Vec<NetId> = (0..n).map(|k| nl.add_input(k)).collect();
+
+    let mut out_net = vec![usize::MAX; nodes.len()];
+    for (idx, node) in nodes.iter().enumerate() {
+        out_net[idx] = match node.parents {
+            None => gray[n - 1 - node.span.msb],
+            Some((hi, lo)) => {
+                nl.add_gate(Function::Xor2, Drive::X1, vec![out_net[hi], out_net[lo]])
+            }
+        };
+    }
+
+    for i in 0..n {
+        let bit = n - 1 - i; // grid output [i:0] is binary bit n-1-i
+        nl.add_output(out_net[graph.output_node(i)], bit);
+    }
+
+    debug_assert!(nl.is_well_formed());
+    nl
+}
+
+/// Maps an `N`-bit leading-zero detector flag network.
+///
+/// `f_i = x_i | x_{i+1} | ... | x_{N-1}` — "some higher-or-equal bit is
+/// set". Grid position `j` is wired to input bit `N-1-j` (MSB-downward,
+/// like the gray-to-binary converter), so the grid's output span `[i:0]`
+/// is flag bit `N-1-i`. The number of leading zeros is the position of
+/// the first set flag, recoverable with a priority encoder downstream;
+/// the prefix network is the part whose shape is worth optimizing.
+/// Every prefix node is a single `OR2`.
+pub fn map_leading_zero(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
+    let n = graph.width();
+    let nodes = graph.nodes();
+    let mut nl = Netlist::new();
+
+    let x: Vec<NetId> = (0..n).map(|k| nl.add_input(k)).collect();
+
+    let mut out_net = vec![usize::MAX; nodes.len()];
+    for (idx, node) in nodes.iter().enumerate() {
+        out_net[idx] = match node.parents {
+            None => x[n - 1 - node.span.msb],
+            Some((hi, lo)) => {
+                nl.add_gate(Function::Or2, Drive::X1, vec![out_net[hi], out_net[lo]])
+            }
+        };
+    }
+    for i in 0..n {
+        let bit = n - 1 - i;
+        nl.add_output(out_net[graph.output_node(i)], bit);
+    }
+    debug_assert!(nl.is_well_formed());
+    nl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::{mutate, topologies};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Evaluates the netlist on concrete boolean inputs. `inputs[bit]`
+    /// gives the value for each primary-input net in creation order per
+    /// bit; the adder mapper creates a[0..n] then b[0..n].
+    fn simulate(nl: &Netlist, input_values: &[bool]) -> Vec<bool> {
+        use crate::netlist::Driver;
+        let mut values = vec![None; nl.net_count()];
+        let mut input_cursor = 0;
+        for net in 0..nl.net_count() {
+            if matches!(nl.driver(net), Driver::Input { .. }) {
+                values[net] = Some(input_values[input_cursor]);
+                input_cursor += 1;
+            }
+        }
+        assert_eq!(input_cursor, input_values.len());
+        // Fixed-point evaluation (gate order is topological for mappers).
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for g in nl.gates() {
+                if values[g.output].is_some() {
+                    continue;
+                }
+                let ins: Option<Vec<bool>> = g.inputs.iter().map(|&i| values[i]).collect();
+                if let Some(ins) = ins {
+                    let v = match g.function {
+                        Function::Inv => !ins[0],
+                        Function::Buf => ins[0],
+                        Function::And2 => ins[0] & ins[1],
+                        Function::Or2 => ins[0] | ins[1],
+                        Function::Nand2 => !(ins[0] & ins[1]),
+                        Function::Nor2 => !(ins[0] | ins[1]),
+                        Function::Xor2 => ins[0] ^ ins[1],
+                        Function::Xnor2 => !(ins[0] ^ ins[1]),
+                        Function::Ao21 => (ins[0] & ins[1]) | ins[2],
+                        Function::Aoi21 => !((ins[0] & ins[1]) | ins[2]),
+                    };
+                    values[g.output] = Some(v);
+                    progress = true;
+                }
+            }
+        }
+        nl.outputs()
+            .iter()
+            .map(|o| values[o.net].expect("all outputs must resolve"))
+            .collect()
+    }
+
+    /// Checks that an adder netlist adds correctly for a set of operand
+    /// pairs. Outputs are s_0..s_{n-1} then carry-out.
+    fn check_adder(nl: &Netlist, n: usize, a: u64, b: u64) {
+        let mut inputs = Vec::new();
+        for i in 0..n {
+            inputs.push((a >> i) & 1 == 1);
+        }
+        for i in 0..n {
+            inputs.push((b >> i) & 1 == 1);
+        }
+        let outs = simulate(nl, &inputs);
+        assert_eq!(outs.len(), n + 1);
+        let mut sum = 0u128;
+        for (i, &bit) in outs.iter().take(n).enumerate() {
+            if bit {
+                sum |= 1u128 << i;
+            }
+        }
+        if outs[n] {
+            sum |= 1u128 << n;
+        }
+        assert_eq!(sum, a as u128 + b as u128, "adder({a}, {b}) at width {n}");
+    }
+
+    #[test]
+    fn all_topologies_add_correctly() {
+        let lib = nangate45_like();
+        for n in [4usize, 8, 13] {
+            for (name, grid) in topologies::all_classical(n) {
+                let nl = map_adder(&grid.to_graph(), &lib);
+                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                for (a, b) in [(0, 0), (1, 1), (mask, 1), (mask, mask), (0xA5A5 & mask, 0x5A5A & mask)] {
+                    check_adder(&nl, n, a & mask, b & mask);
+                }
+                let _ = name;
+            }
+        }
+    }
+
+    #[test]
+    fn random_legalized_grids_add_correctly() {
+        let lib = nangate45_like();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let grid = mutate::random_grid(10, 0.3, &mut rng);
+            let nl = map_adder(&grid.to_graph(), &lib);
+            for (a, b) in [(123, 456), (1023, 1), (777, 333)] {
+                check_adder(&nl, 10, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn gray_to_binary_converts_correctly() {
+        let lib = nangate45_like();
+        for n in [4usize, 8, 11] {
+            for (_, grid) in topologies::all_classical(n) {
+                let nl = map_gray_to_binary(&grid.to_graph(), &lib);
+                for value in 0..(1u64 << n.min(10)) {
+                    let gray = value ^ (value >> 1);
+                    let inputs: Vec<bool> = (0..n).map(|k| (gray >> k) & 1 == 1).collect();
+                    let outs = simulate(&nl, &inputs);
+                    // Outputs were added in grid order; use recorded bit.
+                    let mut binary = 0u64;
+                    for (o, &v) in nl.outputs().iter().zip(&outs) {
+                        if v {
+                            binary |= 1 << o.bit;
+                        }
+                    }
+                    assert_eq!(binary, value, "g2b({gray:#b}) at width {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demand_driven_p_saves_gates() {
+        let lib = nangate45_like();
+        let ripple = topologies::ripple(16).to_graph();
+        let nl = map_adder(&ripple, &lib);
+        // Ripple: every prefix node is (i,0) whose hi parent is the
+        // diagonal; no internal node needs its own p ⇒ AND2 count equals
+        // the pre-stage only (16).
+        let and2 = nl.histogram().iter().find(|(f, _)| *f == Function::And2).unwrap().1;
+        assert_eq!(and2, 16);
+    }
+
+    #[test]
+    fn sparser_graphs_map_to_fewer_gates() {
+        let lib = nangate45_like();
+        let rip = map_adder(&topologies::ripple(32).to_graph(), &lib);
+        let ks = map_adder(&topologies::kogge_stone(32).to_graph(), &lib);
+        assert!(rip.gate_count() < ks.gate_count());
+        assert!(rip.area_um2(&lib) < ks.area_um2(&lib));
+    }
+
+    #[test]
+    fn adder_outputs_cover_all_bits() {
+        let lib = nangate45_like();
+        let nl = map_adder(&topologies::sklansky(8).to_graph(), &lib);
+        let bits: Vec<usize> = nl.outputs().iter().map(|o| o.bit).collect();
+        assert_eq!(bits, vec![0, 1, 2, 3, 4, 5, 6, 7, 7]); // sums + cout
+    }
+
+    #[test]
+    fn leading_zero_flags_are_correct() {
+        let lib = nangate45_like();
+        for n in [4usize, 8, 11] {
+            for (_, grid) in topologies::all_classical(n) {
+                let nl = map_leading_zero(&grid.to_graph(), &lib);
+                for value in 0..(1u64 << n.min(10)) {
+                    let inputs: Vec<bool> = (0..n).map(|k| (value >> k) & 1 == 1).collect();
+                    let outs = simulate(&nl, &inputs);
+                    for (o, &v) in nl.outputs().iter().zip(&outs) {
+                        // Flag bit b: any input bit >= b set?
+                        let expected = (value >> o.bit) != 0;
+                        assert_eq!(v, expected, "lzd flag {} for value {value:#b} width {n}", o.bit);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lzd_maps_each_op_to_one_or() {
+        let lib = nangate45_like();
+        let graph = topologies::sklansky(16).to_graph();
+        let nl = map_leading_zero(&graph, &lib);
+        assert_eq!(nl.gate_count(), graph.op_count());
+        assert!(nl.gates().iter().all(|g| g.function == Function::Or2));
+    }
+
+    #[test]
+    fn g2b_maps_each_op_to_one_xor() {
+        let lib = nangate45_like();
+        let graph = topologies::brent_kung(16).to_graph();
+        let nl = map_gray_to_binary(&graph, &lib);
+        assert_eq!(nl.gate_count(), graph.op_count());
+        assert!(nl.gates().iter().all(|g| g.function == Function::Xor2));
+    }
+}

@@ -1,0 +1,316 @@
+//! The netlist data structure.
+
+use cv_cells::{CellLibrary, Drive, Function};
+use serde::{Deserialize, Serialize};
+
+/// Index of a net within a [`Netlist`].
+pub type NetId = usize;
+/// Index of a gate within a [`Netlist`].
+pub type GateId = usize;
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// A primary input associated with circuit bit `bit` (used to look up
+    /// per-bit arrival times).
+    Input {
+        /// Bit index for IO timing lookup.
+        bit: usize,
+    },
+    /// The output of gate `GateId`.
+    Gate(GateId),
+}
+
+/// One instantiated standard cell.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gate {
+    /// Logic function (must exist in the target library).
+    pub function: Function,
+    /// Current drive strength (mutated by the sizing pass).
+    pub drive: Drive,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A primary output and the circuit bit it belongs to (for per-bit
+/// required-time lookup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrimaryOutput {
+    /// The net observed at this output.
+    pub net: NetId,
+    /// Bit index for IO timing lookup.
+    pub bit: usize,
+}
+
+/// A flat gate-level netlist.
+///
+/// Nets and gates are stored in arrays; sink lists are derivable (see
+/// [`Netlist::sink_counts`]) rather than stored, so structural mutations
+/// (resizing, buffering) stay O(1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    drivers: Vec<Driver>,
+    gates: Vec<Gate>,
+    outputs: Vec<PrimaryOutput>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist { drivers: Vec::new(), gates: Vec::new(), outputs: Vec::new() }
+    }
+
+    /// Adds a primary-input net for circuit bit `bit`; returns its id.
+    pub fn add_input(&mut self, bit: usize) -> NetId {
+        self.drivers.push(Driver::Input { bit });
+        self.drivers.len() - 1
+    }
+
+    /// Adds a gate, creating its output net; returns the output net id.
+    pub fn add_gate(&mut self, function: Function, drive: Drive, inputs: Vec<NetId>) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            function.arity(),
+            "{function} takes {} inputs, got {}",
+            function.arity(),
+            inputs.len()
+        );
+        let out = self.drivers.len();
+        let gate = Gate { function, drive, inputs, output: out };
+        self.gates.push(gate);
+        self.drivers.push(Driver::Gate(self.gates.len() - 1));
+        out
+    }
+
+    /// Marks `net` as the primary output for circuit bit `bit`.
+    pub fn add_output(&mut self, net: NetId, bit: usize) {
+        assert!(net < self.drivers.len(), "output net {net} does not exist");
+        self.outputs.push(PrimaryOutput { net, bit });
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The driver of `net`.
+    pub fn driver(&self, net: NetId) -> Driver {
+        self.drivers[net]
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Mutable access to one gate (used by the sizing pass).
+    pub fn gate_mut(&mut self, id: GateId) -> &mut Gate {
+        &mut self.gates[id]
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[PrimaryOutput] {
+        &self.outputs
+    }
+
+    /// Per-net sink-pin count: how many gate input pins plus primary
+    /// outputs each net feeds. Index by `NetId`.
+    pub fn sink_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.drivers.len()];
+        for g in &self.gates {
+            for &i in &g.inputs {
+                counts[i] += 1;
+            }
+        }
+        for o in &self.outputs {
+            counts[o.net] += 1;
+        }
+        counts
+    }
+
+    /// Per-net capacitive load in fF against `lib`: sum of sink-pin input
+    /// capacitances, plus the wire model, plus the primary-output load.
+    pub fn net_loads_ff(&self, lib: &CellLibrary) -> Vec<f64> {
+        let mut load = vec![0.0f64; self.drivers.len()];
+        let mut fanout = vec![0usize; self.drivers.len()];
+        for g in &self.gates {
+            let cap = lib.cell(g.function, g.drive).input_cap_ff;
+            for &i in &g.inputs {
+                load[i] += cap;
+                fanout[i] += 1;
+            }
+        }
+        for o in &self.outputs {
+            load[o.net] += lib.output_load_ff();
+            fanout[o.net] += 1;
+        }
+        let gates = self.gate_count();
+        for (l, f) in load.iter_mut().zip(&fanout) {
+            *l += lib.wire().wire_cap_ff(*f, gates);
+        }
+        load
+    }
+
+    /// Total cell area against `lib`, µm².
+    pub fn area_um2(&self, lib: &CellLibrary) -> f64 {
+        self.gates.iter().map(|g| lib.cell(g.function, g.drive).area_um2).sum()
+    }
+
+    /// Gate count per function, for reports.
+    pub fn histogram(&self) -> Vec<(Function, usize)> {
+        let mut out: Vec<(Function, usize)> = Vec::new();
+        for f in Function::ALL {
+            let c = self.gates.iter().filter(|g| g.function == f).count();
+            if c > 0 {
+                out.push((f, c));
+            }
+        }
+        out
+    }
+
+    /// Inserts a buffer driving a new net and moves the given sink pins
+    /// (pairs of `(gate, pin_index)`) onto it. Returns the new net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `(gate, pin)` does not currently consume `net`.
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        drive: Drive,
+        sinks: &[(GateId, usize)],
+    ) -> NetId {
+        let buf_out = self.add_gate(Function::Buf, drive, vec![net]);
+        for &(g, pin) in sinks {
+            assert_eq!(self.gates[g].inputs[pin], net, "sink ({g}, {pin}) does not consume {net}");
+            self.gates[g].inputs[pin] = buf_out;
+        }
+        buf_out
+    }
+
+    /// Returns `(gate, pin)` sink pairs for `net`.
+    pub fn sinks_of(&self, net: NetId) -> Vec<(GateId, usize)> {
+        let mut out = Vec::new();
+        for (gid, g) in self.gates.iter().enumerate() {
+            for (pin, &i) in g.inputs.iter().enumerate() {
+                if i == net {
+                    out.push((gid, pin));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks structural sanity: gates reference existing nets and driver
+    /// bookkeeping is consistent. (Gate order need not be topological —
+    /// buffer insertion appends gates — so timing analysis performs its
+    /// own topological sort and detects cycles there.)
+    pub fn is_well_formed(&self) -> bool {
+        for (gid, g) in self.gates.iter().enumerate() {
+            if g.output >= self.drivers.len() || self.drivers[g.output] != Driver::Gate(gid) {
+                return false;
+            }
+            if g.inputs.iter().any(|&i| i >= self.drivers.len()) {
+                return false;
+            }
+        }
+        self.outputs.iter().all(|o| o.net < self.drivers.len())
+    }
+}
+
+impl Default for Netlist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+
+    fn tiny() -> Netlist {
+        // c = AND2(a, b); y = INV(c)
+        let mut nl = Netlist::new();
+        let a = nl.add_input(0);
+        let b = nl.add_input(1);
+        let c = nl.add_gate(Function::And2, Drive::X1, vec![a, b]);
+        let y = nl.add_gate(Function::Inv, Drive::X1, vec![c]);
+        nl.add_output(y, 0);
+        nl
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let nl = tiny();
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.gate_count(), 2);
+        assert!(nl.is_well_formed());
+        assert_eq!(nl.sink_counts(), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn arity_checked() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input(0);
+        let _ = nl.add_gate(Function::And2, Drive::X1, vec![a]);
+    }
+
+    #[test]
+    fn loads_account_pins_wire_and_output() {
+        let lib = nangate45_like();
+        let nl = tiny();
+        let loads = nl.net_loads_ff(&lib);
+        let and_cap = lib.cell(Function::And2, Drive::X1).input_cap_ff;
+        let wire1 = lib.wire().wire_cap_ff(1, 2);
+        assert!((loads[0] - (and_cap + wire1)).abs() < 1e-9);
+        // Output net: PO load + wire.
+        assert!((loads[3] - (lib.output_load_ff() + wire1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_insertion_rewires_sinks() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input(0);
+        let x = nl.add_gate(Function::Inv, Drive::X1, vec![a]);
+        let y1 = nl.add_gate(Function::Inv, Drive::X1, vec![x]);
+        let y2 = nl.add_gate(Function::Inv, Drive::X1, vec![x]);
+        nl.add_output(y1, 0);
+        nl.add_output(y2, 1);
+        let sinks = nl.sinks_of(x);
+        assert_eq!(sinks.len(), 2);
+        // Move the second sink behind a buffer.
+        let new_net = nl.insert_buffer(x, Drive::X2, &sinks[1..]);
+        assert_eq!(nl.sinks_of(x).len(), 2, "buffer itself now sinks x");
+        assert_eq!(nl.sinks_of(new_net).len(), 1);
+        // Note: buffers appended at the end keep driver bookkeeping
+        // consistent even though gate order is no longer topological;
+        // STA uses dependency-driven traversal.
+        assert!(nl.sink_counts()[x] == 2);
+    }
+
+    #[test]
+    fn area_sums_cells() {
+        let lib = nangate45_like();
+        let nl = tiny();
+        let expected = lib.cell(Function::And2, Drive::X1).area_um2
+            + lib.cell(Function::Inv, Drive::X1).area_um2;
+        assert!((nl.area_um2(&lib) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let nl = tiny();
+        let h = nl.histogram();
+        assert!(h.contains(&(Function::And2, 1)));
+        assert!(h.contains(&(Function::Inv, 1)));
+    }
+}

@@ -1,0 +1,698 @@
+//! Reverse-mode automatic differentiation on a per-forward-pass tape.
+//!
+//! A [`Graph`] is built eagerly: every op computes its value at
+//! construction time and records what it needs for the backward pass.
+//! Calling [`Graph::backward`] produces gradients for every node, from
+//! which parameter gradients (by [`ParamId`]) or input gradients (for
+//! latent-space search) can be extracted.
+
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    Input,
+    Param(ParamId),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    Neg(usize),
+    // The scalar is recorded for debuggability; backward is identity.
+    AddScalar(usize, #[allow(dead_code)] f32),
+    MulScalar(usize, f32),
+    Matmul(usize, usize),
+    AddBias(usize, usize),
+    AddChanBias(usize, usize),
+    Relu(usize),
+    Tanh(usize),
+    Sigmoid(usize),
+    Exp(usize),
+    Sum(usize),
+    RowScale(usize, usize),
+    BceLogits { logits: usize, targets: usize },
+    Conv2d { x: usize, w: usize, stride: usize, pad: usize },
+    Upsample2x(usize),
+    Crop2d { x: usize, h: usize, w: usize },
+    Reshape(usize),
+}
+
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// Gradients of one backward pass, indexed by node.
+pub struct Grads {
+    by_node: Vec<Option<Tensor>>,
+}
+
+impl Grads {
+    /// Gradient of the loss with respect to `var` (zeros if the node did
+    /// not influence the loss).
+    pub fn of(&self, var: Var, graph: &Graph) -> Tensor {
+        self.by_node[var.0]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(graph.nodes[var.0].value.shape().to_vec()))
+    }
+}
+
+/// A computation tape.
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::with_capacity(64) }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The current value of a node.
+    pub fn value(&self, var: Var) -> &Tensor {
+        &self.nodes[var.0].value
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Injects a constant/input tensor (gradients are still computed for
+    /// it, enabling input-space optimization such as latent search).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Injects a parameter from `store`; its gradient can later be
+    /// collected with [`Graph::accumulate_param_grads`].
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), Op::Param(id))
+    }
+
+    /// Elementwise sum. Shapes must match.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x + y).collect();
+        let t = Tensor::new(ta.shape().to_vec(), data);
+        self.push(t, Op::Add(a.0, b.0))
+    }
+
+    /// Elementwise difference. Shapes must match.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x - y).collect();
+        let t = Tensor::new(ta.shape().to_vec(), data);
+        self.push(t, Op::Sub(a.0, b.0))
+    }
+
+    /// Elementwise product. Shapes must match.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
+        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
+        let t = Tensor::new(ta.shape().to_vec(), data);
+        self.push(t, Op::Mul(a.0, b.0))
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| -x).collect());
+        self.push(t, Op::Neg(a.0))
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x + s).collect());
+        self.push(t, Op::AddScalar(a.0, s))
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&mut self, a: Var, s: f32) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x * s).collect());
+        self.push(t, Op::MulScalar(a.0, s))
+    }
+
+    /// Matrix product `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let (sa, sb) = (ta.shape(), tb.shape());
+        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0], "matmul {sa:?} × {sb:?}");
+        let t = matmul_raw(ta, tb);
+        self.push(t, Op::Matmul(a.0, b.0))
+    }
+
+    /// Broadcast bias add: `[r, c] + [c]`.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
+        let (sx, sb) = (tx.shape(), tb.shape());
+        assert!(sx.len() == 2 && sb.len() == 1 && sx[1] == sb[0], "add_bias {sx:?} + {sb:?}");
+        let c = sx[1];
+        let mut data = tx.data().to_vec();
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += tb.data()[i % c];
+        }
+        let t = Tensor::new(sx.to_vec(), data);
+        self.push(t, Op::AddBias(x.0, b.0))
+    }
+
+    /// Channel bias add: `[b, c, h, w] + [c]`.
+    pub fn add_chan_bias(&mut self, x: Var, b: Var) -> Var {
+        let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
+        let (sx, sb) = (tx.shape().to_vec(), tb.shape());
+        assert!(sx.len() == 4 && sb.len() == 1 && sx[1] == sb[0], "add_chan_bias {sx:?} + {sb:?}");
+        let hw = sx[2] * sx[3];
+        let mut data = tx.data().to_vec();
+        for (i, v) in data.iter_mut().enumerate() {
+            *v += tb.data()[(i / hw) % sx[1]];
+        }
+        let t = Tensor::new(sx, data);
+        self.push(t, Op::AddChanBias(x.0, b.0))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.max(0.0)).collect());
+        self.push(t, Op::Relu(a.0))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.tanh()).collect());
+        self.push(t, Op::Tanh(a.0))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect(),
+        );
+        self.push(t, Op::Sigmoid(a.0))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let ta = &self.nodes[a.0].value;
+        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.exp()).collect());
+        self.push(t, Op::Exp(a.0))
+    }
+
+    /// Sum of all elements → scalar.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let s: f32 = self.nodes[a.0].value.data().iter().sum();
+        self.push(Tensor::scalar(s), Op::Sum(a.0))
+    }
+
+    /// Scales each row `i` of `x` (first axis) by `w[i]`.
+    pub fn row_scale(&mut self, x: Var, w: Var) -> Var {
+        let (tx, tw) = (&self.nodes[x.0].value, &self.nodes[w.0].value);
+        let rows = tx.shape()[0];
+        assert_eq!(tw.shape(), &[rows], "row_scale weight shape");
+        let stride = tx.numel() / rows;
+        let mut data = tx.data().to_vec();
+        for r in 0..rows {
+            let s = tw.data()[r];
+            for v in &mut data[r * stride..(r + 1) * stride] {
+                *v *= s;
+            }
+        }
+        let t = Tensor::new(tx.shape().to_vec(), data);
+        self.push(t, Op::RowScale(x.0, w.0))
+    }
+
+    /// Per-element binary cross-entropy with logits:
+    /// `max(z,0) − z·y + ln(1 + e^(−|z|))`. Numerically stable.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: Var) -> Var {
+        let (tz, ty) = (&self.nodes[logits.0].value, &self.nodes[targets.0].value);
+        assert_eq!(tz.shape(), ty.shape(), "bce shape mismatch");
+        let data = tz
+            .data()
+            .iter()
+            .zip(ty.data())
+            .map(|(&z, &y)| z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln())
+            .collect();
+        let t = Tensor::new(tz.shape().to_vec(), data);
+        self.push(t, Op::BceLogits { logits: logits.0, targets: targets.0 })
+    }
+
+    /// 2-D convolution: `x [b, cin, h, w]` with `w [cout, cin, kh, kw]`,
+    /// zero padding `pad`, stride `stride`.
+    pub fn conv2d(&mut self, x: Var, w: Var, stride: usize, pad: usize) -> Var {
+        let t = conv2d_forward(&self.nodes[x.0].value, &self.nodes[w.0].value, stride, pad);
+        self.push(t, Op::Conv2d { x: x.0, w: w.0, stride, pad })
+    }
+
+    /// Nearest-neighbour 2× upsampling of `[b, c, h, w]`.
+    pub fn upsample2x(&mut self, x: Var) -> Var {
+        let tx = &self.nodes[x.0].value;
+        let s = tx.shape();
+        assert_eq!(s.len(), 4, "upsample2x expects 4-D input");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let mut out = vec![0.0f32; b * c * 4 * h * w];
+        let (oh, ow) = (2 * h, 2 * w);
+        for bc in 0..b * c {
+            let src = &tx.data()[bc * h * w..(bc + 1) * h * w];
+            let dst = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
+            for i in 0..oh {
+                for j in 0..ow {
+                    dst[i * ow + j] = src[(i / 2) * w + j / 2];
+                }
+            }
+        }
+        let t = Tensor::new(vec![b, c, oh, ow], out);
+        self.push(t, Op::Upsample2x(x.0))
+    }
+
+    /// Crops `[b, c, H, W]` to its top-left `[b, c, h, w]` corner.
+    pub fn crop2d(&mut self, x: Var, h: usize, w: usize) -> Var {
+        let tx = &self.nodes[x.0].value;
+        let s = tx.shape();
+        assert_eq!(s.len(), 4, "crop2d expects 4-D input");
+        assert!(h <= s[2] && w <= s[3], "crop {h}×{w} exceeds {}×{}", s[2], s[3]);
+        let (b, c, ih, iw) = (s[0], s[1], s[2], s[3]);
+        let mut out = vec![0.0f32; b * c * h * w];
+        for bc in 0..b * c {
+            let src = &tx.data()[bc * ih * iw..(bc + 1) * ih * iw];
+            let dst = &mut out[bc * h * w..(bc + 1) * h * w];
+            for i in 0..h {
+                dst[i * w..(i + 1) * w].copy_from_slice(&src[i * iw..i * iw + w]);
+            }
+        }
+        let t = Tensor::new(vec![b, c, h, w], out);
+        self.push(t, Op::Crop2d { x: x.0, h, w })
+    }
+
+    /// Reinterprets shape without moving data.
+    pub fn reshape(&mut self, x: Var, shape: impl Into<Vec<usize>>) -> Var {
+        let t = self.nodes[x.0].value.reshaped(shape);
+        self.push(t, Op::Reshape(x.0))
+    }
+
+    /// Runs the backward pass from scalar node `loss`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(self.nodes[loss.0].value.numel(), 1, "backward from non-scalar");
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::scalar(1.0));
+        for idx in (0..self.nodes.len()).rev() {
+            let Some(gout) = grads[idx].take() else { continue };
+            self.propagate(idx, &gout, &mut grads);
+            grads[idx] = Some(gout);
+        }
+        Grads { by_node: grads }
+    }
+
+    /// Adds each parameter node's gradient into `out[param_id]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the largest parameter id used.
+    pub fn accumulate_param_grads(&self, grads: &Grads, out: &mut [Tensor]) {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Op::Param(pid) = node.op {
+                if let Some(g) = &grads.by_node[idx] {
+                    out[pid.index()].add_assign(g);
+                }
+            }
+        }
+    }
+
+    fn accum(grads: &mut [Option<Tensor>], idx: usize, delta: Tensor) {
+        match &mut grads[idx] {
+            Some(t) => t.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn propagate(&self, idx: usize, gout: &Tensor, grads: &mut [Option<Tensor>]) {
+        let node = &self.nodes[idx];
+        match node.op {
+            Op::Input | Op::Param(_) => {}
+            Op::Add(a, b) => {
+                Self::accum(grads, a, gout.clone());
+                Self::accum(grads, b, gout.clone());
+            }
+            Op::Sub(a, b) => {
+                Self::accum(grads, a, gout.clone());
+                let mut gb = gout.clone();
+                gb.scale(-1.0);
+                Self::accum(grads, b, gb);
+            }
+            Op::Mul(a, b) => {
+                let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
+                let ga = Tensor::new(
+                    ta.shape().to_vec(),
+                    gout.data().iter().zip(tb.data()).map(|(g, y)| g * y).collect(),
+                );
+                let gb = Tensor::new(
+                    tb.shape().to_vec(),
+                    gout.data().iter().zip(ta.data()).map(|(g, x)| g * x).collect(),
+                );
+                Self::accum(grads, a, ga);
+                Self::accum(grads, b, gb);
+            }
+            Op::Neg(a) => {
+                let mut g = gout.clone();
+                g.scale(-1.0);
+                Self::accum(grads, a, g);
+            }
+            Op::AddScalar(a, _) => Self::accum(grads, a, gout.clone()),
+            Op::MulScalar(a, s) => {
+                let mut g = gout.clone();
+                g.scale(s);
+                Self::accum(grads, a, g);
+            }
+            Op::Matmul(a, b) => {
+                let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
+                Self::accum(grads, a, matmul_nt(gout, tb));
+                Self::accum(grads, b, matmul_tn(ta, gout));
+            }
+            Op::AddBias(x, b) => {
+                Self::accum(grads, x, gout.clone());
+                let c = self.nodes[b].value.shape()[0];
+                let mut gb = vec![0.0f32; c];
+                for (i, g) in gout.data().iter().enumerate() {
+                    gb[i % c] += g;
+                }
+                Self::accum(grads, b, Tensor::new(vec![c], gb));
+            }
+            Op::AddChanBias(x, b) => {
+                Self::accum(grads, x, gout.clone());
+                let sx = self.nodes[x].value.shape().to_vec();
+                let hw = sx[2] * sx[3];
+                let c = sx[1];
+                let mut gb = vec![0.0f32; c];
+                for (i, g) in gout.data().iter().enumerate() {
+                    gb[(i / hw) % c] += g;
+                }
+                Self::accum(grads, b, Tensor::new(vec![c], gb));
+            }
+            Op::Relu(a) => {
+                let ta = &self.nodes[a].value;
+                let g = Tensor::new(
+                    ta.shape().to_vec(),
+                    gout.data()
+                        .iter()
+                        .zip(ta.data())
+                        .map(|(g, x)| if *x > 0.0 { *g } else { 0.0 })
+                        .collect(),
+                );
+                Self::accum(grads, a, g);
+            }
+            Op::Tanh(a) => {
+                let ty = &node.value;
+                let g = Tensor::new(
+                    ty.shape().to_vec(),
+                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * (1.0 - y * y)).collect(),
+                );
+                Self::accum(grads, a, g);
+            }
+            Op::Sigmoid(a) => {
+                let ty = &node.value;
+                let g = Tensor::new(
+                    ty.shape().to_vec(),
+                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * y * (1.0 - y)).collect(),
+                );
+                Self::accum(grads, a, g);
+            }
+            Op::Exp(a) => {
+                let ty = &node.value;
+                let g = Tensor::new(
+                    ty.shape().to_vec(),
+                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * y).collect(),
+                );
+                Self::accum(grads, a, g);
+            }
+            Op::Sum(a) => {
+                let s = gout.item();
+                let shape = self.nodes[a].value.shape().to_vec();
+                Self::accum(grads, a, Tensor::full(shape, s));
+            }
+            #[allow(clippy::needless_range_loop)]
+            Op::RowScale(x, w) => {
+                let (tx, tw) = (&self.nodes[x].value, &self.nodes[w].value);
+                let rows = tx.shape()[0];
+                let stride = tx.numel() / rows;
+                let mut gx = gout.data().to_vec();
+                let mut gw = vec![0.0f32; rows];
+                for r in 0..rows {
+                    let s = tw.data()[r];
+                    for k in 0..stride {
+                        let i = r * stride + k;
+                        gw[r] += gout.data()[i] * tx.data()[i];
+                        gx[i] *= s;
+                    }
+                }
+                Self::accum(grads, x, Tensor::new(tx.shape().to_vec(), gx));
+                Self::accum(grads, w, Tensor::new(vec![rows], gw));
+            }
+            Op::BceLogits { logits, targets } => {
+                let (tz, ty) = (&self.nodes[logits].value, &self.nodes[targets].value);
+                let gz = Tensor::new(
+                    tz.shape().to_vec(),
+                    gout.data()
+                        .iter()
+                        .zip(tz.data().iter().zip(ty.data()))
+                        .map(|(g, (&z, &y))| g * (1.0 / (1.0 + (-z).exp()) - y))
+                        .collect(),
+                );
+                Self::accum(grads, logits, gz);
+                let gy = Tensor::new(
+                    ty.shape().to_vec(),
+                    gout.data().iter().zip(tz.data()).map(|(g, &z)| g * (-z)).collect(),
+                );
+                Self::accum(grads, targets, gy);
+            }
+            Op::Conv2d { x, w, stride, pad } => {
+                let (tx, tw) = (&self.nodes[x].value, &self.nodes[w].value);
+                let (gx, gw) = conv2d_backward(tx, tw, gout, stride, pad);
+                Self::accum(grads, x, gx);
+                Self::accum(grads, w, gw);
+            }
+            Op::Upsample2x(x) => {
+                let s = self.nodes[x].value.shape().to_vec();
+                let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+                let (oh, ow) = (2 * h, 2 * w);
+                let mut gx = vec![0.0f32; b * c * h * w];
+                for bc in 0..b * c {
+                    let src = &gout.data()[bc * oh * ow..(bc + 1) * oh * ow];
+                    let dst = &mut gx[bc * h * w..(bc + 1) * h * w];
+                    for i in 0..oh {
+                        for j in 0..ow {
+                            dst[(i / 2) * w + j / 2] += src[i * ow + j];
+                        }
+                    }
+                }
+                Self::accum(grads, x, Tensor::new(s, gx));
+            }
+            Op::Crop2d { x, h, w } => {
+                let s = self.nodes[x].value.shape().to_vec();
+                let (b, c, ih, iw) = (s[0], s[1], s[2], s[3]);
+                let mut gx = vec![0.0f32; b * c * ih * iw];
+                for bc in 0..b * c {
+                    let src = &gout.data()[bc * h * w..(bc + 1) * h * w];
+                    let dst = &mut gx[bc * ih * iw..(bc + 1) * ih * iw];
+                    for i in 0..h {
+                        dst[i * iw..i * iw + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+                    }
+                }
+                Self::accum(grads, x, Tensor::new(s, gx));
+            }
+            Op::Reshape(x) => {
+                let shape = self.nodes[x].value.shape().to_vec();
+                Self::accum(grads, x, gout.reshaped(shape));
+            }
+        }
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `a × b` for row-major 2-D tensors.
+fn matmul_raw(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    let (ad, bd) = (a.data(), b.data());
+    for i in 0..m {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+    Tensor::new(vec![m, n], out)
+}
+
+/// `g × bᵀ` — gradient w.r.t. the left matmul operand.
+fn matmul_nt(g: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = (g.shape()[0], g.shape()[1]);
+    let k = b.shape()[0];
+    let mut out = vec![0.0f32; m * k];
+    let (gd, bd) = (g.data(), b.data());
+    for i in 0..m {
+        for p in 0..k {
+            let mut acc = 0.0;
+            let grow = &gd[i * n..(i + 1) * n];
+            let brow = &bd[p * n..(p + 1) * n];
+            for (gv, bv) in grow.iter().zip(brow) {
+                acc += gv * bv;
+            }
+            out[i * k + p] = acc;
+        }
+    }
+    Tensor::new(vec![m, k], out)
+}
+
+/// `aᵀ × g` — gradient w.r.t. the right matmul operand.
+fn matmul_tn(a: &Tensor, g: &Tensor) -> Tensor {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = g.shape()[1];
+    let mut out = vec![0.0f32; k * n];
+    let (ad, gd) = (a.data(), g.data());
+    for i in 0..m {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let grow = &gd[i * n..(i + 1) * n];
+            let orow = &mut out[p * n..(p + 1) * n];
+            for (o, &gv) in orow.iter_mut().zip(grow) {
+                *o += aip * gv;
+            }
+        }
+    }
+    Tensor::new(vec![k, n], out)
+}
+
+fn conv_out_dim(input: usize, k: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - k) / stride + 1
+}
+
+fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
+    let (sx, sw) = (x.shape(), w.shape());
+    assert!(sx.len() == 4 && sw.len() == 4, "conv2d expects 4-D tensors");
+    let (b, cin, h, wd) = (sx[0], sx[1], sx[2], sx[3]);
+    let (cout, cin_w, kh, kw) = (sw[0], sw[1], sw[2], sw[3]);
+    assert_eq!(cin, cin_w, "conv2d channel mismatch");
+    let (oh, ow) = (conv_out_dim(h, kh, stride, pad), conv_out_dim(wd, kw, stride, pad));
+    let mut out = vec![0.0f32; b * cout * oh * ow];
+    let (xd, wdata) = (x.data(), w.data());
+    for bi in 0..b {
+        for co in 0..cout {
+            let obase = (bi * cout + co) * oh * ow;
+            for ci in 0..cin {
+                let xbase = (bi * cin + ci) * h * wd;
+                let wbase = (co * cin + ci) * kh * kw;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let mut acc = 0.0f32;
+                        for ki in 0..kh {
+                            let ii = (oi * stride + ki) as isize - pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let jj = (oj * stride + kj) as isize - pad as isize;
+                                if jj < 0 || jj >= wd as isize {
+                                    continue;
+                                }
+                                acc += xd[xbase + ii as usize * wd + jj as usize]
+                                    * wdata[wbase + ki * kw + kj];
+                            }
+                        }
+                        out[obase + oi * ow + oj] += acc;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::new(vec![b, cout, oh, ow], out)
+}
+
+fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    gout: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    let (sx, sw) = (x.shape(), w.shape());
+    let (b, cin, h, wd) = (sx[0], sx[1], sx[2], sx[3]);
+    let (cout, _, kh, kw) = (sw[0], sw[1], sw[2], sw[3]);
+    let (oh, ow) = (conv_out_dim(h, kh, stride, pad), conv_out_dim(wd, kw, stride, pad));
+    let mut gx = vec![0.0f32; x.numel()];
+    let mut gw = vec![0.0f32; w.numel()];
+    let (xd, wdata, gd) = (x.data(), w.data(), gout.data());
+    for bi in 0..b {
+        for co in 0..cout {
+            let obase = (bi * cout + co) * oh * ow;
+            for ci in 0..cin {
+                let xbase = (bi * cin + ci) * h * wd;
+                let wbase = (co * cin + ci) * kh * kw;
+                for oi in 0..oh {
+                    for oj in 0..ow {
+                        let g = gd[obase + oi * ow + oj];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        for ki in 0..kh {
+                            let ii = (oi * stride + ki) as isize - pad as isize;
+                            if ii < 0 || ii >= h as isize {
+                                continue;
+                            }
+                            for kj in 0..kw {
+                                let jj = (oj * stride + kj) as isize - pad as isize;
+                                if jj < 0 || jj >= wd as isize {
+                                    continue;
+                                }
+                                let xi = xbase + ii as usize * wd + jj as usize;
+                                let wi = wbase + ki * kw + kj;
+                                gx[xi] += g * wdata[wi];
+                                gw[wi] += g * xd[xi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::new(sx.to_vec(), gx), Tensor::new(sw.to_vec(), gw))
+}

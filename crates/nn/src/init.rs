@@ -1,0 +1,79 @@
+//! Weight initialization and Gaussian sampling.
+//!
+//! `rand_distr` is not in the approved dependency set, so standard
+//! normals come from a Box-Muller transform over `rand` uniforms.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Samples one standard normal variate via Box-Muller.
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from the open interval.
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 1e-12 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as f32
+}
+
+/// A tensor of i.i.d. `N(0, std²)` entries.
+pub fn randn_tensor<R: Rng + ?Sized>(shape: impl Into<Vec<usize>>, std: f32, rng: &mut R) -> Tensor {
+    let shape = shape.into();
+    let numel: usize = shape.iter().product();
+    Tensor::new(shape, (0..numel).map(|_| randn(rng) * std).collect())
+}
+
+/// He (Kaiming) initialization for a layer with `fan_in` inputs —
+/// appropriate before ReLU nonlinearities.
+pub fn he_init<R: Rng + ?Sized>(shape: impl Into<Vec<usize>>, fan_in: usize, rng: &mut R) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn_tensor(shape, std, rng)
+}
+
+/// Xavier (Glorot) initialization, appropriate before tanh/sigmoid.
+pub fn xavier_init<R: Rng + ?Sized>(
+    shape: impl Into<Vec<usize>>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Tensor {
+    let std = (2.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    randn_tensor(shape, std, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = he_init([1000], 1000, &mut rng);
+        let narrow = he_init([1000], 10, &mut rng);
+        assert!(wide.norm() < narrow.norm());
+    }
+
+    #[test]
+    fn xavier_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_init([4, 5], 4, 5, &mut rng);
+        assert_eq!(t.shape(), &[4, 5]);
+        assert!(!t.has_non_finite());
+    }
+}

@@ -1,0 +1,205 @@
+//! Reusable layers: fully connected and convolutional.
+
+use crate::graph::{Graph, Var};
+use crate::init::{he_init, xavier_init};
+use crate::param::{ParamId, ParamStore};
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = x·Wᵀ... (stored as [in, out]) + b`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Linear {
+    w: ParamId,
+    b: ParamId,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl Linear {
+    /// Registers parameters with He initialization (ReLU-friendly).
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(he_init([in_features, out_features], in_features, rng));
+        let b = store.add(Tensor::zeros([out_features]));
+        Linear { w, b, in_features, out_features }
+    }
+
+    /// Registers parameters with Xavier initialization (tanh-friendly or
+    /// output heads).
+    pub fn new_xavier<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        in_features: usize,
+        out_features: usize,
+        rng: &mut R,
+    ) -> Self {
+        let w = store.add(xavier_init(
+            [in_features, out_features],
+            in_features,
+            out_features,
+            rng,
+        ));
+        let b = store.add(Tensor::zeros([out_features]));
+        Linear { w, b, in_features, out_features }
+    }
+
+    /// Applies the layer to a `[batch, in_features]` node.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let xw = g.matmul(x, w);
+        g.add_bias(xw, b)
+    }
+}
+
+/// A 2-D convolution layer with stride and padding.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Conv2d {
+    w: ParamId,
+    b: ParamId,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl Conv2d {
+    /// Registers parameters with He initialization.
+    pub fn new<R: Rng + ?Sized>(
+        store: &mut ParamStore,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let w = store.add(he_init([out_channels, in_channels, kernel, kernel], fan_in, rng));
+        let b = store.add(Tensor::zeros([out_channels]));
+        Conv2d { w, b, in_channels, out_channels, kernel, stride, pad }
+    }
+
+    /// Applies the layer to a `[batch, in_channels, h, w]` node.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let y = g.conv2d(x, w, self.stride, self.pad);
+        g.add_chan_bias(y, b)
+    }
+
+    /// Output spatial size for a square input of side `n`.
+    pub fn out_size(&self, n: usize) -> usize {
+        (n + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+}
+
+/// A plain multi-layer perceptron with ReLU activations between layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[64, 128, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(store: &mut ParamStore, sizes: &[usize], rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::new(store, w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Applies the network (ReLU between layers, linear output).
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, store, h);
+            if i + 1 < self.layers.len() {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.layers[0].in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.layers.last().expect("non-empty").out_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, 8, 3, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([5, 8]));
+        let y = lin.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn conv_shapes_with_odd_input() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(&mut store, 1, 4, 3, 2, 1, &mut rng);
+        assert_eq!(conv.out_size(31), 16);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros([2, 1, 31, 31]));
+        let y = conv.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), &[2, 4, 16, 16]);
+    }
+
+    #[test]
+    fn mlp_end_to_end_gradients_flow() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, &[4, 16, 1], &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::new([2, 4], vec![0.5; 8]));
+        let y = mlp.forward(&mut g, &store, x);
+        let loss = g.sum(y);
+        let grads = g.backward(loss);
+        let mut buf = store.zero_grads();
+        g.accumulate_param_grads(&grads, &mut buf);
+        let total: f32 = buf.iter().map(Tensor::norm).sum();
+        assert!(total > 0.0, "gradients must reach the parameters");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn tiny_mlp_rejected() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Mlp::new(&mut store, &[4], &mut rng);
+    }
+}

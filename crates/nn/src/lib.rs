@@ -1,0 +1,52 @@
+//! A minimal pure-Rust neural-network library for the CircuitVAE
+//! reproduction.
+//!
+//! The paper trains a ~1M-parameter CNN β-VAE with an MLP cost head on an
+//! A100. No GPU ML stack is available in this environment, so this crate
+//! implements exactly the pieces that model needs — dense tensors,
+//! reverse-mode autodiff (including `conv2d`, nearest upsampling and
+//! cropping for odd widths), He/Xavier init, Adam, and data-parallel
+//! gradient accumulation over CPU threads.
+//!
+//! # Example: fit y = 2x with one linear layer
+//!
+//! ```
+//! use cv_nn::{Graph, Linear, ParamStore, AdamConfig, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut store = ParamStore::new();
+//! let lin = Linear::new(&mut store, 1, 1, &mut rng);
+//! let cfg = AdamConfig { lr: 0.05, ..AdamConfig::default() };
+//! for _ in 0..200 {
+//!     let mut g = Graph::new();
+//!     let x = g.input(Tensor::new([4, 1], vec![1., 2., 3., 4.]));
+//!     let target = g.input(Tensor::new([4, 1], vec![2., 4., 6., 8.]));
+//!     let y = lin.forward(&mut g, &store, x);
+//!     let err = g.sub(y, target);
+//!     let sq = g.mul(err, err);
+//!     let loss = g.sum(sq);
+//!     let grads = g.backward(loss);
+//!     let mut buf = store.zero_grads();
+//!     g.accumulate_param_grads(&grads, &mut buf);
+//!     store.adam_step(&buf, &cfg);
+//! }
+//! ```
+
+#![deny(missing_docs)]
+
+mod checkpoint;
+mod graph;
+mod init;
+mod layers;
+mod parallel;
+mod param;
+mod tensor;
+
+pub use checkpoint::CheckpointError;
+pub use graph::{Grads, Graph, Var};
+pub use init::{he_init, randn, randn_tensor, xavier_init};
+pub use layers::{Conv2d, Linear, Mlp};
+pub use parallel::parallel_grad_accumulate;
+pub use param::{AdamConfig, ParamId, ParamStore};
+pub use tensor::Tensor;

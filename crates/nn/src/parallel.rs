@@ -1,0 +1,108 @@
+//! Data-parallel gradient accumulation over CPU threads.
+
+use crate::graph::{Graph, Var};
+use crate::param::ParamStore;
+use crate::tensor::Tensor;
+
+/// Splits `items` across `threads` workers; each worker builds its own
+/// tape with `forward` (which must return the **sum**, not mean, of the
+/// per-item losses so the merged gradient is exact), runs backward, and
+/// accumulates parameter gradients. Returns `(total_loss, grads)`.
+///
+/// Scaling of the loss (e.g. dividing by batch size) is the caller's
+/// choice, applied inside `forward` via per-item weights or afterwards by
+/// scaling the gradient buffer.
+pub fn parallel_grad_accumulate<T: Sync>(
+    store: &ParamStore,
+    items: &[T],
+    threads: usize,
+    forward: impl Fn(&mut Graph, &ParamStore, &[T]) -> Var + Sync,
+) -> (f32, Vec<Tensor>) {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        let mut g = Graph::new();
+        let loss = forward(&mut g, store, items);
+        let grads = g.backward(loss);
+        let mut buf = store.zero_grads();
+        g.accumulate_param_grads(&grads, &mut buf);
+        return (g.value(loss).item(), buf);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let partials: Vec<(f32, Vec<Tensor>)> = crossbeam::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(|_| {
+                    let mut g = Graph::new();
+                    let loss = forward(&mut g, store, part);
+                    let grads = g.backward(loss);
+                    let mut buf = store.zero_grads();
+                    g.accumulate_param_grads(&grads, &mut buf);
+                    (g.value(loss).item(), buf)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
+    })
+    .expect("scope must not panic");
+
+    let mut iter = partials.into_iter();
+    let (mut total, mut acc) = iter.next().expect("at least one chunk");
+    for (l, g) in iter {
+        total += l;
+        for (a, b) in acc.iter_mut().zip(&g) {
+            a.add_assign(b);
+        }
+    }
+    (total, acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The parallel result must equal the serial result exactly in
+    /// structure (up to float addition order).
+    #[test]
+    fn parallel_matches_serial() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, 3, 1, &mut rng);
+        let items: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32, 1.0, -0.5]).collect();
+
+        let forward = |g: &mut Graph, store: &ParamStore, part: &[Vec<f32>]| {
+            let rows = part.len();
+            let data: Vec<f32> = part.iter().flatten().copied().collect();
+            let x = g.input(Tensor::new([rows, 3], data));
+            let y = lin.forward(g, store, x);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        };
+
+        let (l1, g1) = parallel_grad_accumulate(&store, &items, 1, forward);
+        let (l4, g4) = parallel_grad_accumulate(&store, &items, 4, forward);
+        assert!((l1 - l4).abs() < 1e-3 * l1.abs().max(1.0), "{l1} vs {l4}");
+        for (a, b) in g1.iter().zip(&g4) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-3 * x.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_item_fast_path() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let lin = Linear::new(&mut store, 2, 1, &mut rng);
+        let items = vec![vec![1.0f32, 2.0]];
+        let (_, grads) = parallel_grad_accumulate(&store, &items, 8, |g, store, part| {
+            let x = g.input(Tensor::new([1, 2], part[0].clone()));
+            let y = lin.forward(g, store, x);
+            g.sum(y)
+        });
+        assert_eq!(grads.len(), store.len());
+    }
+}

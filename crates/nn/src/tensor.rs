@@ -1,0 +1,168 @@
+//! A minimal dense `f32` tensor.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense tensor of `f32`.
+///
+/// Shapes are dynamic (`Vec<usize>`); all autodiff ops validate shapes at
+/// graph-construction time so mismatches fail fast with a clear message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and backing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn new(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        assert_eq!(data.len(), numel, "data length {} != shape {:?}", data.len(), shape);
+        Tensor { shape, data }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        Tensor { shape, data: vec![0.0; numel] }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        Tensor { shape, data: vec![value; numel] }
+    }
+
+    /// A 1-element scalar tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![1], data: vec![value] }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.numel(), 1, "item() on tensor with shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshaped(&self, shape: impl Into<Vec<usize>>) -> Tensor {
+        let shape = shape.into();
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.numel(), "reshape {:?} -> {:?}", self.shape, shape);
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// Elementwise in-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale: `self *= s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Euclidean norm of the flattened tensor.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Returns `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(Tensor::scalar(5.0).item(), 5.0);
+        assert_eq!(Tensor::zeros([4]).data(), &[0.0; 4]);
+        assert_eq!(Tensor::full([2], 3.0).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn shape_mismatch_panics() {
+        let _ = Tensor::new([2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::new([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.reshaped([3, 2]);
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut a = Tensor::new([3], vec![1., 2., 3.]);
+        a.add_assign(&Tensor::new([3], vec![10., 10., 10.]));
+        assert_eq!(a.data(), &[11., 12., 13.]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[5.5, 6., 6.5]);
+        assert!((Tensor::new([2], vec![3., 4.]).norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!Tensor::zeros([3]).has_non_finite());
+        assert!(Tensor::new([2], vec![1.0, f32::NAN]).has_non_finite());
+        assert!(Tensor::new([2], vec![1.0, f32::INFINITY]).has_non_finite());
+    }
+}

@@ -1,0 +1,168 @@
+//! Flat bitvector encoding of the free cells of a grid.
+//!
+//! The VAE, the GA, and the RL baseline all operate on a fixed-length
+//! vector view of the `(n-1)(n-2)/2` free cells (mandatory cells carry no
+//! information). Cells are ordered row-major: `(2,1), (3,1), (3,2), ...`.
+
+use crate::error::PrefixError;
+use crate::grid::PrefixGrid;
+
+/// Encodes the free cells of `grid` into a `0.0/1.0` float vector.
+///
+/// The output has length `grid.free_cell_count()` and pairs with
+/// [`decode_f32`]. Floats (rather than bools) are used because the VAE
+/// decoder produces Bernoulli probabilities in the same layout.
+pub fn encode_f32(grid: &PrefixGrid) -> Vec<f32> {
+    PrefixGrid::free_cells(grid.width())
+        .map(|(i, j)| if grid.get(i, j) { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Encodes the free cells of `grid` into a bool vector.
+pub fn encode_bits(grid: &PrefixGrid) -> Vec<bool> {
+    PrefixGrid::free_cells(grid.width())
+        .map(|(i, j)| grid.get(i, j))
+        .collect()
+}
+
+/// Decodes a float vector (e.g. decoder probabilities) into a grid by
+/// thresholding at 0.5. The result is *not* legalized.
+///
+/// # Errors
+///
+/// Returns [`PrefixError::BadBitvecLen`] when `bits.len()` does not match
+/// the free-cell count for width `n`, or [`PrefixError::BadWidth`] for an
+/// unsupported width.
+pub fn decode_f32(n: usize, bits: &[f32]) -> Result<PrefixGrid, PrefixError> {
+    let mut grid = PrefixGrid::try_ripple(n)?;
+    let expected = grid.free_cell_count();
+    if bits.len() != expected {
+        return Err(PrefixError::BadBitvecLen { expected, actual: bits.len() });
+    }
+    for ((i, j), &b) in PrefixGrid::free_cells(n).zip(bits) {
+        if b >= 0.5 {
+            grid.set(i, j, true)?;
+        }
+    }
+    Ok(grid)
+}
+
+/// Decodes a bool vector into a grid. The result is *not* legalized.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_f32`].
+pub fn decode_bits(n: usize, bits: &[bool]) -> Result<PrefixGrid, PrefixError> {
+    let mut grid = PrefixGrid::try_ripple(n)?;
+    let expected = grid.free_cell_count();
+    if bits.len() != expected {
+        return Err(PrefixError::BadBitvecLen { expected, actual: bits.len() });
+    }
+    for ((i, j), &b) in PrefixGrid::free_cells(n).zip(bits) {
+        if b {
+            grid.set(i, j, true)?;
+        }
+    }
+    Ok(grid)
+}
+
+/// Encodes the *full* `n×n` dense grid (all cells, including mandatory
+/// ones) as row-major floats — the image-like input format the CNN
+/// encoder consumes (`N×N` matrix per the paper, §5.1).
+pub fn encode_dense(grid: &PrefixGrid) -> Vec<f32> {
+    let n = grid.width();
+    let mut out = vec![0.0f32; n * n];
+    for (i, j) in grid.cells() {
+        out[i * n + j] = 1.0;
+    }
+    out
+}
+
+/// Decodes a dense `n×n` float matrix (thresholded at 0.5) into a grid.
+/// Cells above the diagonal are ignored; mandatory cells are always set.
+/// The result is *not* legalized.
+///
+/// # Errors
+///
+/// Returns [`PrefixError::BadBitvecLen`] when `dense.len() != n*n`, or
+/// [`PrefixError::BadWidth`] for an unsupported width.
+pub fn decode_dense(n: usize, dense: &[f32]) -> Result<PrefixGrid, PrefixError> {
+    if dense.len() != n * n {
+        return Err(PrefixError::BadBitvecLen { expected: n * n, actual: dense.len() });
+    }
+    let mut grid = PrefixGrid::try_ripple(n)?;
+    for (i, j) in PrefixGrid::free_cells(n) {
+        if dense[i * n + j] >= 0.5 {
+            grid.set(i, j, true)?;
+        }
+    }
+    Ok(grid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn roundtrip_f32() {
+        for n in [4, 8, 16, 31] {
+            for (_, g) in topologies::all_classical(n) {
+                let enc = encode_f32(&g);
+                assert_eq!(enc.len(), g.free_cell_count());
+                let back = decode_f32(n, &enc).unwrap();
+                assert_eq!(back, g);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_bits() {
+        let g = topologies::han_carlson(16);
+        let back = decode_bits(16, &encode_bits(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn roundtrip_dense() {
+        for n in [4, 16, 26] {
+            let g = topologies::sklansky(n);
+            let dense = encode_dense(&g);
+            assert_eq!(dense.len(), n * n);
+            let back = decode_dense(n, &dense).unwrap();
+            assert_eq!(back, g);
+        }
+    }
+
+    #[test]
+    fn dense_mandatory_cells_always_present() {
+        let n = 8;
+        let zeros = vec![0.0f32; n * n];
+        let g = decode_dense(n, &zeros).unwrap();
+        assert_eq!(g, PrefixGrid::ripple(n));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            decode_f32(8, &[0.0; 3]),
+            Err(PrefixError::BadBitvecLen { .. })
+        ));
+        assert!(matches!(
+            decode_dense(8, &[0.0; 63]),
+            Err(PrefixError::BadBitvecLen { .. })
+        ));
+    }
+
+    #[test]
+    fn threshold_behaviour() {
+        let n = 4;
+        let count = PrefixGrid::ripple(n).free_cell_count();
+        let probs = vec![0.49f32; count];
+        let g = decode_f32(n, &probs).unwrap();
+        assert_eq!(g.node_count(), 2 * n - 1, "0.49 < threshold keeps cells clear");
+        let probs = vec![0.5f32; count];
+        let g = decode_f32(n, &probs).unwrap();
+        assert_eq!(g.node_count(), 2 * n - 1 + count, "0.5 sets all free cells");
+    }
+}

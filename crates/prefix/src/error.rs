@@ -1,0 +1,92 @@
+//! Error types for prefix-graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or validating prefix graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefixError {
+    /// The requested bitwidth is outside the supported range (2..=512).
+    BadWidth(usize),
+    /// A cell index `(row, col)` was outside the lower triangle of the grid.
+    OutOfTriangle {
+        /// Row (span MSB).
+        row: usize,
+        /// Column (span LSB).
+        col: usize,
+    },
+    /// A mandatory cell (diagonal input or column-0 output) was absent.
+    MissingMandatory {
+        /// Row (span MSB).
+        row: usize,
+        /// Column (span LSB).
+        col: usize,
+    },
+    /// A node's lower parent is absent, so the grid is not legal.
+    MissingParent {
+        /// The node whose parent is missing.
+        node: (usize, usize),
+        /// The absent lower parent.
+        parent: (usize, usize),
+    },
+    /// A bitvector had the wrong length for the requested width.
+    BadBitvecLen {
+        /// Expected length (`(n-1)(n-2)/2` free cells).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for PrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrefixError::BadWidth(n) => {
+                write!(f, "unsupported prefix width {n} (expected 2..=512)")
+            }
+            PrefixError::OutOfTriangle { row, col } => {
+                write!(f, "cell ({row}, {col}) outside lower triangle")
+            }
+            PrefixError::MissingMandatory { row, col } => {
+                write!(f, "mandatory cell ({row}, {col}) absent")
+            }
+            PrefixError::MissingParent { node, parent } => write!(
+                f,
+                "node ({}, {}) requires lower parent ({}, {}) which is absent",
+                node.0, node.1, parent.0, parent.1
+            ),
+            PrefixError::BadBitvecLen { expected, actual } => {
+                write!(f, "bitvector length {actual} does not match expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for PrefixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            PrefixError::BadWidth(1),
+            PrefixError::OutOfTriangle { row: 0, col: 3 },
+            PrefixError::MissingMandatory { row: 2, col: 2 },
+            PrefixError::MissingParent { node: (3, 0), parent: (1, 0) },
+            PrefixError::BadBitvecLen { expected: 6, actual: 5 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PrefixError>();
+    }
+}

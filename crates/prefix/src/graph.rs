@@ -1,0 +1,267 @@
+//! Node/DAG view of a legal prefix grid.
+
+use crate::grid::PrefixGrid;
+use serde::{Deserialize, Serialize};
+
+/// A bit span `[msb:lsb]` (inclusive on both ends, `msb >= lsb`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Span {
+    /// Most significant bit of the span.
+    pub msb: usize,
+    /// Least significant bit of the span.
+    pub lsb: usize,
+}
+
+impl Span {
+    /// Creates a span; `msb` must be `>= lsb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msb < lsb`.
+    pub fn new(msb: usize, lsb: usize) -> Self {
+        assert!(msb >= lsb, "span msb {msb} < lsb {lsb}");
+        Span { msb, lsb }
+    }
+
+    /// Number of input bits covered by this span (always at least 1,
+    /// so there is deliberately no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.msb - self.lsb + 1
+    }
+
+    /// Whether this is a single-bit (input) span.
+    pub fn is_input(&self) -> bool {
+        self.msb == self.lsb
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}:{}]", self.msb, self.lsb)
+    }
+}
+
+/// One node of a [`PrefixGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The span this node computes.
+    pub span: Span,
+    /// Indices of (upper, lower) parent nodes; `None` for inputs.
+    pub parents: Option<(usize, usize)>,
+    /// Logic level: 0 for inputs, `1 + max(parent levels)` otherwise.
+    pub level: usize,
+    /// Number of nodes that consume this node's output.
+    pub fanout: usize,
+}
+
+/// An explicit DAG extracted from a legal [`PrefixGrid`].
+///
+/// Nodes are stored in topological order (all parents precede children),
+/// which downstream passes (netlist mapping, timing) rely on.
+///
+/// # Examples
+///
+/// ```
+/// use cv_prefix::topologies;
+///
+/// let graph = topologies::kogge_stone(8).to_graph();
+/// assert_eq!(graph.width(), 8);
+/// // Kogge-Stone has log2(8) = 3 levels of prefix operators.
+/// assert_eq!(graph.depth(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixGraph {
+    n: usize,
+    nodes: Vec<Node>,
+    /// `output_nodes[i]` is the node index computing span `[i:0]`.
+    output_nodes: Vec<usize>,
+}
+
+impl PrefixGraph {
+    /// Builds the DAG from a grid. The grid must be legal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid` is not legal. Use [`PrefixGrid::legalize`] first
+    /// when legality is not guaranteed.
+    pub fn from_grid(grid: &PrefixGrid) -> Self {
+        assert!(grid.is_legal(), "PrefixGraph::from_grid requires a legal grid");
+        let n = grid.width();
+        // Index map from (row, col) to node index. Emit nodes in an order
+        // that is automatically topological: by increasing row, and within
+        // a row by decreasing column. A node (i, j)'s parents are (i, k)
+        // with k > j (same row, later emitted earlier because larger col)
+        // and (k-1, j) (earlier row).
+        let mut index = vec![usize::MAX; n * n];
+        let mut nodes: Vec<Node> = Vec::with_capacity(grid.node_count());
+        for i in 0..n {
+            for j in (0..=i).rev() {
+                if !grid.get(i, j) {
+                    continue;
+                }
+                let parents = grid.parents(i, j).map(|((ur, uc), (lr, lc))| {
+                    let up = index[ur * n + uc];
+                    let lo = index[lr * n + lc];
+                    debug_assert!(up != usize::MAX && lo != usize::MAX);
+                    (up, lo)
+                });
+                let level = match parents {
+                    None => 0,
+                    Some((u, l)) => 1 + nodes[u].level.max(nodes[l].level),
+                };
+                index[i * n + j] = nodes.len();
+                nodes.push(Node { span: Span::new(i, j), parents, level, fanout: 0 });
+            }
+        }
+        // Fanout accounting: each child contributes one load to each parent.
+        let parent_pairs: Vec<(usize, usize)> = nodes.iter().filter_map(|nd| nd.parents).collect();
+        for (u, l) in parent_pairs {
+            nodes[u].fanout += 1;
+            nodes[l].fanout += 1;
+        }
+        let output_nodes = (0..n).map(|i| index[i * n]).collect();
+        PrefixGraph { n, nodes, output_nodes }
+    }
+
+    /// The bitwidth `N`.
+    pub fn width(&self) -> usize {
+        self.n
+    }
+
+    /// All nodes in topological order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The node index computing output span `[bit:0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= N`.
+    pub fn output_node(&self, bit: usize) -> usize {
+        self.output_nodes[bit]
+    }
+
+    /// Number of non-input operator nodes.
+    pub fn op_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.parents.is_some()).count()
+    }
+
+    /// Maximum logic level over all nodes (0 for a 1-bit circuit).
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Maximum fanout over all nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.nodes.iter().map(|n| n.fanout).max().unwrap_or(0)
+    }
+
+    /// Verifies functional correctness structurally: each output node's
+    /// transitive span decomposition covers exactly `[i:0]` with adjacent,
+    /// non-overlapping pieces. Returns `true` when every node's parents
+    /// tile its span.
+    pub fn spans_consistent(&self) -> bool {
+        self.nodes.iter().all(|node| match node.parents {
+            None => true,
+            Some((u, l)) => {
+                let us = self.nodes[u].span;
+                let ls = self.nodes[l].span;
+                us.msb == node.span.msb && ls.lsb == node.span.lsb && us.lsb == ls.msb + 1
+            }
+        })
+    }
+}
+
+impl PrefixGrid {
+    /// Convenience wrapper for [`PrefixGraph::from_grid`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is not legal.
+    pub fn to_graph(&self) -> PrefixGraph {
+        PrefixGraph::from_grid(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(5, 2);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_input());
+        assert!(Span::new(3, 3).is_input());
+        assert_eq!(s.to_string(), "[5:2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "span msb")]
+    fn span_rejects_inverted() {
+        let _ = Span::new(1, 2);
+    }
+
+    #[test]
+    fn ripple_graph_structure() {
+        let g = PrefixGrid::ripple(6);
+        let graph = PrefixGraph::from_grid(&g);
+        assert_eq!(graph.width(), 6);
+        assert_eq!(graph.op_count(), 5); // (i,0) for i=1..=5
+        assert_eq!(graph.depth(), 5); // serial chain
+        assert!(graph.spans_consistent());
+    }
+
+    #[test]
+    fn outputs_resolve_to_full_spans() {
+        let graph = topologies::sklansky(16).to_graph();
+        for i in 0..16 {
+            let node = &graph.nodes()[graph.output_node(i)];
+            assert_eq!(node.span, Span::new(i, 0));
+        }
+    }
+
+    #[test]
+    fn topological_order_holds() {
+        let graph = topologies::brent_kung(32).to_graph();
+        for (idx, node) in graph.nodes().iter().enumerate() {
+            if let Some((u, l)) = node.parents {
+                assert!(u < idx && l < idx, "parents must precede children");
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_sums_to_twice_ops() {
+        let graph = topologies::kogge_stone(16).to_graph();
+        let total: usize = graph.nodes().iter().map(|n| n.fanout).sum();
+        // Every operator node consumes exactly two parent outputs. Final
+        // outputs feed the sum stage, which is not counted here.
+        assert_eq!(total, 2 * graph.op_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a legal grid")]
+    fn illegal_grid_panics() {
+        let mut g = PrefixGrid::ripple(8);
+        g.set(6, 3, true).unwrap();
+        let _ = PrefixGraph::from_grid(&g);
+    }
+
+    #[test]
+    fn levels_are_consistent() {
+        let graph = topologies::han_carlson(16).to_graph();
+        for node in graph.nodes() {
+            match node.parents {
+                None => assert_eq!(node.level, 0),
+                Some((u, l)) => assert_eq!(
+                    node.level,
+                    1 + graph.nodes()[u].level.max(graph.nodes()[l].level)
+                ),
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Parallel prefix graph representation and manipulation.
+//!
+//! Many circuits — binary adders, gray-to-binary converters, leading-zero
+//! detectors — can be expressed as *parallel prefix computations*: the
+//! circuit computes, for every output index `i`, an associative reduction
+//! of the inputs `i, i-1, ..., 0`. The shape of the reduction tree (the
+//! *prefix graph*) determines the circuit's area and delay.
+//!
+//! This crate implements the grid representation used by PrefixRL
+//! (Roy et al., DAC 2021) and CircuitVAE (Song et al., DAC 2024):
+//! an `N`-bit prefix circuit is an `N×N` lower-triangular boolean matrix
+//! where cell `(i, j)` (with `i ≥ j`) means the circuit materializes the
+//! span `[i:j]` (the reduction of inputs `j..=i`).
+//!
+//! # Quick start
+//!
+//! ```
+//! use cv_prefix::{PrefixGrid, topologies};
+//!
+//! // A classical 16-bit Sklansky adder skeleton:
+//! let grid = topologies::sklansky(16);
+//! assert!(grid.is_legal());
+//! let graph = grid.to_graph();
+//! assert_eq!(graph.depth(), 4); // log2(16) levels
+//! ```
+//!
+//! The central invariant is *legality*: every non-input node `(i, j)` has
+//! an upper parent `(i, k)` (the nearest present node to its right in the
+//! same row) and a lower parent `(k-1, j)` which must also be present.
+//! [`PrefixGrid::legalize`] inserts missing parents; every legalized grid
+//! is a valid circuit.
+
+#![deny(missing_docs)]
+
+pub mod bitvec;
+pub mod error;
+pub mod graph;
+pub mod grid;
+pub mod metrics;
+pub mod mutate;
+pub mod render;
+pub mod task;
+pub mod topologies;
+
+pub use error::PrefixError;
+pub use graph::{Node, PrefixGraph, Span};
+pub use grid::PrefixGrid;
+pub use metrics::GridMetrics;
+pub use task::CircuitKind;

@@ -1,0 +1,80 @@
+//! Cheap structural metrics of a grid, useful as analytic cost proxies
+//! and as features for diagnostics.
+
+use crate::grid::PrefixGrid;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a grid's structural properties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridMetrics {
+    /// Bitwidth.
+    pub width: usize,
+    /// Total present cells (including inputs).
+    pub nodes: usize,
+    /// Operator (non-input) nodes.
+    pub ops: usize,
+    /// Logic depth (levels of operators on the longest path).
+    pub depth: usize,
+    /// Maximum fanout of any node.
+    pub max_fanout: usize,
+    /// Mean fanout over operator-feeding nodes.
+    pub mean_fanout: f64,
+}
+
+impl GridMetrics {
+    /// Computes metrics for a grid. Illegal grids are legalized first
+    /// (matching the paper: legalization is part of the objective).
+    pub fn of(grid: &PrefixGrid) -> Self {
+        let legal = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+        let graph = legal.to_graph();
+        let ops = graph.op_count();
+        let fan_sum: usize = graph.nodes().iter().map(|n| n.fanout).sum();
+        let fan_count = graph.nodes().iter().filter(|n| n.fanout > 0).count();
+        GridMetrics {
+            width: legal.width(),
+            nodes: legal.node_count(),
+            ops,
+            depth: graph.depth(),
+            max_fanout: graph.max_fanout(),
+            mean_fanout: if fan_count == 0 { 0.0 } else { fan_sum as f64 / fan_count as f64 },
+        }
+    }
+
+    /// A quick analytic cost proxy (`ops + width·depth` scaled), used only
+    /// for tests and sanity checks — the real objective is physical
+    /// synthesis in `cv-synth`.
+    pub fn analytic_proxy(&self) -> f64 {
+        self.ops as f64 + 0.5 * (self.width * self.depth) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn metrics_of_classicals() {
+        let m = GridMetrics::of(&topologies::ripple(16));
+        assert_eq!(m.ops, 15);
+        assert_eq!(m.depth, 15);
+        let m = GridMetrics::of(&topologies::sklansky(16));
+        assert_eq!(m.depth, 4);
+        assert!(m.max_fanout >= 4);
+    }
+
+    #[test]
+    fn illegal_grids_are_measured_after_legalization() {
+        let mut g = PrefixGrid::ripple(16);
+        g.set(15, 8, true).unwrap();
+        let m = GridMetrics::of(&g);
+        assert!(m.nodes > g.node_count(), "legalization adds nodes before measuring");
+    }
+
+    #[test]
+    fn proxy_orders_ripple_vs_sklansky() {
+        let r = GridMetrics::of(&topologies::ripple(32)).analytic_proxy();
+        let s = GridMetrics::of(&topologies::sklansky(32)).analytic_proxy();
+        assert!(s < r, "sklansky proxy {s} should beat ripple {r} at width 32");
+    }
+}

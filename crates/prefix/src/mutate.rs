@@ -1,0 +1,177 @@
+//! Random perturbations of grids — the building blocks of the GA and RL
+//! baselines and of initial-dataset generation.
+
+use crate::grid::PrefixGrid;
+use rand::Rng;
+
+/// Toggles `count` uniformly random free cells. The result may be
+/// illegal; callers decide whether to legalize (the paper treats
+/// legalization as part of the objective).
+pub fn toggle_random_cells<R: Rng + ?Sized>(grid: &mut PrefixGrid, count: usize, rng: &mut R) {
+    let n = grid.width();
+    if n < 3 {
+        return; // no free cells below width 3
+    }
+    for _ in 0..count {
+        let (i, j) = random_free_cell(n, rng);
+        let _ = grid.toggle(i, j);
+    }
+}
+
+/// Samples a uniformly random free-cell coordinate for width `n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (no free cells exist).
+pub fn random_free_cell<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    assert!(n >= 3, "width {n} has no free cells");
+    let i = rng.gen_range(2..n);
+    let j = rng.gen_range(1..i);
+    (i, j)
+}
+
+/// Generates a random grid by flipping each free cell on with probability
+/// `density`, then legalizing. Useful for seeding initial datasets.
+pub fn random_grid<R: Rng + ?Sized>(n: usize, density: f64, rng: &mut R) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    if n >= 3 {
+        for (i, j) in PrefixGrid::free_cells(n) {
+            if rng.gen_bool(density.clamp(0.0, 1.0)) {
+                let _ = g.set(i, j, true);
+            }
+        }
+    }
+    g.legalize();
+    g
+}
+
+/// A random neighbour of `grid`: toggle 1–3 free cells and legalize.
+/// This is the move kernel for simulated annealing and GA mutation.
+pub fn neighbour<R: Rng + ?Sized>(grid: &PrefixGrid, rng: &mut R) -> PrefixGrid {
+    let mut g = grid.clone();
+    let flips = rng.gen_range(1..=3);
+    toggle_random_cells(&mut g, flips, rng);
+    g.legalize();
+    g
+}
+
+/// Uniform crossover of two parents in bitvector space, then legalize.
+///
+/// # Panics
+///
+/// Panics if the parents have different widths.
+pub fn uniform_crossover<R: Rng + ?Sized>(
+    a: &PrefixGrid,
+    b: &PrefixGrid,
+    rng: &mut R,
+) -> PrefixGrid {
+    assert_eq!(a.width(), b.width(), "crossover requires equal widths");
+    let n = a.width();
+    let mut child = PrefixGrid::ripple(n);
+    for (i, j) in PrefixGrid::free_cells(n) {
+        let bit = if rng.gen_bool(0.5) { a.get(i, j) } else { b.get(i, j) };
+        if bit {
+            let _ = child.set(i, j, true);
+        }
+    }
+    child.legalize();
+    child
+}
+
+/// Rectangle crossover: copies a random axis-aligned rectangle of cells
+/// from `b` onto `a`. Preserves local sub-structures better than uniform
+/// crossover for grid phenotypes.
+pub fn rectangle_crossover<R: Rng + ?Sized>(
+    a: &PrefixGrid,
+    b: &PrefixGrid,
+    rng: &mut R,
+) -> PrefixGrid {
+    assert_eq!(a.width(), b.width(), "crossover requires equal widths");
+    let n = a.width();
+    let mut child = a.clone();
+    if n < 3 {
+        return child;
+    }
+    let r0 = rng.gen_range(0..n);
+    let r1 = rng.gen_range(r0..n);
+    let c0 = rng.gen_range(0..n);
+    let c1 = rng.gen_range(c0..n);
+    for i in r0..=r1 {
+        for j in c0..=c1.min(i) {
+            if j > 0 && j < i {
+                let _ = child.set(i, j, b.get(i, j));
+            }
+        }
+    }
+    child.legalize();
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_grid_is_legal_and_density_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sparse = random_grid(32, 0.05, &mut rng);
+        let dense = random_grid(32, 0.8, &mut rng);
+        assert!(sparse.is_legal());
+        assert!(dense.is_legal());
+        assert!(dense.node_count() > sparse.node_count());
+    }
+
+    #[test]
+    fn neighbour_is_legal_and_usually_different() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = topologies::sklansky(16);
+        let mut changed = 0;
+        for _ in 0..20 {
+            let nb = neighbour(&base, &mut rng);
+            assert!(nb.is_legal());
+            if nb != base {
+                changed += 1;
+            }
+        }
+        assert!(changed > 10, "most neighbours should differ ({changed}/20)");
+    }
+
+    #[test]
+    fn crossover_children_legal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = topologies::kogge_stone(16);
+        let b = topologies::brent_kung(16);
+        for _ in 0..10 {
+            assert!(uniform_crossover(&a, &b, &mut rng).is_legal());
+            assert!(rectangle_crossover(&a, &b, &mut rng).is_legal());
+        }
+    }
+
+    #[test]
+    fn crossover_of_identical_parents_after_legalize_is_parent() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = topologies::han_carlson(16);
+        let child = uniform_crossover(&a, &a, &mut rng);
+        assert_eq!(child, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn crossover_width_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = uniform_crossover(&topologies::ripple(8), &topologies::ripple(16), &mut rng);
+    }
+
+    #[test]
+    fn width_two_has_no_free_cells() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = PrefixGrid::ripple(2);
+        toggle_random_cells(&mut g, 10, &mut rng);
+        assert_eq!(g, PrefixGrid::ripple(2));
+        let rg = random_grid(2, 0.9, &mut rng);
+        assert_eq!(rg, PrefixGrid::ripple(2));
+    }
+}

@@ -1,0 +1,103 @@
+//! ASCII rendering of prefix grids, used to regenerate the qualitative
+//! figures (Fig. 1 design-evolution strip and Fig. 8 best-design
+//! comparison).
+
+use crate::grid::PrefixGrid;
+
+/// Renders the lower-triangular grid: `█` for operator nodes, `·` for
+/// empty cells, `◆` for inputs (diagonal), `▙` for outputs (column 0).
+///
+/// Row 0 (bit 0) is printed at the top to match the matrix convention in
+/// the paper's figures.
+pub fn grid_ascii(grid: &PrefixGrid) -> String {
+    let n = grid.width();
+    let mut out = String::with_capacity(n * (2 * n + 1));
+    for i in 0..n {
+        for j in 0..=i {
+            let ch = if !grid.get(i, j) {
+                '·'
+            } else if i == j {
+                '◆'
+            } else if j == 0 {
+                '▙'
+            } else {
+                '█'
+            };
+            out.push(ch);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the DAG level-by-level: one line per logic level listing the
+/// spans computed at that level. Good for comparing structural shapes
+/// (Fig. 8) in text output.
+pub fn levels_ascii(grid: &PrefixGrid) -> String {
+    let legal = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+    let graph = legal.to_graph();
+    let depth = graph.depth();
+    let mut out = String::new();
+    for level in 1..=depth {
+        let spans: Vec<String> = graph
+            .nodes()
+            .iter()
+            .filter(|n| n.level == level)
+            .map(|n| n.span.to_string())
+            .collect();
+        out.push_str(&format!("L{level:2}: {}\n", spans.join(" ")));
+    }
+    out
+}
+
+/// A one-line structural summary: `width=32 ops=80 depth=5 maxfo=9`.
+pub fn summary_line(grid: &PrefixGrid) -> String {
+    let m = crate::metrics::GridMetrics::of(grid);
+    format!(
+        "width={} ops={} depth={} maxfo={}",
+        m.width, m.ops, m.depth, m.max_fanout
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn ascii_has_one_line_per_row() {
+        let g = topologies::sklansky(8);
+        let art = grid_ascii(&g);
+        assert_eq!(art.lines().count(), 8);
+        // Inputs on the diagonal.
+        assert!(art.contains('◆'));
+        // Outputs in column 0.
+        assert!(art.contains('▙'));
+    }
+
+    #[test]
+    fn levels_listing_counts_match() {
+        let g = topologies::brent_kung(16);
+        let graph = g.to_graph();
+        let listing = levels_ascii(&g);
+        assert_eq!(listing.lines().count(), graph.depth());
+        let total_spans: usize = listing.lines().map(|l| l.matches('[').count()).sum();
+        assert_eq!(total_spans, graph.op_count());
+    }
+
+    #[test]
+    fn summary_is_stable() {
+        let s = summary_line(&topologies::ripple(8));
+        // In a ripple chain every node feeds exactly one consumer.
+        assert_eq!(s, "width=8 ops=7 depth=7 maxfo=1");
+    }
+
+    #[test]
+    fn different_topologies_render_differently() {
+        assert_ne!(
+            grid_ascii(&topologies::sklansky(16)),
+            grid_ascii(&topologies::kogge_stone(16))
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Circuit task definitions shared across the workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of prefix computation being optimized.
+///
+/// All kinds share the same grid search space; they differ only in how
+/// a prefix node is technology-mapped:
+///
+/// * [`CircuitKind::Adder`] — each node carries a (generate, propagate)
+///   pair and maps to an AO21 + AND2 pair (Brent-Kung carry operator),
+///   plus XOR pre/post stages.
+/// * [`CircuitKind::GrayToBinary`] — the prefix operator is a plain XOR,
+///   so each node maps to a single XOR2 (Doran 2007; paper §5.5).
+/// * [`CircuitKind::LeadingZero`] — the prefix operator is OR: the
+///   circuit computes, for every bit, whether any higher-order input bit
+///   is set — the carry network of a leading-zero detector. This is the
+///   extension the paper's conclusion names ("optimize other prefix
+///   computations, such as leading zero detectors").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CircuitKind {
+    /// Binary adder (carry-lookahead prefix graph).
+    Adder,
+    /// Gray-code to binary converter (XOR prefix graph).
+    GrayToBinary,
+    /// Leading-zero detector flag network (OR prefix graph).
+    LeadingZero,
+}
+
+impl CircuitKind {
+    /// Short machine-friendly name (used in CSV output and filenames).
+    pub fn name(self) -> &'static str {
+        match self {
+            CircuitKind::Adder => "adder",
+            CircuitKind::GrayToBinary => "gray2bin",
+            CircuitKind::LeadingZero => "lzd",
+        }
+    }
+}
+
+impl std::fmt::Display for CircuitKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [
+            CircuitKind::Adder.name(),
+            CircuitKind::GrayToBinary.name(),
+            CircuitKind::LeadingZero.name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        assert_eq!(CircuitKind::Adder.to_string(), "adder");
+    }
+}

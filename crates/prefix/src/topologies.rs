@@ -1,0 +1,247 @@
+//! Classical prefix-adder topologies.
+//!
+//! These serve three roles in the reproduction: seeds for search
+//! algorithms (the paper starts CircuitVAE trajectories from Sklansky in
+//! one ablation), "human designs" for the Fig. 6 Pareto comparison, and
+//! the candidate pool for the emulated commercial tool.
+
+use crate::grid::PrefixGrid;
+
+/// Ripple-carry: mandatory cells only. Minimum area, maximum depth.
+pub fn ripple(n: usize) -> PrefixGrid {
+    PrefixGrid::ripple(n)
+}
+
+/// Sklansky (divide-and-conquer): minimum depth `⌈log2 n⌉`, high fanout.
+pub fn sklansky(n: usize) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    let mut block = 2usize;
+    while block <= n.next_power_of_two() {
+        let half = block / 2;
+        let mut b = 0;
+        while b < n {
+            for i in (b + half)..(b + block).min(n) {
+                if b > 0 {
+                    let _ = g.set(i, b, true);
+                }
+            }
+            b += block;
+        }
+        block *= 2;
+    }
+    g.legalize();
+    g
+}
+
+/// Kogge-Stone: minimum depth and minimum fanout, maximum wiring/area.
+pub fn kogge_stone(n: usize) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    let mut dist = 1usize;
+    while dist < n {
+        for i in 0..n {
+            let j = i.saturating_sub(2 * dist - 1);
+            if j > 0 && j < i {
+                let _ = g.set(i, j, true);
+            }
+        }
+        dist *= 2;
+    }
+    g.legalize();
+    g
+}
+
+/// Brent-Kung: near-minimum area with `2·log2(n) − 1` depth.
+pub fn brent_kung(n: usize) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    // Up-sweep: spans of size 2^l ending at rows i with (i+1) % 2^l == 0.
+    let mut size = 2usize;
+    while size <= n {
+        let mut i = size - 1;
+        while i < n {
+            let j = i + 1 - size;
+            if j > 0 {
+                let _ = g.set(i, j, true);
+            }
+            i += size;
+        }
+        size *= 2;
+    }
+    // Down-sweep nodes are the mandatory (i, 0) cells: their parents
+    // resolve to up-sweep nodes via the nearest-right rule. Legalize to
+    // insert any remaining connective tissue.
+    g.legalize();
+    g
+}
+
+/// Han-Carlson: Kogge-Stone over odd bits plus one final combining level.
+/// A common sparsity-2 compromise between Kogge-Stone and Brent-Kung.
+pub fn han_carlson(n: usize) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    // Level 1: pair nodes (i, i-1) for odd i.
+    for i in (1..n).step_by(2) {
+        if i - 1 > 0 {
+            let _ = g.set(i, i - 1, true);
+        }
+    }
+    // Levels >= 2: Kogge-Stone in pair space. Pair p covers bits
+    // {2p, 2p+1}; aggregating pairs q..=p is the span [2p+1 : 2q].
+    let pairs = n / 2;
+    let mut dist = 1usize;
+    while dist < pairs {
+        for p in 0..pairs {
+            let q = p.saturating_sub(2 * dist - 1);
+            let i = 2 * p + 1;
+            let j = if q == 0 { 0 } else { 2 * q };
+            if i < n && j < i && j > 0 {
+                let _ = g.set(i, j, true);
+            }
+        }
+        dist *= 2;
+    }
+    // Even rows combine via their mandatory (i, 0) cells.
+    g.legalize();
+    g
+}
+
+/// Ladner-Fischer (here: the sparsity-2 variant with a Sklansky core over
+/// odd bits) — lower fanout than Sklansky, less wiring than Han-Carlson.
+pub fn ladner_fischer(n: usize) -> PrefixGrid {
+    let mut g = PrefixGrid::ripple(n);
+    for i in (1..n).step_by(2) {
+        if i - 1 > 0 {
+            let _ = g.set(i, i - 1, true);
+        }
+    }
+    // Sklansky in pair space.
+    let pairs = n.div_ceil(2);
+    let mut block = 2usize;
+    while block <= pairs.next_power_of_two() {
+        let half = block / 2;
+        let mut b = 0;
+        while b < pairs {
+            for p in (b + half)..(b + block).min(pairs) {
+                let i = 2 * p + 1;
+                let j = if b == 0 { 0 } else { 2 * b };
+                if i < n && j > 0 && j < i {
+                    let _ = g.set(i, j, true);
+                }
+            }
+            b += block;
+        }
+        block *= 2;
+    }
+    g.legalize();
+    g
+}
+
+/// The set of named classical designs, used as the "human designs"
+/// population in the Fig. 6 comparison.
+pub fn all_classical(n: usize) -> Vec<(&'static str, PrefixGrid)> {
+    vec![
+        ("ripple", ripple(n)),
+        ("sklansky", sklansky(n)),
+        ("kogge-stone", kogge_stone(n)),
+        ("brent-kung", brent_kung(n)),
+        ("han-carlson", han_carlson(n)),
+        ("ladner-fischer", ladner_fischer(n)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn depths(n: usize) -> Vec<(&'static str, usize, usize)> {
+        all_classical(n)
+            .into_iter()
+            .map(|(name, g)| {
+                let graph = g.to_graph();
+                (name, graph.depth(), graph.op_count())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_topologies_legal_across_widths() {
+        for n in [2, 3, 4, 7, 8, 16, 26, 31, 32, 64, 100] {
+            for (name, g) in all_classical(n) {
+                assert!(g.is_legal(), "{name} at width {n} must be legal");
+                assert!(g.to_graph().spans_consistent(), "{name} at width {n} spans");
+            }
+        }
+    }
+
+    #[test]
+    fn sklansky_has_log_depth() {
+        for n in [8, 16, 32, 64] {
+            let d = sklansky(n).to_graph().depth();
+            assert_eq!(d, (n as f64).log2().ceil() as usize, "sklansky depth at {n}");
+        }
+    }
+
+    #[test]
+    fn kogge_stone_has_log_depth_and_max_area() {
+        for n in [8, 16, 32] {
+            let ks = kogge_stone(n).to_graph();
+            assert_eq!(ks.depth(), (n as f64).log2().ceil() as usize);
+            // KS has more operators than any other classical design here.
+            for (name, g) in all_classical(n) {
+                if name != "kogge-stone" {
+                    assert!(
+                        g.to_graph().op_count() <= ks.op_count(),
+                        "{name} should not exceed kogge-stone ops at {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kogge_stone_fanout_is_bounded() {
+        // KS's defining property is bounded fanout; in this grid
+        // convention the saturated column-0 region adds a couple of extra
+        // consumers, but fanout stays small and far below Sklansky's.
+        let ks = kogge_stone(32).to_graph();
+        assert!(ks.max_fanout() <= 6, "KS fanout {}", ks.max_fanout());
+        let sk = sklansky(32).to_graph();
+        assert!(sk.max_fanout() > ks.max_fanout(), "sklansky fans out more than KS");
+    }
+
+    #[test]
+    fn brent_kung_depth_near_2log() {
+        for n in [8, 16, 32, 64] {
+            let d = brent_kung(n).to_graph().depth();
+            let log = (n as f64).log2().ceil() as usize;
+            assert!(d >= log && d <= 2 * log, "bk depth {d} at width {n}");
+        }
+    }
+
+    #[test]
+    fn ripple_extremes() {
+        let r = ripple(16).to_graph();
+        assert_eq!(r.depth(), 15);
+        assert_eq!(r.op_count(), 15);
+    }
+
+    #[test]
+    fn area_depth_tradeoff_visible() {
+        // The classical family must exhibit the area/delay trade-off the
+        // paper's search exploits: ripple = min ops & max depth,
+        // kogge-stone = max ops & min depth.
+        let d = depths(32);
+        let ripple = d.iter().find(|x| x.0 == "ripple").unwrap();
+        let ks = d.iter().find(|x| x.0 == "kogge-stone").unwrap();
+        assert!(ripple.1 > ks.1);
+        assert!(ripple.2 < ks.2);
+    }
+
+    #[test]
+    fn odd_widths_work() {
+        for n in [5, 9, 21, 31] {
+            for (name, g) in all_classical(n) {
+                let graph = g.to_graph();
+                assert!(graph.depth() < n, "{name} at odd width {n}");
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the prefix-graph substrate.
+
+use cv_prefix::{bitvec, mutate, topologies, PrefixGrid};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random (possibly illegal) grid of width `n` built by
+/// setting each free cell independently.
+fn arb_grid(n: usize) -> impl Strategy<Value = PrefixGrid> {
+    let free = (n - 1) * (n - 2) / 2;
+    prop::collection::vec(any::<bool>(), free).prop_map(move |bits| {
+        bitvec::decode_bits(n, &bits).expect("strategy generates correct lengths")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn legalize_produces_legal_grids(grid in arb_grid(16)) {
+        let legal = grid.legalized();
+        prop_assert!(legal.is_legal());
+    }
+
+    #[test]
+    fn legalize_is_idempotent(grid in arb_grid(16)) {
+        let mut once = grid.legalized();
+        let again = once.legalize();
+        prop_assert_eq!(again, 0, "second legalize must insert nothing");
+    }
+
+    #[test]
+    fn legalize_only_adds_cells(grid in arb_grid(12)) {
+        let legal = grid.legalized();
+        for (i, j) in grid.cells() {
+            prop_assert!(legal.get(i, j), "legalize must not remove ({}, {})", i, j);
+        }
+        prop_assert!(legal.node_count() >= grid.node_count());
+    }
+
+    #[test]
+    fn legal_grids_have_consistent_spans(grid in arb_grid(12)) {
+        let graph = grid.legalized().to_graph();
+        prop_assert!(graph.spans_consistent());
+        // Every output [i:0] must resolve.
+        for i in 0..12 {
+            let node = &graph.nodes()[graph.output_node(i)];
+            prop_assert_eq!(node.span.msb, i);
+            prop_assert_eq!(node.span.lsb, 0);
+        }
+    }
+
+    #[test]
+    fn bitvec_roundtrip(grid in arb_grid(14)) {
+        let enc = bitvec::encode_f32(&grid);
+        let back = bitvec::decode_f32(14, &enc).unwrap();
+        prop_assert_eq!(back, grid.clone());
+        let dense = bitvec::encode_dense(&grid);
+        let back = bitvec::decode_dense(14, &dense).unwrap();
+        prop_assert_eq!(back, grid);
+    }
+
+    #[test]
+    fn depth_bounds(grid in arb_grid(16)) {
+        let graph = grid.legalized().to_graph();
+        // Depth is at least ceil(log2 n) (information-theoretic lower
+        // bound for span [n-1:0]) and at most n-1 (ripple).
+        prop_assert!(graph.depth() >= 4);
+        prop_assert!(graph.depth() <= 15);
+    }
+
+    #[test]
+    fn crossover_always_legal(a in arb_grid(12), b in arb_grid(12), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (la, lb) = (a.legalized(), b.legalized());
+        prop_assert!(mutate::uniform_crossover(&la, &lb, &mut rng).is_legal());
+        prop_assert!(mutate::rectangle_crossover(&la, &lb, &mut rng).is_legal());
+    }
+
+    #[test]
+    fn neighbour_always_legal(grid in arb_grid(12), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let legal = grid.legalized();
+        prop_assert!(mutate::neighbour(&legal, &mut rng).is_legal());
+    }
+
+    #[test]
+    fn op_count_at_least_n_minus_1(grid in arb_grid(12)) {
+        // Any legal prefix graph needs at least n-1 operators to cover all
+        // output spans.
+        let legal = grid.legalized();
+        prop_assert!(legal.op_count() >= 11);
+    }
+}
+
+#[test]
+fn classical_topologies_match_known_op_counts() {
+    // Kogge-Stone op count: n*ceil(log2 n) - 2^ceil(log2 n) + 1.
+    for n in [8usize, 16, 32, 64] {
+        let l = (n as f64).log2().ceil() as u32;
+        let expected = n * l as usize - 2usize.pow(l) + 1;
+        assert_eq!(
+            topologies::kogge_stone(n).op_count(),
+            expected,
+            "kogge-stone ops at width {n}"
+        );
+        // Sklansky: n/2 * log2 n for powers of two.
+        assert_eq!(topologies::sklansky(n).op_count(), n / 2 * l as usize);
+        // Brent-Kung: 2n - 2 - log2 n for powers of two.
+        assert_eq!(topologies::brent_kung(n).op_count(), 2 * n - 2 - l as usize);
+    }
+}

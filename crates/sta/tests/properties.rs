@@ -1,0 +1,83 @@
+//! Property-based tests for static timing analysis over arbitrary
+//! legalized prefix-adder netlists.
+
+use cv_cells::{nangate45_like, Drive};
+use cv_netlist::map_adder;
+use cv_prefix::bitvec;
+use cv_prefix::PrefixGrid;
+use cv_sta::{analyze, critical_gates, IoTiming};
+use proptest::prelude::*;
+
+fn arb_netlist(n: usize) -> impl Strategy<Value = cv_netlist::Netlist> {
+    let free = (n - 1) * (n - 2) / 2;
+    prop::collection::vec(any::<bool>(), free).prop_map(move |bits| {
+        let grid = bitvec::decode_bits(n, &bits).expect("length matches").legalized();
+        map_adder(&grid.to_graph(), &nangate45_like())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sta_total_and_positive(nl in arb_netlist(10)) {
+        let lib = nangate45_like();
+        let r = analyze(&nl, &lib, &IoTiming::uniform(10));
+        prop_assert!(r.delay_ns.is_finite() && r.delay_ns > 0.0);
+        prop_assert!(!r.critical_path.is_empty());
+    }
+
+    #[test]
+    fn critical_path_arrivals_monotone(nl in arb_netlist(10)) {
+        let lib = nangate45_like();
+        let r = analyze(&nl, &lib, &IoTiming::uniform(10));
+        for w in r.critical_path.windows(2) {
+            prop_assert!(w[0].arrival_ns <= w[1].arrival_ns + 1e-12);
+        }
+    }
+
+    #[test]
+    fn delaying_any_input_never_speeds_up(nl in arb_netlist(10), bit in 0usize..10, extra in 0.01f64..0.5) {
+        let lib = nangate45_like();
+        let base = analyze(&nl, &lib, &IoTiming::uniform(10)).delay_ns;
+        let mut io = IoTiming::uniform(10);
+        io.arrival[bit] += extra;
+        let skewed = analyze(&nl, &lib, &io).delay_ns;
+        prop_assert!(skewed >= base - 1e-12, "{skewed} vs {base}");
+    }
+
+    #[test]
+    fn upsizing_every_gate_never_increases_delay_under_light_load(nl in arb_netlist(10)) {
+        // Upsizing *all* gates uniformly cuts every drive resistance in
+        // half while doubling input caps; with the wire floor this is a
+        // net win for the worst path in these small netlists.
+        let lib = nangate45_like();
+        let base = analyze(&nl, &lib, &IoTiming::uniform(10)).delay_ns;
+        let mut big = nl.clone();
+        for gid in 0..big.gate_count() {
+            big.gate_mut(gid).drive = Drive::X4;
+        }
+        let upsized = analyze(&big, &lib, &IoTiming::uniform(10)).delay_ns;
+        prop_assert!(upsized <= base * 1.05, "{upsized} vs {base}");
+    }
+
+    #[test]
+    fn critical_gates_are_real_gates(nl in arb_netlist(10)) {
+        let lib = nangate45_like();
+        let r = analyze(&nl, &lib, &IoTiming::uniform(10));
+        for gid in critical_gates(&r) {
+            prop_assert!(gid < nl.gate_count());
+        }
+    }
+}
+
+#[test]
+fn deeper_grids_time_slower_end_to_end() {
+    // Cross-check STA against structure on the two extreme topologies.
+    let lib = nangate45_like();
+    let rip = map_adder(&PrefixGrid::ripple(16).to_graph(), &lib);
+    let sk = map_adder(&cv_prefix::topologies::sklansky(16).to_graph(), &lib);
+    let r1 = analyze(&rip, &lib, &IoTiming::uniform(16)).delay_ns;
+    let r2 = analyze(&sk, &lib, &IoTiming::uniform(16)).delay_ns;
+    assert!(r1 > r2);
+}

@@ -1,0 +1,176 @@
+//! An emulated commercial adder generator for the Fig. 6 comparison.
+//!
+//! The paper's §5.4 compares CircuitVAE against "the design tool's
+//! provided adders" — a black-box commercial generator. We emulate one
+//! the way such tools actually work: sweep a portfolio of classical
+//! architectures across synthesis effort levels, and keep the Pareto
+//! frontier. It shares none of the search machinery with CircuitVAE or
+//! the baselines, so it is a fair external competitor.
+
+use crate::cost::{CostParams, PpaReport};
+use crate::flow::{SynthesisConfig, SynthesisFlow};
+use cv_cells::CellLibrary;
+use cv_prefix::{topologies, CircuitKind, PrefixGrid};
+use cv_sta::IoTiming;
+use serde::{Deserialize, Serialize};
+
+/// One design produced by the tool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ToolDesign {
+    /// Architecture / effort label, e.g. `sklansky@heavy`.
+    pub label: String,
+    /// Post-synthesis report.
+    pub ppa: PpaReport,
+}
+
+/// The emulated commercial tool.
+#[derive(Debug, Clone)]
+pub struct CommercialTool {
+    lib: CellLibrary,
+    kind: CircuitKind,
+    width: usize,
+    io: IoTiming,
+}
+
+impl CommercialTool {
+    /// Creates a tool instance for one design context.
+    pub fn new(lib: CellLibrary, kind: CircuitKind, width: usize, io: IoTiming) -> Self {
+        CommercialTool { lib, kind, width, io }
+    }
+
+    /// Synthesizes the full architecture × effort portfolio.
+    pub fn portfolio(&self) -> Vec<ToolDesign> {
+        let efforts: [(&str, usize, usize); 3] =
+            [("light", 8, 8), ("medium", 48, 8), ("heavy", 160, 6)];
+        let mut out = Vec::new();
+        for (name, grid) in topologies::all_classical(self.width) {
+            for (effort, moves, max_fo) in efforts {
+                for w in [0.2, 0.5, 0.8, 0.95] {
+                    let cfg = SynthesisConfig {
+                        io: self.io.clone(),
+                        max_fanout: max_fo,
+                        sizing_moves: moves,
+                        delay_weight: w,
+                    };
+                    let flow = SynthesisFlow::with_config(
+                        self.lib.clone(),
+                        self.kind,
+                        self.width,
+                        cfg,
+                    );
+                    let ppa = flow.synthesize(&grid);
+                    out.push(ToolDesign { label: format!("{name}@{effort}/w{w}"), ppa });
+                }
+            }
+        }
+        out
+    }
+
+    /// The Pareto-optimal (area, delay) subset of the portfolio, sorted
+    /// by area.
+    pub fn pareto_front(&self) -> Vec<ToolDesign> {
+        pareto_filter(self.portfolio())
+    }
+
+    /// The best single design under the given cost weighting.
+    pub fn best_design(&self, cost: CostParams) -> ToolDesign {
+        self.portfolio()
+            .into_iter()
+            .min_by(|a, b| cost.cost(&a.ppa).total_cmp(&cost.cost(&b.ppa)))
+            .expect("portfolio is never empty")
+    }
+
+    /// The grids of "human designs" for Fig. 6's third competitor.
+    pub fn human_designs(&self) -> Vec<(&'static str, PrefixGrid)> {
+        topologies::all_classical(self.width)
+    }
+}
+
+/// Filters a design list to its area/delay Pareto frontier (sorted by
+/// increasing area).
+pub fn pareto_filter(mut designs: Vec<ToolDesign>) -> Vec<ToolDesign> {
+    designs.sort_by(|a, b| {
+        a.ppa
+            .area_um2
+            .total_cmp(&b.ppa.area_um2)
+            .then(a.ppa.delay_ns.total_cmp(&b.ppa.delay_ns))
+    });
+    let mut front: Vec<ToolDesign> = Vec::new();
+    let mut best_delay = f64::INFINITY;
+    for d in designs {
+        if d.ppa.delay_ns < best_delay - 1e-12 {
+            best_delay = d.ppa.delay_ns;
+            front.push(d);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::{nangate45_like, scaled_8nm_like};
+
+    fn tool() -> CommercialTool {
+        CommercialTool::new(
+            nangate45_like(),
+            CircuitKind::Adder,
+            16,
+            IoTiming::uniform(16),
+        )
+    }
+
+    #[test]
+    fn portfolio_covers_architectures_and_efforts() {
+        let p = tool().portfolio();
+        assert_eq!(p.len(), 6 * 3 * 4);
+        assert!(p.iter().any(|d| d.label.starts_with("sklansky@heavy")));
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let front = tool().pareto_front();
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].ppa.area_um2 <= w[1].ppa.area_um2);
+            assert!(w[0].ppa.delay_ns >= w[1].ppa.delay_ns);
+        }
+    }
+
+    #[test]
+    fn best_design_tracks_weight() {
+        let t = tool();
+        let fast = t.best_design(CostParams::new(0.95));
+        let small = t.best_design(CostParams::new(0.05));
+        assert!(fast.ppa.delay_ns <= small.ppa.delay_ns);
+        assert!(small.ppa.area_um2 <= fast.ppa.area_um2);
+    }
+
+    #[test]
+    fn works_on_8nm_with_datapath_io() {
+        let t = CommercialTool::new(
+            scaled_8nm_like(),
+            CircuitKind::Adder,
+            31,
+            IoTiming::datapath_profile(31, 0.1),
+        );
+        let front = t.pareto_front();
+        assert!(front.len() >= 2, "expect a real frontier, got {}", front.len());
+    }
+
+    #[test]
+    fn pareto_filter_drops_dominated_points() {
+        let mk = |a: f64, d: f64| ToolDesign {
+            label: String::new(),
+            ppa: PpaReport {
+                area_um2: a,
+                delay_ns: d,
+                gate_count: 0,
+                buffers_inserted: 0,
+                gates_upsized: 0,
+            },
+        };
+        let front = pareto_filter(vec![mk(1.0, 1.0), mk(2.0, 0.5), mk(1.5, 1.2), mk(3.0, 0.6)]);
+        assert_eq!(front.len(), 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! The paper's scalar cost function and PPA reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Post-synthesis power/performance/area report (power is not modelled;
+/// the paper's cost uses only area and delay).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PpaReport {
+    /// Total standard-cell area, µm².
+    pub area_um2: f64,
+    /// Effective critical-path delay, ns.
+    pub delay_ns: f64,
+    /// Gates in the final netlist (after buffering).
+    pub gate_count: usize,
+    /// Buffers inserted by fanout repair.
+    pub buffers_inserted: usize,
+    /// Gates upsized by the sizing pass.
+    pub gates_upsized: usize,
+}
+
+/// The scalar objective `f(x) = ω·10·delay + (1−ω)·area/100` (paper §3:
+/// area in µm²/100, delay in ns×10, so both terms are O(1)-scaled).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// The delay weight ω ∈ [0, 1].
+    pub delay_weight: f64,
+}
+
+impl CostParams {
+    /// Creates cost parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `delay_weight` lies in `[0, 1]`.
+    pub fn new(delay_weight: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&delay_weight),
+            "delay weight {delay_weight} outside [0, 1]"
+        );
+        CostParams { delay_weight }
+    }
+
+    /// Scalar cost of a PPA report.
+    #[inline]
+    pub fn cost(&self, ppa: &PpaReport) -> f64 {
+        self.delay_weight * 10.0 * ppa.delay_ns + (1.0 - self.delay_weight) * ppa.area_um2 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ppa(area: f64, delay: f64) -> PpaReport {
+        PpaReport { area_um2: area, delay_ns: delay, gate_count: 0, buffers_inserted: 0, gates_upsized: 0 }
+    }
+
+    #[test]
+    fn matches_table1_arithmetic() {
+        // Table 1, ω=0.33 VAE row: area 449 µm², delay 0.465 ns, cost 4.54.
+        let c = CostParams::new(0.33).cost(&ppa(449.0, 0.465));
+        assert!((c - 4.54).abs() < 0.02, "got {c}");
+        // ω=0.95 row: area 860, delay 0.333, cost 3.58.
+        let c = CostParams::new(0.95).cost(&ppa(860.0, 0.333));
+        assert!((c - 3.59).abs() < 0.02, "got {c}");
+    }
+
+    #[test]
+    fn extremes_isolate_terms() {
+        assert_eq!(CostParams::new(1.0).cost(&ppa(500.0, 0.4)), 4.0);
+        assert_eq!(CostParams::new(0.0).cost(&ppa(500.0, 0.4)), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rejects_bad_weight() {
+        let _ = CostParams::new(1.5);
+    }
+}

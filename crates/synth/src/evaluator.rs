@@ -1,0 +1,221 @@
+//! Cost evaluators: the black-box function `f` of Algorithm 1, with
+//! caching, simulation accounting, and parallel batch evaluation.
+
+use crate::cost::{CostParams, PpaReport};
+use crate::flow::SynthesisFlow;
+use cv_prefix::PrefixGrid;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A counter of physical-simulation calls — the budget axis of every
+/// figure in the paper. Clone-shareable.
+#[derive(Debug, Clone, Default)]
+pub struct SimCounter(Arc<AtomicUsize>);
+
+impl SimCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current count.
+    pub fn count(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Adds `n` simulations.
+    pub fn add(&self, n: usize) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The outcome of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Scalar cost `f(x)`.
+    pub cost: f64,
+    /// The underlying PPA report.
+    pub ppa: PpaReport,
+}
+
+/// A synthesis flow paired with cost parameters: the full black-box
+/// objective `f(x) = ω·10·delay + (1−ω)·area/100`.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    flow: SynthesisFlow,
+    cost: CostParams,
+}
+
+impl Objective {
+    /// Couples a flow with cost parameters. The flow's sizing weight is
+    /// aligned to the cost's delay weight so synthesis optimizes what the
+    /// search measures.
+    pub fn new(mut flow: SynthesisFlow, cost: CostParams) -> Self {
+        flow.config_mut().delay_weight = cost.delay_weight;
+        Objective { flow, cost }
+    }
+
+    /// Evaluates one grid (one "simulation").
+    pub fn evaluate(&self, grid: &PrefixGrid) -> EvalRecord {
+        let ppa = self.flow.synthesize(grid);
+        EvalRecord { cost: self.cost.cost(&ppa), ppa }
+    }
+
+    /// The synthesis flow.
+    pub fn flow(&self) -> &SynthesisFlow {
+        &self.flow
+    }
+
+    /// The cost parameters.
+    pub fn cost_params(&self) -> CostParams {
+        self.cost
+    }
+}
+
+/// A caching, counting, thread-safe evaluator.
+///
+/// Re-evaluating a grid already in the cache costs nothing and does *not*
+/// increment the simulation counter: like the paper's setup, the budget
+/// counts calls to the physical simulator, and any production system
+/// memoizes identical netlists. Grids are cached by their *legalized*
+/// form, so structurally equivalent queries share one simulation (the
+/// paper notes legalization "may be considered part of the objective").
+pub struct CachedEvaluator {
+    objective: Objective,
+    cache: Mutex<HashMap<PrefixGrid, EvalRecord>>,
+    counter: SimCounter,
+}
+
+impl CachedEvaluator {
+    /// Wraps an objective.
+    pub fn new(objective: Objective) -> Self {
+        CachedEvaluator { objective, cache: Mutex::new(HashMap::new()), counter: SimCounter::new() }
+    }
+
+    /// The shared simulation counter.
+    pub fn counter(&self) -> &SimCounter {
+        &self.counter
+    }
+
+    /// The wrapped objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Number of distinct designs simulated so far.
+    pub fn unique_designs(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Evaluates one grid, consulting the cache.
+    pub fn evaluate(&self, grid: &PrefixGrid) -> EvalRecord {
+        let key = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return *hit;
+        }
+        let rec = self.objective.evaluate(&key);
+        self.counter.add(1);
+        self.cache.lock().insert(key, rec);
+        rec
+    }
+
+    /// Evaluates a batch in parallel across `threads` worker threads
+    /// (clamped to the batch size). Results align with the input order.
+    pub fn evaluate_batch(&self, grids: &[PrefixGrid], threads: usize) -> Vec<EvalRecord> {
+        if grids.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, grids.len());
+        if threads == 1 {
+            return grids.iter().map(|g| self.evaluate(g)).collect();
+        }
+        let results: Vec<Mutex<Option<EvalRecord>>> =
+            grids.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= grids.len() {
+                        break;
+                    }
+                    *results[i].lock() = Some(self.evaluate(&grids[i]));
+                });
+            }
+        })
+        .expect("evaluation workers must not panic");
+        results
+            .into_iter()
+            .map(|m| m.into_inner().expect("all batch slots filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::{mutate, topologies, CircuitKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn evaluator(n: usize, w: f64) -> CachedEvaluator {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, n);
+        CachedEvaluator::new(Objective::new(flow, CostParams::new(w)))
+    }
+
+    #[test]
+    fn cache_hits_do_not_count() {
+        let ev = evaluator(16, 0.66);
+        let g = topologies::sklansky(16);
+        let a = ev.evaluate(&g);
+        let b = ev.evaluate(&g);
+        assert_eq!(a, b);
+        assert_eq!(ev.counter().count(), 1);
+        assert_eq!(ev.unique_designs(), 1);
+    }
+
+    #[test]
+    fn illegal_and_legalized_twins_share_a_simulation() {
+        let ev = evaluator(16, 0.66);
+        let mut g = PrefixGrid::ripple(16);
+        g.set(15, 8, true).unwrap();
+        let a = ev.evaluate(&g);
+        let b = ev.evaluate(&g.legalized());
+        assert_eq!(a, b);
+        assert_eq!(ev.counter().count(), 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_and_counts_unique() {
+        let ev = evaluator(12, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut grids: Vec<PrefixGrid> =
+            (0..10).map(|_| mutate::random_grid(12, 0.25, &mut rng)).collect();
+        grids.push(grids[0].clone()); // duplicate
+        let parallel = ev.evaluate_batch(&grids, 4);
+        let serial: Vec<EvalRecord> = grids.iter().map(|g| ev.evaluate(g)).collect();
+        assert_eq!(parallel, serial);
+        assert!(ev.counter().count() <= 10, "duplicate must not re-simulate");
+    }
+
+    #[test]
+    fn cost_orders_match_weight() {
+        // At ω→1 a fast design wins; at ω→0 a small one wins.
+        let fast_ev = evaluator(32, 0.99);
+        let small_ev = evaluator(32, 0.01);
+        let rip = topologies::ripple(32);
+        let ks = topologies::kogge_stone(32);
+        assert!(fast_ev.evaluate(&ks).cost < fast_ev.evaluate(&rip).cost);
+        assert!(small_ev.evaluate(&rip).cost < small_ev.evaluate(&ks).cost);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ev = evaluator(8, 0.5);
+        assert!(ev.evaluate_batch(&[], 4).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Greedy critical-path gate sizing.
+
+use cv_cells::CellLibrary;
+use cv_netlist::Netlist;
+use cv_sta::{analyze, critical_gates, IoTiming, TimingReport};
+
+/// Greedily upsizes gates on the critical path while each move improves
+/// the *cost-weighted* objective `ω·10·Δdelay + (1−ω)·Δarea/100 < 0`.
+///
+/// Each iteration re-times the design, walks the critical path, and
+/// applies the single best upsize; it stops after `max_moves` moves or
+/// when no move helps. Returns `(moves_applied, final_report)`.
+///
+/// The interaction between sizing and structure is what makes the true
+/// cost landscape non-analytic: a structurally "deep" design can beat a
+/// "shallow" one once the shallow design's fanout forces huge cells.
+pub fn size_gates(
+    netlist: &mut Netlist,
+    lib: &CellLibrary,
+    io: &IoTiming,
+    delay_weight: f64,
+    max_moves: usize,
+) -> (usize, TimingReport) {
+    let mut report = analyze(netlist, lib, io);
+    let mut moves = 0usize;
+    while moves < max_moves {
+        let path = critical_gates(&report);
+        let mut best: Option<(usize, cv_cells::Drive, f64)> = None;
+        let current_score =
+            delay_weight * 10.0 * report.delay_ns + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
+        for gid in path {
+            let old_drive = netlist.gates()[gid].drive;
+            let Some(bigger) = old_drive.upsized() else { continue };
+            netlist.gate_mut(gid).drive = bigger;
+            let trial = analyze(netlist, lib, io);
+            let trial_score = delay_weight * 10.0 * trial.delay_ns
+                + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
+            let gain = current_score - trial_score;
+            netlist.gate_mut(gid).drive = old_drive;
+            if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((gid, bigger, gain));
+            }
+        }
+        match best {
+            Some((gid, drive, _)) => {
+                netlist.gate_mut(gid).drive = drive;
+                report = analyze(netlist, lib, io);
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    (moves, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_netlist::map_adder;
+    use cv_prefix::topologies;
+
+    #[test]
+    fn sizing_reduces_delay_at_high_delay_weight() {
+        let lib = nangate45_like();
+        let graph = topologies::sklansky(16).to_graph();
+        let mut nl = map_adder(&graph, &lib);
+        let io = IoTiming::uniform(16);
+        let before = analyze(&nl, &lib, &io).delay_ns;
+        let (moves, report) = size_gates(&mut nl, &lib, &io, 0.95, 50);
+        assert!(moves > 0, "at ω=0.95 the sizer must act");
+        assert!(report.delay_ns < before, "{} -> {}", before, report.delay_ns);
+    }
+
+    #[test]
+    fn sizing_is_conservative_at_low_delay_weight() {
+        let lib = nangate45_like();
+        let graph = topologies::sklansky(16).to_graph();
+        let mut nl_fast = map_adder(&graph, &lib);
+        let mut nl_small = map_adder(&graph, &lib);
+        let io = IoTiming::uniform(16);
+        let (moves_fast, _) = size_gates(&mut nl_fast, &lib, &io, 0.95, 200);
+        let (moves_small, _) = size_gates(&mut nl_small, &lib, &io, 0.05, 200);
+        assert!(
+            moves_small < moves_fast,
+            "area-dominated weight should size less ({moves_small} vs {moves_fast})"
+        );
+        assert!(nl_small.area_um2(&lib) <= nl_fast.area_um2(&lib));
+    }
+
+    #[test]
+    fn move_cap_respected() {
+        let lib = nangate45_like();
+        let mut nl = map_adder(&topologies::sklansky(32).to_graph(), &lib);
+        let io = IoTiming::uniform(32);
+        let (moves, _) = size_gates(&mut nl, &lib, &io, 1.0, 3);
+        assert!(moves <= 3);
+    }
+
+    #[test]
+    fn sizing_never_worsens_weighted_cost() {
+        let lib = nangate45_like();
+        for w in [0.33, 0.66, 0.95] {
+            let mut nl = map_adder(&topologies::brent_kung(16).to_graph(), &lib);
+            let io = IoTiming::uniform(16);
+            let r0 = analyze(&nl, &lib, &io);
+            let score0 = w * 10.0 * r0.delay_ns + (1.0 - w) * nl.area_um2(&lib) / 100.0;
+            let (_, r1) = size_gates(&mut nl, &lib, &io, w, 100);
+            let score1 = w * 10.0 * r1.delay_ns + (1.0 - w) * nl.area_um2(&lib) / 100.0;
+            assert!(score1 <= score0 + 1e-9, "ω={w}: {score0} -> {score1}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Best-so-far tracking against the simulation budget — shared by every
+//! search algorithm (CircuitVAE, BO, GA, RL, SA, random search).
+
+use crate::evaluator::CachedEvaluator;
+use cv_prefix::PrefixGrid;
+use serde::{Deserialize, Serialize};
+
+/// Best-so-far curve tracking against the simulation budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BestTracker {
+    points: Vec<(usize, f64)>,
+    best_cost: f64,
+    best_grid: Option<PrefixGrid>,
+    evaluated: Vec<(PrefixGrid, f64)>,
+    keep_evaluated: bool,
+}
+
+impl BestTracker {
+    /// Creates a tracker. When `keep_evaluated` is set, every observed
+    /// `(grid, cost)` pair is retained (used to seed CircuitVAE datasets
+    /// from GA generations, as in the paper).
+    pub fn new(keep_evaluated: bool) -> Self {
+        BestTracker {
+            points: Vec::new(),
+            best_cost: f64::INFINITY,
+            best_grid: None,
+            evaluated: Vec::new(),
+            keep_evaluated,
+        }
+    }
+
+    /// Records an evaluation outcome at simulation count `sims`.
+    pub fn observe(&mut self, sims: usize, grid: &PrefixGrid, cost: f64) {
+        if self.keep_evaluated {
+            self.evaluated.push((grid.clone(), cost));
+        }
+        if cost < self.best_cost {
+            self.best_cost = cost;
+            self.best_grid = Some(grid.clone());
+            self.points.push((sims, cost));
+        }
+    }
+
+    /// Closes the curve at the final simulation count.
+    pub fn finish(&mut self, sims: usize) {
+        if self.best_cost.is_finite() {
+            self.points.push((sims, self.best_cost));
+        }
+    }
+
+    /// Converts into a [`SearchOutcome`].
+    pub fn into_outcome(self) -> SearchOutcome {
+        SearchOutcome {
+            history: self.points,
+            best_cost: self.best_cost,
+            best_grid: self.best_grid,
+            evaluated: self.evaluated,
+        }
+    }
+
+    /// Current best cost.
+    pub fn best_cost(&self) -> f64 {
+        self.best_cost
+    }
+}
+
+/// The result of one search run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// `(simulations, best_cost_so_far)` breakpoints (stepwise curve).
+    pub history: Vec<(usize, f64)>,
+    /// Best cost found.
+    pub best_cost: f64,
+    /// Best design found.
+    pub best_grid: Option<PrefixGrid>,
+    /// Every evaluated pair, if tracking was enabled.
+    pub evaluated: Vec<(PrefixGrid, f64)>,
+}
+
+impl SearchOutcome {
+    /// Best cost achieved within the first `budget` simulations,
+    /// `f64::INFINITY` if none.
+    pub fn best_within(&self, budget: usize) -> f64 {
+        self.history
+            .iter()
+            .take_while(|(s, _)| *s <= budget)
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The smallest simulation count at which the curve reached a cost
+    /// `<= target`, if ever — the quantity behind the paper's
+    /// "VAE speedup" column in Table 1.
+    pub fn sims_to_reach(&self, target: f64) -> Option<usize> {
+        self.history.iter().find(|(_, c)| *c <= target).map(|(s, _)| *s)
+    }
+}
+
+/// Convenience wrapper: evaluate, observe, and return the cost.
+pub fn eval_and_track(
+    evaluator: &CachedEvaluator,
+    tracker: &mut BestTracker,
+    grid: &PrefixGrid,
+) -> f64 {
+    let rec = evaluator.evaluate(grid);
+    tracker.observe(evaluator.counter().count(), grid, rec.cost);
+    rec.cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_builds_monotone_curve() {
+        let mut t = BestTracker::new(true);
+        let g = PrefixGrid::ripple(8);
+        t.observe(1, &g, 5.0);
+        t.observe(2, &g, 6.0); // worse, no breakpoint
+        t.observe(3, &g, 4.0);
+        t.finish(10);
+        let out = t.into_outcome();
+        assert_eq!(out.history, vec![(1, 5.0), (3, 4.0), (10, 4.0)]);
+        assert_eq!(out.best_cost, 4.0);
+        assert_eq!(out.evaluated.len(), 3);
+    }
+
+    #[test]
+    fn best_within_and_reach() {
+        let out = SearchOutcome {
+            history: vec![(5, 5.0), (20, 3.0), (50, 3.0)],
+            best_cost: 3.0,
+            best_grid: None,
+            evaluated: vec![],
+        };
+        assert_eq!(out.best_within(4), f64::INFINITY);
+        assert_eq!(out.best_within(10), 5.0);
+        assert_eq!(out.best_within(100), 3.0);
+        assert_eq!(out.sims_to_reach(3.5), Some(20));
+        assert_eq!(out.sims_to_reach(2.0), None);
+    }
+}

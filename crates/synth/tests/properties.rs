@@ -1,0 +1,62 @@
+//! Property-based tests of the synthesis flow: it must be total, finite,
+//! deterministic, and respect its structural contracts on arbitrary
+//! (legalized) grids across all circuit kinds.
+
+use cv_cells::nangate45_like;
+use cv_prefix::{bitvec, CircuitKind, PrefixGrid};
+use cv_synth::{CostParams, SynthesisFlow};
+use proptest::prelude::*;
+
+fn arb_grid(n: usize) -> impl Strategy<Value = PrefixGrid> {
+    let free = (n - 1) * (n - 2) / 2;
+    prop::collection::vec(any::<bool>(), free)
+        .prop_map(move |bits| bitvec::decode_bits(n, &bits).expect("length matches"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn synthesis_is_total_and_finite(grid in arb_grid(12)) {
+        for kind in [CircuitKind::Adder, CircuitKind::GrayToBinary, CircuitKind::LeadingZero] {
+            let flow = SynthesisFlow::new(nangate45_like(), kind, 12);
+            let ppa = flow.synthesize(&grid);
+            prop_assert!(ppa.area_um2.is_finite() && ppa.area_um2 > 0.0, "{kind}");
+            prop_assert!(ppa.delay_ns.is_finite() && ppa.delay_ns > 0.0, "{kind}");
+            prop_assert!(ppa.gate_count > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic(grid in arb_grid(10)) {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 10);
+        prop_assert_eq!(flow.synthesize(&grid), flow.synthesize(&grid));
+    }
+
+    #[test]
+    fn cost_is_affine_in_omega_for_fixed_report(grid in arb_grid(10), w in 0.0f64..1.0) {
+        // For a fixed PPA report, the cost function must interpolate
+        // linearly between its area-only and delay-only extremes.
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 10);
+        let ppa = flow.synthesize(&grid);
+        let c0 = CostParams::new(0.0).cost(&ppa);
+        let c1 = CostParams::new(1.0).cost(&ppa);
+        let cw = CostParams::new(w).cost(&ppa);
+        prop_assert!((cw - (c0 * (1.0 - w) + c1 * w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adding_nodes_never_shrinks_gate_count(grid in arb_grid(10)) {
+        // A legal grid plus extra cells maps to at least as many gates.
+        let legal = grid.legalized();
+        let mut denser = legal.clone();
+        for (i, j) in PrefixGrid::free_cells(10) {
+            let _ = denser.set(i, j, true);
+        }
+        denser.legalize();
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::GrayToBinary, 10);
+        let a = flow.synthesize(&legal);
+        let b = flow.synthesize(&denser);
+        prop_assert!(b.gate_count >= a.gate_count);
+    }
+}

@@ -1,0 +1,61 @@
+//! Head-to-head on a 24-bit adder: CircuitVAE vs. genetic algorithm vs.
+//! simulated annealing at a shared simulation budget — a miniature of
+//! the paper's Fig. 3 comparison you can run in a couple of minutes.
+//!
+//! ```sh
+//! cargo run --release --example adder_search
+//! ```
+
+use circuitvae::{CircuitVae, CircuitVaeConfig};
+use cv_baselines::{ga_initial_dataset, GaConfig, GeneticAlgorithm, SaConfig, SimulatedAnnealing};
+use cv_cells::nangate45_like;
+use cv_prefix::CircuitKind;
+use cv_synth::{CachedEvaluator, CostParams, Objective, SearchOutcome, SynthesisFlow};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WIDTH: usize = 24;
+const BUDGET: usize = 200;
+
+fn evaluator(delay_weight: f64) -> CachedEvaluator {
+    let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, WIDTH);
+    CachedEvaluator::new(Objective::new(flow, CostParams::new(delay_weight)))
+}
+
+fn report(label: &str, outcome: &SearchOutcome) {
+    println!("  {label:<12} best cost {:.3}", outcome.best_cost);
+    for (sims, cost) in outcome.history.iter().take(6) {
+        println!("    at {sims:>4} sims: {cost:.3}");
+    }
+}
+
+fn main() {
+    for delay_weight in [0.33, 0.95] {
+        println!("== delay weight {delay_weight} ==");
+
+        // CircuitVAE, seeded with early GA generations (the paper's
+        // protocol; seeding simulations count against the budget).
+        let ev = evaluator(delay_weight);
+        let mut rng = StdRng::seed_from_u64(0);
+        let initial = ga_initial_dataset(WIDTH, &ev, BUDGET / 4, &mut rng);
+        let mut vae = CircuitVae::new(WIDTH, CircuitVaeConfig::smoke(WIDTH), initial, 1);
+        let used = ev.counter().count();
+        let vae_out = vae.run(&ev, BUDGET - used);
+        report("CircuitVAE", &vae_out);
+
+        // GA with the full budget.
+        let ev = evaluator(delay_weight);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ga_out = GeneticAlgorithm::new(WIDTH, GaConfig::default())
+            .run(&ev, BUDGET, usize::MAX, false, &mut rng);
+        report("GA", &ga_out);
+
+        // Simulated annealing with the full budget.
+        let ev = evaluator(delay_weight);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sa_out =
+            SimulatedAnnealing::new(WIDTH, SaConfig::default()).run(&ev, BUDGET, &mut rng);
+        report("SA", &sa_out);
+        println!();
+    }
+}

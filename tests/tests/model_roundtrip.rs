@@ -1,0 +1,122 @@
+//! Integration tests of the learned components against the real
+//! objective: the VAE must reconstruct designs it was trained on, and
+//! the cost predictor must correlate with true synthesized cost.
+
+use circuitvae::{CircuitVae, CircuitVaeConfig, Dataset};
+#[allow(unused_imports)]
+use circuitvae::CircuitVaeModel;
+use cv_cells::nangate45_like;
+use cv_nn::{Graph, Tensor};
+use cv_prefix::{bitvec, mutate, CircuitKind, PrefixGrid};
+use cv_synth::{CachedEvaluator, CostParams, Objective, SynthesisFlow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn evaluator(width: usize) -> CachedEvaluator {
+    let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width);
+    CachedEvaluator::new(Objective::new(flow, CostParams::new(0.66)))
+}
+
+fn trained_vae(width: usize, n: usize, budget: usize) -> (CircuitVae, CachedEvaluator) {
+    let ev = evaluator(width);
+    let mut rng = StdRng::seed_from_u64(0);
+    let initial: Vec<(PrefixGrid, f64)> = (0..n)
+        .map(|_| {
+            let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+            let c = ev.evaluate(&g).cost;
+            (g, c)
+        })
+        .collect();
+    let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 3);
+    let _ = vae.run(&ev, budget);
+    (vae, ev)
+}
+
+#[test]
+fn reconstruction_beats_chance_on_training_data() {
+    let width = 12;
+    let (vae, _) = trained_vae(width, 60, 60);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (g, _) in vae.dataset().entries().iter().take(20) {
+        let dense = bitvec::encode_dense(g);
+        let (mu, _) = vae.model().encode_values(vae.store(), &[dense.clone()]);
+        let probs = vae.model().decode_probs(vae.store(), &mu);
+        for ((i, j), (&p, &x)) in PrefixGrid::free_cells(width)
+            .zip(probs[0].iter().zip(dense.iter()).collect::<Vec<_>>())
+        {
+            // Only free cells are informative.
+            let _ = (i, j);
+            let pred = p >= 0.5;
+            let truth = x >= 0.5;
+            if pred == truth {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    let acc = correct as f64 / total as f64;
+    assert!(acc > 0.7, "per-cell reconstruction accuracy {acc} too low");
+}
+
+#[test]
+fn cost_predictor_correlates_with_true_cost() {
+    // The predictor is only trusted near the data manifold (that is the
+    // entire point of prior-regularized search, §4.2), so probe it on
+    // the designs it was trained on. Training length matches what a
+    // few Algorithm-1 rounds accumulate (~250 steps).
+    let width = 12;
+    let ev = evaluator(width);
+    let mut rng = StdRng::seed_from_u64(0);
+    let entries: Vec<(PrefixGrid, f64)> = (0..80)
+        .map(|_| {
+            let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+            let c = ev.evaluate(&g).cost;
+            (g, c)
+        })
+        .collect();
+    let config = CircuitVaeConfig::smoke(width);
+    let mut store = cv_nn::ParamStore::new();
+    let model = circuitvae::CircuitVaeModel::new(&mut store, &config, width, &mut rng);
+    let mut ds = Dataset::new(width, entries);
+    ds.recompute_weights(1e-3, true);
+    let _ = circuitvae::train(&model, &mut store, &ds, &config, 250, &mut rng);
+
+    let grids: Vec<PrefixGrid> =
+        ds.entries().iter().take(40).map(|(g, _)| g.clone()).collect();
+    let dense: Vec<Vec<f32>> = grids.iter().map(bitvec::encode_dense).collect();
+    let (mu, _) = model.encode_values(&store, &dense);
+    let mut g = Graph::new();
+    let flat: Vec<f32> = mu.iter().flatten().copied().collect();
+    let z = g.input(Tensor::new([mu.len(), model.latent_dim()], flat));
+    let pred_node = model.predict_cost(&mut g, &store, z);
+    let preds: Vec<f64> = g.value(pred_node).data().iter().map(|&v| f64::from(v)).collect();
+    let actual: Vec<f64> = grids.iter().map(|gr| ev.evaluate(gr).cost).collect();
+
+    // Pearson correlation between predicted and true costs.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mp, ma) = (mean(&preds), mean(&actual));
+    let cov: f64 =
+        preds.iter().zip(&actual).map(|(p, a)| (p - mp) * (a - ma)).sum::<f64>();
+    let vp: f64 = preds.iter().map(|p| (p - mp) * (p - mp)).sum::<f64>();
+    let va: f64 = actual.iter().map(|a| (a - ma) * (a - ma)).sum::<f64>();
+    let corr = cov / (vp.sqrt() * va.sqrt()).max(1e-12);
+    assert!(corr > 0.35, "predictor correlation {corr} too weak");
+}
+
+#[test]
+fn dataset_integrates_with_evaluator_cache_keys() {
+    // Legalized insertion keys must match the evaluator's cache keys so
+    // Algorithm 1 never double-counts a design.
+    let width = 10;
+    let ev = evaluator(width);
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ds = Dataset::new(width, vec![]);
+    let mut g = PrefixGrid::ripple(width);
+    mutate::toggle_random_cells(&mut g, 4, &mut rng);
+    let rec = ev.evaluate(&g);
+    ds.insert(g.legalized(), rec.cost);
+    let again = ev.evaluate(&g.legalized());
+    assert_eq!(ev.counter().count(), 1);
+    assert!(!ds.insert(g.legalized(), again.cost), "same key must dedup");
+}
