@@ -1,9 +1,9 @@
 //! Simulated annealing over prefix grids (cf. Moto & Kaneko, ISCAS 2018
 //! — heuristic search baselines in the paper's related work).
 
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use cv_prefix::{mutate, topologies};
 use cv_synth::CachedEvaluator;
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -20,7 +20,11 @@ pub struct SaConfig {
 
 impl Default for SaConfig {
     fn default() -> Self {
-        SaConfig { t_start: 0.5, t_end: 0.005, restart_after: 200 }
+        SaConfig {
+            t_start: 0.5,
+            t_end: 0.005,
+            restart_after: 200,
+        }
     }
 }
 

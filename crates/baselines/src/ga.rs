@@ -2,9 +2,9 @@
 //! which also supplies initial datasets for CircuitVAE ("we used the
 //! first few generations of GA as the initial data", §5.2).
 
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use cv_prefix::{mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -58,7 +58,10 @@ impl GeneticAlgorithm {
     /// across a density sweep.
     fn initial_population<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<PrefixGrid> {
         let mut pop: Vec<PrefixGrid> = if self.config.seed_classical {
-            topologies::all_classical(self.width).into_iter().map(|(_, g)| g).collect()
+            topologies::all_classical(self.width)
+                .into_iter()
+                .map(|(_, g)| g)
+                .collect()
         } else {
             Vec::new()
         };
@@ -100,8 +103,11 @@ impl GeneticAlgorithm {
                 break;
             }
             scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut next: Vec<PrefixGrid> =
-                scored.iter().take(self.config.elites).map(|(g, _)| g.clone()).collect();
+            let mut next: Vec<PrefixGrid> = scored
+                .iter()
+                .take(self.config.elites)
+                .map(|(g, _)| g.clone())
+                .collect();
             while next.len() < self.config.population {
                 let a = self.select(&scored, rng);
                 let b = self.select(&scored, rng);
@@ -188,7 +194,13 @@ mod tests {
     fn ga_improves_over_initial_population() {
         let ev = evaluator(12);
         let mut rng = StdRng::seed_from_u64(0);
-        let ga = GeneticAlgorithm::new(12, GaConfig { population: 16, ..GaConfig::default() });
+        let ga = GeneticAlgorithm::new(
+            12,
+            GaConfig {
+                population: 16,
+                ..GaConfig::default()
+            },
+        );
         let out = ga.run(&ev, 150, 20, false, &mut rng);
         assert!(out.best_cost.is_finite());
         let first = out.history.first().unwrap().1;

@@ -1,8 +1,8 @@
 //! Uniform random search — the sanity-floor baseline.
 
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use cv_prefix::mutate;
 use cv_synth::CachedEvaluator;
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use rand::Rng;
 
 /// Samples random legalized grids across a density sweep until the

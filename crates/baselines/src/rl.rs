@@ -8,10 +8,10 @@
 //! environment step costs one simulation — the axis all methods are
 //! compared on.
 
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use cv_nn::{AdamConfig, Graph, Mlp, ParamStore, Tensor};
 use cv_prefix::{bitvec, mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
+use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +76,11 @@ impl PrefixRlLite {
     /// Creates an agent for `width`-bit circuits.
     pub fn new(width: usize, config: RlConfig) -> Self {
         let actions = (width - 1) * (width - 2) / 2;
-        PrefixRlLite { config, width, actions }
+        PrefixRlLite {
+            config,
+            width,
+            actions,
+        }
     }
 
     /// Runs DQN until `budget` simulations are consumed.
@@ -91,9 +95,16 @@ impl PrefixRlLite {
         let state_dim = n * n;
 
         let mut store = ParamStore::new();
-        let qnet = Mlp::new(&mut store, &[state_dim, cfg.hidden, cfg.hidden, self.actions], rng);
+        let qnet = Mlp::new(
+            &mut store,
+            &[state_dim, cfg.hidden, cfg.hidden, self.actions],
+            rng,
+        );
         let mut target_store = store.clone();
-        let adam = AdamConfig { lr: cfg.lr, ..AdamConfig::default() };
+        let adam = AdamConfig {
+            lr: cfg.lr,
+            ..AdamConfig::default()
+        };
 
         let mut replay: Vec<Transition> = Vec::with_capacity(cfg.replay_capacity);
         let mut replay_head = 0usize;
@@ -278,7 +289,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let rl = PrefixRlLite::new(
             10,
-            RlConfig { hidden: 32, episode_len: 8, batch_size: 8, ..RlConfig::default() },
+            RlConfig {
+                hidden: 32,
+                episode_len: 8,
+                batch_size: 8,
+                ..RlConfig::default()
+            },
         );
         let out = rl.run(&ev, 80, &mut rng);
         assert!(ev.counter().count() <= 80);

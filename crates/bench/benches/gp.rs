@@ -8,15 +8,18 @@ use std::time::Duration;
 
 fn data(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(0);
-    let xs: Vec<Vec<f64>> =
-        (0..n).map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+        .collect();
     let ys: Vec<f64> = xs.iter().map(|x| x.iter().map(|v| v * v).sum()).collect();
     (xs, ys)
 }
 
 fn bench_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [64usize, 128, 256] {
         let (xs, ys) = data(n, 16);
         group.bench_function(format!("fit_n{n}_d16"), |b| {
@@ -28,7 +31,9 @@ fn bench_fit(c: &mut Criterion) {
 
 fn bench_predict_ei(c: &mut Criterion) {
     let mut group = c.benchmark_group("gp_acquire");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let (xs, ys) = data(256, 16);
     let gp = GpRegressor::fit(&xs, &ys, Kernel::Matern52, 1e-4).unwrap();
     let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);

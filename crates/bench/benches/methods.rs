@@ -2,7 +2,9 @@
 //! cost per budget-unit of GA, SA, RL and random search.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cv_baselines::{GaConfig, GeneticAlgorithm, PrefixRlLite, RlConfig, SaConfig, SimulatedAnnealing};
+use cv_baselines::{
+    GaConfig, GeneticAlgorithm, PrefixRlLite, RlConfig, SaConfig, SimulatedAnnealing,
+};
 use cv_bench::harness::{build_evaluator, ExperimentSpec};
 use cv_prefix::CircuitKind;
 use rand::rngs::StdRng;
@@ -15,13 +17,21 @@ fn spec() -> ExperimentSpec {
 
 fn bench_ga(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("ga_budget30_w10", |b| {
         b.iter(|| {
             let ev = build_evaluator(&spec());
             let mut rng = StdRng::seed_from_u64(0);
-            GeneticAlgorithm::new(10, GaConfig { population: 12, ..GaConfig::default() })
-                .run(&ev, 30, 10, false, &mut rng)
+            GeneticAlgorithm::new(
+                10,
+                GaConfig {
+                    population: 12,
+                    ..GaConfig::default()
+                },
+            )
+            .run(&ev, 30, 10, false, &mut rng)
         });
     });
     group.bench_function("sa_budget30_w10", |b| {
@@ -43,14 +53,21 @@ fn bench_ga(c: &mut Criterion) {
 
 fn bench_rl(c: &mut Criterion) {
     let mut group = c.benchmark_group("rl");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("dqn_budget30_w10", |b| {
         b.iter(|| {
             let ev = build_evaluator(&spec());
             let mut rng = StdRng::seed_from_u64(0);
             PrefixRlLite::new(
                 10,
-                RlConfig { hidden: 32, episode_len: 8, batch_size: 8, ..RlConfig::default() },
+                RlConfig {
+                    hidden: 32,
+                    episode_len: 8,
+                    batch_size: 8,
+                    ..RlConfig::default()
+                },
             )
             .run(&ev, 30, &mut rng)
         });

@@ -30,7 +30,9 @@ fn setup(width: usize) -> (CircuitVaeModel, ParamStore, Dataset, CircuitVaeConfi
 
 fn bench_train_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("vae");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let (model, mut store, ds, config) = setup(16);
     let mut rng = StdRng::seed_from_u64(1);
     group.bench_function("train_step_w16", |b| {
@@ -41,7 +43,9 @@ fn bench_train_step(c: &mut Criterion) {
 
 fn bench_latent_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("latent_search");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let (model, store, ds, config) = setup(16);
     let mut rng = StdRng::seed_from_u64(2);
     group.bench_function("trajectories_8x20_w16", |b| {
@@ -56,7 +60,9 @@ fn bench_latent_search(c: &mut Criterion) {
 
 fn bench_encode_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("codec");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     let (model, store, ds, _config) = setup(16);
     let rows: Vec<Vec<f32>> = ds
         .entries()
@@ -74,5 +80,10 @@ fn bench_encode_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_train_step, bench_latent_search, bench_encode_decode);
+criterion_group!(
+    benches,
+    bench_train_step,
+    bench_latent_search,
+    bench_encode_decode
+);
 criterion_main!(benches);

@@ -16,7 +16,9 @@ fn mini_spec(kind: CircuitKind, width: usize) -> ExperimentSpec {
 /// Fig. 3 / Table 1 family: the four-method comparison loop.
 fn bench_fig3_table1_mini(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_fig3_table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for method in Method::PAPER_SET {
         group.bench_function(format!("{}_w8_budget30", method.label()), |b| {
             b.iter(|| run_method(method, &mini_spec(CircuitKind::Adder, 8), 1));
@@ -28,10 +30,14 @@ fn bench_fig3_table1_mini(c: &mut Criterion) {
 /// Fig. 4 family: one ablated CircuitVAE variant.
 fn bench_fig4_mini(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_fig4");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("no_reweight_w8_budget30", |b| {
         b.iter(|| {
-            run_vae_variant(&mini_spec(CircuitKind::Adder, 8), 1, |c| c.reweight_data = false)
+            run_vae_variant(&mini_spec(CircuitKind::Adder, 8), 1, |c| {
+                c.reweight_data = false
+            })
         });
     });
     group.finish();
@@ -40,9 +46,17 @@ fn bench_fig4_mini(c: &mut Criterion) {
 /// Fig. 7 / Fig. 8 family: the gray-to-binary task end to end.
 fn bench_fig7_mini(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_fig7");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("vae_g2b_w8_budget30", |b| {
-        b.iter(|| run_method(Method::CircuitVae, &mini_spec(CircuitKind::GrayToBinary, 8), 1));
+        b.iter(|| {
+            run_method(
+                Method::CircuitVae,
+                &mini_spec(CircuitKind::GrayToBinary, 8),
+                1,
+            )
+        });
     });
     group.finish();
 }
@@ -53,7 +67,9 @@ fn bench_fig6_mini(c: &mut Criterion) {
     use cv_sta::IoTiming;
     use cv_synth::CommercialTool;
     let mut group = c.benchmark_group("paper_fig6");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("commercial_portfolio_w16", |b| {
         let tool = CommercialTool::new(
             TechLibrary::Scaled8nmLike.build(),

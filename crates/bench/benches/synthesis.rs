@@ -11,7 +11,9 @@ use std::time::Duration;
 
 fn bench_full_flow(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesize");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for width in [16usize, 32, 64] {
         let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width);
         let grid = topologies::sklansky(width);
@@ -26,7 +28,9 @@ fn bench_mapping_and_sta(c: &mut Criterion) {
     let lib = nangate45_like();
     let graph = topologies::kogge_stone(64).to_graph();
     let mut group = c.benchmark_group("substrate");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("map_adder_64", |b| b.iter(|| map_adder(&graph, &lib)));
     let nl = map_adder(&graph, &lib);
     let io = IoTiming::uniform(64);
@@ -36,7 +40,9 @@ fn bench_mapping_and_sta(c: &mut Criterion) {
 
 fn bench_legalize(c: &mut Criterion) {
     let mut group = c.benchmark_group("prefix");
-    group.sample_size(50).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("legalize_64", |b| {
         let mut base = cv_prefix::PrefixGrid::ripple(64);
         base.set(63, 32, true).unwrap();
@@ -46,5 +52,10 @@ fn bench_legalize(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_flow, bench_mapping_and_sta, bench_legalize);
+criterion_group!(
+    benches,
+    bench_full_flow,
+    bench_mapping_and_sta,
+    bench_legalize
+);
 criterion_main!(benches);

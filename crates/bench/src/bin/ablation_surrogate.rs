@@ -36,7 +36,11 @@ fn main() {
     let entries: Vec<_> = all[..split].to_vec();
     let heldout: Vec<_> = all[split..].to_vec();
 
-    println!("dataset: {} train / {} held-out, width {width}", entries.len(), heldout.len());
+    println!(
+        "dataset: {} train / {} held-out, width {width}",
+        entries.len(),
+        heldout.len()
+    );
     println!("{:>14} {:>12} {:>12}", "surrogate", "cost MSE", "corr");
 
     for head in [8usize, 32, 128] {
@@ -49,7 +53,12 @@ fn main() {
         ds.recompute_weights(1e-3, true);
         let _ = circuitvae::train(&model, &mut store, &ds, &cfg, 250, &mut srng);
         let (mse, corr) = probe(&model, &store, &ds, &heldout);
-        println!("{:>14} {:>12.4} {:>12.3}", format!("mlp-head-{head}"), mse, corr);
+        println!(
+            "{:>14} {:>12.4} {:>12.3}",
+            format!("mlp-head-{head}"),
+            mse,
+            corr
+        );
     }
 
     // GP reference on the latents of a trained (default-head) model.
@@ -60,14 +69,27 @@ fn main() {
     let mut ds = Dataset::new(width, entries.clone());
     ds.recompute_weights(1e-3, true);
     let _ = circuitvae::train(&model, &mut store, &ds, &cfg, 250, &mut srng);
-    let dense: Vec<Vec<f32>> = ds.entries().iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+    let dense: Vec<Vec<f32>> = ds
+        .entries()
+        .iter()
+        .map(|(g, _)| bitvec::encode_dense(g))
+        .collect();
     let (mu, _) = model.encode_values(&store, &dense);
-    let xs: Vec<Vec<f64>> = mu.iter().map(|r| r.iter().map(|&v| f64::from(v)).collect()).collect();
-    let ys: Vec<f64> = ds.entries().iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
+    let xs: Vec<Vec<f64>> = mu
+        .iter()
+        .map(|r| r.iter().map(|&v| f64::from(v)).collect())
+        .collect();
+    let ys: Vec<f64> = ds
+        .entries()
+        .iter()
+        .map(|(_, c)| ds.normalize_cost(*c))
+        .collect();
     match GpRegressor::fit(&xs, &ys, Kernel::Matern52, 1e-4) {
         Ok(gp) => {
-            let ho_dense: Vec<Vec<f32>> =
-                heldout.iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+            let ho_dense: Vec<Vec<f32>> = heldout
+                .iter()
+                .map(|(g, _)| bitvec::encode_dense(g))
+                .collect();
             let (ho_mu, _) = model.encode_values(&store, &ho_dense);
             let preds: Vec<f64> = ho_mu
                 .iter()
@@ -76,9 +98,12 @@ fn main() {
                     gp.predict(&x).0
                 })
                 .collect();
-            let truth: Vec<f64> =
-                heldout.iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
-            let mse = preds.iter().zip(&truth).map(|(p, y)| (p - y) * (p - y)).sum::<f64>()
+            let truth: Vec<f64> = heldout.iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
+            let mse = preds
+                .iter()
+                .zip(&truth)
+                .map(|(p, y)| (p - y) * (p - y))
+                .sum::<f64>()
                 / truth.len() as f64;
             println!("{:>14} {:>12.4} {:>12}", "exact-gp", mse, "-");
         }
@@ -97,7 +122,10 @@ fn probe(
     ds: &Dataset,
     heldout: &[(cv_prefix::PrefixGrid, f64)],
 ) -> (f64, f64) {
-    let dense: Vec<Vec<f32>> = heldout.iter().map(|(g, _)| bitvec::encode_dense(g)).collect();
+    let dense: Vec<Vec<f32>> = heldout
+        .iter()
+        .map(|(g, _)| bitvec::encode_dense(g))
+        .collect();
     let (mu, _) = model.encode_values(store, &dense);
     let mut g = Graph::new();
     let flat: Vec<f32> = mu.iter().flatten().copied().collect();
@@ -105,11 +133,19 @@ fn probe(
     let p = model.predict_cost(&mut g, store, z);
     let preds: Vec<f64> = g.value(p).data().iter().map(|&v| f64::from(v)).collect();
     let ys: Vec<f64> = heldout.iter().map(|(_, c)| ds.normalize_cost(*c)).collect();
-    let mse =
-        preds.iter().zip(&ys).map(|(p, y)| (p - y) * (p - y)).sum::<f64>() / ys.len() as f64;
+    let mse = preds
+        .iter()
+        .zip(&ys)
+        .map(|(p, y)| (p - y) * (p - y))
+        .sum::<f64>()
+        / ys.len() as f64;
     let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (mp, ma) = (m(&preds), m(&ys));
-    let cov: f64 = preds.iter().zip(&ys).map(|(p, a)| (p - mp) * (a - ma)).sum();
+    let cov: f64 = preds
+        .iter()
+        .zip(&ys)
+        .map(|(p, a)| (p - mp) * (a - ma))
+        .sum();
     let vp: f64 = preds.iter().map(|p| (p - mp) * (p - mp)).sum();
     let va: f64 = ys.iter().map(|a| (a - ma) * (a - ma)).sum();
     (mse, cov / (vp.sqrt() * va.sqrt()).max(1e-12))

@@ -30,15 +30,17 @@ fn main() {
             let title = format!("Fig.3 panel: width={width} delay_weight={dw} budget={budget}");
             println!("{}", render_series_table(&title, &curves, &cps));
             let csv = render_series_csv(&curves, &cps);
-            let path = cv_bench::harness::results_dir()
-                .join(format!("fig3_w{width}_dw{dw}.csv"));
+            let path = cv_bench::harness::results_dir().join(format!("fig3_w{width}_dw{dw}.csv"));
             std::fs::write(&path, csv).expect("write csv");
 
             // Paper claim: CircuitVAE achieves the lowest final median.
             let finals: Vec<(String, f64)> = curves
                 .iter()
                 .map(|c| {
-                    (c.label.clone(), c.final_quartiles().map_or(f64::INFINITY, |q| q.median))
+                    (
+                        c.label.clone(),
+                        c.final_quartiles().map_or(f64::INFINITY, |q| q.median),
+                    )
                 })
                 .collect();
             let winner = finals

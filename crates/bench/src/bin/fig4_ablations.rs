@@ -9,10 +9,10 @@
 //!
 //! Usage: `fig4_ablations [--scale smoke|default|paper]`.
 
+use circuitvae::InitStrategy;
 use cv_bench::harness::{run_vae_variant, ExperimentSpec, Scale};
 use cv_bench::stats::{checkpoints, render_series_table, CurveSet};
 use cv_prefix::CircuitKind;
-use circuitvae::InitStrategy;
 
 fn main() {
     let scale = Scale::from_args();
@@ -27,7 +27,10 @@ fn main() {
         ("full", Box::new(|_c: &mut circuitvae::CircuitVaeConfig| {})),
         ("no-reweight", Box::new(|c| c.reweight_data = false)),
         ("init-prior", Box::new(|c| c.init = InitStrategy::Prior)),
-        ("init-sklansky", Box::new(|c| c.init = InitStrategy::Sklansky)),
+        (
+            "init-sklansky",
+            Box::new(|c| c.init = InitStrategy::Sklansky),
+        ),
     ];
 
     let mut curves = Vec::new();
@@ -48,13 +51,21 @@ fn main() {
         )
     );
     let csv = cv_bench::stats::render_series_csv(&curves, &cps);
-    std::fs::write(cv_bench::harness::results_dir().join("fig4_ablations.csv"), csv)
-        .expect("write csv");
+    std::fs::write(
+        cv_bench::harness::results_dir().join("fig4_ablations.csv"),
+        csv,
+    )
+    .expect("write csv");
 
     // Paper claim: the full method matches or beats every ablation.
     let finals: Vec<(String, f64)> = curves
         .iter()
-        .map(|c| (c.label.clone(), c.final_quartiles().map_or(f64::INFINITY, |q| q.median)))
+        .map(|c| {
+            (
+                c.label.clone(),
+                c.final_quartiles().map_or(f64::INFINITY, |q| q.median),
+            )
+        })
         .collect();
     println!("final medians:");
     for (l, v) in &finals {

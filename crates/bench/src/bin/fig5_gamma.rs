@@ -45,7 +45,12 @@ fn main() {
     let (mus, _) = vae.model().encode_values(vae.store(), &dense);
     let data_radii: Vec<f64> = mus
         .iter()
-        .map(|m| m.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt())
+        .map(|m| {
+            m.iter()
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt()
+        })
         .collect();
     let data_radius = median_iqr(&data_radii).expect("dataset non-empty").median;
     println!("training-data latent radius (median): {data_radius:.3}\n");

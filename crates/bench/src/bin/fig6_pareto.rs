@@ -24,7 +24,12 @@ fn signoff_flow(io: &IoTiming) -> SynthesisFlow {
         sizing_moves: 160,
         delay_weight: 0.6,
     };
-    SynthesisFlow::with_config(TechLibrary::Scaled8nmLike.build(), CircuitKind::Adder, 31, cfg)
+    SynthesisFlow::with_config(
+        TechLibrary::Scaled8nmLike.build(),
+        CircuitKind::Adder,
+        31,
+        cfg,
+    )
 }
 
 fn dominated(p: &PpaReport, others: &[(String, PpaReport)]) -> bool {
@@ -45,7 +50,8 @@ fn main() {
     // CircuitVAE designs across delay weights (paper: {0.3, 0.6, 0.95}).
     let mut vae_points: Vec<(String, PpaReport)> = Vec::new();
     for &dw in &[0.3, 0.6, 0.95] {
-        let mut spec = ExperimentSpec::standard(width, CircuitKind::Adder, dw, (150.0 * f) as usize);
+        let mut spec =
+            ExperimentSpec::standard(width, CircuitKind::Adder, dw, (150.0 * f) as usize);
         spec.tech = TechLibrary::Scaled8nmLike;
         spec.io = io.clone();
         let out = run_method(Method::CircuitVae, &spec, 60 + (dw * 100.0) as u64);
@@ -84,22 +90,35 @@ fn main() {
     ] {
         println!("== {group} ==");
         for (label, p) in pts {
-            println!("  {label:<28} area {:>8.2} um2   delay {:>7.4} ns", p.area_um2, p.delay_ns);
-            csv.push_str(&format!("{group},{label},{:.3},{:.5}\n", p.area_um2, p.delay_ns));
+            println!(
+                "  {label:<28} area {:>8.2} um2   delay {:>7.4} ns",
+                p.area_um2, p.delay_ns
+            );
+            csv.push_str(&format!(
+                "{group},{label},{:.3},{:.5}\n",
+                p.area_um2, p.delay_ns
+            ));
         }
     }
-    std::fs::write(cv_bench::harness::results_dir().join("fig6_pareto.csv"), csv)
-        .expect("write csv");
+    std::fs::write(
+        cv_bench::harness::results_dir().join("fig6_pareto.csv"),
+        csv,
+    )
+    .expect("write csv");
 
     // Paper claim: CircuitVAE Pareto-dominates both competitors.
     let competitors: Vec<(String, PpaReport)> = vae_points.to_vec();
-    let tool_dominated = tool_points.iter().filter(|(_, p)| dominated(p, &competitors)).count();
-    let human_dominated = human_points.iter().filter(|(_, p)| dominated(p, &competitors)).count();
+    let tool_dominated = tool_points
+        .iter()
+        .filter(|(_, p)| dominated(p, &competitors))
+        .count();
+    let human_dominated = human_points
+        .iter()
+        .filter(|(_, p)| dominated(p, &competitors))
+        .count();
     let vae_dominated = vae_points
         .iter()
-        .filter(|(_, p)| {
-            dominated(p, &tool_points) || dominated(p, &human_points)
-        })
+        .filter(|(_, p)| dominated(p, &tool_points) || dominated(p, &human_points))
         .count();
     println!(
         "\ndominance: VAE dominates {tool_dominated}/{} tool points and {human_dominated}/{} human points;\n\

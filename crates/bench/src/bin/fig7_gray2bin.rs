@@ -35,8 +35,16 @@ fn main() {
 
     let finals: Vec<(String, f64)> = curves
         .iter()
-        .map(|c| (c.label.clone(), c.final_quartiles().map_or(f64::INFINITY, |q| q.median)))
+        .map(|c| {
+            (
+                c.label.clone(),
+                c.final_quartiles().map_or(f64::INFINITY, |q| q.median),
+            )
+        })
         .collect();
     let winner = finals.iter().min_by(|a, b| a.1.total_cmp(&b.1)).unwrap();
-    println!("winner: {} ({:.3})  (paper: CircuitVAE)", winner.0, winner.1);
+    println!(
+        "winner: {} ({:.3})  (paper: CircuitVAE)",
+        winner.0, winner.1
+    );
 }

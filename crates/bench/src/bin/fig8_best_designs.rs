@@ -13,14 +13,23 @@ fn main() {
     let budget = (200.0 * scale.budget_factor()) as usize;
 
     let tasks = [
-        ("26-bit gray-to-binary (w=0.6)", ExperimentSpec::standard(26, CircuitKind::GrayToBinary, 0.6, budget)),
-        ("32-bit adder (w=0.66)", ExperimentSpec::standard(32, CircuitKind::Adder, 0.66, budget)),
+        (
+            "26-bit gray-to-binary (w=0.6)",
+            ExperimentSpec::standard(26, CircuitKind::GrayToBinary, 0.6, budget),
+        ),
+        (
+            "32-bit adder (w=0.66)",
+            ExperimentSpec::standard(32, CircuitKind::Adder, 0.66, budget),
+        ),
     ];
 
     let mut metrics = Vec::new();
     for (title, spec) in &tasks {
         let out = run_method(Method::CircuitVae, spec, 88);
-        let grid = out.best_grid.expect("search must produce a design").legalized();
+        let grid = out
+            .best_grid
+            .expect("search must produce a design")
+            .legalized();
         println!("== Best design: {title} (cost {:.3}) ==", out.best_cost);
         println!("{}", render::summary_line(&grid));
         println!("{}", render::grid_ascii(&grid));

@@ -30,8 +30,9 @@ fn main() {
         let all: Vec<(Method, Vec<SearchOutcome>)> = Method::PAPER_SET
             .iter()
             .map(|&m| {
-                let outs: Vec<SearchOutcome> =
-                    (0..seeds as u64).map(|s| run_method(m, &spec, 2000 + s)).collect();
+                let outs: Vec<SearchOutcome> = (0..seeds as u64)
+                    .map(|s| run_method(m, &spec, 2000 + s))
+                    .collect();
                 (m, outs)
             })
             .collect();
@@ -68,9 +69,8 @@ fn main() {
                     .collect()
             };
 
-            let fmt = |vals: &[f64]| -> String {
-                median_iqr(vals).map_or("-".into(), |q| q.to_string())
-            };
+            let fmt =
+                |vals: &[f64]| -> String { median_iqr(vals).map_or("-".into(), |q| q.to_string()) };
             println!(
                 "{:>5} {:<11} {:>22} {:>22} {:>24} {:>20}",
                 dw,
@@ -78,7 +78,11 @@ fn main() {
                 fmt(&costs),
                 fmt(&areas),
                 fmt(&delays),
-                if *m == Method::CircuitVae { "-".into() } else { fmt(&speedups) }
+                if *m == Method::CircuitVae {
+                    "-".into()
+                } else {
+                    fmt(&speedups)
+                }
             );
             rows.push_str(&format!(
                 "{dw},{},{:.4},{:.2},{:.4},{:.3}\n",

@@ -46,19 +46,42 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale smoke|default|paper` from process args.
+    /// Parses `--scale smoke|default|paper` (or `--scale=<value>`) from
+    /// process args.
+    ///
+    /// Exits with status 2 on an unrecognized or missing value: silently
+    /// falling back could turn a typo'd smoke run into a minutes-long one.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
-        for w in args.windows(2) {
-            if w[0] == "--scale" {
-                return match w[1].as_str() {
-                    "smoke" => Scale::Smoke,
-                    "paper" => Scale::Paper,
-                    _ => Scale::Default,
+        let mut i = 1;
+        while i < args.len() {
+            if let Some(v) = args[i].strip_prefix("--scale=") {
+                return Scale::parse_or_exit(v);
+            }
+            if args[i] == "--scale" {
+                return match args.get(i + 1) {
+                    Some(v) => Scale::parse_or_exit(v),
+                    None => {
+                        eprintln!("error: --scale requires a value (smoke|default|paper)");
+                        std::process::exit(2);
+                    }
                 };
             }
+            i += 1;
         }
         Scale::Default
+    }
+
+    fn parse_or_exit(value: &str) -> Scale {
+        match value {
+            "smoke" => Scale::Smoke,
+            "default" => Scale::Default,
+            "paper" => Scale::Paper,
+            other => {
+                eprintln!("error: unknown --scale `{other}` (expected smoke|default|paper)");
+                std::process::exit(2);
+            }
+        }
     }
 
     /// Simulation budget multiplier relative to `Default`.
@@ -194,13 +217,11 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
             let ga = GeneticAlgorithm::new(spec.width, GaConfig::default());
             ga.run(&evaluator, spec.budget, usize::MAX, false, &mut rng)
         }
-        Method::Sa => {
-            SimulatedAnnealing::new(spec.width, SaConfig::default()).run(
-                &evaluator,
-                spec.budget,
-                &mut rng,
-            )
-        }
+        Method::Sa => SimulatedAnnealing::new(spec.width, SaConfig::default()).run(
+            &evaluator,
+            spec.budget,
+            &mut rng,
+        ),
         Method::Random => {
             cv_baselines::random_search(spec.width, &evaluator, spec.budget, &mut rng)
         }
@@ -208,7 +229,11 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
             let hidden = if spec.width >= 32 { 96 } else { 64 };
             let rl = PrefixRlLite::new(
                 spec.width,
-                RlConfig { hidden, train_interval: 4, ..RlConfig::default() },
+                RlConfig {
+                    hidden,
+                    train_interval: 4,
+                    ..RlConfig::default()
+                },
             );
             rl.run(&evaluator, spec.budget, &mut rng)
         }
@@ -246,7 +271,12 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
             } else {
                 init_best_grid
             };
-            SearchOutcome { history, best_cost, best_grid, evaluated: vec![] }
+            SearchOutcome {
+                history,
+                best_cost,
+                best_grid,
+                evaluated: vec![],
+            }
         }
     }
 }
@@ -257,8 +287,9 @@ pub fn run_method_seeds(
     spec: &ExperimentSpec,
     seeds: usize,
 ) -> crate::stats::CurveSet {
-    let outcomes: Vec<SearchOutcome> =
-        (0..seeds as u64).map(|s| run_method(method, spec, 1000 + s)).collect();
+    let outcomes: Vec<SearchOutcome> = (0..seeds as u64)
+        .map(|s| run_method(method, spec, 1000 + s))
+        .collect();
     crate::stats::CurveSet::new(method.label(), outcomes)
 }
 
@@ -275,7 +306,10 @@ pub fn run_vae_variant(
     let init_budget = ((spec.budget as f64 * spec.init_fraction) as usize).clamp(1, spec.budget);
     let initial = ga_initial_dataset(spec.width, &evaluator, init_budget, &mut rng);
     let init_used = evaluator.counter().count();
-    let init_best = initial.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+    let init_best = initial
+        .iter()
+        .map(|(_, c)| *c)
+        .fold(f64::INFINITY, f64::min);
     let mut cfg = vae_config(spec);
     mutate_config(&mut cfg);
     let mut vae = CircuitVae::new(spec.width, cfg, initial, seed ^ 0x5eed);

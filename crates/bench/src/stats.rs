@@ -37,7 +37,11 @@ pub fn median_iqr(values: &[f64]) -> Option<Quartiles> {
         let frac = pos - lo as f64;
         v[lo] * (1.0 - frac) + v[hi] * frac
     };
-    Some(Quartiles { q1: q(0.25), median: q(0.5), q3: q(0.75) })
+    Some(Quartiles {
+        q1: q(0.25),
+        median: q(0.5),
+        q3: q(0.75),
+    })
 }
 
 /// Multi-seed best-cost curves for one method on one setting.
@@ -52,7 +56,10 @@ pub struct CurveSet {
 impl CurveSet {
     /// Creates a labelled curve set.
     pub fn new(label: impl Into<String>, outcomes: Vec<SearchOutcome>) -> Self {
-        CurveSet { label: label.into(), outcomes }
+        CurveSet {
+            label: label.into(),
+            outcomes,
+        }
     }
 
     /// Median/IQR of best-cost-so-far at each budget checkpoint.
@@ -62,8 +69,7 @@ impl CurveSet {
         checkpoints
             .iter()
             .map(|&b| {
-                let vals: Vec<f64> =
-                    self.outcomes.iter().map(|o| o.best_within(b)).collect();
+                let vals: Vec<f64> = self.outcomes.iter().map(|o| o.best_within(b)).collect();
                 (b, median_iqr(&vals))
             })
             .collect()
@@ -87,8 +93,10 @@ pub fn render_series_table(title: &str, curves: &[CurveSet], checkpoints: &[usiz
         out.push_str(&format!("{:>24}", c.label));
     }
     out.push('\n');
-    let columns: Vec<Vec<(usize, Option<Quartiles>)>> =
-        curves.iter().map(|c| c.at_checkpoints(checkpoints)).collect();
+    let columns: Vec<Vec<(usize, Option<Quartiles>)>> = curves
+        .iter()
+        .map(|c| c.at_checkpoints(checkpoints))
+        .collect();
     for (row, &b) in checkpoints.iter().enumerate() {
         out.push_str(&format!("{b:>10}"));
         for col in &columns {
@@ -110,8 +118,10 @@ pub fn render_series_csv(curves: &[CurveSet], checkpoints: &[usize]) -> String {
         out.push_str(&format!(",{}_q1,{}_med,{}_q3", c.label, c.label, c.label));
     }
     out.push('\n');
-    let columns: Vec<Vec<(usize, Option<Quartiles>)>> =
-        curves.iter().map(|c| c.at_checkpoints(checkpoints)).collect();
+    let columns: Vec<Vec<(usize, Option<Quartiles>)>> = curves
+        .iter()
+        .map(|c| c.at_checkpoints(checkpoints))
+        .collect();
     for (row, &b) in checkpoints.iter().enumerate() {
         out.push_str(&b.to_string());
         for col in &columns {
@@ -136,8 +146,16 @@ mod tests {
     use super::*;
 
     fn outcome(history: Vec<(usize, f64)>) -> SearchOutcome {
-        let best = history.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
-        SearchOutcome { history, best_cost: best, best_grid: None, evaluated: vec![] }
+        let best = history
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
+        SearchOutcome {
+            history,
+            best_cost: best,
+            best_grid: None,
+            evaluated: vec![],
+        }
     }
 
     #[test]
@@ -167,7 +185,7 @@ mod tests {
     #[test]
     fn render_contains_labels_and_rows() {
         let cs = CurveSet::new("CircuitVAE", vec![outcome(vec![(5, 2.0)])]);
-        let s = render_series_table("panel", &[cs.clone()], &[5, 10]);
+        let s = render_series_table("panel", std::slice::from_ref(&cs), &[5, 10]);
         assert!(s.contains("CircuitVAE"));
         assert_eq!(s.lines().count(), 4);
         let csv = render_series_csv(&[cs], &[5, 10]);

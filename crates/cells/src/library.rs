@@ -23,7 +23,9 @@ impl WireModel {
     /// `gate_count` gates.
     #[inline]
     pub fn wire_cap_ff(&self, fanout: usize, gate_count: usize) -> f64 {
-        self.cap_per_fanout_ff * fanout as f64 * (1.0 + self.congestion * (gate_count as f64).sqrt())
+        self.cap_per_fanout_ff
+            * fanout as f64
+            * (1.0 + self.congestion * (gate_count as f64).sqrt())
     }
 }
 
@@ -54,11 +56,24 @@ impl CellLibrary {
         output_load_ff: f64,
         input_drive_res: f64,
     ) -> Self {
-        let lib = CellLibrary { name: name.into(), cells, wire, output_load_ff, input_drive_res };
+        let lib = CellLibrary {
+            name: name.into(),
+            cells,
+            wire,
+            output_load_ff,
+            input_drive_res,
+        };
         for f in Function::ALL {
             for d in Drive::ALL {
-                let found = lib.cells.iter().filter(|c| c.function == f && c.drive == d).count();
-                assert_eq!(found, 1, "library must contain exactly one {f}_{d}, found {found}");
+                let found = lib
+                    .cells
+                    .iter()
+                    .filter(|c| c.function == f && c.drive == d)
+                    .count();
+                assert_eq!(
+                    found, 1,
+                    "library must contain exactly one {f}_{d}, found {found}"
+                );
             }
         }
         lib
@@ -105,7 +120,10 @@ mod tests {
 
     #[test]
     fn wire_cap_grows_with_fanout_and_size() {
-        let w = WireModel { cap_per_fanout_ff: 0.3, congestion: 0.002 };
+        let w = WireModel {
+            cap_per_fanout_ff: 0.3,
+            congestion: 0.002,
+        };
         assert!(w.wire_cap_ff(4, 100) > w.wire_cap_ff(2, 100));
         assert!(w.wire_cap_ff(4, 1000) > w.wire_cap_ff(4, 100));
         assert_eq!(w.wire_cap_ff(0, 100), 0.0);

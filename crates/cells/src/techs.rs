@@ -54,7 +54,10 @@ pub fn nangate45_like() -> CellLibrary {
     CellLibrary::new(
         "nangate45-like",
         full_matrix(),
-        WireModel { cap_per_fanout_ff: 0.45, congestion: 0.004 },
+        WireModel {
+            cap_per_fanout_ff: 0.45,
+            congestion: 0.004,
+        },
         /* output_load_ff = */ 3.0,
         /* input_drive_res = */ 0.004,
     )
@@ -77,7 +80,10 @@ pub fn scaled_8nm_like() -> CellLibrary {
     CellLibrary::new(
         "scaled-8nm-like",
         cells,
-        WireModel { cap_per_fanout_ff: 0.28, congestion: 0.007 },
+        WireModel {
+            cap_per_fanout_ff: 0.28,
+            congestion: 0.007,
+        },
         /* output_load_ff = */ 1.4,
         /* input_drive_res = */ 0.004,
     )
@@ -124,7 +130,10 @@ mod tests {
             assert!(b.area_um2 < 0.25 * a.area_um2, "{f} area scaling");
             let fo4_a = a.delay_ns(4.0 * a.input_cap_ff);
             let fo4_b = b.delay_ns(4.0 * b.input_cap_ff);
-            assert!(fo4_b < 0.65 * fo4_a, "{f} delay scaling: {fo4_b} vs {fo4_a}");
+            assert!(
+                fo4_b < 0.65 * fo4_a,
+                "{f} delay scaling: {fo4_b} vs {fo4_a}"
+            );
         }
     }
 

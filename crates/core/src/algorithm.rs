@@ -145,13 +145,25 @@ impl CircuitVae {
     ) -> RoundReport {
         let cfg = self.config.clone();
         // Line 4: recompute sample weights.
-        self.dataset.recompute_weights(cfg.rank_k, cfg.reweight_data);
+        self.dataset
+            .recompute_weights(cfg.rank_k, cfg.reweight_data);
         // Line 5: fit VAE + cost predictor.
-        let steps = if self.rounds_done == 0 { cfg.warmup_steps } else { cfg.train_steps_per_round };
+        let steps = if self.rounds_done == 0 {
+            cfg.warmup_steps
+        } else {
+            cfg.train_steps_per_round
+        };
         let train_loss = if self.dataset.is_empty() {
             0.0
         } else {
-            train::train(&self.model, &mut self.store, &self.dataset, &cfg, steps, &mut self.rng)
+            train::train(
+                &self.model,
+                &mut self.store,
+                &self.dataset,
+                &cfg,
+                steps,
+                &mut self.rng,
+            )
         };
 
         // Lines 6-9: acquire candidate designs.
@@ -191,7 +203,13 @@ impl CircuitVae {
             .dataset
             .entries()
             .iter()
-            .map(|(g, _)| if g.is_legal() { g.clone() } else { g.legalized() })
+            .map(|(g, _)| {
+                if g.is_legal() {
+                    g.clone()
+                } else {
+                    g.legalized()
+                }
+            })
             .collect();
         let fresh = candidates
             .iter()
@@ -220,7 +238,11 @@ impl CircuitVae {
             tracker.observe(evaluator.counter().count() - run_start, &grid, rec.cost);
             // Line 11: D ← D ∪ D_i (store the legalized twin so dataset
             // keys match evaluator cache keys).
-            let key = if grid.is_legal() { grid } else { grid.legalized() };
+            let key = if grid.is_legal() {
+                grid
+            } else {
+                grid.legalized()
+            };
             self.dataset.insert(key, rec.cost);
         }
         let newly = evaluator.counter().count() - before;
@@ -283,10 +305,17 @@ mod tests {
         let ev = evaluator(width);
         let initial = ga_like_dataset(width, &ev, 40, 7);
         let init_sims = ev.counter().count();
-        let init_best = initial.iter().map(|(_, c)| *c).fold(f64::INFINITY, f64::min);
+        let init_best = initial
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
         let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 42);
         let out = vae.run(&ev, 160);
-        assert!(out.best_cost <= init_best, "{} vs {init_best}", out.best_cost);
+        assert!(
+            out.best_cost <= init_best,
+            "{} vs {init_best}",
+            out.best_cost
+        );
         assert!(out.best_grid.is_some());
         assert!(!vae.reports().is_empty());
         assert!(ev.counter().count() <= init_sims + 160, "budget respected");
@@ -311,7 +340,7 @@ mod tests {
         let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 44);
         let _ = vae.run(&ev, 80);
         let reports = vae.reports();
-        assert!(reports.len() >= 1);
+        assert!(!reports.is_empty());
         for w in reports.windows(2) {
             assert!(w[1].sims_used >= w[0].sims_used);
             assert!(w[1].best_cost <= w[0].best_cost);

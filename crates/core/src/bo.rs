@@ -26,7 +26,12 @@ pub struct BoConfig {
 
 impl Default for BoConfig {
     fn default() -> Self {
-        BoConfig { max_gp_points: 256, pool: 512, noise: 1e-4, kernel: Kernel::Matern52 }
+        BoConfig {
+            max_gp_points: 256,
+            pool: 512,
+            noise: 1e-4,
+            kernel: Kernel::Matern52,
+        }
     }
 }
 
@@ -73,7 +78,9 @@ pub fn propose_by_ei<R: Rng + ?Sized>(
 
     let Ok(gp) = GpRegressor::fit(&xs, &ys, config.kernel, config.noise) else {
         // Degenerate data: fall back to prior sampling.
-        return (0..count).map(|_| (0..l).map(|_| randn(rng)).collect()).collect();
+        return (0..count)
+            .map(|_| (0..l).map(|_| randn(rng)).collect())
+            .collect();
     };
     let best = ys.iter().cloned().fold(f64::INFINITY, f64::min);
 
@@ -84,7 +91,11 @@ pub fn propose_by_ei<R: Rng + ?Sized>(
             pool.push((0..l).map(|_| f64::from(randn(rng))).collect());
         } else {
             let base = &xs[rng.gen_range(0..keep_best.max(1).min(xs.len()))];
-            pool.push(base.iter().map(|&v| v + 0.3 * f64::from(randn(rng))).collect());
+            pool.push(
+                base.iter()
+                    .map(|&v| v + 0.3 * f64::from(randn(rng)))
+                    .collect(),
+            );
         }
     }
     let mut scored: Vec<(f64, usize)> = pool

@@ -108,7 +108,10 @@ impl CircuitVaeConfig {
     /// circuits.
     pub fn for_width(width: usize) -> Self {
         let arch = if width >= 24 {
-            ModelArch::Cnn { channels: 6, hidden: 128 }
+            ModelArch::Cnn {
+                channels: 6,
+                hidden: 128,
+            }
         } else {
             ModelArch::Mlp { hidden: 128 }
         };
@@ -170,6 +173,9 @@ mod tests {
 
     #[test]
     fn small_widths_use_mlp() {
-        assert!(matches!(CircuitVaeConfig::for_width(12).arch, ModelArch::Mlp { .. }));
+        assert!(matches!(
+            CircuitVaeConfig::for_width(12).arch,
+            ModelArch::Mlp { .. }
+        ));
     }
 }

@@ -101,7 +101,9 @@ impl Dataset {
             rank[i] = r;
         }
         self.weights = if reweight {
-            rank.iter().map(|&r| 1.0 / (k * n as f64 + r as f64)).collect()
+            rank.iter()
+                .map(|&r| 1.0 / (k * n as f64 + r as f64))
+                .collect()
         } else {
             vec![1.0; n]
         };
@@ -117,7 +119,12 @@ impl Dataset {
         }
         // Cost normalization for the predictor head.
         let mean = self.entries.iter().map(|e| e.1).sum::<f64>() / n as f64;
-        let var = self.entries.iter().map(|e| (e.1 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = self
+            .entries
+            .iter()
+            .map(|e| (e.1 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         self.cost_mean = mean;
         self.cost_std = var.sqrt().max(1e-6);
     }
@@ -197,10 +204,7 @@ mod tests {
 
     #[test]
     fn uniform_when_reweighting_disabled() {
-        let mut ds = Dataset::new(
-            8,
-            vec![(grid_with(&[]), 10.0), (grid_with(&[(5, 3)]), 1.0)],
-        );
+        let mut ds = Dataset::new(8, vec![(grid_with(&[]), 10.0), (grid_with(&[(5, 3)]), 1.0)]);
         ds.recompute_weights(1e-3, false);
         assert!((ds.weight(0) - ds.weight(1)).abs() < 1e-12);
     }
@@ -222,7 +226,10 @@ mod tests {
         for _ in 0..4000 {
             hits[ds.sample_weighted(&mut rng)] += 1;
         }
-        assert!(hits[1] > 2000, "best entry should dominate sampling: {hits:?}");
+        assert!(
+            hits[1] > 2000,
+            "best entry should dominate sampling: {hits:?}"
+        );
         assert!(hits[0] < hits[2], "worst entry sampled least: {hits:?}");
     }
 

@@ -52,7 +52,11 @@ impl CircuitVaeModel {
                 let dec_trunk = Mlp::new(store, &[l, hidden, flat], rng);
                 let dec_conv1 = Conv2d::new(store, 2 * c, c, 3, 1, 1, rng);
                 let dec_conv2 = Conv2d::new(store, c, 1, 3, 1, 1, rng);
-                let cost_head = Mlp::new(store, &[l, config.cost_head_hidden, config.cost_head_hidden, 1], rng);
+                let cost_head = Mlp::new(
+                    store,
+                    &[l, config.cost_head_hidden, config.cost_head_hidden, 1],
+                    rng,
+                );
                 CircuitVaeModel {
                     width: n,
                     latent_dim: l,
@@ -76,7 +80,11 @@ impl CircuitVaeModel {
                 let enc_mu = Linear::new_xavier(store, hidden, l, rng);
                 let enc_logvar = Linear::new_xavier(store, hidden, l, rng);
                 let dec_trunk = Mlp::new(store, &[l, hidden, flat], rng);
-                let cost_head = Mlp::new(store, &[l, config.cost_head_hidden, config.cost_head_hidden, 1], rng);
+                let cost_head = Mlp::new(
+                    store,
+                    &[l, config.cost_head_hidden, config.cost_head_hidden, 1],
+                    rng,
+                );
                 CircuitVaeModel {
                     width: n,
                     latent_dim: l,
@@ -181,7 +189,9 @@ impl CircuitVaeModel {
         let (mu, logvar) = self.encode(&mut g, store, x);
         let l = self.latent_dim;
         let take = |v: &Tensor| -> Vec<Vec<f32>> {
-            (0..b).map(|r| v.data()[r * l..(r + 1) * l].to_vec()).collect()
+            (0..b)
+                .map(|r| v.data()[r * l..(r + 1) * l].to_vec())
+                .collect()
         };
         (take(g.value(mu)), take(g.value(logvar)))
     }
@@ -198,7 +208,9 @@ impl CircuitVaeModel {
         let logits = self.decode(&mut g, store, z);
         let probs = g.sigmoid(logits);
         let d = self.width * self.width;
-        (0..b).map(|r| g.value(probs).data()[r * d..(r + 1) * d].to_vec()).collect()
+        (0..b)
+            .map(|r| g.value(probs).data()[r * d..(r + 1) * d].to_vec())
+            .collect()
     }
 }
 
@@ -213,7 +225,10 @@ mod tests {
     fn build(width: usize, cnn: bool) -> (CircuitVaeModel, ParamStore) {
         let mut cfg = CircuitVaeConfig::smoke(width);
         if cnn {
-            cfg.arch = ModelArch::Cnn { channels: 4, hidden: 32 };
+            cfg.arch = ModelArch::Cnn {
+                channels: 4,
+                hidden: 32,
+            };
         }
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);

@@ -46,7 +46,9 @@ pub fn initial_latents<R: Rng + ?Sized>(
 ) -> Vec<Vec<f32>> {
     let l = model.latent_dim();
     match init {
-        InitStrategy::Prior => (0..m).map(|_| (0..l).map(|_| randn(rng)).collect()).collect(),
+        InitStrategy::Prior => (0..m)
+            .map(|_| (0..l).map(|_| randn(rng)).collect())
+            .collect(),
         InitStrategy::Sklansky => {
             let dense = bitvec::encode_dense(&topologies::sklansky(model.width()));
             let rows: Vec<Vec<f32>> = (0..m).map(|_| dense.clone()).collect();
@@ -116,7 +118,10 @@ pub fn run_trajectories<R: Rng + ?Sized>(
     let mut z: Vec<f32> = starts.into_iter().flatten().collect();
     let mut records: Vec<TrajectoryRecord> = gammas
         .iter()
-        .map(|&gamma| TrajectoryRecord { gamma, points: Vec::new() })
+        .map(|&gamma| TrajectoryRecord {
+            gamma,
+            points: Vec::new(),
+        })
         .collect();
 
     for step in 1..=config.search_steps {
@@ -148,7 +153,11 @@ pub fn run_trajectories<R: Rng + ?Sized>(
         if step % config.capture_every == 0 || step == config.search_steps {
             for t in 0..m {
                 let zt = z[t * l..(t + 1) * l].to_vec();
-                let dist = zt.iter().map(|v| f64::from(*v) * f64::from(*v)).sum::<f64>().sqrt();
+                let dist = zt
+                    .iter()
+                    .map(|v| f64::from(*v) * f64::from(*v))
+                    .sum::<f64>()
+                    .sqrt();
                 records[t].points.push(CapturedLatent {
                     z: zt,
                     trajectory: t,
@@ -224,7 +233,11 @@ mod tests {
         // capture_every=5, steps=20 → captures at 5, 10, 15, 20.
         assert_eq!(recs[0].points.len(), 4);
         for r in &recs {
-            assert!((0.01..=0.1).contains(&r.gamma), "gamma {} in paper range", r.gamma);
+            assert!(
+                (0.01..=0.1).contains(&r.gamma),
+                "gamma {} in paper range",
+                r.gamma
+            );
         }
     }
 
@@ -232,8 +245,9 @@ mod tests {
     fn prior_regularization_pulls_toward_origin() {
         let (model, store, ds, mut config) = setup(10);
         let mut rng = StdRng::seed_from_u64(2);
-        let far_start: Vec<Vec<f32>> =
-            (0..8).map(|_| (0..model.latent_dim()).map(|_| 4.0).collect()).collect();
+        let far_start: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..model.latent_dim()).map(|_| 4.0).collect())
+            .collect();
 
         config.regularizer = SearchRegularizer::PriorFixed { gamma: 1.0 };
         let strong = run_trajectories(&model, &store, far_start.clone(), &config, &mut rng);
@@ -241,7 +255,9 @@ mod tests {
         let none = run_trajectories(&model, &store, far_start, &config, &mut rng);
 
         let end_dist = |recs: &[TrajectoryRecord]| -> f64 {
-            recs.iter().map(|r| r.points.last().unwrap().origin_distance).sum::<f64>()
+            recs.iter()
+                .map(|r| r.points.last().unwrap().origin_distance)
+                .sum::<f64>()
                 / recs.len() as f64
         };
         assert!(
@@ -258,8 +274,9 @@ mod tests {
         let (model, store, _ds, mut config) = setup(10);
         let mut rng = StdRng::seed_from_u64(3);
         config.regularizer = SearchRegularizer::Box { radius: 0.5 };
-        let starts: Vec<Vec<f32>> =
-            (0..4).map(|_| (0..model.latent_dim()).map(|_| 3.0).collect()).collect();
+        let starts: Vec<Vec<f32>> = (0..4)
+            .map(|_| (0..model.latent_dim()).map(|_| 3.0).collect())
+            .collect();
         let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
         for r in &recs {
             for p in &r.points {
@@ -274,10 +291,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let starts = initial_latents(&model, &store, &ds, InitStrategy::Prior, 16, &mut rng);
         let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
-        let first: f64 =
-            recs.iter().map(|r| r.points.first().unwrap().predicted_norm).sum::<f64>();
-        let last: f64 = recs.iter().map(|r| r.points.last().unwrap().predicted_norm).sum::<f64>();
-        assert!(last < first, "predicted cost must decrease: {first} -> {last}");
+        let first: f64 = recs
+            .iter()
+            .map(|r| r.points.first().unwrap().predicted_norm)
+            .sum::<f64>();
+        let last: f64 = recs
+            .iter()
+            .map(|r| r.points.last().unwrap().predicted_norm)
+            .sum::<f64>();
+        assert!(
+            last < first,
+            "predicted cost must decrease: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -286,8 +311,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let starts = initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 8, &mut rng);
         let recs = run_trajectories(&model, &store, starts, &config, &mut rng);
-        let latents: Vec<Vec<f32>> =
-            recs.iter().flat_map(|r| r.points.iter().map(|p| p.z.clone())).collect();
+        let latents: Vec<Vec<f32>> = recs
+            .iter()
+            .flat_map(|r| r.points.iter().map(|p| p.z.clone()))
+            .collect();
         let grids = decode_candidates(&model, &store, &latents, &mut rng);
         assert_eq!(grids.len(), latents.len());
         assert!(grids.iter().all(|g| g.width() == 10));
@@ -300,7 +327,14 @@ mod tests {
         let (model, store, ds, _config) = setup(10);
         let mut rng = StdRng::seed_from_u64(6);
         let prior = initial_latents(&model, &store, &ds, InitStrategy::Prior, 16, &mut rng);
-        let cw = initial_latents(&model, &store, &ds, InitStrategy::CostWeighted, 16, &mut rng);
+        let cw = initial_latents(
+            &model,
+            &store,
+            &ds,
+            InitStrategy::CostWeighted,
+            16,
+            &mut rng,
+        );
         let sk = initial_latents(&model, &store, &ds, InitStrategy::Sklansky, 16, &mut rng);
         assert_eq!(prior.len(), 16);
         assert_eq!(cw.len(), 16);
@@ -316,11 +350,18 @@ mod tests {
             }
             v.iter()
                 .map(|row| {
-                    row.iter().zip(&mean).map(|(x, m)| (x - m) * (x - m)).sum::<f32>().sqrt()
+                    row.iter()
+                        .zip(&mean)
+                        .map(|(x, m)| (x - m) * (x - m))
+                        .sum::<f32>()
+                        .sqrt()
                 })
                 .sum::<f32>()
                 / v.len() as f32
         };
-        assert!(spread(&sk) < spread(&prior), "sklansky inits should cluster");
+        assert!(
+            spread(&sk) < spread(&prior),
+            "sklansky inits should cluster"
+        );
     }
 }

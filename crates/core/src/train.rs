@@ -67,7 +67,10 @@ fn chunk_loss(
     let b = items.len();
     let d = model.width() * model.width();
     let l = model.latent_dim();
-    let xs: Vec<f32> = items.iter().flat_map(|it| it.dense.iter().copied()).collect();
+    let xs: Vec<f32> = items
+        .iter()
+        .flat_map(|it| it.dense.iter().copied())
+        .collect();
     let eps: Vec<f32> = items.iter().flat_map(|it| it.eps.iter().copied()).collect();
     let costs: Vec<f32> = items.iter().map(|it| it.cost_norm).collect();
 
@@ -119,17 +122,18 @@ pub fn train<R: Rng + ?Sized>(
     steps: usize,
     rng: &mut R,
 ) -> f64 {
-    let adam = AdamConfig { lr: config.lr, ..AdamConfig::default() };
+    let adam = AdamConfig {
+        lr: config.lr,
+        ..AdamConfig::default()
+    };
     let mut total = 0.0f64;
     for _ in 0..steps {
         let batch = sample_batch(dataset, model, config.batch_size, rng);
         let scale = 1.0 / batch.len() as f32;
-        let (loss, mut grads) = parallel_grad_accumulate(
-            store,
-            &batch,
-            config.threads,
-            |g, store, part| chunk_loss(g, store, model, config, part),
-        );
+        let (loss, mut grads) =
+            parallel_grad_accumulate(store, &batch, config.threads, |g, store, part| {
+                chunk_loss(g, store, model, config, part)
+            });
         for gt in &mut grads {
             gt.scale(scale);
         }
@@ -157,7 +161,10 @@ pub fn evaluate_losses<R: Rng + ?Sized>(
     let b = items.len();
     let d = model.width() * model.width();
     let l = model.latent_dim();
-    let xs: Vec<f32> = items.iter().flat_map(|it| it.dense.iter().copied()).collect();
+    let xs: Vec<f32> = items
+        .iter()
+        .flat_map(|it| it.dense.iter().copied())
+        .collect();
     let eps: Vec<f32> = items.iter().flat_map(|it| it.eps.iter().copied()).collect();
     let costs: Vec<f32> = items.iter().map(|it| it.cost_norm).collect();
 
@@ -259,7 +266,11 @@ mod tests {
             after.cost_mse
         );
         // Normalized targets have variance 1; a learning predictor beats that.
-        assert!(after.cost_mse < 1.0, "cost MSE {} should beat the trivial predictor", after.cost_mse);
+        assert!(
+            after.cost_mse < 1.0,
+            "cost MSE {} should beat the trivial predictor",
+            after.cost_mse
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@ impl fmt::Display for GpError {
             GpError::NotPositiveDefinite => {
                 write!(f, "kernel matrix not positive definite after jitter")
             }
-            GpError::BadTrainingSet => write!(f, "training set empty or dimensionally inconsistent"),
+            GpError::BadTrainingSet => {
+                write!(f, "training set empty or dimensionally inconsistent")
+            }
         }
     }
 }
@@ -135,7 +137,9 @@ mod tests {
         let mut b = vec![0.0f64; n * n];
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for v in &mut b {

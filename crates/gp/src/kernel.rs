@@ -97,7 +97,7 @@ mod tests {
     fn median_distance_sane() {
         let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
         let m = median_distance(&pts);
-        assert!(m >= 1.0 && m <= 2.0);
+        assert!((1.0..=2.0).contains(&m));
         assert_eq!(median_distance(&[]), 1.0);
         assert_eq!(median_distance(&[vec![1.0]]), 1.0);
         // Identical points fall back to 1.0.

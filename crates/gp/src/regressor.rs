@@ -56,7 +56,16 @@ impl GpRegressor {
             }
         }
         let (_, ell, l, alpha) = best.ok_or(GpError::NotPositiveDefinite)?;
-        Ok(GpRegressor { xs: xs.to_vec(), kernel, sigma2, ell, noise, l, alpha, y_mean })
+        Ok(GpRegressor {
+            xs: xs.to_vec(),
+            kernel,
+            sigma2,
+            ell,
+            noise,
+            l,
+            alpha,
+            y_mean,
+        })
     }
 
     fn factor(
@@ -102,7 +111,12 @@ impl GpRegressor {
             .iter()
             .map(|xi| self.kernel.eval(xi, x, self.sigma2, self.ell))
             .collect();
-        let mean = self.y_mean + kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+        let mean = self.y_mean
+            + kstar
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         let v = forward_solve(&self.l, n, &kstar);
         let var = self.sigma2 + self.noise - v.iter().map(|x| x * x).sum::<f64>();
         (mean, var.max(0.0))
@@ -135,7 +149,8 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -240,6 +255,9 @@ mod tests {
                 best_x = x;
             }
         }
-        assert!((best_x - 3.0).abs() < 1.0, "EI argmax {best_x} should be near 3");
+        assert!(
+            (best_x - 3.0).abs() < 1.0,
+            "EI argmax {best_x} should be near 3"
+        );
     }
 }

@@ -42,7 +42,10 @@ pub fn map_adder(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
     for i in 0..n {
         // s_i consumes p_i of the diagonal (input) node [i:i].
         // Find the diagonal node: the input span [i:i] is always present.
-        if let Some(idx) = nodes.iter().position(|nd| nd.span.msb == i && nd.span.lsb == i) {
+        if let Some(idx) = nodes
+            .iter()
+            .position(|nd| nd.span.msb == i && nd.span.lsb == i)
+        {
             need_p[idx] = true;
         }
     }
@@ -79,8 +82,7 @@ pub fn map_adder(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
                 );
                 if need_p[idx] {
                     debug_assert!(p_net[lo] != usize::MAX, "lo parent p must be demanded");
-                    p_net[idx] =
-                        nl.add_gate(Function::And2, Drive::X1, vec![p_net[hi], p_net[lo]]);
+                    p_net[idx] = nl.add_gate(Function::And2, Drive::X1, vec![p_net[hi], p_net[lo]]);
                 }
             }
         }
@@ -163,9 +165,7 @@ pub fn map_leading_zero(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
     for (idx, node) in nodes.iter().enumerate() {
         out_net[idx] = match node.parents {
             None => x[n - 1 - node.span.msb],
-            Some((hi, lo)) => {
-                nl.add_gate(Function::Or2, Drive::X1, vec![out_net[hi], out_net[lo]])
-            }
+            Some((hi, lo)) => nl.add_gate(Function::Or2, Drive::X1, vec![out_net[hi], out_net[lo]]),
         };
     }
     for i in 0..n {
@@ -191,9 +191,9 @@ mod tests {
         use crate::netlist::Driver;
         let mut values = vec![None; nl.net_count()];
         let mut input_cursor = 0;
-        for net in 0..nl.net_count() {
+        for (net, value) in values.iter_mut().enumerate() {
             if matches!(nl.driver(net), Driver::Input { .. }) {
-                values[net] = Some(input_values[input_cursor]);
+                *value = Some(input_values[input_cursor]);
                 input_cursor += 1;
             }
         }
@@ -262,7 +262,13 @@ mod tests {
             for (name, grid) in topologies::all_classical(n) {
                 let nl = map_adder(&grid.to_graph(), &lib);
                 let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-                for (a, b) in [(0, 0), (1, 1), (mask, 1), (mask, mask), (0xA5A5 & mask, 0x5A5A & mask)] {
+                for (a, b) in [
+                    (0, 0),
+                    (1, 1),
+                    (mask, 1),
+                    (mask, mask),
+                    (0xA5A5 & mask, 0x5A5A & mask),
+                ] {
                     check_adder(&nl, n, a & mask, b & mask);
                 }
                 let _ = name;
@@ -314,7 +320,12 @@ mod tests {
         // Ripple: every prefix node is (i,0) whose hi parent is the
         // diagonal; no internal node needs its own p ⇒ AND2 count equals
         // the pre-stage only (16).
-        let and2 = nl.histogram().iter().find(|(f, _)| *f == Function::And2).unwrap().1;
+        let and2 = nl
+            .histogram()
+            .iter()
+            .find(|(f, _)| *f == Function::And2)
+            .unwrap()
+            .1;
         assert_eq!(and2, 16);
     }
 
@@ -347,7 +358,11 @@ mod tests {
                     for (o, &v) in nl.outputs().iter().zip(&outs) {
                         // Flag bit b: any input bit >= b set?
                         let expected = (value >> o.bit) != 0;
-                        assert_eq!(v, expected, "lzd flag {} for value {value:#b} width {n}", o.bit);
+                        assert_eq!(
+                            v, expected,
+                            "lzd flag {} for value {value:#b} width {n}",
+                            o.bit
+                        );
                     }
                 }
             }

@@ -59,7 +59,11 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist.
     pub fn new() -> Self {
-        Netlist { drivers: Vec::new(), gates: Vec::new(), outputs: Vec::new() }
+        Netlist {
+            drivers: Vec::new(),
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Adds a primary-input net for circuit bit `bit`; returns its id.
@@ -78,7 +82,12 @@ impl Netlist {
             inputs.len()
         );
         let out = self.drivers.len();
-        let gate = Gate { function, drive, inputs, output: out };
+        let gate = Gate {
+            function,
+            drive,
+            inputs,
+            output: out,
+        };
         self.gates.push(gate);
         self.drivers.push(Driver::Gate(self.gates.len() - 1));
         out
@@ -160,7 +169,10 @@ impl Netlist {
 
     /// Total cell area against `lib`, µm².
     pub fn area_um2(&self, lib: &CellLibrary) -> f64 {
-        self.gates.iter().map(|g| lib.cell(g.function, g.drive).area_um2).sum()
+        self.gates
+            .iter()
+            .map(|g| lib.cell(g.function, g.drive).area_um2)
+            .sum()
     }
 
     /// Gate count per function, for reports.
@@ -181,15 +193,13 @@ impl Netlist {
     /// # Panics
     ///
     /// Panics if any `(gate, pin)` does not currently consume `net`.
-    pub fn insert_buffer(
-        &mut self,
-        net: NetId,
-        drive: Drive,
-        sinks: &[(GateId, usize)],
-    ) -> NetId {
+    pub fn insert_buffer(&mut self, net: NetId, drive: Drive, sinks: &[(GateId, usize)]) -> NetId {
         let buf_out = self.add_gate(Function::Buf, drive, vec![net]);
         for &(g, pin) in sinks {
-            assert_eq!(self.gates[g].inputs[pin], net, "sink ({g}, {pin}) does not consume {net}");
+            assert_eq!(
+                self.gates[g].inputs[pin], net,
+                "sink ({g}, {pin}) does not consume {net}"
+            );
             self.gates[g].inputs[pin] = buf_out;
         }
         buf_out

@@ -205,11 +205,17 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(ParamStore::from_bytes(b"nonsense").unwrap_err(), CheckpointError::BadMagic);
+        assert_eq!(
+            ParamStore::from_bytes(b"nonsense").unwrap_err(),
+            CheckpointError::BadMagic
+        );
         let store = trained_store();
         let mut bytes = store.to_bytes();
         bytes.truncate(bytes.len() - 3);
-        assert_eq!(ParamStore::from_bytes(&bytes).unwrap_err(), CheckpointError::Truncated);
+        assert_eq!(
+            ParamStore::from_bytes(&bytes).unwrap_err(),
+            CheckpointError::Truncated
+        );
         bytes.extend_from_slice(&[0u8; 64]);
         assert!(ParamStore::from_bytes(&bytes).is_err());
     }

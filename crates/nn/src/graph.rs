@@ -33,10 +33,22 @@ enum Op {
     Exp(usize),
     Sum(usize),
     RowScale(usize, usize),
-    BceLogits { logits: usize, targets: usize },
-    Conv2d { x: usize, w: usize, stride: usize, pad: usize },
+    BceLogits {
+        logits: usize,
+        targets: usize,
+    },
+    Conv2d {
+        x: usize,
+        w: usize,
+        stride: usize,
+        pad: usize,
+    },
     Upsample2x(usize),
-    Crop2d { x: usize, h: usize, w: usize },
+    Crop2d {
+        x: usize,
+        h: usize,
+        w: usize,
+    },
     Reshape(usize),
 }
 
@@ -68,7 +80,9 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::with_capacity(64) }
+        Graph {
+            nodes: Vec::with_capacity(64),
+        }
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> Var {
@@ -107,7 +121,12 @@ impl Graph {
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "add shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x + y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x + y)
+            .collect();
         let t = Tensor::new(ta.shape().to_vec(), data);
         self.push(t, Op::Add(a.0, b.0))
     }
@@ -116,7 +135,12 @@ impl Graph {
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "sub shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x - y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x - y)
+            .collect();
         let t = Tensor::new(ta.shape().to_vec(), data);
         self.push(t, Op::Sub(a.0, b.0))
     }
@@ -125,7 +149,12 @@ impl Graph {
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         assert_eq!(ta.shape(), tb.shape(), "mul shape mismatch");
-        let data = ta.data().iter().zip(tb.data()).map(|(x, y)| x * y).collect();
+        let data = ta
+            .data()
+            .iter()
+            .zip(tb.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let t = Tensor::new(ta.shape().to_vec(), data);
         self.push(t, Op::Mul(a.0, b.0))
     }
@@ -140,14 +169,20 @@ impl Graph {
     /// Adds a scalar to every element.
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let ta = &self.nodes[a.0].value;
-        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x + s).collect());
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| x + s).collect(),
+        );
         self.push(t, Op::AddScalar(a.0, s))
     }
 
     /// Multiplies every element by a scalar.
     pub fn mul_scalar(&mut self, a: Var, s: f32) -> Var {
         let ta = &self.nodes[a.0].value;
-        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x * s).collect());
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| x * s).collect(),
+        );
         self.push(t, Op::MulScalar(a.0, s))
     }
 
@@ -155,7 +190,10 @@ impl Graph {
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let (ta, tb) = (&self.nodes[a.0].value, &self.nodes[b.0].value);
         let (sa, sb) = (ta.shape(), tb.shape());
-        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0], "matmul {sa:?} × {sb:?}");
+        assert!(
+            sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
+            "matmul {sa:?} × {sb:?}"
+        );
         let t = matmul_raw(ta, tb);
         self.push(t, Op::Matmul(a.0, b.0))
     }
@@ -164,7 +202,10 @@ impl Graph {
     pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
         let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
         let (sx, sb) = (tx.shape(), tb.shape());
-        assert!(sx.len() == 2 && sb.len() == 1 && sx[1] == sb[0], "add_bias {sx:?} + {sb:?}");
+        assert!(
+            sx.len() == 2 && sb.len() == 1 && sx[1] == sb[0],
+            "add_bias {sx:?} + {sb:?}"
+        );
         let c = sx[1];
         let mut data = tx.data().to_vec();
         for (i, v) in data.iter_mut().enumerate() {
@@ -178,7 +219,10 @@ impl Graph {
     pub fn add_chan_bias(&mut self, x: Var, b: Var) -> Var {
         let (tx, tb) = (&self.nodes[x.0].value, &self.nodes[b.0].value);
         let (sx, sb) = (tx.shape().to_vec(), tb.shape());
-        assert!(sx.len() == 4 && sb.len() == 1 && sx[1] == sb[0], "add_chan_bias {sx:?} + {sb:?}");
+        assert!(
+            sx.len() == 4 && sb.len() == 1 && sx[1] == sb[0],
+            "add_chan_bias {sx:?} + {sb:?}"
+        );
         let hw = sx[2] * sx[3];
         let mut data = tx.data().to_vec();
         for (i, v) in data.iter_mut().enumerate() {
@@ -191,14 +235,20 @@ impl Graph {
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Var {
         let ta = &self.nodes[a.0].value;
-        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.max(0.0)).collect());
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| x.max(0.0)).collect(),
+        );
         self.push(t, Op::Relu(a.0))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
         let ta = &self.nodes[a.0].value;
-        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.tanh()).collect());
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| x.tanh()).collect(),
+        );
         self.push(t, Op::Tanh(a.0))
     }
 
@@ -215,7 +265,10 @@ impl Graph {
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
         let ta = &self.nodes[a.0].value;
-        let t = Tensor::new(ta.shape().to_vec(), ta.data().iter().map(|x| x.exp()).collect());
+        let t = Tensor::new(
+            ta.shape().to_vec(),
+            ta.data().iter().map(|x| x.exp()).collect(),
+        );
         self.push(t, Op::Exp(a.0))
     }
 
@@ -254,14 +307,28 @@ impl Graph {
             .map(|(&z, &y)| z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln())
             .collect();
         let t = Tensor::new(tz.shape().to_vec(), data);
-        self.push(t, Op::BceLogits { logits: logits.0, targets: targets.0 })
+        self.push(
+            t,
+            Op::BceLogits {
+                logits: logits.0,
+                targets: targets.0,
+            },
+        )
     }
 
     /// 2-D convolution: `x [b, cin, h, w]` with `w [cout, cin, kh, kw]`,
     /// zero padding `pad`, stride `stride`.
     pub fn conv2d(&mut self, x: Var, w: Var, stride: usize, pad: usize) -> Var {
         let t = conv2d_forward(&self.nodes[x.0].value, &self.nodes[w.0].value, stride, pad);
-        self.push(t, Op::Conv2d { x: x.0, w: w.0, stride, pad })
+        self.push(
+            t,
+            Op::Conv2d {
+                x: x.0,
+                w: w.0,
+                stride,
+                pad,
+            },
+        )
     }
 
     /// Nearest-neighbour 2× upsampling of `[b, c, h, w]`.
@@ -290,7 +357,12 @@ impl Graph {
         let tx = &self.nodes[x.0].value;
         let s = tx.shape();
         assert_eq!(s.len(), 4, "crop2d expects 4-D input");
-        assert!(h <= s[2] && w <= s[3], "crop {h}×{w} exceeds {}×{}", s[2], s[3]);
+        assert!(
+            h <= s[2] && w <= s[3],
+            "crop {h}×{w} exceeds {}×{}",
+            s[2],
+            s[3]
+        );
         let (b, c, ih, iw) = (s[0], s[1], s[2], s[3]);
         let mut out = vec![0.0f32; b * c * h * w];
         for bc in 0..b * c {
@@ -316,11 +388,17 @@ impl Graph {
     ///
     /// Panics if `loss` is not a scalar.
     pub fn backward(&self, loss: Var) -> Grads {
-        assert_eq!(self.nodes[loss.0].value.numel(), 1, "backward from non-scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward from non-scalar"
+        );
         let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
         grads[loss.0] = Some(Tensor::scalar(1.0));
         for idx in (0..self.nodes.len()).rev() {
-            let Some(gout) = grads[idx].take() else { continue };
+            let Some(gout) = grads[idx].take() else {
+                continue;
+            };
             self.propagate(idx, &gout, &mut grads);
             grads[idx] = Some(gout);
         }
@@ -368,11 +446,19 @@ impl Graph {
                 let (ta, tb) = (&self.nodes[a].value, &self.nodes[b].value);
                 let ga = Tensor::new(
                     ta.shape().to_vec(),
-                    gout.data().iter().zip(tb.data()).map(|(g, y)| g * y).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(tb.data())
+                        .map(|(g, y)| g * y)
+                        .collect(),
                 );
                 let gb = Tensor::new(
                     tb.shape().to_vec(),
-                    gout.data().iter().zip(ta.data()).map(|(g, x)| g * x).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(ta.data())
+                        .map(|(g, x)| g * x)
+                        .collect(),
                 );
                 Self::accum(grads, a, ga);
                 Self::accum(grads, b, gb);
@@ -429,7 +515,11 @@ impl Graph {
                 let ty = &node.value;
                 let g = Tensor::new(
                     ty.shape().to_vec(),
-                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * (1.0 - y * y)).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(ty.data())
+                        .map(|(g, y)| g * (1.0 - y * y))
+                        .collect(),
                 );
                 Self::accum(grads, a, g);
             }
@@ -437,7 +527,11 @@ impl Graph {
                 let ty = &node.value;
                 let g = Tensor::new(
                     ty.shape().to_vec(),
-                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * y * (1.0 - y)).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(ty.data())
+                        .map(|(g, y)| g * y * (1.0 - y))
+                        .collect(),
                 );
                 Self::accum(grads, a, g);
             }
@@ -445,7 +539,11 @@ impl Graph {
                 let ty = &node.value;
                 let g = Tensor::new(
                     ty.shape().to_vec(),
-                    gout.data().iter().zip(ty.data()).map(|(g, y)| g * y).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(ty.data())
+                        .map(|(g, y)| g * y)
+                        .collect(),
                 );
                 Self::accum(grads, a, g);
             }
@@ -485,7 +583,11 @@ impl Graph {
                 Self::accum(grads, logits, gz);
                 let gy = Tensor::new(
                     ty.shape().to_vec(),
-                    gout.data().iter().zip(tz.data()).map(|(g, &z)| g * (-z)).collect(),
+                    gout.data()
+                        .iter()
+                        .zip(tz.data())
+                        .map(|(g, &z)| g * (-z))
+                        .collect(),
                 );
                 Self::accum(grads, targets, gy);
             }
@@ -612,7 +714,10 @@ fn conv2d_forward(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> Tensor {
     let (b, cin, h, wd) = (sx[0], sx[1], sx[2], sx[3]);
     let (cout, cin_w, kh, kw) = (sw[0], sw[1], sw[2], sw[3]);
     assert_eq!(cin, cin_w, "conv2d channel mismatch");
-    let (oh, ow) = (conv_out_dim(h, kh, stride, pad), conv_out_dim(wd, kw, stride, pad));
+    let (oh, ow) = (
+        conv_out_dim(h, kh, stride, pad),
+        conv_out_dim(wd, kw, stride, pad),
+    );
     let mut out = vec![0.0f32; b * cout * oh * ow];
     let (xd, wdata) = (x.data(), w.data());
     for bi in 0..b {
@@ -657,7 +762,10 @@ fn conv2d_backward(
     let (sx, sw) = (x.shape(), w.shape());
     let (b, cin, h, wd) = (sx[0], sx[1], sx[2], sx[3]);
     let (cout, _, kh, kw) = (sw[0], sw[1], sw[2], sw[3]);
-    let (oh, ow) = (conv_out_dim(h, kh, stride, pad), conv_out_dim(wd, kw, stride, pad));
+    let (oh, ow) = (
+        conv_out_dim(h, kh, stride, pad),
+        conv_out_dim(wd, kw, stride, pad),
+    );
     let mut gx = vec![0.0f32; x.numel()];
     let mut gw = vec![0.0f32; w.numel()];
     let (xd, wdata, gd) = (x.data(), w.data(), gout.data());

@@ -20,7 +20,11 @@ pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
 }
 
 /// A tensor of i.i.d. `N(0, std²)` entries.
-pub fn randn_tensor<R: Rng + ?Sized>(shape: impl Into<Vec<usize>>, std: f32, rng: &mut R) -> Tensor {
+pub fn randn_tensor<R: Rng + ?Sized>(
+    shape: impl Into<Vec<usize>>,
+    std: f32,
+    rng: &mut R,
+) -> Tensor {
     let shape = shape.into();
     let numel: usize = shape.iter().product();
     Tensor::new(shape, (0..numel).map(|_| randn(rng) * std).collect())
@@ -28,7 +32,11 @@ pub fn randn_tensor<R: Rng + ?Sized>(shape: impl Into<Vec<usize>>, std: f32, rng
 
 /// He (Kaiming) initialization for a layer with `fan_in` inputs —
 /// appropriate before ReLU nonlinearities.
-pub fn he_init<R: Rng + ?Sized>(shape: impl Into<Vec<usize>>, fan_in: usize, rng: &mut R) -> Tensor {
+pub fn he_init<R: Rng + ?Sized>(
+    shape: impl Into<Vec<usize>>,
+    fan_in: usize,
+    rng: &mut R,
+) -> Tensor {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
     randn_tensor(shape, std, rng)
 }

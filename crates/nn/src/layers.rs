@@ -28,7 +28,12 @@ impl Linear {
     ) -> Self {
         let w = store.add(he_init([in_features, out_features], in_features, rng));
         let b = store.add(Tensor::zeros([out_features]));
-        Linear { w, b, in_features, out_features }
+        Linear {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
     }
 
     /// Registers parameters with Xavier initialization (tanh-friendly or
@@ -46,7 +51,12 @@ impl Linear {
             rng,
         ));
         let b = store.add(Tensor::zeros([out_features]));
-        Linear { w, b, in_features, out_features }
+        Linear {
+            w,
+            b,
+            in_features,
+            out_features,
+        }
     }
 
     /// Applies the layer to a `[batch, in_features]` node.
@@ -87,9 +97,21 @@ impl Conv2d {
         rng: &mut R,
     ) -> Self {
         let fan_in = in_channels * kernel * kernel;
-        let w = store.add(he_init([out_channels, in_channels, kernel, kernel], fan_in, rng));
+        let w = store.add(he_init(
+            [out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        ));
         let b = store.add(Tensor::zeros([out_channels]));
-        Conv2d { w, b, in_channels, out_channels, kernel, stride, pad }
+        Conv2d {
+            w,
+            b,
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+        }
     }
 
     /// Applies the layer to a `[batch, in_channels, h, w]` node.
@@ -119,7 +141,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new<R: Rng + ?Sized>(store: &mut ParamStore, sizes: &[usize], rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| Linear::new(store, w[0], w[1], rng))

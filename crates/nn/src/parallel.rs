@@ -28,11 +28,11 @@ pub fn parallel_grad_accumulate<T: Sync>(
         return (g.value(loss).item(), buf);
     }
     let chunk = items.len().div_ceil(threads);
-    let partials: Vec<(f32, Vec<Tensor>)> = crossbeam::scope(|s| {
+    let partials: Vec<(f32, Vec<Tensor>)> = std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .map(|part| {
-                s.spawn(|_| {
+                s.spawn(|| {
                     let mut g = Graph::new();
                     let loss = forward(&mut g, store, part);
                     let grads = g.backward(loss);
@@ -42,9 +42,11 @@ pub fn parallel_grad_accumulate<T: Sync>(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
-    })
-    .expect("scope must not panic");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker must not panic"))
+            .collect()
+    });
 
     let mut iter = partials.into_iter();
     let (mut total, mut acc) = iter.next().expect("at least one chunk");

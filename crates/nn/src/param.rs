@@ -28,7 +28,12 @@ pub struct ParamStore {
 impl ParamStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        ParamStore { values: Vec::new(), m: Vec::new(), v: Vec::new(), step: 0 }
+        ParamStore {
+            values: Vec::new(),
+            m: Vec::new(),
+            v: Vec::new(),
+            step: 0,
+        }
     }
 
     /// Registers a parameter; returns its handle.
@@ -67,7 +72,10 @@ impl ParamStore {
     /// A zeroed gradient buffer aligned with this store, for use with
     /// [`crate::Graph::accumulate_param_grads`].
     pub fn zero_grads(&self) -> Vec<Tensor> {
-        self.values.iter().map(|t| Tensor::zeros(t.shape().to_vec())).collect()
+        self.values
+            .iter()
+            .map(|t| Tensor::zeros(t.shape().to_vec()))
+            .collect()
     }
 
     /// Number of optimizer steps taken.
@@ -154,7 +162,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, grad_clip: 5.0 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            grad_clip: 5.0,
+        }
     }
 }
 
@@ -178,7 +192,10 @@ mod tests {
         // Minimize f(w) = (w - 3)^2 by handing Adam the analytic gradient.
         let mut store = ParamStore::new();
         let w = store.add(Tensor::scalar(0.0));
-        let cfg = AdamConfig { lr: 0.1, ..AdamConfig::default() };
+        let cfg = AdamConfig {
+            lr: 0.1,
+            ..AdamConfig::default()
+        };
         for _ in 0..300 {
             let wv = store.value(w).item();
             let grads = vec![Tensor::scalar(2.0 * (wv - 3.0))];

@@ -21,7 +21,13 @@ impl Tensor {
     pub fn new(shape: impl Into<Vec<usize>>, data: Vec<f32>) -> Self {
         let shape = shape.into();
         let numel: usize = shape.iter().product();
-        assert_eq!(data.len(), numel, "data length {} != shape {:?}", data.len(), shape);
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} != shape {:?}",
+            data.len(),
+            shape
+        );
         Tensor { shape, data }
     }
 
@@ -29,19 +35,28 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Vec<usize>>) -> Self {
         let shape = shape.into();
         let numel: usize = shape.iter().product();
-        Tensor { shape, data: vec![0.0; numel] }
+        Tensor {
+            shape,
+            data: vec![0.0; numel],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Vec<usize>>, value: f32) -> Self {
         let shape = shape.into();
         let numel: usize = shape.iter().product();
-        Tensor { shape, data: vec![value; numel] }
+        Tensor {
+            shape,
+            data: vec![value; numel],
+        }
     }
 
     /// A 1-element scalar tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![1], data: vec![value] }
+        Tensor {
+            shape: vec![1],
+            data: vec![value],
+        }
     }
 
     /// The shape.
@@ -75,7 +90,12 @@ impl Tensor {
     ///
     /// Panics if the tensor has more than one element.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.numel(), 1, "item() on tensor with shape {:?}", self.shape);
+        assert_eq!(
+            self.numel(),
+            1,
+            "item() on tensor with shape {:?}",
+            self.shape
+        );
         self.data[0]
     }
 
@@ -87,8 +107,17 @@ impl Tensor {
     pub fn reshaped(&self, shape: impl Into<Vec<usize>>) -> Tensor {
         let shape = shape.into();
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.numel(), "reshape {:?} -> {:?}", self.shape, shape);
-        Tensor { shape, data: self.data.clone() }
+        assert_eq!(
+            numel,
+            self.numel(),
+            "reshape {:?} -> {:?}",
+            self.shape,
+            shape
+        );
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Elementwise in-place `self += other`.

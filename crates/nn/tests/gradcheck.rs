@@ -14,10 +14,7 @@ const TOL: f32 = 2e-2;
 
 /// Builds loss = scalar-valued `f(inputs)` twice per element for finite
 /// differences, and once for the analytic gradient, then compares.
-fn gradcheck(
-    inputs: &[Tensor],
-    f: impl Fn(&mut Graph, &[Var]) -> Var,
-) {
+fn gradcheck(inputs: &[Tensor], f: impl Fn(&mut Graph, &[Var]) -> Var) {
     // Analytic gradients.
     let mut g = Graph::new();
     let vars: Vec<Var> = inputs.iter().map(|t| g.input(t.clone())).collect();
@@ -50,7 +47,10 @@ fn gradcheck(
 
 fn rand_tensor(shape: &[usize], rng: &mut StdRng) -> Tensor {
     let numel: usize = shape.iter().product();
-    Tensor::new(shape.to_vec(), (0..numel).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    Tensor::new(
+        shape.to_vec(),
+        (0..numel).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+    )
 }
 
 #[test]
@@ -61,9 +61,9 @@ fn elementwise_ops() {
     gradcheck(&[a.clone(), b.clone()], |g, v| g.add(v[0], v[1]));
     gradcheck(&[a.clone(), b.clone()], |g, v| g.sub(v[0], v[1]));
     gradcheck(&[a.clone(), b.clone()], |g, v| g.mul(v[0], v[1]));
-    gradcheck(&[a.clone()], |g, v| g.neg(v[0]));
-    gradcheck(&[a.clone()], |g, v| g.add_scalar(v[0], 0.7));
-    gradcheck(&[a.clone()], |g, v| g.mul_scalar(v[0], -1.3));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.neg(v[0]));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.add_scalar(v[0], 0.7));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.mul_scalar(v[0], -1.3));
 }
 
 #[test]
@@ -76,9 +76,9 @@ fn activations() {
             *v += 0.2;
         }
     }
-    gradcheck(&[a.clone()], |g, v| g.relu(v[0]));
-    gradcheck(&[a.clone()], |g, v| g.tanh(v[0]));
-    gradcheck(&[a.clone()], |g, v| g.sigmoid(v[0]));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.relu(v[0]));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.tanh(v[0]));
+    gradcheck(std::slice::from_ref(&a), |g, v| g.sigmoid(v[0]));
     gradcheck(&[a], |g, v| g.exp(v[0]));
 }
 
@@ -111,7 +111,10 @@ fn bce_with_logits() {
     let targets = Tensor::new([3, 3], (0..9).map(|i| (i % 2) as f32).collect());
     // Only check the logits gradient path (targets are data).
     gradcheck(&[logits], |g, v| {
-        let t = g.input(Tensor::new([3, 3], (0..9).map(|i| (i % 2) as f32).collect()));
+        let t = g.input(Tensor::new(
+            [3, 3],
+            (0..9).map(|i| (i % 2) as f32).collect(),
+        ));
         g.bce_with_logits(v[0], t)
     });
     let _ = targets;
@@ -131,7 +134,7 @@ fn conv2d_all_paths() {
 fn upsample_crop_reshape() {
     let mut rng = StdRng::seed_from_u64(7);
     let x = rand_tensor(&[1, 2, 3, 3], &mut rng);
-    gradcheck(&[x.clone()], |g, v| g.upsample2x(v[0]));
+    gradcheck(std::slice::from_ref(&x), |g, v| g.upsample2x(v[0]));
     let big = rand_tensor(&[1, 2, 4, 4], &mut rng);
     gradcheck(&[big], |g, v| g.crop2d(v[0], 3, 2));
     gradcheck(&[x], |g, v| g.reshape(v[0], [2, 9]));

@@ -37,7 +37,10 @@ pub fn decode_f32(n: usize, bits: &[f32]) -> Result<PrefixGrid, PrefixError> {
     let mut grid = PrefixGrid::try_ripple(n)?;
     let expected = grid.free_cell_count();
     if bits.len() != expected {
-        return Err(PrefixError::BadBitvecLen { expected, actual: bits.len() });
+        return Err(PrefixError::BadBitvecLen {
+            expected,
+            actual: bits.len(),
+        });
     }
     for ((i, j), &b) in PrefixGrid::free_cells(n).zip(bits) {
         if b >= 0.5 {
@@ -56,7 +59,10 @@ pub fn decode_bits(n: usize, bits: &[bool]) -> Result<PrefixGrid, PrefixError> {
     let mut grid = PrefixGrid::try_ripple(n)?;
     let expected = grid.free_cell_count();
     if bits.len() != expected {
-        return Err(PrefixError::BadBitvecLen { expected, actual: bits.len() });
+        return Err(PrefixError::BadBitvecLen {
+            expected,
+            actual: bits.len(),
+        });
     }
     for ((i, j), &b) in PrefixGrid::free_cells(n).zip(bits) {
         if b {
@@ -88,7 +94,10 @@ pub fn encode_dense(grid: &PrefixGrid) -> Vec<f32> {
 /// [`PrefixError::BadWidth`] for an unsupported width.
 pub fn decode_dense(n: usize, dense: &[f32]) -> Result<PrefixGrid, PrefixError> {
     if dense.len() != n * n {
-        return Err(PrefixError::BadBitvecLen { expected: n * n, actual: dense.len() });
+        return Err(PrefixError::BadBitvecLen {
+            expected: n * n,
+            actual: dense.len(),
+        });
     }
     let mut grid = PrefixGrid::try_ripple(n)?;
     for (i, j) in PrefixGrid::free_cells(n) {
@@ -160,7 +169,11 @@ mod tests {
         let count = PrefixGrid::ripple(n).free_cell_count();
         let probs = vec![0.49f32; count];
         let g = decode_f32(n, &probs).unwrap();
-        assert_eq!(g.node_count(), 2 * n - 1, "0.49 < threshold keeps cells clear");
+        assert_eq!(
+            g.node_count(),
+            2 * n - 1,
+            "0.49 < threshold keeps cells clear"
+        );
         let probs = vec![0.5f32; count];
         let g = decode_f32(n, &probs).unwrap();
         assert_eq!(g.node_count(), 2 * n - 1 + count, "0.5 sets all free cells");

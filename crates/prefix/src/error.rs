@@ -56,7 +56,10 @@ impl fmt::Display for PrefixError {
                 node.0, node.1, parent.0, parent.1
             ),
             PrefixError::BadBitvecLen { expected, actual } => {
-                write!(f, "bitvector length {actual} does not match expected {expected}")
+                write!(
+                    f,
+                    "bitvector length {actual} does not match expected {expected}"
+                )
             }
         }
     }
@@ -74,8 +77,14 @@ mod tests {
             PrefixError::BadWidth(1),
             PrefixError::OutOfTriangle { row: 0, col: 3 },
             PrefixError::MissingMandatory { row: 2, col: 2 },
-            PrefixError::MissingParent { node: (3, 0), parent: (1, 0) },
-            PrefixError::BadBitvecLen { expected: 6, actual: 5 },
+            PrefixError::MissingParent {
+                node: (3, 0),
+                parent: (1, 0),
+            },
+            PrefixError::BadBitvecLen {
+                expected: 6,
+                actual: 5,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -86,7 +86,10 @@ impl PrefixGraph {
     /// Panics if `grid` is not legal. Use [`PrefixGrid::legalize`] first
     /// when legality is not guaranteed.
     pub fn from_grid(grid: &PrefixGrid) -> Self {
-        assert!(grid.is_legal(), "PrefixGraph::from_grid requires a legal grid");
+        assert!(
+            grid.is_legal(),
+            "PrefixGraph::from_grid requires a legal grid"
+        );
         let n = grid.width();
         // Index map from (row, col) to node index. Emit nodes in an order
         // that is automatically topological: by increasing row, and within
@@ -111,7 +114,12 @@ impl PrefixGraph {
                     Some((u, l)) => 1 + nodes[u].level.max(nodes[l].level),
                 };
                 index[i * n + j] = nodes.len();
-                nodes.push(Node { span: Span::new(i, j), parents, level, fanout: 0 });
+                nodes.push(Node {
+                    span: Span::new(i, j),
+                    parents,
+                    level,
+                    fanout: 0,
+                });
             }
         }
         // Fanout accounting: each child contributes one load to each parent.
@@ -121,7 +129,11 @@ impl PrefixGraph {
             nodes[l].fanout += 1;
         }
         let output_nodes = (0..n).map(|i| index[i * n]).collect();
-        PrefixGraph { n, nodes, output_nodes }
+        PrefixGraph {
+            n,
+            nodes,
+            output_nodes,
+        }
     }
 
     /// The bitwidth `N`.

@@ -65,7 +65,11 @@ impl PrefixGrid {
             return Err(PrefixError::BadWidth(n));
         }
         let words_per_row = n.div_ceil(64);
-        let mut grid = PrefixGrid { n, words: vec![0u64; n * words_per_row], words_per_row };
+        let mut grid = PrefixGrid {
+            n,
+            words: vec![0u64; n * words_per_row],
+            words_per_row,
+        };
         for i in 0..n {
             grid.set_unchecked(i, i, true);
             grid.set_unchecked(i, 0, true);
@@ -155,7 +159,11 @@ impl PrefixGrid {
 
     /// Iterates over all present cells as `(row, col)` pairs, row-major.
     pub fn cells(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.n).flat_map(move |i| (0..=i).filter(move |&j| self.get_unchecked(i, j)).map(move |j| (i, j)))
+        (0..self.n).flat_map(move |i| {
+            (0..=i)
+                .filter(move |&j| self.get_unchecked(i, j))
+                .map(move |j| (i, j))
+        })
     }
 
     /// The column of the *upper parent* of `(row, col)`: the smallest
@@ -194,7 +202,10 @@ impl PrefixGrid {
                     .upper_parent_col(i, j)
                     .expect("non-diagonal cell must have an upper parent");
                 if !self.get_unchecked(k - 1, j) {
-                    return Some(PrefixError::MissingParent { node: (i, j), parent: (k - 1, j) });
+                    return Some(PrefixError::MissingParent {
+                        node: (i, j),
+                        parent: (k - 1, j),
+                    });
                 }
             }
         }
@@ -299,17 +310,32 @@ mod tests {
 
     #[test]
     fn width_bounds_enforced() {
-        assert_eq!(PrefixGrid::try_ripple(1).unwrap_err(), PrefixError::BadWidth(1));
-        assert_eq!(PrefixGrid::try_ripple(0).unwrap_err(), PrefixError::BadWidth(0));
-        assert_eq!(PrefixGrid::try_ripple(513).unwrap_err(), PrefixError::BadWidth(513));
+        assert_eq!(
+            PrefixGrid::try_ripple(1).unwrap_err(),
+            PrefixError::BadWidth(1)
+        );
+        assert_eq!(
+            PrefixGrid::try_ripple(0).unwrap_err(),
+            PrefixError::BadWidth(0)
+        );
+        assert_eq!(
+            PrefixGrid::try_ripple(513).unwrap_err(),
+            PrefixError::BadWidth(513)
+        );
         assert!(PrefixGrid::try_ripple(512).is_ok());
     }
 
     #[test]
     fn mandatory_cells_cannot_be_cleared() {
         let mut g = PrefixGrid::ripple(8);
-        assert!(matches!(g.set(3, 3, false), Err(PrefixError::MissingMandatory { .. })));
-        assert!(matches!(g.set(3, 0, false), Err(PrefixError::MissingMandatory { .. })));
+        assert!(matches!(
+            g.set(3, 3, false),
+            Err(PrefixError::MissingMandatory { .. })
+        ));
+        assert!(matches!(
+            g.set(3, 0, false),
+            Err(PrefixError::MissingMandatory { .. })
+        ));
         // Setting them true is a fine no-op.
         g.set(3, 3, true).unwrap();
         g.set(3, 0, true).unwrap();
@@ -318,8 +344,14 @@ mod tests {
     #[test]
     fn out_of_triangle_rejected() {
         let mut g = PrefixGrid::ripple(8);
-        assert!(matches!(g.set(2, 5, true), Err(PrefixError::OutOfTriangle { .. })));
-        assert!(matches!(g.set(9, 0, true), Err(PrefixError::OutOfTriangle { .. })));
+        assert!(matches!(
+            g.set(2, 5, true),
+            Err(PrefixError::OutOfTriangle { .. })
+        ));
+        assert!(matches!(
+            g.set(9, 0, true),
+            Err(PrefixError::OutOfTriangle { .. })
+        ));
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl GridMetrics {
     /// Computes metrics for a grid. Illegal grids are legalized first
     /// (matching the paper: legalization is part of the objective).
     pub fn of(grid: &PrefixGrid) -> Self {
-        let legal = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+        let legal = if grid.is_legal() {
+            grid.clone()
+        } else {
+            grid.legalized()
+        };
         let graph = legal.to_graph();
         let ops = graph.op_count();
         let fan_sum: usize = graph.nodes().iter().map(|n| n.fanout).sum();
@@ -36,7 +40,11 @@ impl GridMetrics {
             ops,
             depth: graph.depth(),
             max_fanout: graph.max_fanout(),
-            mean_fanout: if fan_count == 0 { 0.0 } else { fan_sum as f64 / fan_count as f64 },
+            mean_fanout: if fan_count == 0 {
+                0.0
+            } else {
+                fan_sum as f64 / fan_count as f64
+            },
         }
     }
 
@@ -68,13 +76,19 @@ mod tests {
         let mut g = PrefixGrid::ripple(16);
         g.set(15, 8, true).unwrap();
         let m = GridMetrics::of(&g);
-        assert!(m.nodes > g.node_count(), "legalization adds nodes before measuring");
+        assert!(
+            m.nodes > g.node_count(),
+            "legalization adds nodes before measuring"
+        );
     }
 
     #[test]
     fn proxy_orders_ripple_vs_sklansky() {
         let r = GridMetrics::of(&topologies::ripple(32)).analytic_proxy();
         let s = GridMetrics::of(&topologies::sklansky(32)).analytic_proxy();
-        assert!(s < r, "sklansky proxy {s} should beat ripple {r} at width 32");
+        assert!(
+            s < r,
+            "sklansky proxy {s} should beat ripple {r} at width 32"
+        );
     }
 }

@@ -69,7 +69,11 @@ pub fn uniform_crossover<R: Rng + ?Sized>(
     let n = a.width();
     let mut child = PrefixGrid::ripple(n);
     for (i, j) in PrefixGrid::free_cells(n) {
-        let bit = if rng.gen_bool(0.5) { a.get(i, j) } else { b.get(i, j) };
+        let bit = if rng.gen_bool(0.5) {
+            a.get(i, j)
+        } else {
+            b.get(i, j)
+        };
         if bit {
             let _ = child.set(i, j, true);
         }

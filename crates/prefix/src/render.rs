@@ -35,7 +35,11 @@ pub fn grid_ascii(grid: &PrefixGrid) -> String {
 /// spans computed at that level. Good for comparing structural shapes
 /// (Fig. 8) in text output.
 pub fn levels_ascii(grid: &PrefixGrid) -> String {
-    let legal = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+    let legal = if grid.is_legal() {
+        grid.clone()
+    } else {
+        grid.legalized()
+    };
     let graph = legal.to_graph();
     let depth = graph.depth();
     let mut out = String::new();

@@ -175,7 +175,11 @@ mod tests {
     fn sklansky_has_log_depth() {
         for n in [8, 16, 32, 64] {
             let d = sklansky(n).to_graph().depth();
-            assert_eq!(d, (n as f64).log2().ceil() as usize, "sklansky depth at {n}");
+            assert_eq!(
+                d,
+                (n as f64).log2().ceil() as usize,
+                "sklansky depth at {n}"
+            );
         }
     }
 
@@ -204,7 +208,10 @@ mod tests {
         let ks = kogge_stone(32).to_graph();
         assert!(ks.max_fanout() <= 6, "KS fanout {}", ks.max_fanout());
         let sk = sklansky(32).to_graph();
-        assert!(sk.max_fanout() > ks.max_fanout(), "sklansky fans out more than KS");
+        assert!(
+            sk.max_fanout() > ks.max_fanout(),
+            "sklansky fans out more than KS"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub struct IoTiming {
 impl IoTiming {
     /// All inputs arrive at t=0 and all outputs are equally critical.
     pub fn uniform(n: usize) -> Self {
-        IoTiming { arrival: vec![0.0; n], required_offset: vec![0.0; n] }
+        IoTiming {
+            arrival: vec![0.0; n],
+            required_offset: vec![0.0; n],
+        }
     }
 
     /// A "captured datapath" profile emulating the paper's real-world
@@ -63,7 +66,10 @@ impl IoTiming {
                 skew_ns * 0.5 * (1.0 - x)
             })
             .collect();
-        IoTiming { arrival, required_offset }
+        IoTiming {
+            arrival,
+            required_offset,
+        }
     }
 
     fn arrival_of(&self, bit: usize) -> f64 {
@@ -160,7 +166,11 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
             }
         }
     }
-    assert_eq!(processed, netlist.gate_count(), "combinational cycle detected");
+    assert_eq!(
+        processed,
+        netlist.gate_count(),
+        "combinational cycle detected"
+    );
 
     // Effective delay over outputs with required offsets.
     let (mut delay, mut crit_bit, mut crit_net) = (f64::NEG_INFINITY, 0usize, 0usize);
@@ -182,7 +192,10 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
     loop {
         match from[net] {
             Some(gid) => {
-                path.push(PathStep { gate: Some(gid), arrival_ns: arrival[net] });
+                path.push(PathStep {
+                    gate: Some(gid),
+                    arrival_ns: arrival[net],
+                });
                 // Step to the latest-arriving input pin.
                 let g = &netlist.gates()[gid];
                 net = *g
@@ -192,14 +205,22 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
                     .expect("gates have at least one input");
             }
             None => {
-                path.push(PathStep { gate: None, arrival_ns: arrival[net] });
+                path.push(PathStep {
+                    gate: None,
+                    arrival_ns: arrival[net],
+                });
                 break;
             }
         }
     }
     path.reverse();
 
-    TimingReport { delay_ns: delay, net_arrival_ns: arrival, critical_output_bit: crit_bit, critical_path: path }
+    TimingReport {
+        delay_ns: delay,
+        net_arrival_ns: arrival,
+        critical_output_bit: crit_bit,
+        critical_path: path,
+    }
 }
 
 /// Finds the gate ids lying on the critical path (excluding the launch).
@@ -225,7 +246,13 @@ pub fn criticality(report: &TimingReport, netlist: &Netlist, io: &IoTiming) -> V
     report
         .net_arrival_ns
         .iter()
-        .map(|&at| if at.is_finite() { (report.delay_ns - at).max(0.0) } else { f64::INFINITY })
+        .map(|&at| {
+            if at.is_finite() {
+                (report.delay_ns - at).max(0.0)
+            } else {
+                f64::INFINITY
+            }
+        })
         .collect()
 }
 
@@ -273,8 +300,16 @@ mod tests {
     fn deeper_topologies_are_slower() {
         let lib = lib();
         let io = IoTiming::uniform(32);
-        let rip = analyze(&map_adder(&topologies::ripple(32).to_graph(), &lib), &lib, &io);
-        let sk = analyze(&map_adder(&topologies::sklansky(32).to_graph(), &lib), &lib, &io);
+        let rip = analyze(
+            &map_adder(&topologies::ripple(32).to_graph(), &lib),
+            &lib,
+            &io,
+        );
+        let sk = analyze(
+            &map_adder(&topologies::sklansky(32).to_graph(), &lib),
+            &lib,
+            &io,
+        );
         assert!(
             rip.delay_ns > 2.0 * sk.delay_ns,
             "ripple ({}) must be much slower than sklansky ({})",
@@ -290,7 +325,11 @@ mod tests {
         // but stay the same order of magnitude.
         let lib = lib();
         let io = IoTiming::uniform(64);
-        let sk = analyze(&map_adder(&topologies::sklansky(64).to_graph(), &lib), &lib, &io);
+        let sk = analyze(
+            &map_adder(&topologies::sklansky(64).to_graph(), &lib),
+            &lib,
+            &io,
+        );
         assert!(
             (0.2..2.0).contains(&sk.delay_ns),
             "unsized sklansky-64 delay {} outside plausibility range",
@@ -306,7 +345,10 @@ mod tests {
         let mut io = IoTiming::uniform(16);
         io.arrival[7] = 0.5; // middle bit arrives very late
         let skewed = analyze(&nl, &lib, &io).delay_ns;
-        assert!(skewed >= base + 0.3, "late arrival must push delay: {skewed} vs {base}");
+        assert!(
+            skewed >= base + 0.3,
+            "late arrival must push delay: {skewed} vs {base}"
+        );
     }
 
     #[test]
@@ -359,8 +401,9 @@ mod tests {
         for _ in 0..12 {
             outs.push(nl.add_gate(Function::Inv, Drive::X1, vec![x]));
         }
-        for (i, o) in outs.iter().enumerate() {
-            nl.add_output(*o, i % 1);
+        // All sinks report on the single output bit of this 1-bit fixture.
+        for o in &outs {
+            nl.add_output(*o, 0);
         }
         let before = analyze(&nl, &lib, &IoTiming::uniform(1)).delay_ns;
         // Split half the sinks behind an X4 buffer.
@@ -383,7 +426,10 @@ mod tests {
             .cloned()
             .filter(|c| c.is_finite())
             .fold(f64::INFINITY, f64::min);
-        assert!(min.abs() < 1e-9, "some net must sit on the critical envelope");
+        assert!(
+            min.abs() < 1e-9,
+            "some net must sit on the critical envelope"
+        );
     }
 
     #[test]

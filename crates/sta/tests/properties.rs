@@ -11,7 +11,9 @@ use proptest::prelude::*;
 fn arb_netlist(n: usize) -> impl Strategy<Value = cv_netlist::Netlist> {
     let free = (n - 1) * (n - 2) / 2;
     prop::collection::vec(any::<bool>(), free).prop_map(move |bits| {
-        let grid = bitvec::decode_bits(n, &bits).expect("length matches").legalized();
+        let grid = bitvec::decode_bits(n, &bits)
+            .expect("length matches")
+            .legalized();
         map_adder(&grid.to_graph(), &nangate45_like())
     })
 }

@@ -35,7 +35,12 @@ pub struct CommercialTool {
 impl CommercialTool {
     /// Creates a tool instance for one design context.
     pub fn new(lib: CellLibrary, kind: CircuitKind, width: usize, io: IoTiming) -> Self {
-        CommercialTool { lib, kind, width, io }
+        CommercialTool {
+            lib,
+            kind,
+            width,
+            io,
+        }
     }
 
     /// Synthesizes the full architecture × effort portfolio.
@@ -52,14 +57,13 @@ impl CommercialTool {
                         sizing_moves: moves,
                         delay_weight: w,
                     };
-                    let flow = SynthesisFlow::with_config(
-                        self.lib.clone(),
-                        self.kind,
-                        self.width,
-                        cfg,
-                    );
+                    let flow =
+                        SynthesisFlow::with_config(self.lib.clone(), self.kind, self.width, cfg);
                     let ppa = flow.synthesize(&grid);
-                    out.push(ToolDesign { label: format!("{name}@{effort}/w{w}"), ppa });
+                    out.push(ToolDesign {
+                        label: format!("{name}@{effort}/w{w}"),
+                        ppa,
+                    });
                 }
             }
         }
@@ -155,7 +159,11 @@ mod tests {
             IoTiming::datapath_profile(31, 0.1),
         );
         let front = t.pareto_front();
-        assert!(front.len() >= 2, "expect a real frontier, got {}", front.len());
+        assert!(
+            front.len() >= 2,
+            "expect a real frontier, got {}",
+            front.len()
+        );
     }
 
     #[test]

@@ -52,7 +52,13 @@ mod tests {
     use super::*;
 
     fn ppa(area: f64, delay: f64) -> PpaReport {
-        PpaReport { area_um2: area, delay_ns: delay, gate_count: 0, buffers_inserted: 0, gates_upsized: 0 }
+        PpaReport {
+            area_um2: area,
+            delay_ns: delay,
+            gate_count: 0,
+            buffers_inserted: 0,
+            gates_upsized: 0,
+        }
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Objective {
     /// Evaluates one grid (one "simulation").
     pub fn evaluate(&self, grid: &PrefixGrid) -> EvalRecord {
         let ppa = self.flow.synthesize(grid);
-        EvalRecord { cost: self.cost.cost(&ppa), ppa }
+        EvalRecord {
+            cost: self.cost.cost(&ppa),
+            ppa,
+        }
     }
 
     /// The synthesis flow.
@@ -75,6 +78,9 @@ impl Objective {
     }
 }
 
+/// A cache slot: `None` while its owning thread is synthesizing.
+type Slot = Arc<Mutex<Option<EvalRecord>>>;
+
 /// A caching, counting, thread-safe evaluator.
 ///
 /// Re-evaluating a grid already in the cache costs nothing and does *not*
@@ -85,14 +91,39 @@ impl Objective {
 /// paper notes legalization "may be considered part of the objective").
 pub struct CachedEvaluator {
     objective: Objective,
-    cache: Mutex<HashMap<PrefixGrid, EvalRecord>>,
+    // Each entry is a slot shared by every thread querying that design:
+    // the first thread holds the slot's lock while it synthesizes, so
+    // concurrent queries for the same key block on the slot (not the
+    // whole cache) and never double-count a simulation.
+    cache: Mutex<HashMap<PrefixGrid, Slot>>,
     counter: SimCounter,
+}
+
+/// Drop guard that un-claims a cache key if its owner unwinds before
+/// publishing a result, so a panicking synthesis (e.g. a width-mismatch
+/// assert) doesn't wedge the key for every later query.
+struct Unclaim<'a> {
+    cache: &'a Mutex<HashMap<PrefixGrid, Slot>>,
+    key: &'a PrefixGrid,
+    armed: bool,
+}
+
+impl Drop for Unclaim<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.cache.lock().remove(self.key);
+        }
+    }
 }
 
 impl CachedEvaluator {
     /// Wraps an objective.
     pub fn new(objective: Objective) -> Self {
-        CachedEvaluator { objective, cache: Mutex::new(HashMap::new()), counter: SimCounter::new() }
+        CachedEvaluator {
+            objective,
+            cache: Mutex::new(HashMap::new()),
+            counter: SimCounter::new(),
+        }
     }
 
     /// The shared simulation counter.
@@ -112,14 +143,40 @@ impl CachedEvaluator {
 
     /// Evaluates one grid, consulting the cache.
     pub fn evaluate(&self, grid: &PrefixGrid) -> EvalRecord {
-        let key = if grid.is_legal() { grid.clone() } else { grid.legalized() };
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return *hit;
+        let key = if grid.is_legal() {
+            grid.clone()
+        } else {
+            grid.legalized()
+        };
+        loop {
+            // Claim or find the slot for this key. If we create it, lock
+            // it *before* releasing the cache lock so racers on the same
+            // key block until our result is in.
+            let mut map = self.cache.lock();
+            if let Some(slot) = map.get(&key).cloned() {
+                drop(map);
+                if let Some(rec) = *slot.lock() {
+                    return rec;
+                }
+                // The owner unwound before publishing (its entry has been
+                // un-claimed); retry and take ownership ourselves.
+                continue;
+            }
+            let slot = Arc::new(Mutex::new(None));
+            map.insert(key.clone(), Arc::clone(&slot));
+            let mut guard = slot.lock();
+            drop(map);
+            let mut unclaim = Unclaim {
+                cache: &self.cache,
+                key: &key,
+                armed: true,
+            };
+            let rec = self.objective.evaluate(&key);
+            unclaim.armed = false;
+            self.counter.add(1);
+            *guard = Some(rec);
+            return rec;
         }
-        let rec = self.objective.evaluate(&key);
-        self.counter.add(1);
-        self.cache.lock().insert(key, rec);
-        rec
     }
 
     /// Evaluates a batch in parallel across `threads` worker threads
@@ -135,9 +192,9 @@ impl CachedEvaluator {
         let results: Vec<Mutex<Option<EvalRecord>>> =
             grids.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| loop {
+                s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= grids.len() {
                         break;
@@ -145,8 +202,7 @@ impl CachedEvaluator {
                     *results[i].lock() = Some(self.evaluate(&grids[i]));
                 });
             }
-        })
-        .expect("evaluation workers must not panic");
+        });
         results
             .into_iter()
             .map(|m| m.into_inner().expect("all batch slots filled"))
@@ -193,8 +249,9 @@ mod tests {
     fn batch_matches_serial_and_counts_unique() {
         let ev = evaluator(12, 0.5);
         let mut rng = StdRng::seed_from_u64(1);
-        let mut grids: Vec<PrefixGrid> =
-            (0..10).map(|_| mutate::random_grid(12, 0.25, &mut rng)).collect();
+        let mut grids: Vec<PrefixGrid> = (0..10)
+            .map(|_| mutate::random_grid(12, 0.25, &mut rng))
+            .collect();
         grids.push(grids[0].clone()); // duplicate
         let parallel = ev.evaluate_batch(&grids, 4);
         let serial: Vec<EvalRecord> = grids.iter().map(|g| ev.evaluate(g)).collect();
@@ -217,5 +274,27 @@ mod tests {
     fn empty_batch_is_fine() {
         let ev = evaluator(8, 0.5);
         assert!(ev.evaluate_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn panicking_evaluation_does_not_wedge_the_key() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let ev = evaluator(8, 0.5);
+        let wrong_width = topologies::sklansky(12);
+        // Width mismatch panics inside the flow; the cache key must be
+        // un-claimed so later queries see the original panic, and the
+        // evaluator must stay usable for other designs.
+        for _ in 0..2 {
+            let r = catch_unwind(AssertUnwindSafe(|| ev.evaluate(&wrong_width)));
+            let msg = *r
+                .expect_err("width mismatch must panic")
+                .downcast::<String>()
+                .unwrap();
+            assert!(msg.contains("width mismatch"), "unexpected panic: {msg}");
+        }
+        assert_eq!(ev.counter().count(), 0, "failed evaluations must not count");
+        let ok = ev.evaluate(&topologies::sklansky(8));
+        assert!(ok.cost.is_finite());
+        assert_eq!(ev.counter().count(), 1);
     }
 }

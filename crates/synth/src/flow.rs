@@ -53,7 +53,12 @@ impl SynthesisFlow {
     /// Creates a flow with default configuration for `width`.
     pub fn new(lib: CellLibrary, kind: CircuitKind, width: usize) -> Self {
         let config = SynthesisConfig::for_width(width);
-        SynthesisFlow { lib, kind, width, config }
+        SynthesisFlow {
+            lib,
+            kind,
+            width,
+            config,
+        }
     }
 
     /// Creates a flow with explicit configuration.
@@ -63,7 +68,12 @@ impl SynthesisFlow {
         width: usize,
         config: SynthesisConfig,
     ) -> Self {
-        SynthesisFlow { lib, kind, width, config }
+        SynthesisFlow {
+            lib,
+            kind,
+            width,
+            config,
+        }
     }
 
     /// The circuit bitwidth this flow synthesizes.
@@ -100,7 +110,11 @@ impl SynthesisFlow {
     /// Panics if `grid.width() != self.width()`.
     pub fn synthesize(&self, grid: &PrefixGrid) -> PpaReport {
         assert_eq!(grid.width(), self.width, "grid width mismatch");
-        let legal = if grid.is_legal() { grid.clone() } else { grid.legalized() };
+        let legal = if grid.is_legal() {
+            grid.clone()
+        } else {
+            grid.legalized()
+        };
         let graph = legal.to_graph();
         let mut netlist = map_circuit(&graph, self.kind, &self.lib);
         let buffers = buffer_high_fanout(&mut netlist, &self.lib, self.config.max_fanout);

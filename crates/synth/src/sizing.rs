@@ -26,11 +26,13 @@ pub fn size_gates(
     while moves < max_moves {
         let path = critical_gates(&report);
         let mut best: Option<(usize, cv_cells::Drive, f64)> = None;
-        let current_score =
-            delay_weight * 10.0 * report.delay_ns + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
+        let current_score = delay_weight * 10.0 * report.delay_ns
+            + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
         for gid in path {
             let old_drive = netlist.gates()[gid].drive;
-            let Some(bigger) = old_drive.upsized() else { continue };
+            let Some(bigger) = old_drive.upsized() else {
+                continue;
+            };
             netlist.gate_mut(gid).drive = bigger;
             let trial = analyze(netlist, lib, io);
             let trial_score = delay_weight * 10.0 * trial.delay_ns
@@ -69,7 +71,12 @@ mod tests {
         let before = analyze(&nl, &lib, &io).delay_ns;
         let (moves, report) = size_gates(&mut nl, &lib, &io, 0.95, 50);
         assert!(moves > 0, "at ω=0.95 the sizer must act");
-        assert!(report.delay_ns < before, "{} -> {}", before, report.delay_ns);
+        assert!(
+            report.delay_ns < before,
+            "{} -> {}",
+            before,
+            report.delay_ns
+        );
     }
 
     #[test]

@@ -92,7 +92,10 @@ impl SearchOutcome {
     /// `<= target`, if ever — the quantity behind the paper's
     /// "VAE speedup" column in Table 1.
     pub fn sims_to_reach(&self, target: f64) -> Option<usize> {
-        self.history.iter().find(|(_, c)| *c <= target).map(|(s, _)| *s)
+        self.history
+            .iter()
+            .find(|(_, c)| *c <= target)
+            .map(|(s, _)| *s)
     }
 }
 

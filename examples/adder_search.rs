@@ -46,15 +46,19 @@ fn main() {
         // GA with the full budget.
         let ev = evaluator(delay_weight);
         let mut rng = StdRng::seed_from_u64(0);
-        let ga_out = GeneticAlgorithm::new(WIDTH, GaConfig::default())
-            .run(&ev, BUDGET, usize::MAX, false, &mut rng);
+        let ga_out = GeneticAlgorithm::new(WIDTH, GaConfig::default()).run(
+            &ev,
+            BUDGET,
+            usize::MAX,
+            false,
+            &mut rng,
+        );
         report("GA", &ga_out);
 
         // Simulated annealing with the full budget.
         let ev = evaluator(delay_weight);
         let mut rng = StdRng::seed_from_u64(0);
-        let sa_out =
-            SimulatedAnnealing::new(WIDTH, SaConfig::default()).run(&ev, BUDGET, &mut rng);
+        let sa_out = SimulatedAnnealing::new(WIDTH, SaConfig::default()).run(&ev, BUDGET, &mut rng);
         report("SA", &sa_out);
         println!();
     }

@@ -24,7 +24,10 @@ fn main() {
     println!("classical prefix shapes as g2b converters:");
     for (name, grid) in topologies::all_classical(width) {
         let rec = evaluator.evaluate(&grid);
-        println!("  {name:<15} cost {:.3} ({} XORs)", rec.cost, rec.ppa.gate_count);
+        println!(
+            "  {name:<15} cost {:.3} ({} XORs)",
+            rec.cost, rec.ppa.gate_count
+        );
     }
 
     let mut rng = StdRng::seed_from_u64(3);
@@ -38,10 +41,16 @@ fn main() {
 
     let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 9);
     let outcome = vae.run(&evaluator, 120);
-    let best = outcome.best_grid.expect("search produced a design").legalized();
+    let best = outcome
+        .best_grid
+        .expect("search produced a design")
+        .legalized();
 
     println!("\nbest g2b converter (cost {:.3}):", outcome.best_cost);
     println!("{}", render::grid_ascii(&best));
     let m = GridMetrics::of(&best);
-    println!("ops {} depth {} — an adder at this width typically needs denser p/g logic", m.ops, m.depth);
+    println!(
+        "ops {} depth {} — an adder at this width typically needs denser p/g logic",
+        m.ops, m.depth
+    );
 }

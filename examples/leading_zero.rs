@@ -41,7 +41,14 @@ fn main() {
 
     let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 6);
     let outcome = vae.run(&evaluator, 120);
-    let best = outcome.best_grid.expect("search produced a design").legalized();
-    println!("\nbest LZD network (cost {:.3}): {}", outcome.best_cost, render::summary_line(&best));
+    let best = outcome
+        .best_grid
+        .expect("search produced a design")
+        .legalized();
+    println!(
+        "\nbest LZD network (cost {:.3}): {}",
+        outcome.best_cost,
+        render::summary_line(&best)
+    );
     println!("{}", render::grid_ascii(&best));
 }

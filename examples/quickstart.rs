@@ -4,6 +4,9 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! The flow lives in [`run`] so the integration suite can smoke-test it
+//! end-to-end at a smaller width (see `tests/tests/quickstart_smoke.rs`).
 
 use circuitvae::{CircuitVae, CircuitVaeConfig};
 use cv_cells::nangate45_like;
@@ -13,7 +16,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let width = 16;
+    run(16, 60, 150);
+}
+
+/// Runs the full quickstart flow: evaluate the classical designs, seed a
+/// random initial dataset of `n_initial` grids, then run CircuitVAE for
+/// `budget` simulations. Returns the best cost found.
+pub fn run(width: usize, n_initial: usize, budget: usize) -> f64 {
     let delay_weight = 0.66;
 
     // 1. The black-box objective: map → buffer → size → time, scored as
@@ -33,7 +42,7 @@ fn main() {
 
     // 3. An initial dataset of random designs.
     let mut rng = StdRng::seed_from_u64(7);
-    let initial: Vec<_> = (0..60)
+    let initial: Vec<_> = (0..n_initial)
         .map(|_| {
             let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
             let cost = evaluator.evaluate(&g).cost;
@@ -43,10 +52,21 @@ fn main() {
 
     // 4. Run CircuitVAE (Algorithm 1).
     let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 42);
-    let outcome = vae.run(&evaluator, 150);
+    let outcome = vae.run(&evaluator, budget);
 
-    let best = outcome.best_grid.expect("search produced a design").legalized();
-    println!("\nCircuitVAE best after {} simulations:", evaluator.counter().count());
-    println!("  cost {:.3} — {}", outcome.best_cost, render::summary_line(&best));
+    let best = outcome
+        .best_grid
+        .expect("search produced a design")
+        .legalized();
+    println!(
+        "\nCircuitVAE best after {} simulations:",
+        evaluator.counter().count()
+    );
+    println!(
+        "  cost {:.3} — {}",
+        outcome.best_cost,
+        render::summary_line(&best)
+    );
     println!("{}", render::grid_ascii(&best));
+    outcome.best_cost
 }

@@ -2,9 +2,9 @@
 //! objective: the VAE must reconstruct designs it was trained on, and
 //! the cost predictor must correlate with true synthesized cost.
 
-use circuitvae::{CircuitVae, CircuitVaeConfig, Dataset};
 #[allow(unused_imports)]
 use circuitvae::CircuitVaeModel;
+use circuitvae::{CircuitVae, CircuitVaeConfig, Dataset};
 use cv_cells::nangate45_like;
 use cv_nn::{Graph, Tensor};
 use cv_prefix::{bitvec, mutate, CircuitKind, PrefixGrid};
@@ -40,10 +40,12 @@ fn reconstruction_beats_chance_on_training_data() {
     let mut total = 0usize;
     for (g, _) in vae.dataset().entries().iter().take(20) {
         let dense = bitvec::encode_dense(g);
-        let (mu, _) = vae.model().encode_values(vae.store(), &[dense.clone()]);
+        let (mu, _) = vae
+            .model()
+            .encode_values(vae.store(), std::slice::from_ref(&dense));
         let probs = vae.model().decode_probs(vae.store(), &mu);
-        for ((i, j), (&p, &x)) in PrefixGrid::free_cells(width)
-            .zip(probs[0].iter().zip(dense.iter()).collect::<Vec<_>>())
+        for ((i, j), (&p, &x)) in
+            PrefixGrid::free_cells(width).zip(probs[0].iter().zip(dense.iter()).collect::<Vec<_>>())
         {
             // Only free cells are informative.
             let _ = (i, j);
@@ -82,22 +84,34 @@ fn cost_predictor_correlates_with_true_cost() {
     ds.recompute_weights(1e-3, true);
     let _ = circuitvae::train(&model, &mut store, &ds, &config, 250, &mut rng);
 
-    let grids: Vec<PrefixGrid> =
-        ds.entries().iter().take(40).map(|(g, _)| g.clone()).collect();
+    let grids: Vec<PrefixGrid> = ds
+        .entries()
+        .iter()
+        .take(40)
+        .map(|(g, _)| g.clone())
+        .collect();
     let dense: Vec<Vec<f32>> = grids.iter().map(bitvec::encode_dense).collect();
     let (mu, _) = model.encode_values(&store, &dense);
     let mut g = Graph::new();
     let flat: Vec<f32> = mu.iter().flatten().copied().collect();
     let z = g.input(Tensor::new([mu.len(), model.latent_dim()], flat));
     let pred_node = model.predict_cost(&mut g, &store, z);
-    let preds: Vec<f64> = g.value(pred_node).data().iter().map(|&v| f64::from(v)).collect();
+    let preds: Vec<f64> = g
+        .value(pred_node)
+        .data()
+        .iter()
+        .map(|&v| f64::from(v))
+        .collect();
     let actual: Vec<f64> = grids.iter().map(|gr| ev.evaluate(gr).cost).collect();
 
     // Pearson correlation between predicted and true costs.
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (mp, ma) = (mean(&preds), mean(&actual));
-    let cov: f64 =
-        preds.iter().zip(&actual).map(|(p, a)| (p - mp) * (a - ma)).sum::<f64>();
+    let cov: f64 = preds
+        .iter()
+        .zip(&actual)
+        .map(|(p, a)| (p - mp) * (a - ma))
+        .sum::<f64>();
     let vp: f64 = preds.iter().map(|p| (p - mp) * (p - mp)).sum::<f64>();
     let va: f64 = actual.iter().map(|a| (a - ma) * (a - ma)).sum::<f64>();
     let corr = cov / (vp.sqrt() * va.sqrt()).max(1e-12);

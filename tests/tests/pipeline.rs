@@ -74,8 +74,9 @@ fn gray_to_binary_objective_differs_from_adder() {
 fn parallel_batch_evaluation_matches_serial() {
     let ev = evaluator(14, CircuitKind::Adder, 0.66);
     let mut rng = StdRng::seed_from_u64(4);
-    let grids: Vec<PrefixGrid> =
-        (0..12).map(|_| mutate::random_grid(14, rng.gen_range(0.05..0.5), &mut rng)).collect();
+    let grids: Vec<PrefixGrid> = (0..12)
+        .map(|_| mutate::random_grid(14, rng.gen_range(0.05..0.5), &mut rng))
+        .collect();
     let par = ev.evaluate_batch(&grids, 4);
     let ser: Vec<_> = grids.iter().map(|g| ev.evaluate(g)).collect();
     assert_eq!(par, ser);

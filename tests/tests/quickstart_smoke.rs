@@ -1,0 +1,18 @@
+//! Smoke test: the `examples/quickstart.rs` flow must run to completion
+//! at width 8 (shrunk from the example's default width 16 / budget 150
+//! to stay well inside the CI time budget).
+
+// Compile the example source directly so the test exercises exactly the
+// code `cargo run --example quickstart` ships; its `main` is unused here.
+#[allow(dead_code)]
+#[path = "../../examples/quickstart.rs"]
+mod quickstart;
+
+#[test]
+fn quickstart_runs_to_completion_at_width_8() {
+    let best = quickstart::run(8, 20, 40);
+    assert!(
+        best.is_finite() && best > 0.0,
+        "quickstart best cost {best}"
+    );
+}

@@ -1,0 +1,160 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides enough of criterion's surface for the `cv-bench` benches to
+//! compile and run in hermetic environments: [`Criterion`],
+//! benchmark groups with `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: each `iter` call times a small fixed number of
+//! iterations with `std::time::Instant` and prints the mean per
+//! iteration. There is no statistical analysis, warm-up, or HTML
+//! report — the point is a stable compile target plus a usable smoke
+//! timing, not rigorous statistics (swap the real crate back in for
+//! those).
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of `std::hint::black_box` (mirrors `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: 3,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks (mirrors `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the vendored runner keeps its own
+    /// small fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored runner does not use
+    /// wall-clock measurement windows.
+    pub fn measurement_time(&mut self, _dur: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            report: None,
+        };
+        f(&mut b);
+        Self::print_report(&self.name, &id.to_string(), b.report);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            report: None,
+        };
+        f(&mut b, input);
+        Self::print_report(&self.name, &id.0, b.report);
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+
+    fn print_report(group: &str, id: &str, report: Option<f64>) {
+        match report {
+            Some(ns) => println!("{group}/{id}: {:.3} ms/iter", ns / 1e6),
+            None => println!("{group}/{id}: no measurement"),
+        }
+    }
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Timing harness passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    report: Option<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over a small fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        let per_iter_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+        self.report = Some(per_iter_ns);
+    }
+}
+
+/// Bundles benchmark functions into a single runner function (mirrors
+/// `criterion::criterion_group!`; the flat form only).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups (mirrors
+/// `criterion::criterion_main!`).
+///
+/// When invoked by `cargo test` (cargo passes harness flags such as
+/// `--test` or test-name filters to `harness = false` targets), the
+/// benches are skipped so test runs stay fast; `cargo bench` runs them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! `any::<T>()` — strategies for primitives.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleStandard};
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the canonical distribution.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl<T: SampleStandard> Arbitrary for T {
+    fn arbitrary(rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}

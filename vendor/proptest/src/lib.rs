@@ -1,0 +1,98 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! Implements exactly the slice the CircuitVAE property suites use: the
+//! [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), [`strategy::Strategy`] with `prop_map`, numeric-range and
+//! [`arbitrary::any`] strategies, `prop::collection::vec`, and the
+//! `prop_assert!` / `prop_assert_eq!` assertion macros.
+//!
+//! Differences from the real crate, chosen deliberately for a hermetic,
+//! reproducible test bed:
+//!
+//! - **Deterministic**: each test derives its RNG seed from the test
+//!   name, so failures replay without a persistence file.
+//! - **No shrinking**: a failing case reports the panic directly.
+//! - `prop_assert!` panics (instead of returning `Err`), which is
+//!   equivalent under the default panic-based test harness.
+
+#![deny(missing_docs)]
+
+pub use rand;
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of the real crate's `prop::` re-exports.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`; each test
+/// runs `cases` times with values drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            // Seed derived from the test name: deterministic, but
+            // distinct streams per test.
+            let mut __seed: u64 = 0xc1c1_u64;
+            for b in stringify!($name).bytes() {
+                __seed = __seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+            }
+            let mut __rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(__seed);
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

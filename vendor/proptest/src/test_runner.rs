@@ -1,0 +1,23 @@
+//! Test-runner configuration (mirrors `proptest::test_runner`).
+
+/// How many cases each property test executes.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps hermetic single-core
+        // CI runs inside the per-suite time budget.
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,58 @@
+//! Sequence helpers (mirrors `rand::seq`).
+
+use crate::Rng;
+
+/// Random operations on slices (mirrors `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Returns a uniformly chosen reference, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let idx = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[idx])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let items = [1, 2, 3, 4];
+        assert!(items.contains(items.choose(&mut rng).unwrap()));
+
+        let mut v: Vec<u32> = (0..32).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline vendored facade over the `serde` API surface this workspace
+//! uses.
+//!
+//! The codebase derives `Serialize`/`Deserialize` on its public data
+//! types to pin down which structures are serialization-safe, but never
+//! performs wire serialization inside the workspace (checkpointing uses
+//! its own binary codec in `cv-nn`). In hermetic builds without a
+//! crates.io mirror we therefore vendor the traits as markers plus
+//! no-op derive macros; swapping the real `serde` back in is a
+//! one-line manifest change and requires no source edits.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose shape is serialization-safe.
+///
+/// Mirrors `serde::Serialize` at the trait-bound level; carries no
+/// methods in the vendored build.
+pub trait Serialize {}
+
+/// Marker for types that can be reconstructed from serialized data.
+///
+/// Mirrors `serde::Deserialize` at the trait-bound level; carries no
+/// methods in the vendored build.
+pub trait Deserialize<'de>: Sized {}

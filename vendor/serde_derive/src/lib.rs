@@ -1,0 +1,64 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! facade.
+//!
+//! The real `serde_derive` generates visitor-based codecs; the vendored
+//! build only needs the marker-trait impls to exist so that derive
+//! attributes and trait bounds across the workspace keep compiling.
+//! Generic types are intentionally unsupported (the workspace derives
+//! serde only on concrete types); the macro emits a clear error if one
+//! shows up.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the vendored marker `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives the vendored marker `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Extracts the name of the derived `struct`/`enum`, rejecting generics.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "vendored serde_derive does not support generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("expected a struct, enum or union".to_string())
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error must parse")
+}
