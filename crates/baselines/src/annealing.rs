@@ -3,7 +3,7 @@
 
 use cv_prefix::{mutate, topologies};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -62,7 +62,10 @@ impl SimulatedAnnealing {
             let frac = used(evaluator) as f64 / budget.max(1) as f64;
             let temp = self.config.t_start * (self.config.t_end / self.config.t_start).powf(frac);
             let cand = mutate::neighbour(&current, rng);
-            let cand_cost = eval_and_track(evaluator, &mut tracker, &cand);
+            // `current` is the design the candidate was mutated from, so
+            // the evaluator's incremental session can patch its resident
+            // netlist instead of re-synthesizing from scratch.
+            let cand_cost = eval_and_track_from(evaluator, &mut tracker, &current, &cand);
             let accept = cand_cost < current_cost
                 || rng.gen_bool(((current_cost - cand_cost) / temp).exp().clamp(0.0, 1.0));
             if accept {

@@ -4,7 +4,7 @@
 
 use cv_prefix::{mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -123,11 +123,20 @@ impl GeneticAlgorithm {
             }
             pop = next;
             scored.clear();
+            // Children of one generation are structurally close to each
+            // other (shared elite ancestry), so chaining each evaluation
+            // off its predecessor keeps the evaluator's incremental
+            // session patching small diffs instead of rebuilding.
+            let mut prev: Option<&PrefixGrid> = None;
             for g in &pop {
                 if used(evaluator) >= budget {
                     break;
                 }
-                let c = eval_and_track(evaluator, &mut tracker, g);
+                let c = match prev {
+                    Some(p) => eval_and_track_from(evaluator, &mut tracker, p, g),
+                    None => eval_and_track(evaluator, &mut tracker, g),
+                };
+                prev = Some(g);
                 scored.push((g.clone(), c));
             }
         }

@@ -30,7 +30,7 @@ mod random_search;
 mod rl;
 
 pub use annealing::{SaConfig, SimulatedAnnealing};
-pub use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+pub use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
 pub use ga::{ga_initial_dataset, GaConfig, GeneticAlgorithm};
 pub use random_search::random_search;
 pub use rl::{PrefixRlLite, RlConfig};

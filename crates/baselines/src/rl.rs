@@ -11,7 +11,7 @@
 use cv_nn::{AdamConfig, Graph, Mlp, ParamStore, Tensor};
 use cv_prefix::{bitvec, mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
+use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -137,7 +137,9 @@ impl PrefixRlLite {
                 let mut next = grid.clone();
                 let _ = next.toggle(i, j);
                 next.legalize();
-                let next_cost = eval_and_track(evaluator, &mut tracker, &next);
+                // A single-cell toggle of `grid`: the canonical case for
+                // the evaluator's incremental patch path.
+                let next_cost = eval_and_track_from(evaluator, &mut tracker, &grid, &next);
                 let reward = (cost - next_cost) as f32;
                 let terminal = step + 1 == cfg.episode_len;
                 let t = Transition {

@@ -210,21 +210,31 @@ pub fn vae_config(spec: &ExperimentSpec) -> CircuitVaeConfig {
 /// Returns the merged best-so-far curve (initial-dataset simulations are
 /// charged to the curve, as in the paper).
 pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOutcome {
-    let evaluator = build_evaluator(spec);
+    run_method_on(method, spec, seed, &build_evaluator(spec))
+}
+
+/// [`run_method`] against a caller-provided evaluator — the hook the
+/// `incremental` bench uses to A/B the session-backed evaluator against
+/// [`CachedEvaluator::new_reference`]. Outcomes are identical either way
+/// (the incremental path is bit-for-bit equal); only throughput differs.
+pub fn run_method_on(
+    method: Method,
+    spec: &ExperimentSpec,
+    seed: u64,
+    evaluator: &CachedEvaluator,
+) -> SearchOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     match method {
         Method::Ga => {
             let ga = GeneticAlgorithm::new(spec.width, GaConfig::default());
-            ga.run(&evaluator, spec.budget, usize::MAX, false, &mut rng)
+            ga.run(evaluator, spec.budget, usize::MAX, false, &mut rng)
         }
         Method::Sa => SimulatedAnnealing::new(spec.width, SaConfig::default()).run(
-            &evaluator,
+            evaluator,
             spec.budget,
             &mut rng,
         ),
-        Method::Random => {
-            cv_baselines::random_search(spec.width, &evaluator, spec.budget, &mut rng)
-        }
+        Method::Random => cv_baselines::random_search(spec.width, evaluator, spec.budget, &mut rng),
         Method::Rl => {
             let hidden = if spec.width >= 32 { 96 } else { 64 };
             let rl = PrefixRlLite::new(
@@ -235,12 +245,12 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
                     ..RlConfig::default()
                 },
             );
-            rl.run(&evaluator, spec.budget, &mut rng)
+            rl.run(evaluator, spec.budget, &mut rng)
         }
         Method::CircuitVae | Method::LatentBo => {
             let init_budget =
                 ((spec.budget as f64 * spec.init_fraction) as usize).clamp(1, spec.budget);
-            let initial = ga_initial_dataset(spec.width, &evaluator, init_budget, &mut rng);
+            let initial = ga_initial_dataset(spec.width, evaluator, init_budget, &mut rng);
             let init_used = evaluator.counter().count();
             let init_best = initial
                 .iter()
@@ -258,7 +268,7 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
             };
             let mut vae = CircuitVae::new(spec.width, vae_config(spec), initial, seed ^ 0x5eed)
                 .with_acquisition(acquisition);
-            let outcome = vae.run(&evaluator, spec.budget.saturating_sub(init_used));
+            let outcome = vae.run(evaluator, spec.budget.saturating_sub(init_used));
 
             // Merge: initial phase breakpoint + offset VAE curve.
             let mut history = vec![(init_used, init_best)];

@@ -11,5 +11,7 @@
 pub mod harness;
 pub mod stats;
 
-pub use harness::{build_evaluator, run_method, ExperimentSpec, Method, Scale, TechLibrary};
-pub use stats::{median_iqr, CurveSet, Quartiles};
+pub use harness::{
+    build_evaluator, run_method, run_method_on, ExperimentSpec, Method, Scale, TechLibrary,
+};
+pub use stats::{median_iqr, quantile_sorted, CurveSet, Quartiles};

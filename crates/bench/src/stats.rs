@@ -21,26 +21,46 @@ impl std::fmt::Display for Quartiles {
     }
 }
 
-/// Median and IQR of `values` (ignores non-finite entries).
+/// Linearly interpolated quantile of an ascending-sorted, non-empty
+/// slice (the "R-7" rule used by numpy's default `quantile`). `p` is
+/// clamped to `[0, 1]`.
 ///
-/// Returns `None` when no finite values remain.
+/// Edge cases are part of the contract:
+/// * a single-element slice returns that element for every `p`;
+/// * `p = 0` / `p = 1` return the first / last element exactly (no
+///   floating-point interpolation residue).
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of an empty slice");
+    let p = p.clamp(0.0, 1.0);
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    if lo == hi {
+        // Exact index (includes len == 1, p == 0, p == 1): no blending.
+        return sorted[lo];
+    }
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Median and IQR of `values`, ignoring non-finite entries (NaN and
+/// ±∞ are dropped *before* any quantile math).
+///
+/// Pinned edge-case behavior:
+/// * no finite values (empty input, or all NaN/∞) → `None`;
+/// * exactly one finite value `x` → `q1 == median == q3 == x`;
+/// * two finite values `a ≤ b` → `median = (a+b)/2`, `q1`/`q3` at the
+///   R-7 quarter positions (`a + 0.25·(b−a)` and `a + 0.75·(b−a)`).
 pub fn median_iqr(values: &[f64]) -> Option<Quartiles> {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
     if v.is_empty() {
         return None;
     }
     v.sort_by(f64::total_cmp);
-    let q = |p: f64| -> f64 {
-        let pos = p * (v.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        let frac = pos - lo as f64;
-        v[lo] * (1.0 - frac) + v[hi] * frac
-    };
     Some(Quartiles {
-        q1: q(0.25),
-        median: q(0.5),
-        q3: q(0.75),
+        q1: quantile_sorted(&v, 0.25),
+        median: quantile_sorted(&v, 0.5),
+        q3: quantile_sorted(&v, 0.75),
     })
 }
 
@@ -166,6 +186,55 @@ mod tests {
         assert_eq!(q.q3, 4.0);
         assert!(median_iqr(&[]).is_none());
         assert!(median_iqr(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn empty_and_nonfinite_inputs_yield_none() {
+        assert!(median_iqr(&[]).is_none());
+        assert!(median_iqr(&[f64::NAN]).is_none());
+        assert!(median_iqr(&[f64::NEG_INFINITY, f64::INFINITY, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_element_collapses_all_quartiles() {
+        let q = median_iqr(&[42.5]).unwrap();
+        assert_eq!((q.q1, q.median, q.q3), (42.5, 42.5, 42.5));
+        // A single survivor after filtering behaves the same way.
+        let q = median_iqr(&[f64::NAN, 42.5, f64::INFINITY]).unwrap();
+        assert_eq!((q.q1, q.median, q.q3), (42.5, 42.5, 42.5));
+    }
+
+    #[test]
+    fn two_elements_interpolate_r7_positions() {
+        let q = median_iqr(&[1.0, 3.0]).unwrap();
+        assert!((q.median - 2.0).abs() < 1e-12);
+        assert!((q.q1 - 1.5).abs() < 1e-12);
+        assert!((q.q3 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_elements_match_numpy_default() {
+        // numpy.quantile([1,2,3,4], [.25,.5,.75]) == [1.75, 2.5, 3.25]
+        let q = median_iqr(&[4.0, 2.0, 1.0, 3.0]).unwrap(); // order-free
+        assert!((q.q1 - 1.75).abs() < 1e-12);
+        assert!((q.median - 2.5).abs() < 1e-12);
+        assert!((q.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_sorted_endpoints_are_exact() {
+        let v = [1.0, 2.0, 10.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 10.0);
+        assert_eq!(quantile_sorted(&v, -3.0), 1.0); // clamped
+        assert_eq!(quantile_sorted(&v, 2.0), 10.0); // clamped
+        assert_eq!(quantile_sorted(&[7.0], 0.33), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slice")]
+    fn quantile_sorted_rejects_empty() {
+        let _ = quantile_sorted(&[], 0.5);
     }
 
     #[test]

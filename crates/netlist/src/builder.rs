@@ -1,0 +1,421 @@
+//! Reusable, incremental netlist construction.
+//!
+//! [`NetlistBuilder`] owns the arenas of a mapped [`Netlist`] and rebuilds
+//! them in place. Between two builds it computes the *longest common node
+//! prefix* of the old and new [`PrefixGraph`]s (same span, same parents,
+//! and — for adders — same propagate demand) and re-emits gates only from
+//! the first divergent node onward; everything before it is byte-identical
+//! by construction, so the patched netlist is exactly the netlist a fresh
+//! [`crate::map_circuit`] call would produce. That equality is what makes
+//! the incremental evaluation path in `cv-synth` safe to substitute for
+//! the full synthesis flow.
+
+use crate::netlist::{NetId, Netlist};
+use cv_cells::{Drive, Function};
+use cv_prefix::{CircuitKind, Node, PrefixGraph};
+
+/// How much of the previous build a [`NetlistBuilder::remap`] call reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemapStats {
+    /// Prefix-graph nodes whose gates were kept verbatim.
+    pub reused_nodes: usize,
+    /// Total prefix-graph nodes in the new graph.
+    pub total_nodes: usize,
+    /// Gates kept from the previous build (the common-prefix gates).
+    pub reused_gates: usize,
+    /// Gates in the freshly mapped netlist (before buffering/sizing).
+    pub total_gates: usize,
+}
+
+/// Per-node identity for prefix matching: a node contributes the same
+/// gates iff its span, its parent indices, and (adders only) its
+/// propagate demand are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NodeKey {
+    node: Node,
+    need_p: bool,
+}
+
+/// A reusable builder mapping prefix graphs of one `(kind, width)` to
+/// netlists, patching rather than rebuilding when graphs are similar.
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    kind: CircuitKind,
+    width: usize,
+    netlist: Netlist,
+    /// Node identities of the previous build (empty before the first).
+    prev: Vec<NodeKey>,
+    /// Arena checkpoint `(gates, nets, pins)` taken *after* emitting each
+    /// node's gates, aligned with `prev`.
+    checkpoints: Vec<(usize, usize, usize)>,
+    /// Per-node generate / propagate / value nets from the last build.
+    /// Entries below the common prefix stay valid across remaps because
+    /// emission is deterministic.
+    g_net: Vec<NetId>,
+    p_net: Vec<NetId>,
+    /// Diagonal node index per bit (rebuilt each remap; cheap).
+    diag: Vec<usize>,
+    /// Scratch: propagate demand for the incoming graph.
+    need_p: Vec<bool>,
+}
+
+impl NetlistBuilder {
+    /// Creates a builder for `width`-bit circuits of `kind`.
+    pub fn new(kind: CircuitKind, width: usize) -> Self {
+        NetlistBuilder {
+            kind,
+            width,
+            netlist: Netlist::new(),
+            prev: Vec::new(),
+            checkpoints: Vec::new(),
+            g_net: Vec::new(),
+            p_net: Vec::new(),
+            diag: Vec::new(),
+            need_p: Vec::new(),
+        }
+    }
+
+    /// The circuit kind this builder maps.
+    pub fn kind(&self) -> CircuitKind {
+        self.kind
+    }
+
+    /// The bitwidth this builder maps.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The most recently built netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Consumes the builder, returning the built netlist.
+    pub fn into_netlist(self) -> Netlist {
+        self.netlist
+    }
+
+    /// (Re)maps `graph`, patching the previous build in place. Returns
+    /// how much was reused. The result is always bit-identical to a
+    /// fresh [`crate::map_circuit`] of the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph.width()` differs from the builder's width.
+    pub fn remap(&mut self, graph: &PrefixGraph) -> RemapStats {
+        assert_eq!(graph.width(), self.width, "graph width mismatch");
+        match self.kind {
+            CircuitKind::Adder => self.remap_adder(graph),
+            CircuitKind::GrayToBinary => self.remap_unary(graph, Function::Xor2),
+            CircuitKind::LeadingZero => self.remap_unary(graph, Function::Or2),
+        }
+    }
+
+    /// Ensures the primary inputs exist; they are identical across every
+    /// build of a given `(kind, width)`, so on re-entry the arenas are
+    /// only truncated back down to them, never below.
+    fn pi_count(&self) -> usize {
+        match self.kind {
+            CircuitKind::Adder => 2 * self.width,
+            CircuitKind::GrayToBinary | CircuitKind::LeadingZero => self.width,
+        }
+    }
+
+    fn emit_inputs(&mut self) {
+        match self.kind {
+            CircuitKind::Adder => {
+                for i in 0..self.width {
+                    self.netlist.add_input(i); // a[i] = net i
+                }
+                for i in 0..self.width {
+                    self.netlist.add_input(i); // b[i] = net width + i
+                }
+            }
+            CircuitKind::GrayToBinary | CircuitKind::LeadingZero => {
+                for k in 0..self.width {
+                    self.netlist.add_input(k); // x[k] = net k
+                }
+            }
+        }
+    }
+
+    /// Longest prefix of `nodes` whose keys match the previous build.
+    fn common_prefix(&self, nodes: &[Node]) -> usize {
+        let limit = self.prev.len().min(nodes.len());
+        (0..limit)
+            .take_while(|&idx| {
+                self.prev[idx]
+                    == NodeKey {
+                        node: nodes[idx],
+                        need_p: self.need_p[idx],
+                    }
+            })
+            .count()
+    }
+
+    /// Rolls the arenas back to the state right after node `prefix - 1`
+    /// was emitted (or to the primary-input state for `prefix == 0`),
+    /// dropping every output. Returns the surviving gate count.
+    fn rewind(&mut self, prefix: usize) -> usize {
+        self.netlist.clear_outputs();
+        if self.prev.is_empty() {
+            // First build: arenas are empty; emit the inputs once.
+            debug_assert_eq!(self.netlist.net_count(), 0);
+            self.emit_inputs();
+            return 0;
+        }
+        let (gates, nets, pins) = if prefix == 0 {
+            (0, self.pi_count(), 0)
+        } else {
+            self.checkpoints[prefix - 1]
+        };
+        self.netlist.truncate_to(gates, nets, pins);
+        gates
+    }
+
+    /// Records the per-node checkpoint and the new node keys after a
+    /// (re)build.
+    fn commit(&mut self, nodes: &[Node]) {
+        self.prev.clear();
+        self.prev
+            .extend(nodes.iter().enumerate().map(|(idx, &n)| NodeKey {
+                node: n,
+                need_p: self.need_p[idx],
+            }));
+    }
+
+    fn remap_adder(&mut self, graph: &PrefixGraph) -> RemapStats {
+        let n = self.width;
+        let nodes = graph.nodes();
+
+        // Propagate-demand analysis, identical to the reference mapper:
+        // a node's `p` is needed if it is the `hi` parent of any node, the
+        // `lo` parent of a node whose own `p` is demanded, or a diagonal
+        // node feeding the sum stage.
+        self.need_p.clear();
+        self.need_p.resize(nodes.len(), false);
+        self.diag.clear();
+        self.diag.resize(n, usize::MAX);
+        for (idx, node) in nodes.iter().enumerate() {
+            if node.span.is_input() {
+                self.diag[node.span.msb] = idx;
+            }
+        }
+        for &idx in &self.diag {
+            debug_assert!(idx != usize::MAX, "diagonal node must be present");
+            self.need_p[idx] = true;
+        }
+        for idx in (0..nodes.len()).rev() {
+            if let Some((hi, lo)) = nodes[idx].parents {
+                self.need_p[hi] = true;
+                if self.need_p[idx] {
+                    self.need_p[lo] = true;
+                }
+            }
+        }
+
+        let prefix = self.common_prefix(nodes);
+        let reused_gates = self.rewind(prefix);
+        self.g_net.resize(nodes.len(), usize::MAX);
+        self.p_net.resize(nodes.len(), usize::MAX);
+        self.checkpoints.resize(nodes.len(), (0, 0, 0));
+
+        // Emit gates for nodes past the common prefix, in the reference
+        // emission order (node order; g before p within a node).
+        for (idx, node) in nodes.iter().enumerate().skip(prefix) {
+            match node.parents {
+                None => {
+                    let bit = node.span.msb;
+                    let (a, b) = (bit, n + bit);
+                    self.g_net[idx] = self.netlist.add_gate(Function::And2, Drive::X1, &[a, b]);
+                    // Diagonal p is always structurally demanded by the
+                    // sum stage, so emit unconditionally.
+                    self.p_net[idx] = self.netlist.add_gate(Function::Xor2, Drive::X1, &[a, b]);
+                }
+                Some((hi, lo)) => {
+                    debug_assert!(self.p_net[hi] != usize::MAX, "hi parent p must be demanded");
+                    self.g_net[idx] = self.netlist.add_gate(
+                        Function::Ao21,
+                        Drive::X1,
+                        &[self.p_net[hi], self.g_net[lo], self.g_net[hi]],
+                    );
+                    if self.need_p[idx] {
+                        debug_assert!(self.p_net[lo] != usize::MAX, "lo parent p must be demanded");
+                        self.p_net[idx] = self.netlist.add_gate(
+                            Function::And2,
+                            Drive::X1,
+                            &[self.p_net[hi], self.p_net[lo]],
+                        );
+                    } else {
+                        self.p_net[idx] = usize::MAX;
+                    }
+                }
+            }
+            self.checkpoints[idx] = self.netlist.raw_lens();
+        }
+
+        // Sum stage: carry into bit i is the output node [i-1:0].
+        for i in 0..n {
+            let p_i = self.p_net[self.diag[i]];
+            if i == 0 {
+                self.netlist.add_output(p_i, 0);
+            } else {
+                let carry = self.g_net[graph.output_node(i - 1)];
+                let s = self
+                    .netlist
+                    .add_gate(Function::Xor2, Drive::X1, &[p_i, carry]);
+                self.netlist.add_output(s, i);
+            }
+        }
+        // Carry out: the full-width generate.
+        self.netlist
+            .add_output(self.g_net[graph.output_node(n - 1)], n - 1);
+
+        debug_assert!(self.netlist.is_well_formed());
+        self.commit(nodes);
+        RemapStats {
+            reused_nodes: prefix,
+            total_nodes: nodes.len(),
+            reused_gates,
+            total_gates: self.netlist.gate_count(),
+        }
+    }
+
+    /// Shared remap for the single-operator prefix circuits: each
+    /// non-input node is one `op` gate (`XOR2` for gray-to-binary, `OR2`
+    /// for leading-zero); grid position `j` reads input bit `n-1-j`.
+    fn remap_unary(&mut self, graph: &PrefixGraph, op: Function) -> RemapStats {
+        let n = self.width;
+        let nodes = graph.nodes();
+        self.need_p.clear();
+        self.need_p.resize(nodes.len(), false);
+
+        let prefix = self.common_prefix(nodes);
+        let reused_gates = self.rewind(prefix);
+        // `g_net[idx]` holds the node's value net here (p_net unused).
+        self.g_net.resize(nodes.len(), usize::MAX);
+        self.checkpoints.resize(nodes.len(), (0, 0, 0));
+
+        for (idx, node) in nodes.iter().enumerate().skip(prefix) {
+            self.g_net[idx] = match node.parents {
+                None => n - 1 - node.span.msb,
+                Some((hi, lo)) => {
+                    self.netlist
+                        .add_gate(op, Drive::X1, &[self.g_net[hi], self.g_net[lo]])
+                }
+            };
+            self.checkpoints[idx] = self.netlist.raw_lens();
+        }
+        for i in 0..n {
+            let bit = n - 1 - i; // grid output [i:0] is circuit bit n-1-i
+            self.netlist
+                .add_output(self.g_net[graph.output_node(i)], bit);
+        }
+
+        debug_assert!(self.netlist.is_well_formed());
+        self.commit(nodes);
+        RemapStats {
+            reused_nodes: prefix,
+            total_nodes: nodes.len(),
+            reused_gates,
+            total_gates: self.netlist.gate_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map_circuit;
+    use cv_cells::nangate45_like;
+    use cv_prefix::{mutate, topologies, PrefixGrid};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const KINDS: [CircuitKind; 3] = [
+        CircuitKind::Adder,
+        CircuitKind::GrayToBinary,
+        CircuitKind::LeadingZero,
+    ];
+
+    #[test]
+    fn first_build_matches_reference_mapper() {
+        let lib = nangate45_like();
+        for kind in KINDS {
+            for n in [2usize, 8, 16] {
+                for (name, grid) in topologies::all_classical(n) {
+                    let graph = grid.to_graph();
+                    let mut b = NetlistBuilder::new(kind, n);
+                    b.remap(&graph);
+                    assert_eq!(
+                        b.netlist(),
+                        &map_circuit(&graph, kind, &lib),
+                        "{kind} {name} w{n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remap_chain_matches_fresh_builds_and_reuses() {
+        let lib = nangate45_like();
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for kind in KINDS {
+            let mut b = NetlistBuilder::new(kind, 16);
+            let mut grid = topologies::sklansky(16);
+            let mut reused_any = false;
+            for step in 0..24 {
+                let graph = grid.to_graph();
+                let stats = b.remap(&graph);
+                assert_eq!(
+                    b.netlist(),
+                    &map_circuit(&graph, kind, &lib),
+                    "{kind} step {step}"
+                );
+                reused_any |= stats.reused_nodes > 0 && stats.reused_gates > 0;
+                assert!(stats.reused_nodes <= stats.total_nodes);
+                grid = mutate::neighbour(&grid, &mut rng);
+            }
+            assert!(reused_any, "{kind}: no remap ever reused a prefix");
+        }
+    }
+
+    #[test]
+    fn identical_graph_remap_is_maximally_reused() {
+        let grid = topologies::brent_kung(16);
+        let graph = grid.to_graph();
+        let mut b = NetlistBuilder::new(CircuitKind::Adder, 16);
+        b.remap(&graph);
+        let stats = b.remap(&graph);
+        assert_eq!(stats.reused_nodes, stats.total_nodes);
+        assert_eq!(
+            b.netlist(),
+            &map_circuit(&graph, CircuitKind::Adder, &nangate45_like())
+        );
+    }
+
+    #[test]
+    fn mutation_near_top_row_reuses_most_nodes() {
+        // A toggle in the highest row diverges only at the final rows of
+        // the node stream, so nearly everything is patched in place.
+        let mut b = NetlistBuilder::new(CircuitKind::Adder, 32);
+        let base = topologies::kogge_stone(32);
+        b.remap(&base.to_graph());
+        let mut mutated = base.clone();
+        mutated.set(31, 20, true).unwrap();
+        mutated.legalize();
+        let stats = b.remap(&mutated.to_graph());
+        assert!(
+            stats.reused_nodes * 2 > stats.total_nodes,
+            "top-row mutation should keep most nodes ({stats:?})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "graph width mismatch")]
+    fn width_mismatch_panics() {
+        let mut b = NetlistBuilder::new(CircuitKind::Adder, 8);
+        b.remap(&PrefixGrid::ripple(12).to_graph());
+    }
+}

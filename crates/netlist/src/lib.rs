@@ -26,8 +26,10 @@
 
 #![deny(missing_docs)]
 
+mod builder;
 mod mapper;
 mod netlist;
 
+pub use builder::{NetlistBuilder, RemapStats};
 pub use mapper::{map_adder, map_circuit, map_gray_to_binary, map_leading_zero};
-pub use netlist::{Driver, Gate, GateId, NetId, Netlist, PrimaryOutput};
+pub use netlist::{Driver, GateId, GateRef, NetId, Netlist, PrimaryOutput};

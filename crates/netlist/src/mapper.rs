@@ -1,7 +1,13 @@
 //! Technology mapping: prefix graph → gate-level netlist.
+//!
+//! The emission logic lives in [`crate::NetlistBuilder`]; the functions
+//! here are thin one-shot wrappers, so the incremental remap path and the
+//! from-scratch path share a single source of mapping truth (and are
+//! therefore equal by construction, not merely by test).
 
-use crate::netlist::{NetId, Netlist};
-use cv_cells::{CellLibrary, Drive, Function};
+use crate::builder::NetlistBuilder;
+use crate::netlist::Netlist;
+use cv_cells::CellLibrary;
 use cv_prefix::{CircuitKind, PrefixGraph};
 
 /// Maps a prefix graph to a netlist for the given circuit kind.
@@ -10,11 +16,10 @@ use cv_prefix::{CircuitKind, PrefixGraph};
 /// are emitted at `X1` drive — the sizing pass in `cv-synth` picks final
 /// strengths.
 pub fn map_circuit(graph: &PrefixGraph, kind: CircuitKind, lib: &CellLibrary) -> Netlist {
-    match kind {
-        CircuitKind::Adder => map_adder(graph, lib),
-        CircuitKind::GrayToBinary => map_gray_to_binary(graph, lib),
-        CircuitKind::LeadingZero => map_leading_zero(graph, lib),
-    }
+    let _ = lib;
+    let mut builder = NetlistBuilder::new(kind, graph.width());
+    builder.remap(graph);
+    builder.into_netlist()
 }
 
 /// Maps an `N`-bit binary adder.
@@ -25,91 +30,8 @@ pub fn map_circuit(graph: &PrefixGraph, kind: CircuitKind, lib: &CellLibrary) ->
 ///   some consumer demands it* (column-0 carries never need `p`).
 /// * Sum stage: `s_0 = p_0`, `s_i = XOR2(p_i, carry_{i-1})`, plus a carry
 ///   out from the top output node.
-pub fn map_adder(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
-    let n = graph.width();
-    let nodes = graph.nodes();
-    let mut nl = Netlist::new();
-
-    // Primary inputs, two per bit, interleaved so bit timing lookups work.
-    let a: Vec<NetId> = (0..n).map(|i| nl.add_input(i)).collect();
-    let b: Vec<NetId> = (0..n).map(|i| nl.add_input(i)).collect();
-
-    // Demand analysis for propagate signals. A node's `p` is needed if:
-    // it is the `hi` parent of any node (AO21 consumes p_hi; a demanded
-    // child `p` consumes it too), or the `lo` parent of a node whose own
-    // `p` is demanded, or it is a diagonal node feeding the sum stage.
-    let mut need_p = vec![false; nodes.len()];
-    for i in 0..n {
-        // s_i consumes p_i of the diagonal (input) node [i:i].
-        // Find the diagonal node: the input span [i:i] is always present.
-        if let Some(idx) = nodes
-            .iter()
-            .position(|nd| nd.span.msb == i && nd.span.lsb == i)
-        {
-            need_p[idx] = true;
-        }
-    }
-    // Children appear after parents in topological order; iterate in
-    // reverse so each node's own demand is final before it propagates
-    // demand to its parents.
-    for idx in (0..nodes.len()).rev() {
-        if let Some((hi, lo)) = nodes[idx].parents {
-            need_p[hi] = true;
-            if need_p[idx] {
-                need_p[lo] = true;
-            }
-        }
-    }
-
-    // Emit gates in topological node order; record each node's g/p nets.
-    let mut g_net = vec![usize::MAX; nodes.len()];
-    let mut p_net = vec![usize::MAX; nodes.len()];
-    for (idx, node) in nodes.iter().enumerate() {
-        match node.parents {
-            None => {
-                let bit = node.span.msb;
-                g_net[idx] = nl.add_gate(Function::And2, Drive::X1, vec![a[bit], b[bit]]);
-                // Diagonal p is always structurally demanded by the sum
-                // stage (need_p set above), so emit unconditionally.
-                p_net[idx] = nl.add_gate(Function::Xor2, Drive::X1, vec![a[bit], b[bit]]);
-            }
-            Some((hi, lo)) => {
-                debug_assert!(p_net[hi] != usize::MAX, "hi parent p must be demanded");
-                g_net[idx] = nl.add_gate(
-                    Function::Ao21,
-                    Drive::X1,
-                    vec![p_net[hi], g_net[lo], g_net[hi]],
-                );
-                if need_p[idx] {
-                    debug_assert!(p_net[lo] != usize::MAX, "lo parent p must be demanded");
-                    p_net[idx] = nl.add_gate(Function::And2, Drive::X1, vec![p_net[hi], p_net[lo]]);
-                }
-            }
-        }
-    }
-
-    // Sum stage. Carry into bit i is the output node [i-1:0].
-    for i in 0..n {
-        let p_i = {
-            let idx = nodes
-                .iter()
-                .position(|nd| nd.span.msb == i && nd.span.lsb == i)
-                .expect("diagonal present");
-            p_net[idx]
-        };
-        if i == 0 {
-            nl.add_output(p_i, 0);
-        } else {
-            let carry = g_net[graph.output_node(i - 1)];
-            let s = nl.add_gate(Function::Xor2, Drive::X1, vec![p_i, carry]);
-            nl.add_output(s, i);
-        }
-    }
-    // Carry out: the full-width generate.
-    nl.add_output(g_net[graph.output_node(n - 1)], n - 1);
-
-    debug_assert!(nl.is_well_formed());
-    nl
+pub fn map_adder(graph: &PrefixGraph, lib: &CellLibrary) -> Netlist {
+    map_circuit(graph, CircuitKind::Adder, lib)
 }
 
 /// Maps an `N`-bit gray-to-binary converter.
@@ -118,31 +40,8 @@ pub fn map_adder(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
 /// computed from the MSB downward. Grid position `j` is wired to gray bit
 /// `N-1-j`, so the grid's output span `[i:0]` is binary bit `N-1-i`.
 /// Every prefix node is a single `XOR2`.
-pub fn map_gray_to_binary(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
-    let n = graph.width();
-    let nodes = graph.nodes();
-    let mut nl = Netlist::new();
-
-    // gray[k] primary inputs; grid position j reads gray[n-1-j].
-    let gray: Vec<NetId> = (0..n).map(|k| nl.add_input(k)).collect();
-
-    let mut out_net = vec![usize::MAX; nodes.len()];
-    for (idx, node) in nodes.iter().enumerate() {
-        out_net[idx] = match node.parents {
-            None => gray[n - 1 - node.span.msb],
-            Some((hi, lo)) => {
-                nl.add_gate(Function::Xor2, Drive::X1, vec![out_net[hi], out_net[lo]])
-            }
-        };
-    }
-
-    for i in 0..n {
-        let bit = n - 1 - i; // grid output [i:0] is binary bit n-1-i
-        nl.add_output(out_net[graph.output_node(i)], bit);
-    }
-
-    debug_assert!(nl.is_well_formed());
-    nl
+pub fn map_gray_to_binary(graph: &PrefixGraph, lib: &CellLibrary) -> Netlist {
+    map_circuit(graph, CircuitKind::GrayToBinary, lib)
 }
 
 /// Maps an `N`-bit leading-zero detector flag network.
@@ -154,32 +53,14 @@ pub fn map_gray_to_binary(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
 /// the first set flag, recoverable with a priority encoder downstream;
 /// the prefix network is the part whose shape is worth optimizing.
 /// Every prefix node is a single `OR2`.
-pub fn map_leading_zero(graph: &PrefixGraph, _lib: &CellLibrary) -> Netlist {
-    let n = graph.width();
-    let nodes = graph.nodes();
-    let mut nl = Netlist::new();
-
-    let x: Vec<NetId> = (0..n).map(|k| nl.add_input(k)).collect();
-
-    let mut out_net = vec![usize::MAX; nodes.len()];
-    for (idx, node) in nodes.iter().enumerate() {
-        out_net[idx] = match node.parents {
-            None => x[n - 1 - node.span.msb],
-            Some((hi, lo)) => nl.add_gate(Function::Or2, Drive::X1, vec![out_net[hi], out_net[lo]]),
-        };
-    }
-    for i in 0..n {
-        let bit = n - 1 - i;
-        nl.add_output(out_net[graph.output_node(i)], bit);
-    }
-    debug_assert!(nl.is_well_formed());
-    nl
+pub fn map_leading_zero(graph: &PrefixGraph, lib: &CellLibrary) -> Netlist {
+    map_circuit(graph, CircuitKind::LeadingZero, lib)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cv_cells::nangate45_like;
+    use cv_cells::{nangate45_like, Function};
     use cv_prefix::{mutate, topologies};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -202,7 +83,7 @@ mod tests {
         let mut progress = true;
         while progress {
             progress = false;
-            for g in nl.gates() {
+            for g in nl.iter_gates() {
                 if values[g.output].is_some() {
                     continue;
                 }
@@ -286,6 +167,22 @@ mod tests {
             for (a, b) in [(123, 456), (1023, 1), (777, 333)] {
                 check_adder(&nl, 10, a, b);
             }
+        }
+    }
+
+    #[test]
+    fn remapped_adders_add_correctly_along_a_mutation_chain() {
+        // Functional correctness of the *patched* netlists, not just
+        // structural equality with the reference mapper.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut builder = NetlistBuilder::new(CircuitKind::Adder, 10);
+        let mut grid = topologies::sklansky(10);
+        for _ in 0..12 {
+            builder.remap(&grid.to_graph());
+            for (a, b) in [(511, 513), (1023, 1023), (37, 901)] {
+                check_adder(builder.netlist(), 10, a, b);
+            }
+            grid = mutate::neighbour(&grid, &mut rng);
         }
     }
 
@@ -375,7 +272,7 @@ mod tests {
         let graph = topologies::sklansky(16).to_graph();
         let nl = map_leading_zero(&graph, &lib);
         assert_eq!(nl.gate_count(), graph.op_count());
-        assert!(nl.gates().iter().all(|g| g.function == Function::Or2));
+        assert!(nl.iter_gates().all(|g| g.function == Function::Or2));
     }
 
     #[test]
@@ -384,6 +281,6 @@ mod tests {
         let graph = topologies::brent_kung(16).to_graph();
         let nl = map_gray_to_binary(&graph, &lib);
         assert_eq!(nl.gate_count(), graph.op_count());
-        assert!(nl.gates().iter().all(|g| g.function == Function::Xor2));
+        assert!(nl.iter_gates().all(|g| g.function == Function::Xor2));
     }
 }

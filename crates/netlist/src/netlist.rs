@@ -1,4 +1,12 @@
 //! The netlist data structure.
+//!
+//! Storage is *arena-backed*: gate input pins live in one flat `Vec<NetId>`
+//! shared by every gate, and each gate record is a small `Copy` struct
+//! holding an offset into that arena. Compared to a `Vec<NetId>` per gate
+//! this keeps the whole netlist in three contiguous allocations, which is
+//! what lets [`crate::NetlistBuilder`] rebuild and patch netlists without
+//! touching the allocator and lets `cv-sta`'s incremental timing engine
+//! walk pins cache-linearly.
 
 use cv_cells::{CellLibrary, Drive, Function};
 use serde::{Deserialize, Serialize};
@@ -21,15 +29,26 @@ pub enum Driver {
     Gate(GateId),
 }
 
-/// One instantiated standard cell.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Gate {
+/// Packed per-gate record; pins live in the shared arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct GateData {
+    function: Function,
+    drive: Drive,
+    /// Offset of this gate's input pins in [`Netlist::pins`]; the pin
+    /// count is `function.arity()`.
+    pin_start: usize,
+    output: NetId,
+}
+
+/// A read-only view of one gate; `inputs` borrows from the pin arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateRef<'a> {
     /// Logic function (must exist in the target library).
     pub function: Function,
     /// Current drive strength (mutated by the sizing pass).
     pub drive: Drive,
     /// Input nets, in pin order.
-    pub inputs: Vec<NetId>,
+    pub inputs: &'a [NetId],
     /// Output net.
     pub output: NetId,
 }
@@ -46,13 +65,14 @@ pub struct PrimaryOutput {
 
 /// A flat gate-level netlist.
 ///
-/// Nets and gates are stored in arrays; sink lists are derivable (see
-/// [`Netlist::sink_counts`]) rather than stored, so structural mutations
-/// (resizing, buffering) stay O(1).
+/// Nets and gates are stored in arrays and input pins in one shared
+/// arena; sink lists are derivable (see [`Netlist::sink_counts`]) rather
+/// than stored, so structural mutations (resizing, buffering) stay O(1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Netlist {
     drivers: Vec<Driver>,
-    gates: Vec<Gate>,
+    gates: Vec<GateData>,
+    pins: Vec<NetId>,
     outputs: Vec<PrimaryOutput>,
 }
 
@@ -62,6 +82,7 @@ impl Netlist {
         Netlist {
             drivers: Vec::new(),
             gates: Vec::new(),
+            pins: Vec::new(),
             outputs: Vec::new(),
         }
     }
@@ -73,7 +94,7 @@ impl Netlist {
     }
 
     /// Adds a gate, creating its output net; returns the output net id.
-    pub fn add_gate(&mut self, function: Function, drive: Drive, inputs: Vec<NetId>) -> NetId {
+    pub fn add_gate(&mut self, function: Function, drive: Drive, inputs: &[NetId]) -> NetId {
         assert_eq!(
             inputs.len(),
             function.arity(),
@@ -81,14 +102,15 @@ impl Netlist {
             function.arity(),
             inputs.len()
         );
+        let pin_start = self.pins.len();
+        self.pins.extend_from_slice(inputs);
         let out = self.drivers.len();
-        let gate = Gate {
+        self.gates.push(GateData {
             function,
             drive,
-            inputs,
+            pin_start,
             output: out,
-        };
-        self.gates.push(gate);
+        });
         self.drivers.push(Driver::Gate(self.gates.len() - 1));
         out
     }
@@ -114,14 +136,35 @@ impl Netlist {
         self.drivers[net]
     }
 
-    /// All gates.
-    pub fn gates(&self) -> &[Gate] {
-        &self.gates
+    /// A view of gate `id`.
+    pub fn gate(&self, id: GateId) -> GateRef<'_> {
+        let g = self.gates[id];
+        GateRef {
+            function: g.function,
+            drive: g.drive,
+            inputs: &self.pins[g.pin_start..g.pin_start + g.function.arity()],
+            output: g.output,
+        }
     }
 
-    /// Mutable access to one gate (used by the sizing pass).
-    pub fn gate_mut(&mut self, id: GateId) -> &mut Gate {
-        &mut self.gates[id]
+    /// Iterates all gates in storage order.
+    pub fn iter_gates(&self) -> impl Iterator<Item = GateRef<'_>> + '_ {
+        (0..self.gates.len()).map(move |id| self.gate(id))
+    }
+
+    /// The logic function of gate `id`.
+    pub fn function(&self, id: GateId) -> Function {
+        self.gates[id].function
+    }
+
+    /// The drive strength of gate `id`.
+    pub fn drive(&self, id: GateId) -> Drive {
+        self.gates[id].drive
+    }
+
+    /// Sets the drive strength of gate `id` (used by the sizing pass).
+    pub fn set_drive(&mut self, id: GateId, drive: Drive) {
+        self.gates[id].drive = drive;
     }
 
     /// Primary outputs.
@@ -133,8 +176,8 @@ impl Netlist {
     /// outputs each net feeds. Index by `NetId`.
     pub fn sink_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.drivers.len()];
-        for g in &self.gates {
-            for &i in &g.inputs {
+        for g in self.iter_gates() {
+            for &i in g.inputs {
                 counts[i] += 1;
             }
         }
@@ -147,11 +190,25 @@ impl Netlist {
     /// Per-net capacitive load in fF against `lib`: sum of sink-pin input
     /// capacitances, plus the wire model, plus the primary-output load.
     pub fn net_loads_ff(&self, lib: &CellLibrary) -> Vec<f64> {
-        let mut load = vec![0.0f64; self.drivers.len()];
-        let mut fanout = vec![0usize; self.drivers.len()];
-        for g in &self.gates {
+        let mut load = Vec::new();
+        let mut fanout = Vec::new();
+        self.net_loads_into(lib, &mut load, &mut fanout);
+        load
+    }
+
+    /// Allocation-reusing variant of [`Netlist::net_loads_ff`]: fills
+    /// `load` (and the `fanout` scratch) in place. The summation order is
+    /// the canonical one — gate pins ascending by `(gate, pin)`, then
+    /// primary outputs, then the wire model — which incremental timing
+    /// relies on to reproduce these values bit-for-bit per net.
+    pub fn net_loads_into(&self, lib: &CellLibrary, load: &mut Vec<f64>, fanout: &mut Vec<usize>) {
+        load.clear();
+        load.resize(self.drivers.len(), 0.0f64);
+        fanout.clear();
+        fanout.resize(self.drivers.len(), 0usize);
+        for g in self.iter_gates() {
             let cap = lib.cell(g.function, g.drive).input_cap_ff;
-            for &i in &g.inputs {
+            for &i in g.inputs {
                 load[i] += cap;
                 fanout[i] += 1;
             }
@@ -161,10 +218,9 @@ impl Netlist {
             fanout[o.net] += 1;
         }
         let gates = self.gate_count();
-        for (l, f) in load.iter_mut().zip(&fanout) {
+        for (l, f) in load.iter_mut().zip(fanout.iter()) {
             *l += lib.wire().wire_cap_ff(*f, gates);
         }
-        load
     }
 
     /// Total cell area against `lib`, µm².
@@ -194,13 +250,14 @@ impl Netlist {
     ///
     /// Panics if any `(gate, pin)` does not currently consume `net`.
     pub fn insert_buffer(&mut self, net: NetId, drive: Drive, sinks: &[(GateId, usize)]) -> NetId {
-        let buf_out = self.add_gate(Function::Buf, drive, vec![net]);
+        let buf_out = self.add_gate(Function::Buf, drive, &[net]);
         for &(g, pin) in sinks {
+            let slot = self.gates[g].pin_start + pin;
             assert_eq!(
-                self.gates[g].inputs[pin], net,
+                self.pins[slot], net,
                 "sink ({g}, {pin}) does not consume {net}"
             );
-            self.gates[g].inputs[pin] = buf_out;
+            self.pins[slot] = buf_out;
         }
         buf_out
     }
@@ -208,7 +265,7 @@ impl Netlist {
     /// Returns `(gate, pin)` sink pairs for `net`.
     pub fn sinks_of(&self, net: NetId) -> Vec<(GateId, usize)> {
         let mut out = Vec::new();
-        for (gid, g) in self.gates.iter().enumerate() {
+        for (gid, g) in self.iter_gates().enumerate() {
             for (pin, &i) in g.inputs.iter().enumerate() {
                 if i == net {
                     out.push((gid, pin));
@@ -224,14 +281,50 @@ impl Netlist {
     /// own topological sort and detects cycles there.)
     pub fn is_well_formed(&self) -> bool {
         for (gid, g) in self.gates.iter().enumerate() {
+            if g.pin_start + g.function.arity() > self.pins.len() {
+                return false;
+            }
             if g.output >= self.drivers.len() || self.drivers[g.output] != Driver::Gate(gid) {
                 return false;
             }
-            if g.inputs.iter().any(|&i| i >= self.drivers.len()) {
+            if self.pins[g.pin_start..g.pin_start + g.function.arity()]
+                .iter()
+                .any(|&i| i >= self.drivers.len())
+            {
                 return false;
             }
         }
         self.outputs.iter().all(|o| o.net < self.drivers.len())
+    }
+
+    /// Deep copy from `other`, reusing this netlist's allocations (the
+    /// per-evaluation "working copy" path in `cv-synth` stays
+    /// allocation-free after warm-up).
+    pub fn copy_from(&mut self, other: &Netlist) {
+        self.drivers.clone_from(&other.drivers);
+        self.gates.clone_from(&other.gates);
+        self.pins.clone_from(&other.pins);
+        self.outputs.clone_from(&other.outputs);
+    }
+
+    /// Current `(gates, nets, pins)` arena lengths — builder checkpoints.
+    pub(crate) fn raw_lens(&self) -> (usize, usize, usize) {
+        (self.gates.len(), self.drivers.len(), self.pins.len())
+    }
+
+    /// Truncates the arenas back to a checkpoint taken with
+    /// [`Netlist::raw_lens`]. Only sound when every gate past the
+    /// checkpoint was appended after it (the builder's emission order
+    /// guarantees this).
+    pub(crate) fn truncate_to(&mut self, gates: usize, nets: usize, pins: usize) {
+        self.gates.truncate(gates);
+        self.drivers.truncate(nets);
+        self.pins.truncate(pins);
+    }
+
+    /// Removes all primary outputs (the builder re-emits them last).
+    pub(crate) fn clear_outputs(&mut self) {
+        self.outputs.clear();
     }
 }
 
@@ -251,8 +344,8 @@ mod tests {
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
         let b = nl.add_input(1);
-        let c = nl.add_gate(Function::And2, Drive::X1, vec![a, b]);
-        let y = nl.add_gate(Function::Inv, Drive::X1, vec![c]);
+        let c = nl.add_gate(Function::And2, Drive::X1, &[a, b]);
+        let y = nl.add_gate(Function::Inv, Drive::X1, &[c]);
         nl.add_output(y, 0);
         nl
     }
@@ -271,7 +364,7 @@ mod tests {
     fn arity_checked() {
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
-        let _ = nl.add_gate(Function::And2, Drive::X1, vec![a]);
+        let _ = nl.add_gate(Function::And2, Drive::X1, &[a]);
     }
 
     #[test]
@@ -287,12 +380,26 @@ mod tests {
     }
 
     #[test]
+    fn loads_into_matches_allocating_variant_bitwise() {
+        let lib = nangate45_like();
+        let nl = tiny();
+        let mut load = vec![999.0; 1]; // stale content must be overwritten
+        let mut fanout = Vec::new();
+        nl.net_loads_into(&lib, &mut load, &mut fanout);
+        let fresh = nl.net_loads_ff(&lib);
+        assert_eq!(load.len(), fresh.len());
+        for (a, b) in load.iter().zip(&fresh) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn buffer_insertion_rewires_sinks() {
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
-        let x = nl.add_gate(Function::Inv, Drive::X1, vec![a]);
-        let y1 = nl.add_gate(Function::Inv, Drive::X1, vec![x]);
-        let y2 = nl.add_gate(Function::Inv, Drive::X1, vec![x]);
+        let x = nl.add_gate(Function::Inv, Drive::X1, &[a]);
+        let y1 = nl.add_gate(Function::Inv, Drive::X1, &[x]);
+        let y2 = nl.add_gate(Function::Inv, Drive::X1, &[x]);
         nl.add_output(y1, 0);
         nl.add_output(y2, 1);
         let sinks = nl.sinks_of(x);
@@ -322,5 +429,40 @@ mod tests {
         let h = nl.histogram();
         assert!(h.contains(&(Function::And2, 1)));
         assert!(h.contains(&(Function::Inv, 1)));
+    }
+
+    #[test]
+    fn gate_views_and_drive_mutation() {
+        let mut nl = tiny();
+        let g0 = nl.gate(0);
+        assert_eq!(g0.function, Function::And2);
+        assert_eq!(g0.inputs, &[0, 1]);
+        assert_eq!(g0.output, 2);
+        assert_eq!(nl.iter_gates().count(), 2);
+        nl.set_drive(1, Drive::X4);
+        assert_eq!(nl.drive(1), Drive::X4);
+        assert_eq!(nl.function(1), Function::Inv);
+    }
+
+    #[test]
+    fn copy_from_reuses_and_matches() {
+        let src = tiny();
+        let mut dst = Netlist::new();
+        dst.add_input(0); // stale state must vanish
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn truncate_restores_checkpoint() {
+        let mut nl = tiny();
+        let cp = nl.raw_lens();
+        let extra = nl.add_gate(Function::Inv, Drive::X1, &[0]);
+        nl.add_output(extra, 1);
+        nl.clear_outputs();
+        nl.truncate_to(cp.0, cp.1, cp.2);
+        nl.add_output(3, 0);
+        assert_eq!(nl, tiny());
+        assert!(nl.is_well_formed());
     }
 }

@@ -21,6 +21,10 @@
 
 #![deny(missing_docs)]
 
+mod engine;
+
+pub use engine::{EffectiveDelay, TimingEngine};
+
 use cv_cells::CellLibrary;
 use cv_netlist::{Driver, GateId, NetId, Netlist};
 use serde::{Deserialize, Serialize};
@@ -32,7 +36,7 @@ use serde::{Deserialize, Serialize};
 /// before taking the max — a positive offset means that output is more
 /// timing-critical (it must settle earlier), mirroring how a required
 /// time `RAT` turns into slack `AT − RAT` up to a constant.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct IoTiming {
     /// Arrival time per input bit, ns.
     pub arrival: Vec<f64>,
@@ -121,8 +125,8 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
     // out of order, so we cannot rely on array order).
     let mut indeg = vec![0usize; netlist.gate_count()];
     let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); nets];
-    for (gid, g) in netlist.gates().iter().enumerate() {
-        for &i in &g.inputs {
+    for (gid, g) in netlist.iter_gates().enumerate() {
+        for &i in g.inputs {
             if let Driver::Gate(src) = netlist.driver(i) {
                 indeg[gid] += 1;
                 consumers[i].push(gid);
@@ -149,7 +153,7 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
         let gid = queue[head];
         head += 1;
         processed += 1;
-        let g = &netlist.gates()[gid];
+        let g = netlist.gate(gid);
         let cell = lib.cell(g.function, g.drive);
         let worst_in = g
             .inputs
@@ -197,7 +201,7 @@ pub fn analyze(netlist: &Netlist, lib: &CellLibrary, io: &IoTiming) -> TimingRep
                     arrival_ns: arrival[net],
                 });
                 // Step to the latest-arriving input pin.
-                let g = &netlist.gates()[gid];
+                let g = netlist.gate(gid);
                 net = *g
                     .inputs
                     .iter()
@@ -281,14 +285,14 @@ mod tests {
         let lib = lib();
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
-        let x1 = nl.add_gate(Function::Inv, Drive::X1, vec![a]);
-        let x2 = nl.add_gate(Function::Inv, Drive::X1, vec![x1]);
+        let x1 = nl.add_gate(Function::Inv, Drive::X1, &[a]);
+        let x2 = nl.add_gate(Function::Inv, Drive::X1, &[x1]);
         nl.add_output(x2, 0);
         let r = analyze(&nl, &lib, &IoTiming::uniform(1));
         let single = {
             let mut nl1 = Netlist::new();
             let a = nl1.add_input(0);
-            let y = nl1.add_gate(Function::Inv, Drive::X1, vec![a]);
+            let y = nl1.add_gate(Function::Inv, Drive::X1, &[a]);
             nl1.add_output(y, 0);
             analyze(&nl1, &lib, &IoTiming::uniform(1)).delay_ns
         };
@@ -379,7 +383,7 @@ mod tests {
         let before = analyze(&nl, &lib, &io);
         // Upsize every gate on the critical path.
         for gid in critical_gates(&before) {
-            nl.gate_mut(gid).drive = Drive::X4;
+            nl.set_drive(gid, Drive::X4);
         }
         let after = analyze(&nl, &lib, &io);
         assert!(
@@ -395,11 +399,11 @@ mod tests {
         let lib = lib();
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
-        let x = nl.add_gate(Function::Inv, Drive::X1, vec![a]);
+        let x = nl.add_gate(Function::Inv, Drive::X1, &[a]);
         // 12 sinks on one net.
         let mut outs = Vec::new();
         for _ in 0..12 {
-            outs.push(nl.add_gate(Function::Inv, Drive::X1, vec![x]));
+            outs.push(nl.add_gate(Function::Inv, Drive::X1, &[x]));
         }
         // All sinks report on the single output bit of this 1-bit fixture.
         for o in &outs {

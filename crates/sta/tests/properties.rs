@@ -5,7 +5,7 @@ use cv_cells::{nangate45_like, Drive};
 use cv_netlist::map_adder;
 use cv_prefix::bitvec;
 use cv_prefix::PrefixGrid;
-use cv_sta::{analyze, critical_gates, IoTiming};
+use cv_sta::{analyze, critical_gates, IoTiming, TimingEngine};
 use proptest::prelude::*;
 
 fn arb_netlist(n: usize) -> impl Strategy<Value = cv_netlist::Netlist> {
@@ -57,7 +57,7 @@ proptest! {
         let base = analyze(&nl, &lib, &IoTiming::uniform(10)).delay_ns;
         let mut big = nl.clone();
         for gid in 0..big.gate_count() {
-            big.gate_mut(gid).drive = Drive::X4;
+            big.set_drive(gid, Drive::X4);
         }
         let upsized = analyze(&big, &lib, &IoTiming::uniform(10)).delay_ns;
         prop_assert!(upsized <= base * 1.05, "{upsized} vs {base}");
@@ -69,6 +69,60 @@ proptest! {
         let r = analyze(&nl, &lib, &IoTiming::uniform(10));
         for gid in critical_gates(&r) {
             prop_assert!(gid < nl.gate_count());
+        }
+    }
+
+    #[test]
+    fn engine_rebuild_matches_analyze_bitwise(nl in arb_netlist(10), skew in 0.0f64..0.3) {
+        let lib = nangate45_like();
+        let io = IoTiming::datapath_profile(10, skew);
+        let full = analyze(&nl, &lib, &io);
+        let mut engine = TimingEngine::new();
+        engine.rebuild(&nl, &lib, &io);
+        let delta = engine.report(&nl);
+        prop_assert_eq!(full.delay_ns.to_bits(), delta.delay_ns.to_bits());
+        for (a, b) in full.net_arrival_ns.iter().zip(&delta.net_arrival_ns) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(full.critical_path, delta.critical_path);
+    }
+
+    #[test]
+    fn delta_sta_raising_any_arrival_never_speeds_up(
+        nl in arb_netlist(10),
+        bit in 0usize..10,
+        extra in 0.01f64..0.5,
+    ) {
+        // The incremental-engine counterpart of
+        // `delaying_any_input_never_speeds_up`: the *same* resident
+        // engine, edited in place, must stay monotone — and bitwise
+        // equal to a full pass under the edited IO profile.
+        let lib = nangate45_like();
+        let mut io = IoTiming::uniform(10);
+        let mut engine = TimingEngine::new();
+        engine.rebuild(&nl, &lib, &io);
+        let base = engine.delay(&nl).delay_ns;
+        engine.set_input_arrival(&nl, &lib, bit, io.arrival[bit] + extra);
+        let skewed = engine.delay(&nl).delay_ns;
+        prop_assert!(skewed >= base - 1e-12, "{} vs {}", skewed, base);
+        io.arrival[bit] += extra;
+        let full = analyze(&nl, &lib, &io);
+        prop_assert_eq!(full.delay_ns.to_bits(), skewed.to_bits());
+    }
+
+    #[test]
+    fn engine_resize_matches_full_reanalysis(nl in arb_netlist(10), seed_gate in 0usize..64) {
+        let lib = nangate45_like();
+        let io = IoTiming::uniform(10);
+        let mut resized = nl.clone();
+        let mut engine = TimingEngine::new();
+        engine.rebuild(&resized, &lib, &io);
+        let gid = seed_gate % resized.gate_count();
+        engine.set_drive(&mut resized, &lib, gid, Drive::X4);
+        let full = analyze(&resized, &lib, &io);
+        prop_assert_eq!(full.delay_ns.to_bits(), engine.delay(&resized).delay_ns.to_bits());
+        for (a, b) in full.net_arrival_ns.iter().enumerate() {
+            prop_assert_eq!(b.to_bits(), engine.arrival(a).to_bits());
         }
     }
 }

@@ -17,12 +17,24 @@ pub fn buffer_high_fanout(netlist: &mut Netlist, _lib: &CellLibrary, max_fanout:
     let mut inserted = 0usize;
     loop {
         let mut changed = false;
-        for net in 0..netlist.net_count() {
-            let sinks = netlist.sinks_of(net);
-            if sinks.len() <= max_fanout {
+        // One O(gates·pins) pass builds every net's sink list in the same
+        // ascending `(gate, pin)` order `sinks_of` would produce; the
+        // sweep below then never rescans the whole netlist per net.
+        // Within a sweep an insertion only rewires pins of the net being
+        // processed (the new buffer consumes it, its moved sinks now
+        // consume a brand-new net), so the prebuilt lists of the
+        // *remaining* nets stay exact.
+        let mut sinks: Vec<Vec<(usize, usize)>> = vec![Vec::new(); netlist.net_count()];
+        for (gid, g) in netlist.iter_gates().enumerate() {
+            for (pin, &i) in g.inputs.iter().enumerate() {
+                sinks[i].push((gid, pin));
+            }
+        }
+        for (net, net_sinks) in sinks.iter().enumerate() {
+            if net_sinks.len() <= max_fanout {
                 continue;
             }
-            for group in sinks.chunks(max_fanout) {
+            for group in net_sinks.chunks(max_fanout) {
                 netlist.insert_buffer(net, Drive::X2, group);
                 inserted += 1;
             }
@@ -42,9 +54,9 @@ mod tests {
     fn star(n_sinks: usize) -> Netlist {
         let mut nl = Netlist::new();
         let a = nl.add_input(0);
-        let x = nl.add_gate(Function::Inv, Drive::X1, vec![a]);
+        let x = nl.add_gate(Function::Inv, Drive::X1, &[a]);
         for i in 0..n_sinks {
-            let y = nl.add_gate(Function::Inv, Drive::X1, vec![x]);
+            let y = nl.add_gate(Function::Inv, Drive::X1, &[x]);
             nl.add_output(y, i);
         }
         nl

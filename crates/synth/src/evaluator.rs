@@ -3,6 +3,7 @@
 
 use crate::cost::{CostParams, PpaReport};
 use crate::flow::SynthesisFlow;
+use crate::session::EvalSession;
 use cv_prefix::PrefixGrid;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,13 @@ pub struct CachedEvaluator {
     // whole cache) and never double-count a simulation.
     cache: Mutex<HashMap<PrefixGrid, Slot>>,
     counter: SimCounter,
+    // Pool of incremental evaluation sessions; every cache miss borrows
+    // one (creating it on demand), so a sequential searcher keeps hitting
+    // the same resident state and parallel batches get one session per
+    // worker. Sessions are bit-for-bit equal to `Objective::evaluate`,
+    // which is what keeps the cache coherent.
+    sessions: Mutex<Vec<EvalSession>>,
+    incremental: bool,
 }
 
 /// Drop guard that un-claims a cache key if its owner unwinds before
@@ -117,13 +125,58 @@ impl Drop for Unclaim<'_> {
 }
 
 impl CachedEvaluator {
-    /// Wraps an objective.
+    /// Wraps an objective; cache misses run through pooled incremental
+    /// [`EvalSession`]s.
     pub fn new(objective: Objective) -> Self {
+        Self::with_incremental(objective, true)
+    }
+
+    /// Wraps an objective with the incremental fast path disabled: every
+    /// cache miss re-runs the full map → buffer → size → time flow from
+    /// scratch. Only useful as the baseline in A/B benchmarks and
+    /// equivalence tests — results are identical either way.
+    pub fn new_reference(objective: Objective) -> Self {
+        Self::with_incremental(objective, false)
+    }
+
+    fn with_incremental(objective: Objective, incremental: bool) -> Self {
         CachedEvaluator {
             objective,
             cache: Mutex::new(HashMap::new()),
             counter: SimCounter::new(),
+            sessions: Mutex::new(Vec::new()),
+            incremental,
         }
+    }
+
+    /// Whether cache misses use the incremental session path.
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Runs one physical simulation of `key` (already legalized),
+    /// preferring a pooled session whose resident state matches `prev`.
+    fn simulate(&self, key: &PrefixGrid, prev: Option<&PrefixGrid>) -> EvalRecord {
+        if !self.incremental {
+            return self.objective.evaluate(key);
+        }
+        let mut session = {
+            let mut pool = self.sessions.lock();
+            let picked = prev
+                .and_then(|p| pool.iter().position(|s| s.last_grid() == Some(p)))
+                .map(|i| pool.swap_remove(i))
+                .or_else(|| pool.pop());
+            picked.unwrap_or_else(|| EvalSession::from_objective(&self.objective))
+        };
+        // If evaluation panics the session is simply dropped (a fresh one
+        // is created on demand later), so the pool never holds a session
+        // in a half-mutated state.
+        let rec = match prev {
+            Some(p) => session.evaluate_delta(p, key),
+            None => session.evaluate(key),
+        };
+        self.sessions.lock().push(session);
+        rec
     }
 
     /// The shared simulation counter.
@@ -143,6 +196,19 @@ impl CachedEvaluator {
 
     /// Evaluates one grid, consulting the cache.
     pub fn evaluate(&self, grid: &PrefixGrid) -> EvalRecord {
+        self.evaluate_inner(grid, None)
+    }
+
+    /// Evaluates `next`, hinting that it was derived from `prev` (e.g. an
+    /// SA/GA mutation): on a cache miss the incremental path prefers the
+    /// pooled session already holding `prev`'s netlist and timing state,
+    /// so only the changed cone is re-synthesized. Results and simulation
+    /// accounting are identical to [`CachedEvaluator::evaluate`].
+    pub fn evaluate_from(&self, prev: &PrefixGrid, next: &PrefixGrid) -> EvalRecord {
+        self.evaluate_inner(next, Some(prev))
+    }
+
+    fn evaluate_inner(&self, grid: &PrefixGrid, prev: Option<&PrefixGrid>) -> EvalRecord {
         let key = if grid.is_legal() {
             grid.clone()
         } else {
@@ -171,7 +237,7 @@ impl CachedEvaluator {
                 key: &key,
                 armed: true,
             };
-            let rec = self.objective.evaluate(&key);
+            let rec = self.simulate(&key, prev);
             unclaim.armed = false;
             self.counter.add(1);
             *guard = Some(rec);
@@ -268,6 +334,44 @@ mod tests {
         let ks = topologies::kogge_stone(32);
         assert!(fast_ev.evaluate(&ks).cost < fast_ev.evaluate(&rip).cost);
         assert!(small_ev.evaluate(&rip).cost < small_ev.evaluate(&ks).cost);
+    }
+
+    #[test]
+    fn incremental_and_reference_paths_agree() {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 12);
+        let fast = CachedEvaluator::new(Objective::new(flow.clone(), CostParams::new(0.66)));
+        let reference = CachedEvaluator::new_reference(Objective::new(flow, CostParams::new(0.66)));
+        assert!(fast.is_incremental() && !reference.is_incremental());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut grid = topologies::sklansky(12);
+        for _ in 0..8 {
+            let next = mutate::neighbour(&grid, &mut rng);
+            let a = fast.evaluate_from(&grid, &next);
+            let b = reference.evaluate(&next);
+            assert_eq!(a, b, "fast path must be observationally identical");
+            grid = next;
+        }
+        assert_eq!(fast.counter().count(), reference.counter().count());
+    }
+
+    #[test]
+    fn evaluate_from_counts_like_evaluate() {
+        let ev = evaluator(12, 0.5);
+        let base = topologies::brent_kung(12);
+        let mut cand = base.clone();
+        cand.set(11, 5, true).unwrap();
+        cand.legalize();
+        let a = ev.evaluate_from(&base, &cand);
+        assert_eq!(
+            ev.counter().count(),
+            1,
+            "the hint itself is not a counted simulation"
+        );
+        let b = ev.evaluate(&cand);
+        assert_eq!(a, b);
+        assert_eq!(ev.counter().count(), 1, "second query is a cache hit");
+        let _ = ev.evaluate(&base);
+        assert_eq!(ev.counter().count(), 2, "base still counts when queried");
     }
 
     #[test]

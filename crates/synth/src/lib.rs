@@ -27,6 +27,7 @@ mod commercial;
 mod cost;
 mod evaluator;
 mod flow;
+mod session;
 mod sizing;
 mod tracking;
 
@@ -35,5 +36,6 @@ pub use commercial::CommercialTool;
 pub use cost::{CostParams, PpaReport};
 pub use evaluator::{CachedEvaluator, EvalRecord, Objective, SimCounter};
 pub use flow::{SynthesisConfig, SynthesisFlow};
-pub use sizing::size_gates;
-pub use tracking::{eval_and_track, BestTracker, SearchOutcome};
+pub use session::EvalSession;
+pub use sizing::{size_gates, size_gates_incremental};
+pub use tracking::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};

@@ -1,8 +1,8 @@
 //! Greedy critical-path gate sizing.
 
 use cv_cells::CellLibrary;
-use cv_netlist::Netlist;
-use cv_sta::{analyze, critical_gates, IoTiming, TimingReport};
+use cv_netlist::{GateId, Netlist};
+use cv_sta::{analyze, critical_gates, IoTiming, TimingEngine, TimingReport};
 
 /// Greedily upsizes gates on the critical path while each move improves
 /// the *cost-weighted* objective `ω·10·Δdelay + (1−ω)·Δarea/100 < 0`.
@@ -29,23 +29,23 @@ pub fn size_gates(
         let current_score = delay_weight * 10.0 * report.delay_ns
             + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
         for gid in path {
-            let old_drive = netlist.gates()[gid].drive;
+            let old_drive = netlist.drive(gid);
             let Some(bigger) = old_drive.upsized() else {
                 continue;
             };
-            netlist.gate_mut(gid).drive = bigger;
+            netlist.set_drive(gid, bigger);
             let trial = analyze(netlist, lib, io);
             let trial_score = delay_weight * 10.0 * trial.delay_ns
                 + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
             let gain = current_score - trial_score;
-            netlist.gate_mut(gid).drive = old_drive;
+            netlist.set_drive(gid, old_drive);
             if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((gid, bigger, gain));
             }
         }
         match best {
             Some((gid, drive, _)) => {
-                netlist.gate_mut(gid).drive = drive;
+                netlist.set_drive(gid, drive);
                 report = analyze(netlist, lib, io);
                 moves += 1;
             }
@@ -53,6 +53,59 @@ pub fn size_gates(
         }
     }
     (moves, report)
+}
+
+/// Delta-STA twin of [`size_gates`]: the same greedy loop, with every
+/// per-trial full re-analysis replaced by an incremental cone update on
+/// `engine`. Because [`TimingEngine`] is bit-for-bit equal to
+/// [`analyze`], this makes *exactly* the same sequence of sizing
+/// decisions — "Contract 6" in `DESIGN.md` — while doing only
+/// cone-of-influence work per trial.
+///
+/// `engine` is rebuilt for `netlist` on entry; `path` is caller-provided
+/// scratch so a hot evaluation loop stays allocation-free. Returns
+/// `(moves_applied, final_delay_ns)`.
+pub fn size_gates_incremental(
+    netlist: &mut Netlist,
+    lib: &CellLibrary,
+    io: &IoTiming,
+    delay_weight: f64,
+    max_moves: usize,
+    engine: &mut TimingEngine,
+    path: &mut Vec<GateId>,
+) -> (usize, f64) {
+    engine.rebuild(netlist, lib, io);
+    let mut delay_ns = engine.delay(netlist).delay_ns;
+    let mut moves = 0usize;
+    while moves < max_moves {
+        engine.critical_gates_into(netlist, path);
+        let mut best: Option<(GateId, cv_cells::Drive, f64)> = None;
+        let current_score =
+            delay_weight * 10.0 * delay_ns + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
+        for &gid in path.iter() {
+            let old_drive = netlist.drive(gid);
+            let Some(bigger) = old_drive.upsized() else {
+                continue;
+            };
+            engine.set_drive(netlist, lib, gid, bigger);
+            let trial_score = delay_weight * 10.0 * engine.delay(netlist).delay_ns
+                + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
+            let gain = current_score - trial_score;
+            engine.set_drive(netlist, lib, gid, old_drive);
+            if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((gid, bigger, gain));
+            }
+        }
+        match best {
+            Some((gid, drive, _)) => {
+                engine.set_drive(netlist, lib, gid, drive);
+                delay_ns = engine.delay(netlist).delay_ns;
+                moves += 1;
+            }
+            None => break,
+        }
+    }
+    (moves, delay_ns)
 }
 
 #[cfg(test)]
@@ -102,6 +155,25 @@ mod tests {
         let io = IoTiming::uniform(32);
         let (moves, _) = size_gates(&mut nl, &lib, &io, 1.0, 3);
         assert!(moves <= 3);
+    }
+
+    #[test]
+    fn incremental_sizer_makes_identical_decisions() {
+        let lib = nangate45_like();
+        for w in [0.05, 0.66, 0.95] {
+            let graph = topologies::sklansky(16).to_graph();
+            let mut reference = map_adder(&graph, &lib);
+            let mut incremental = map_adder(&graph, &lib);
+            let io = IoTiming::uniform(16);
+            let (ref_moves, ref_report) = size_gates(&mut reference, &lib, &io, w, 50);
+            let mut engine = TimingEngine::new();
+            let mut path = Vec::new();
+            let (inc_moves, inc_delay) =
+                size_gates_incremental(&mut incremental, &lib, &io, w, 50, &mut engine, &mut path);
+            assert_eq!(ref_moves, inc_moves, "ω={w}");
+            assert_eq!(ref_report.delay_ns.to_bits(), inc_delay.to_bits(), "ω={w}");
+            assert_eq!(reference, incremental, "ω={w}: different drives chosen");
+        }
     }
 
     #[test]

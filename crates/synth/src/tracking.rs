@@ -110,6 +110,21 @@ pub fn eval_and_track(
     rec.cost
 }
 
+/// Like [`eval_and_track`], but tells the evaluator which design `grid`
+/// was derived from so the incremental evaluation path can patch that
+/// design's resident netlist/timing state instead of rebuilding
+/// (mutation-heavy searchers — SA, GA, REINFORCE — call this).
+pub fn eval_and_track_from(
+    evaluator: &CachedEvaluator,
+    tracker: &mut BestTracker,
+    prev: &PrefixGrid,
+    grid: &PrefixGrid,
+) -> f64 {
+    let rec = evaluator.evaluate_from(prev, grid);
+    tracker.observe(evaluator.counter().count(), grid, rec.cost);
+    rec.cost
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,128 @@
+//! Golden PPA snapshots for the classical prefix topologies.
+//!
+//! Every (tech × topology × width) cell of the classical benchmark set
+//! has its synthesized `PpaReport` (delay / area / cost at ω = 0.66)
+//! committed under `tests/golden/`. Any change to the STA model, the
+//! sizing heuristic, buffering, or the mappers shows up here as a
+//! readable diff instead of silently shifting every experiment.
+//!
+//! Regenerate after an *intentional* change with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p cv-tests --test golden_ppa
+//! ```
+//!
+//! and commit the updated files alongside the change that caused them.
+
+use cv_cells::{nangate45_like, scaled_8nm_like, CellLibrary};
+use cv_prefix::{topologies, CircuitKind, PrefixGrid};
+use cv_synth::{CostParams, SynthesisFlow};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const WIDTHS: [usize; 3] = [8, 16, 32];
+const DELAY_WEIGHT: f64 = 0.66;
+
+/// The five classical topologies the paper (and ISSUE) names.
+fn classical(n: usize) -> Vec<(&'static str, PrefixGrid)> {
+    vec![
+        ("ripple", topologies::ripple(n)),
+        ("sklansky", topologies::sklansky(n)),
+        ("kogge_stone", topologies::kogge_stone(n)),
+        ("brent_kung", topologies::brent_kung(n)),
+        ("han_carlson", topologies::han_carlson(n)),
+    ]
+}
+
+fn render_golden(lib: &CellLibrary) -> String {
+    let cost = CostParams::new(DELAY_WEIGHT);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Golden PPA snapshots — {} — omega={DELAY_WEIGHT}",
+        lib.name()
+    );
+    let _ = writeln!(
+        out,
+        "# topology width delay_ns area_um2 cost gates buffers upsized"
+    );
+    for &n in &WIDTHS {
+        let flow = SynthesisFlow::new(lib.clone(), CircuitKind::Adder, n);
+        for (name, grid) in classical(n) {
+            let ppa = flow.synthesize(&grid);
+            let _ = writeln!(
+                out,
+                "{name} {n} {:.9} {:.9} {:.9} {} {} {}",
+                ppa.delay_ns,
+                ppa.area_um2,
+                cost.cost(&ppa),
+                ppa.gate_count,
+                ppa.buffers_inserted,
+                ppa.gates_upsized,
+            );
+        }
+    }
+    out
+}
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(file)
+}
+
+fn check_or_bless(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var("BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir must be creatable");
+        std::fs::write(&path, actual).expect("golden file must be writable");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run `BLESS=1 cargo test -p cv-tests --test golden_ppa` \
+             and commit the result",
+            path.display()
+        )
+    });
+    if expected != actual {
+        let mut diff = String::new();
+        for (idx, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+            if e != a {
+                let _ = writeln!(diff, "line {}:\n  - {e}\n  + {a}", idx + 1);
+            }
+        }
+        let e_lines = expected.lines().count();
+        let a_lines = actual.lines().count();
+        if e_lines != a_lines {
+            let _ = writeln!(diff, "line count changed: {e_lines} -> {a_lines}");
+        }
+        panic!(
+            "golden mismatch for {}:\n{diff}\nIf this change is intentional, regenerate with \
+             `BLESS=1 cargo test -p cv-tests --test golden_ppa` and commit the diff.",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn golden_ppa_nangate45_like() {
+    check_or_bless("ppa_nangate45_like.txt", &render_golden(&nangate45_like()));
+}
+
+#[test]
+fn golden_ppa_scaled_8nm_like() {
+    check_or_bless(
+        "ppa_scaled_8nm_like.txt",
+        &render_golden(&scaled_8nm_like()),
+    );
+}
+
+#[test]
+fn golden_values_are_rendering_stable() {
+    // The snapshot must be a pure function of the flow: rendering twice
+    // gives identical text (guards against accidental nondeterminism in
+    // the renderer itself, which would make every golden diff noisy).
+    let lib = nangate45_like();
+    assert_eq!(render_golden(&lib), render_golden(&lib));
+}

@@ -33,9 +33,17 @@ pub struct Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        // `--test` mirrors real criterion's smoke mode: every benchmark
+        // body runs exactly once (fast, exercises the code) instead of
+        // the usual small measurement loop.
+        let iters = if std::env::args().any(|a| a == "--test") {
+            1
+        } else {
+            3
+        };
         BenchmarkGroup {
             name: name.into(),
-            iters: 3,
+            iters,
             _criterion: self,
         }
     }
@@ -144,16 +152,14 @@ macro_rules! criterion_group {
 /// Generates `main` running the given groups (mirrors
 /// `criterion::criterion_main!`).
 ///
-/// When invoked by `cargo test` (cargo passes harness flags such as
-/// `--test` or test-name filters to `harness = false` targets), the
-/// benches are skipped so test runs stay fast; `cargo bench` runs them.
+/// Like real criterion, `--test` runs every benchmark once in smoke mode
+/// (see [`Criterion::benchmark_group`]) — the CI step
+/// `cargo bench --bench <name> -- --test` relies on this. Bench targets
+/// set `test = false`, so `cargo test` never spawns them.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            if std::env::args().any(|a| a == "--test") {
-                return;
-            }
             $($group();)+
         }
     };
