@@ -1,9 +1,10 @@
 //! Simulated annealing over prefix grids (cf. Moto & Kaneko, ISCAS 2018
 //! — heuristic search baselines in the paper's related work).
 
+use crate::archive_util::capture_archive;
 use cv_prefix::{mutate, topologies};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
+use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, ParetoArchive, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -54,14 +55,16 @@ impl SimulatedAnnealing {
 
         let mut current = topologies::sklansky(self.width);
         let mut current_cost = eval_and_track(evaluator, &mut tracker, &current);
-        let mut best = current.clone();
-        let mut best_cost = current_cost;
         let mut stuck = 0usize;
 
         while used(evaluator) < budget {
             let frac = used(evaluator) as f64 / budget.max(1) as f64;
             let temp = self.config.t_start * (self.config.t_end / self.config.t_start).powf(frac);
             let cand = mutate::neighbour(&current, rng);
+            // The best-so-far lives in the shared tracker (not a local
+            // copy); read it before the observation so "did this move
+            // improve on the best" keeps its strict-< meaning.
+            let best_before = tracker.best_cost();
             // `current` is the design the candidate was mutated from, so
             // the evaluator's incremental session can patch its resident
             // netlist instead of re-synthesizing from scratch.
@@ -72,21 +75,34 @@ impl SimulatedAnnealing {
                 current = cand;
                 current_cost = cand_cost;
             }
-            if cand_cost < best_cost {
-                best_cost = cand_cost;
-                best = current.clone();
+            if cand_cost < best_before {
                 stuck = 0;
             } else {
                 stuck += 1;
                 if stuck >= self.config.restart_after {
-                    current = best.clone();
-                    current_cost = best_cost;
+                    current = tracker
+                        .best_grid()
+                        .expect("at least the seed was observed")
+                        .clone();
+                    current_cost = tracker.best_cost();
                     stuck = 0;
                 }
             }
         }
         tracker.finish(used(evaluator));
         tracker.into_outcome()
+    }
+
+    /// [`SimulatedAnnealing::run`] with a fresh logging
+    /// [`ParetoArchive`] attached for the duration of the run: the
+    /// outcome plus the area-delay frontier the walk traced.
+    pub fn run_archived<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        rng: &mut R,
+    ) -> (SearchOutcome, ParetoArchive) {
+        capture_archive(evaluator, || self.run(evaluator, budget, rng))
     }
 }
 

@@ -1,0 +1,32 @@
+//! Shared plumbing for the `run_archived` variants: run a search with a
+//! fresh logging archive attached to the evaluator, restoring whatever
+//! archive was attached before.
+
+use cv_synth::{CachedEvaluator, ParetoArchive};
+
+/// Attaches a fresh logging [`ParetoArchive`] to `evaluator`, runs
+/// `body`, restores the previously attached archive (if any), and
+/// returns the body's result together with the captured archive.
+///
+/// Archiving is observation-only (DESIGN.md §6, Contract 7), so `body`
+/// behaves bit-for-bit as it would without the capture; any archive that
+/// was attached before simply misses the observations made during the
+/// run.
+pub(crate) fn capture_archive<T>(
+    evaluator: &CachedEvaluator,
+    body: impl FnOnce() -> T,
+) -> (T, ParetoArchive) {
+    let shared = ParetoArchive::new().with_log().into_shared();
+    let previous = evaluator.attach_archive(shared.clone());
+    let out = body();
+    match previous {
+        Some(p) => {
+            evaluator.attach_archive(p);
+        }
+        None => {
+            evaluator.detach_archive();
+        }
+    }
+    let archive = shared.lock().clone();
+    (out, archive)
+}

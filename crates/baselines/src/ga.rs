@@ -2,19 +2,39 @@
 //! which also supplies initial datasets for CircuitVAE ("we used the
 //! first few generations of GA as the initial data", §5.2).
 
+use crate::archive_util::capture_archive;
 use cv_prefix::{mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
+use cv_synth::{
+    crowding_distance, eval_and_track, eval_and_track_from, eval_record_and_track,
+    eval_record_and_track_from, non_dominated_sort, BestTracker, ParetoArchive, PpaReport,
+    SearchOutcome,
+};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// How the GA ranks its population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GaMode {
+    /// Rank by the scalar cost `ω·10·delay + (1−ω)·area/100` — the
+    /// paper's GA baseline.
+    WeightedSum,
+    /// NSGA-II-style multi-objective mode: non-dominated sorting on
+    /// (area, delay) with crowding-distance tie-breaks, elitist
+    /// environmental selection over parents ∪ offspring. One run covers
+    /// the whole tradeoff curve instead of one scalarization of it.
+    Nsga2,
+}
 
 /// GA hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GaConfig {
     /// Population size.
     pub population: usize,
-    /// Individuals kept unchanged each generation.
+    /// Individuals kept unchanged each generation (ignored in
+    /// [`GaMode::Nsga2`], whose environmental selection is elitist by
+    /// construction).
     pub elites: usize,
     /// Tournament size for parent selection.
     pub tournament: usize,
@@ -26,6 +46,8 @@ pub struct GaConfig {
     /// designs (off by default: the paper's baselines search from
     /// scratch, and seeding makes small-budget comparisons degenerate).
     pub seed_classical: bool,
+    /// Population ranking mode.
+    pub mode: GaMode,
 }
 
 impl Default for GaConfig {
@@ -37,6 +59,17 @@ impl Default for GaConfig {
             mutation_prob: 0.9,
             rect_crossover_prob: 0.5,
             seed_classical: false,
+            mode: GaMode::WeightedSum,
+        }
+    }
+}
+
+impl GaConfig {
+    /// The default configuration switched to [`GaMode::Nsga2`].
+    pub fn nsga2() -> Self {
+        GaConfig {
+            mode: GaMode::Nsga2,
+            ..GaConfig::default()
         }
     }
 }
@@ -77,6 +110,41 @@ impl GeneticAlgorithm {
     /// evaluator) or `max_generations` pass. Set `keep_evaluated` to
     /// retain all `(grid, cost)` pairs, e.g. to build VAE datasets.
     pub fn run<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        max_generations: usize,
+        keep_evaluated: bool,
+        rng: &mut R,
+    ) -> SearchOutcome {
+        match self.config.mode {
+            GaMode::WeightedSum => {
+                self.run_weighted(evaluator, budget, max_generations, keep_evaluated, rng)
+            }
+            GaMode::Nsga2 => {
+                self.run_nsga2(evaluator, budget, max_generations, keep_evaluated, rng)
+            }
+        }
+    }
+
+    /// [`GeneticAlgorithm::run`] with a fresh logging [`ParetoArchive`]
+    /// attached to the evaluator for the duration of the run (any
+    /// previously attached archive is restored afterwards): the outcome
+    /// plus the area-delay frontier the run traced.
+    pub fn run_archived<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        max_generations: usize,
+        keep_evaluated: bool,
+        rng: &mut R,
+    ) -> (SearchOutcome, ParetoArchive) {
+        capture_archive(evaluator, || {
+            self.run(evaluator, budget, max_generations, keep_evaluated, rng)
+        })
+    }
+
+    fn run_weighted<R: Rng + ?Sized>(
         &self,
         evaluator: &CachedEvaluator,
         budget: usize,
@@ -152,11 +220,148 @@ impl GeneticAlgorithm {
         let mut best: Option<&(PrefixGrid, f64)> = None;
         for _ in 0..self.config.tournament {
             let cand = scored.choose(rng).expect("population is non-empty");
-            if best.is_none_or(|b| cand.1 < b.1) {
+            let improves = match best {
+                None => true,
+                Some(b) => cand.1 < b.1,
+            };
+            if improves {
                 best = Some(cand);
             }
         }
         &best.expect("tournament ran").0
+    }
+
+    /// NSGA-II-style run: same variation operators as the weighted GA,
+    /// but selection works on (area, delay) directly — binary ranking by
+    /// non-domination front, ties by crowding distance, and elitist
+    /// environmental selection over parents ∪ offspring. The tracker
+    /// still records the evaluator's scalar cost so the outcome's
+    /// best-so-far curve remains comparable with every other method; the
+    /// frontier itself is read from an attached archive (see
+    /// [`GeneticAlgorithm::run_archived`]).
+    fn run_nsga2<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        max_generations: usize,
+        keep_evaluated: bool,
+        rng: &mut R,
+    ) -> SearchOutcome {
+        let mut tracker = BestTracker::new(keep_evaluated);
+        let start = evaluator.counter().count();
+        let used = |ev: &CachedEvaluator| ev.counter().count() - start;
+        let pop_size = self.config.population;
+
+        let mut scored: Vec<(PrefixGrid, PpaReport)> = Vec::new();
+        for g in self.initial_population(rng) {
+            if used(evaluator) >= budget {
+                break;
+            }
+            let rec = eval_record_and_track(evaluator, &mut tracker, &g);
+            scored.push((g, rec.ppa));
+        }
+
+        for _gen in 0..max_generations {
+            if used(evaluator) >= budget || scored.is_empty() {
+                break;
+            }
+            // Rank + crowd the current parents for mating selection.
+            let objs: Vec<(f64, f64)> = scored
+                .iter()
+                .map(|(_, p)| (p.area_um2, p.delay_ns))
+                .collect();
+            let fronts = non_dominated_sort(&objs);
+            let mut rank = vec![0usize; objs.len()];
+            let mut crowd = vec![0.0f64; objs.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let d = crowding_distance(&objs, front);
+                for (k, &i) in front.iter().enumerate() {
+                    rank[i] = r;
+                    crowd[i] = d[k];
+                }
+            }
+
+            let mut children: Vec<PrefixGrid> = Vec::with_capacity(pop_size);
+            while children.len() < pop_size {
+                let a = self.select_nsga2(&scored, &rank, &crowd, rng);
+                let b = self.select_nsga2(&scored, &rank, &crowd, rng);
+                let mut child = if rng.gen_bool(self.config.rect_crossover_prob) {
+                    mutate::rectangle_crossover(a, b, rng)
+                } else {
+                    mutate::uniform_crossover(a, b, rng)
+                };
+                if rng.gen_bool(self.config.mutation_prob) {
+                    child = mutate::neighbour(&child, rng);
+                }
+                children.push(child);
+            }
+
+            // Evaluate offspring, chained for the incremental fast path.
+            let mut prev: Option<&PrefixGrid> = None;
+            let mut offspring: Vec<(PrefixGrid, PpaReport)> = Vec::with_capacity(pop_size);
+            for g in &children {
+                if used(evaluator) >= budget {
+                    break;
+                }
+                let rec = match prev {
+                    Some(p) => eval_record_and_track_from(evaluator, &mut tracker, p, g),
+                    None => eval_record_and_track(evaluator, &mut tracker, g),
+                };
+                prev = Some(g);
+                offspring.push((g.clone(), rec.ppa));
+            }
+
+            // Elitist environmental selection over parents ∪ offspring:
+            // fill by front, break the boundary front by descending
+            // crowding distance (stable sort keeps this deterministic).
+            let mut combined = scored;
+            combined.extend(offspring);
+            let objs: Vec<(f64, f64)> = combined
+                .iter()
+                .map(|(_, p)| (p.area_um2, p.delay_ns))
+                .collect();
+            let mut survivors: Vec<usize> = Vec::with_capacity(pop_size);
+            for front in non_dominated_sort(&objs) {
+                if survivors.len() + front.len() <= pop_size {
+                    survivors.extend(&front);
+                } else {
+                    let d = crowding_distance(&objs, &front);
+                    let mut order: Vec<usize> = (0..front.len()).collect();
+                    order.sort_by(|&x, &y| d[y].total_cmp(&d[x]));
+                    for &k in order.iter().take(pop_size - survivors.len()) {
+                        survivors.push(front[k]);
+                    }
+                }
+                if survivors.len() >= pop_size {
+                    break;
+                }
+            }
+            scored = survivors.into_iter().map(|i| combined[i].clone()).collect();
+        }
+        tracker.finish(used(evaluator));
+        tracker.into_outcome()
+    }
+
+    /// Binary-ish tournament on (front rank asc, crowding distance desc).
+    fn select_nsga2<'a, R: Rng + ?Sized>(
+        &self,
+        scored: &'a [(PrefixGrid, PpaReport)],
+        rank: &[usize],
+        crowd: &[f64],
+        rng: &mut R,
+    ) -> &'a PrefixGrid {
+        let mut best: Option<usize> = None;
+        for _ in 0..self.config.tournament {
+            let c = rng.gen_range(0..scored.len());
+            let improves = match best {
+                None => true,
+                Some(b) => rank[c] < rank[b] || (rank[c] == rank[b] && crowd[c] > crowd[b]),
+            };
+            if improves {
+                best = Some(c);
+            }
+        }
+        &scored[best.expect("tournament ran")].0
     }
 }
 
@@ -224,6 +429,70 @@ mod tests {
         let ga = GeneticAlgorithm::new(10, GaConfig::default());
         let _ = ga.run(&ev, 60, 100, false, &mut rng);
         assert!(ev.counter().count() <= 60);
+    }
+
+    #[test]
+    fn nsga2_mode_covers_a_frontier_in_one_run() {
+        let ev = evaluator(12);
+        let mut rng = StdRng::seed_from_u64(4);
+        let ga = GeneticAlgorithm::new(
+            12,
+            GaConfig {
+                population: 16,
+                ..GaConfig::nsga2()
+            },
+        );
+        let (out, archive) = ga.run_archived(&ev, 180, 20, false, &mut rng);
+        assert!(out.best_cost.is_finite());
+        assert!(out.best_grid.is_some());
+        assert!(ev.counter().count() <= 180);
+        assert!(
+            archive.len() >= 3,
+            "one NSGA-II run should trace a multi-point front, got {}",
+            archive.len()
+        );
+        assert_eq!(
+            archive.observations().len(),
+            ev.counter().count(),
+            "every counted simulation is logged"
+        );
+        // The front is mutually non-dominated by construction.
+        let objs = archive.objectives();
+        for (i, &a) in objs.iter().enumerate() {
+            for (j, &b) in objs.iter().enumerate() {
+                assert!(i == j || !cv_synth::dominates_xy(a, b));
+            }
+        }
+        assert!(ev.archive().is_none(), "capture must detach on exit");
+    }
+
+    #[test]
+    fn weighted_mode_is_unchanged_by_the_mode_field() {
+        // The default config must still run the paper's scalar GA. The
+        // expected values are a golden snapshot of the pre-mode-field
+        // implementation (width 10, seed 5, ω = 0.66): any behavioral
+        // drift in the weighted path — not just nondeterminism — fails
+        // here. Exact float equality is intentional; the whole workspace
+        // pins bit-for-bit determinism (DESIGN.md §6, Contract 1).
+        let cfg = GaConfig {
+            population: 12,
+            ..GaConfig::default()
+        };
+        assert_eq!(cfg.mode, GaMode::WeightedSum);
+        let ev = evaluator(10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = GeneticAlgorithm::new(10, cfg).run(&ev, 80, 10, false, &mut rng);
+        assert_eq!(out.best_cost, 3.210482704);
+        assert_eq!(
+            out.history,
+            vec![
+                (1, 4.078602685652538),
+                (2, 3.4548276025209423),
+                (16, 3.2279521048581623),
+                (38, 3.210482704),
+                (80, 3.210482704),
+            ]
+        );
     }
 
     #[test]

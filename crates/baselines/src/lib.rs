@@ -25,12 +25,13 @@
 #![deny(missing_docs)]
 
 mod annealing;
+mod archive_util;
 mod ga;
 mod random_search;
 mod rl;
 
 pub use annealing::{SaConfig, SimulatedAnnealing};
 pub use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
-pub use ga::{ga_initial_dataset, GaConfig, GeneticAlgorithm};
+pub use ga::{ga_initial_dataset, GaConfig, GaMode, GeneticAlgorithm};
 pub use random_search::random_search;
 pub use rl::{PrefixRlLite, RlConfig};

@@ -8,10 +8,11 @@
 //! environment step costs one simulation — the axis all methods are
 //! compared on.
 
+use crate::archive_util::capture_archive;
 use cv_nn::{AdamConfig, Graph, Mlp, ParamStore, Tensor};
 use cv_prefix::{bitvec, mutate, topologies, PrefixGrid};
 use cv_synth::CachedEvaluator;
-use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
+use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, ParetoArchive, SearchOutcome};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -159,10 +160,12 @@ impl PrefixRlLite {
                 cost = next_cost;
                 env_steps += 1;
 
-                if env_steps.is_multiple_of(cfg.train_interval) && replay.len() >= cfg.batch_size {
+                // A zero interval means "never" (guards the division).
+                let train_now = cfg.train_interval != 0 && env_steps % cfg.train_interval == 0;
+                if train_now && replay.len() >= cfg.batch_size {
                     self.train_step(&qnet, &mut store, &target_store, &replay, &adam, rng);
                     train_steps += 1;
-                    if train_steps.is_multiple_of(cfg.target_sync) {
+                    if cfg.target_sync != 0 && train_steps % cfg.target_sync == 0 {
                         target_store = store.clone();
                     }
                 }
@@ -170,6 +173,18 @@ impl PrefixRlLite {
         }
         tracker.finish(used(evaluator));
         tracker.into_outcome()
+    }
+
+    /// [`PrefixRlLite::run`] with a fresh logging [`ParetoArchive`]
+    /// attached for the duration of the run: the outcome plus the
+    /// area-delay frontier the episodes traced.
+    pub fn run_archived<R: Rng + ?Sized>(
+        &self,
+        evaluator: &CachedEvaluator,
+        budget: usize,
+        rng: &mut R,
+    ) -> (SearchOutcome, ParetoArchive) {
+        capture_archive(evaluator, || self.run(evaluator, budget, rng))
     }
 
     fn reset_state<R: Rng + ?Sized>(&self, rng: &mut R) -> PrefixGrid {

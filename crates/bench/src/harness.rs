@@ -149,6 +149,10 @@ pub enum Method {
     LatentBo,
     /// Genetic algorithm on bitvectors.
     Ga,
+    /// NSGA-II-mode genetic algorithm: non-dominated sorting + crowding
+    /// selection on (area, delay) — the natively multi-objective
+    /// baseline of the frontier campaign.
+    GaNsga2,
     /// PrefixRL-lite DQN.
     Rl,
     /// Simulated annealing (extra baseline).
@@ -164,6 +168,7 @@ impl Method {
             Method::CircuitVae => "CircuitVAE",
             Method::LatentBo => "Bayesian",
             Method::Ga => "GA",
+            Method::GaNsga2 => "GA-NSGA2",
             Method::Rl => "RL",
             Method::Sa => "SA",
             Method::Random => "Random",
@@ -182,6 +187,22 @@ pub fn build_evaluator(spec: &ExperimentSpec) -> CachedEvaluator {
     config.delay_weight = spec.delay_weight;
     let flow = SynthesisFlow::with_config(spec.tech.build(), spec.kind, spec.width, config);
     CachedEvaluator::new(Objective::new(flow, CostParams::new(spec.delay_weight)))
+}
+
+/// One fresh evaluator per delay weight, sharing the spec's flow
+/// structure — the scalarization ladder of the frontier campaign,
+/// built through [`Objective::weight_sweep`] (each rung's sizing
+/// weight is aligned to its own ω). The rung built for the spec's own
+/// `delay_weight` is identical to [`build_evaluator`]'s.
+pub fn build_evaluator_sweep(spec: &ExperimentSpec, weights: &[f64]) -> Vec<CachedEvaluator> {
+    let mut config = SynthesisConfig::for_width(spec.width);
+    config.io = spec.io.clone();
+    config.delay_weight = spec.delay_weight;
+    let flow = SynthesisFlow::with_config(spec.tech.build(), spec.kind, spec.width, config);
+    Objective::weight_sweep(flow, weights)
+        .into_iter()
+        .map(CachedEvaluator::new)
+        .collect()
 }
 
 /// A scaled-down CircuitVAE config appropriate for the spec's width and
@@ -229,6 +250,10 @@ pub fn run_method_on(
             let ga = GeneticAlgorithm::new(spec.width, GaConfig::default());
             ga.run(evaluator, spec.budget, usize::MAX, false, &mut rng)
         }
+        Method::GaNsga2 => {
+            let ga = GeneticAlgorithm::new(spec.width, GaConfig::nsga2());
+            ga.run(evaluator, spec.budget, usize::MAX, false, &mut rng)
+        }
         Method::Sa => SimulatedAnnealing::new(spec.width, SaConfig::default()).run(
             evaluator,
             spec.budget,
@@ -269,24 +294,7 @@ pub fn run_method_on(
             let mut vae = CircuitVae::new(spec.width, vae_config(spec), initial, seed ^ 0x5eed)
                 .with_acquisition(acquisition);
             let outcome = vae.run(evaluator, spec.budget.saturating_sub(init_used));
-
-            // Merge: initial phase breakpoint + offset VAE curve.
-            let mut history = vec![(init_used, init_best)];
-            for (s, c) in outcome.history {
-                history.push((s + init_used, c));
-            }
-            let best_cost = outcome.best_cost.min(init_best);
-            let best_grid = if outcome.best_cost <= init_best {
-                outcome.best_grid
-            } else {
-                init_best_grid
-            };
-            SearchOutcome {
-                history,
-                best_cost,
-                best_grid,
-                evaluated: vec![],
-            }
+            outcome.with_init_prefix(init_used, init_best, init_best_grid)
         }
     }
 }
@@ -358,6 +366,7 @@ mod tests {
             Method::CircuitVae,
             Method::LatentBo,
             Method::Ga,
+            Method::GaNsga2,
             Method::Rl,
             Method::Sa,
             Method::Random,

@@ -14,4 +14,7 @@ pub mod stats;
 pub use harness::{
     build_evaluator, run_method, run_method_on, ExperimentSpec, Method, Scale, TechLibrary,
 };
-pub use stats::{median_iqr, quantile_sorted, CurveSet, Quartiles};
+pub use stats::{
+    hypervolume, hypervolume_within, igd, median_iqr, nadir_reference, pareto_filter,
+    quantile_sorted, CurveSet, Quartiles,
+};

@@ -1,7 +1,8 @@
-//! Multi-seed statistics: medians, interquartile ranges, and stepwise
-//! best-cost curves sampled at budget checkpoints.
+//! Multi-seed statistics: medians, interquartile ranges, stepwise
+//! best-cost curves sampled at budget checkpoints, and multi-objective
+//! frontier metrics (hypervolume, IGD) over (area, delay) points.
 
-use cv_synth::SearchOutcome;
+use cv_synth::{dominates_xy, Observation, SearchOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Median and interquartile range of a sample.
@@ -161,6 +162,113 @@ pub fn checkpoints(budget: usize, count: usize) -> Vec<usize> {
     (1..=count).map(|i| budget * i / count).collect()
 }
 
+/// The non-dominated subset of `(area, delay)` minimization points,
+/// sorted by ascending area (hence strictly descending delay).
+/// Non-finite points and duplicates are dropped.
+pub fn pareto_filter(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut front: Vec<(f64, f64)> = Vec::new();
+    for &p in points {
+        if !p.0.is_finite() || !p.1.is_finite() {
+            continue;
+        }
+        if front.iter().any(|&q| dominates_xy(q, p) || q == p) {
+            continue;
+        }
+        front.retain(|&q| !dominates_xy(p, q));
+        front.push(p);
+    }
+    front.sort_by(|a, b| a.0.total_cmp(&b.0));
+    front
+}
+
+/// 2-D hypervolume (minimization): the area of the region dominated by
+/// `points` and bounded by `reference` (which should be worse than every
+/// point in both objectives). Points not strictly better than the
+/// reference in both objectives contribute nothing. Returns 0 for an
+/// empty set.
+///
+/// Monotone under insertion: adding a point can never shrink the
+/// dominated region (pinned by a property test).
+pub fn hypervolume(points: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let clipped: Vec<(f64, f64)> = pareto_filter(points)
+        .into_iter()
+        .filter(|&(a, d)| a < reference.0 && d < reference.1)
+        .collect();
+    let mut hv = 0.0;
+    let mut prev_delay = reference.1;
+    for (a, d) in clipped {
+        hv += (reference.0 - a) * (prev_delay - d);
+        prev_delay = d;
+    }
+    hv
+}
+
+/// Inverted generational distance: the mean Euclidean distance from each
+/// point of `reference_front` to its nearest neighbour in `front`
+/// (lower is better; 0 means the reference is fully covered). Returns
+/// `f64::INFINITY` when `front` is empty and `None` when the reference
+/// is empty.
+pub fn igd(front: &[(f64, f64)], reference_front: &[(f64, f64)]) -> Option<f64> {
+    if reference_front.is_empty() {
+        return None;
+    }
+    if front.is_empty() {
+        return Some(f64::INFINITY);
+    }
+    let total: f64 = reference_front
+        .iter()
+        .map(|r| {
+            front
+                .iter()
+                .map(|p| ((p.0 - r.0).powi(2) + (p.1 - r.1).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    Some(total / reference_front.len() as f64)
+}
+
+/// Hypervolume of the frontier traced by `observations` within the first
+/// `budget` simulations — one cell of a hypervolume-vs-simulations
+/// table. The observation log is what a logging
+/// [`ParetoArchive`](cv_synth::ParetoArchive) records, so the frontier
+/// at any budget cut is recoverable after the fact.
+pub fn hypervolume_within(
+    observations: &[Observation],
+    budget: usize,
+    reference: (f64, f64),
+) -> f64 {
+    let pts: Vec<(f64, f64)> = observations
+        .iter()
+        .filter(|o| o.sims <= budget)
+        .map(|o| (o.area_um2, o.delay_ns))
+        .collect();
+    hypervolume(&pts, reference)
+}
+
+/// A reference point guaranteed to be dominated by every listed point:
+/// the component-wise maximum plus a `margin` fraction of each range
+/// (the standard recipe for comparing hypervolumes across methods — all
+/// methods must share the result). Returns `None` when `points` has no
+/// finite entry.
+pub fn nadir_reference(points: &[(f64, f64)], margin: f64) -> Option<(f64, f64)> {
+    let finite: Vec<(f64, f64)> = points
+        .iter()
+        .copied()
+        .filter(|p| p.0.is_finite() && p.1.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let max_a = finite.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let min_a = finite.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let max_d = finite.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let min_d = finite.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    Some((
+        max_a + margin * (max_a - min_a).max(1e-9),
+        max_d + margin * (max_d - min_d).max(1e-9),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +373,80 @@ mod tests {
     fn checkpoint_spacing() {
         assert_eq!(checkpoints(100, 4), vec![25, 50, 75, 100]);
         assert_eq!(checkpoints(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn pareto_filter_keeps_only_non_dominated_sorted() {
+        let pts = [
+            (3.0, 3.0),
+            (1.0, 4.0),
+            (2.0, 2.0),
+            (4.0, 1.0),
+            (1.0, 4.0), // duplicate
+            (f64::NAN, 1.0),
+        ];
+        assert_eq!(
+            pareto_filter(&pts),
+            vec![(1.0, 4.0), (2.0, 2.0), (4.0, 1.0)]
+        );
+        assert!(pareto_filter(&[]).is_empty());
+    }
+
+    #[test]
+    fn hypervolume_of_known_front() {
+        // Two points vs reference (5, 5):
+        // (1,4): (5-1)*(5-4) = 4;  (3,2): (5-3)*(4-2) = 4. Total 8.
+        let hv = hypervolume(&[(1.0, 4.0), (3.0, 2.0)], (5.0, 5.0));
+        assert!((hv - 8.0).abs() < 1e-12, "got {hv}");
+        assert_eq!(hypervolume(&[], (5.0, 5.0)), 0.0);
+        // A point beyond the reference contributes nothing.
+        assert_eq!(hypervolume(&[(6.0, 1.0)], (5.0, 5.0)), 0.0);
+        // Dominated points change nothing.
+        let hv2 = hypervolume(&[(1.0, 4.0), (3.0, 2.0), (4.0, 4.5)], (5.0, 5.0));
+        assert!((hv2 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igd_zero_when_covered_and_grows_with_distance() {
+        let reference = [(1.0, 4.0), (3.0, 2.0)];
+        assert_eq!(igd(&reference, &reference), Some(0.0));
+        let off = [(2.0, 4.0), (4.0, 2.0)];
+        let d = igd(&off, &reference).unwrap();
+        assert!((d - 1.0).abs() < 1e-12, "each reference point is 1 away");
+        assert_eq!(igd(&[], &reference), Some(f64::INFINITY));
+        assert_eq!(igd(&reference, &[]), None);
+    }
+
+    #[test]
+    fn hypervolume_within_respects_budget_cut() {
+        let obs = [
+            Observation {
+                sims: 1,
+                area_um2: 3.0,
+                delay_ns: 2.0,
+            },
+            Observation {
+                sims: 10,
+                area_um2: 1.0,
+                delay_ns: 4.0,
+            },
+        ];
+        let reference = (5.0, 5.0);
+        let early = hypervolume_within(&obs, 5, reference);
+        let late = hypervolume_within(&obs, 10, reference);
+        assert!((early - 6.0).abs() < 1e-12);
+        assert!((late - 8.0).abs() < 1e-12);
+        assert!(late >= early, "hv-vs-sims is monotone");
+        assert_eq!(hypervolume_within(&obs, 0, reference), 0.0);
+    }
+
+    #[test]
+    fn nadir_reference_dominated_by_all() {
+        let pts = [(1.0, 4.0), (3.0, 2.0)];
+        let r = nadir_reference(&pts, 0.1).unwrap();
+        for p in pts {
+            assert!(p.0 < r.0 && p.1 < r.1);
+        }
+        assert!(nadir_reference(&[(f64::NAN, 1.0)], 0.1).is_none());
     }
 }

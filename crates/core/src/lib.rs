@@ -52,6 +52,7 @@ mod config;
 mod dataset;
 mod model;
 mod search;
+mod sweep;
 mod train;
 
 pub use algorithm::{Acquisition, CircuitVae, RoundReport};
@@ -62,4 +63,5 @@ pub use model::CircuitVaeModel;
 pub use search::{
     decode_candidates, initial_latents, run_trajectories, CapturedLatent, TrajectoryRecord,
 };
+pub use sweep::{run_weight_sweep, SweepConfig, SweepRung};
 pub use train::{evaluate_losses, sample_batch, train, LossReport, TrainItem};

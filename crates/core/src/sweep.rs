@@ -1,0 +1,297 @@
+//! Algorithm 1 over a delay-weight sweep: the frontier-producing form of
+//! CircuitVAE.
+//!
+//! The paper's headline figures compare *tradeoff curves*, not single
+//! designs: each method is run at several scalarization weights ω and
+//! the union of what it finds is plotted in the (area, delay) plane.
+//! This module walks that ladder for the latent search. Each rung gets
+//! its own [`CachedEvaluator`] (the flow's sizing weight follows ω), and
+//! consecutive rungs are **warm-started**: the best designs the previous
+//! rung discovered are re-scored under the new objective — chained
+//! through [`CachedEvaluator::evaluate_from`] so the incremental
+//! session patches resident netlist state instead of re-synthesizing —
+//! and seed the next rung's dataset. A [`SharedArchive`] attached to
+//! every rung's evaluator accumulates the overall frontier for free.
+
+use crate::algorithm::CircuitVae;
+use crate::config::CircuitVaeConfig;
+use cv_prefix::{mutate, topologies, PrefixGrid};
+use cv_synth::{CachedEvaluator, SearchOutcome, SharedArchive};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Sweep hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The delay weights ω to visit, in order.
+    pub weights: Vec<f64>,
+    /// Total simulation budget per weight (warm-start re-scoring and
+    /// fresh initial sampling are charged against it, as in the paper).
+    pub budget_per_weight: usize,
+    /// How many designs are carried from one rung to the next (the
+    /// warm-start set: the previous rung's best by its own cost).
+    pub carry: usize,
+    /// Random designs evaluated to seed the *first* rung (later rungs
+    /// are seeded by the carry set).
+    pub cold_start_samples: usize,
+    /// Whether the first rung's dataset also includes the classical
+    /// human designs (a handful of counted simulations). On by default:
+    /// SA seeds from Sklansky and RL resets to ripple, so giving the
+    /// latent sweep the same classical reference points keeps the
+    /// frontier comparison symmetric.
+    pub seed_classical: bool,
+}
+
+impl SweepConfig {
+    /// A sweep over `weights` sized for `budget_per_weight` simulations
+    /// per rung.
+    pub fn new(weights: Vec<f64>, budget_per_weight: usize) -> Self {
+        assert!(!weights.is_empty(), "a sweep needs at least one weight");
+        SweepConfig {
+            weights,
+            budget_per_weight,
+            carry: 24,
+            cold_start_samples: 16,
+            seed_classical: true,
+        }
+    }
+}
+
+/// One rung of a completed sweep.
+#[derive(Debug, Clone)]
+pub struct SweepRung {
+    /// The delay weight ω this rung optimized.
+    pub delay_weight: f64,
+    /// The rung's merged outcome (warm-start/initialization simulations
+    /// included in the curve, as in the paper's budget accounting).
+    pub outcome: SearchOutcome,
+}
+
+/// Runs Algorithm 1 once per weight in `sweep.weights`, warm-starting
+/// each rung from the previous rung's best designs via
+/// `evaluate_from`-chained re-scoring. `make_evaluator` builds the
+/// evaluator for a given ω (the caller owns tech/IO/width policy);
+/// `archive`, when given, is attached to every rung's evaluator so the
+/// whole sweep feeds one frontier.
+///
+/// Deterministic for a fixed `(sweep, seed)`: rung `i` trains and
+/// searches with seed `seed + i` streams.
+pub fn run_weight_sweep(
+    width: usize,
+    base_config: &CircuitVaeConfig,
+    sweep: &SweepConfig,
+    make_evaluator: impl Fn(f64) -> CachedEvaluator,
+    archive: Option<&SharedArchive>,
+    seed: u64,
+) -> Vec<SweepRung> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5_1eeb);
+    let mut carry: Vec<PrefixGrid> = Vec::new();
+    let mut rungs = Vec::with_capacity(sweep.weights.len());
+    let mut consumed_total = 0usize;
+
+    for (i, &w) in sweep.weights.iter().enumerate() {
+        let evaluator = make_evaluator(w);
+        if let Some(a) = archive {
+            // Each rung's evaluator counts from zero; offset the archive
+            // so its simulation axis stays cumulative across the sweep.
+            a.lock().set_sim_offset(consumed_total);
+            evaluator.attach_archive(a.clone());
+        }
+
+        // Seed the rung's dataset: re-score the carry set under the new
+        // objective (warm start), or sample cold on the first rung. The
+        // carry chain walks designs in cost order, so consecutive
+        // designs tend to be structurally close and the incremental
+        // session patches small diffs. Seeding is capped at half the
+        // rung budget so small budgets still leave the latent search a
+        // real share of simulations.
+        let mut initial: Vec<(PrefixGrid, f64)> = Vec::new();
+        let budget = sweep.budget_per_weight;
+        let seed_cap = (budget / 2).max(1);
+        if carry.is_empty() {
+            if sweep.seed_classical {
+                for (_, g) in topologies::all_classical(width) {
+                    if evaluator.counter().count() >= seed_cap {
+                        break;
+                    }
+                    let cost = evaluator.evaluate(&g).cost;
+                    initial.push((g, cost));
+                }
+            }
+            for _ in 0..sweep.cold_start_samples {
+                if evaluator.counter().count() >= seed_cap {
+                    break;
+                }
+                let g = mutate::random_grid(width, rng.gen_range(0.02..0.5), &mut rng);
+                let cost = evaluator.evaluate(&g).cost;
+                initial.push((g, cost));
+            }
+        } else {
+            let mut prev: Option<&PrefixGrid> = None;
+            for g in &carry {
+                if evaluator.counter().count() >= seed_cap {
+                    break;
+                }
+                let rec = match prev {
+                    Some(p) => evaluator.evaluate_from(p, g),
+                    None => evaluator.evaluate(g),
+                };
+                prev = Some(g);
+                initial.push((g.clone(), rec.cost));
+            }
+        }
+        let init_used = evaluator.counter().count();
+        let init_best = initial
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::INFINITY, f64::min);
+        let init_best_grid = initial
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(g, _)| g.clone());
+
+        let mut vae = CircuitVae::new(width, base_config.clone(), initial, seed + i as u64);
+        let outcome = vae.run(&evaluator, budget.saturating_sub(init_used));
+        let merged = outcome.with_init_prefix(init_used, init_best, init_best_grid);
+
+        // Next rung's warm-start set: the sweep-wide frontier designs
+        // first (re-scoring them under the next ω spreads observations
+        // across the whole front), then this rung's best by its own
+        // cost. Deduped in insertion order, so the set is deterministic.
+        let mut seen: HashSet<PrefixGrid> = HashSet::new();
+        carry = Vec::new();
+        if let Some(a) = archive {
+            for p in a.lock().front() {
+                if carry.len() < sweep.carry && seen.insert(p.grid.clone()) {
+                    carry.push(p.grid.clone());
+                }
+            }
+        }
+        let mut entries: Vec<(PrefixGrid, f64)> = vae.dataset().entries().to_vec();
+        entries.sort_by(|a, b| a.1.total_cmp(&b.1));
+        for (g, _) in entries {
+            if carry.len() >= sweep.carry {
+                break;
+            }
+            if seen.insert(g.clone()) {
+                carry.push(g);
+            }
+        }
+
+        consumed_total += evaluator.counter().count();
+        if archive.is_some() {
+            evaluator.detach_archive();
+        }
+        rungs.push(SweepRung {
+            delay_weight: w,
+            outcome: merged,
+        });
+    }
+    rungs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_cells::nangate45_like;
+    use cv_prefix::CircuitKind;
+    use cv_synth::{CostParams, Objective, ParetoArchive, SynthesisFlow};
+
+    fn make_eval(width: usize) -> impl Fn(f64) -> CachedEvaluator {
+        move |w: f64| {
+            let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width);
+            CachedEvaluator::new(Objective::new(flow, CostParams::new(w)))
+        }
+    }
+
+    #[test]
+    fn sweep_visits_every_weight_and_feeds_one_archive() {
+        let width = 10;
+        let archive = ParetoArchive::new().with_log().into_shared();
+        let sweep = SweepConfig {
+            carry: 8,
+            cold_start_samples: 8,
+            ..SweepConfig::new(vec![0.2, 0.8], 50)
+        };
+        let rungs = run_weight_sweep(
+            width,
+            &CircuitVaeConfig::smoke(width),
+            &sweep,
+            make_eval(width),
+            Some(&archive),
+            17,
+        );
+        assert_eq!(rungs.len(), 2);
+        for r in &rungs {
+            assert!(r.outcome.best_cost.is_finite());
+            assert!(r.outcome.best_grid.is_some());
+            let max_sims = r.outcome.history.iter().map(|(s, _)| *s).max().unwrap();
+            assert!(max_sims <= 50, "per-rung budget respected: {max_sims}");
+        }
+        let arch = archive.lock();
+        assert!(
+            arch.len() >= 2,
+            "a two-weight sweep should trace a multi-point front"
+        );
+        assert!(!arch.observations().is_empty());
+    }
+
+    #[test]
+    fn warm_start_reuses_previous_designs() {
+        // With a carry set, the second rung's first evaluations are the
+        // first rung's best designs — its initial breakpoint must not be
+        // worse than evaluating those same designs cold.
+        let width = 10;
+        let sweep = SweepConfig {
+            carry: 6,
+            cold_start_samples: 6,
+            ..SweepConfig::new(vec![0.5, 0.5], 40)
+        };
+        let rungs = run_weight_sweep(
+            width,
+            &CircuitVaeConfig::smoke(width),
+            &sweep,
+            make_eval(width),
+            None,
+            23,
+        );
+        // Same weight twice: the warm-started rung starts from the
+        // previous rung's best, so its first breakpoint is at least as
+        // good as the previous rung's final best.
+        let first_best = rungs[0].outcome.best_cost;
+        let warm_first_breakpoint = rungs[1].outcome.history.first().unwrap().1;
+        assert!(
+            warm_first_breakpoint <= first_best + 1e-9,
+            "warm start must inherit the frontier: {warm_first_breakpoint} vs {first_best}"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let width = 10;
+        let sweep = SweepConfig {
+            carry: 4,
+            cold_start_samples: 6,
+            ..SweepConfig::new(vec![0.3], 30)
+        };
+        let a = run_weight_sweep(
+            width,
+            &CircuitVaeConfig::smoke(width),
+            &sweep,
+            make_eval(width),
+            None,
+            5,
+        );
+        let b = run_weight_sweep(
+            width,
+            &CircuitVaeConfig::smoke(width),
+            &sweep,
+            make_eval(width),
+            None,
+            5,
+        );
+        assert_eq!(a[0].outcome.history, b[0].outcome.history);
+        assert_eq!(a[0].outcome.best_cost, b[0].outcome.best_cost);
+    }
+}

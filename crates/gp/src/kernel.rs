@@ -42,7 +42,7 @@ pub fn median_distance(points: &[Vec<f64>]) -> f64 {
     for i in 0..n {
         for j in (i + 1)..n {
             counter += 1;
-            if !counter.is_multiple_of(stride) {
+            if counter % stride != 0 {
                 continue;
             }
             let d2: f64 = points[i]

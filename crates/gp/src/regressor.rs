@@ -51,7 +51,11 @@ impl GpRegressor {
             else {
                 continue;
             };
-            if best.as_ref().is_none_or(|(b_lml, ..)| lml > *b_lml) {
+            let improves = match &best {
+                None => true,
+                Some((b_lml, ..)) => lml > *b_lml,
+            };
+            if improves {
                 best = Some((lml, ell, l, alpha));
             }
         }

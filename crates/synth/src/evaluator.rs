@@ -3,6 +3,7 @@
 
 use crate::cost::{CostParams, PpaReport};
 use crate::flow::SynthesisFlow;
+use crate::pareto::SharedArchive;
 use crate::session::EvalSession;
 use cv_prefix::PrefixGrid;
 use parking_lot::Mutex;
@@ -30,6 +31,14 @@ impl SimCounter {
     /// Adds `n` simulations.
     pub fn add(&self, n: usize) {
         self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` simulations and returns the count *after* the add, as
+    /// one atomic step — the pair a concurrent observer needs (a
+    /// separate `add` + `count` could interleave with another thread
+    /// and stamp duplicate or skipped counts).
+    pub fn add_and_count(&self, n: usize) -> usize {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
     }
 }
 
@@ -77,6 +86,17 @@ impl Objective {
     pub fn cost_params(&self) -> CostParams {
         self.cost
     }
+
+    /// A sweep of objectives over `weights`, all sharing `flow`'s
+    /// structure: the scalarization ladder a frontier campaign walks.
+    /// Each clone's sizing weight is aligned to its own ω (as in
+    /// [`Objective::new`]), so every rung optimizes what it measures.
+    pub fn weight_sweep(flow: SynthesisFlow, weights: &[f64]) -> Vec<Objective> {
+        weights
+            .iter()
+            .map(|&w| Objective::new(flow.clone(), CostParams::new(w)))
+            .collect()
+    }
 }
 
 /// A cache slot: `None` while its owning thread is synthesizing.
@@ -105,6 +125,10 @@ pub struct CachedEvaluator {
     // which is what keeps the cache coherent.
     sessions: Mutex<Vec<EvalSession>>,
     incremental: bool,
+    // Optional frontier observer: every *counted* simulation offers its
+    // (grid, PPA) to the attached archive. Observation-only — see the
+    // archiving contract on `attach_archive`.
+    archive: Mutex<Option<SharedArchive>>,
 }
 
 /// Drop guard that un-claims a cache key if its owner unwinds before
@@ -146,7 +170,31 @@ impl CachedEvaluator {
             counter: SimCounter::new(),
             sessions: Mutex::new(Vec::new()),
             incremental,
+            archive: Mutex::new(None),
         }
+    }
+
+    /// Attaches a Pareto archive: from now on every counted simulation
+    /// (cache miss) offers its legalized `(grid, PPA)` to the archive,
+    /// so any scalar search yields an area-delay frontier for free.
+    /// Returns the previously attached archive, if any.
+    ///
+    /// **Contract (DESIGN.md §6, Contract 7): archiving never changes
+    /// search decisions.** The archive only observes — evaluation
+    /// results, cache contents, and simulation accounting are bit-for-bit
+    /// identical with or without an archive attached.
+    pub fn attach_archive(&self, archive: SharedArchive) -> Option<SharedArchive> {
+        self.archive.lock().replace(archive)
+    }
+
+    /// Detaches and returns the current archive, if any.
+    pub fn detach_archive(&self) -> Option<SharedArchive> {
+        self.archive.lock().take()
+    }
+
+    /// A handle to the attached archive, if any.
+    pub fn archive(&self) -> Option<SharedArchive> {
+        self.archive.lock().clone()
     }
 
     /// Whether cache misses use the incremental session path.
@@ -239,7 +287,13 @@ impl CachedEvaluator {
             };
             let rec = self.simulate(&key, prev);
             unclaim.armed = false;
-            self.counter.add(1);
+            // The post-add count is taken atomically with the add so
+            // parallel batch evaluations stamp distinct, gap-free
+            // simulation counts into the archive.
+            let sims = self.counter.add_and_count(1);
+            if let Some(archive) = self.archive.lock().clone() {
+                archive.lock().insert(key.clone(), rec.ppa, sims);
+            }
             *guard = Some(rec);
             return rec;
         }
@@ -378,6 +432,76 @@ mod tests {
     fn empty_batch_is_fine() {
         let ev = evaluator(8, 0.5);
         assert!(ev.evaluate_batch(&[], 4).is_empty());
+        assert!(ev.evaluate_batch(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn batch_degenerate_thread_counts_do_not_panic_and_stay_order_stable() {
+        // Regression: `threads: 0` must fall back to serial and
+        // `threads > grids.len()` must clamp — neither may panic, and
+        // both must return results aligned with the input order,
+        // identical to the serial path.
+        let mut rng = StdRng::seed_from_u64(11);
+        let grids: Vec<PrefixGrid> = (0..5)
+            .map(|_| mutate::random_grid(10, 0.3, &mut rng))
+            .collect();
+        let serial_ev = evaluator(10, 0.5);
+        let serial: Vec<EvalRecord> = grids.iter().map(|g| serial_ev.evaluate(g)).collect();
+        for threads in [0, 1, grids.len() + 1, 64] {
+            let ev = evaluator(10, 0.5);
+            let batch = ev.evaluate_batch(&grids, threads);
+            assert_eq!(batch, serial, "threads={threads} must match serial order");
+            assert_eq!(ev.counter().count(), serial_ev.counter().count());
+        }
+    }
+
+    #[test]
+    fn attached_archive_captures_every_counted_simulation() {
+        use crate::pareto::ParetoArchive;
+        let ev = evaluator(12, 0.5);
+        let baseline = ev.evaluate(&topologies::ripple(12)); // pre-attach: not archived
+        let archive = ParetoArchive::new().with_log().into_shared();
+        assert!(ev.attach_archive(archive.clone()).is_none());
+        let a = ev.evaluate(&topologies::sklansky(12));
+        let b = ev.evaluate(&topologies::brent_kung(12));
+        let _cache_hit = ev.evaluate(&topologies::sklansky(12));
+        {
+            let arch = archive.lock();
+            assert_eq!(
+                arch.observations().len(),
+                2,
+                "one observation per counted simulation, none for cache hits"
+            );
+            assert!(!arch.is_empty() && arch.len() <= 2);
+        }
+        // Contract 7: archiving never changes search decisions — results
+        // match an archive-free evaluator bit-for-bit.
+        let plain = evaluator(12, 0.5);
+        assert_eq!(plain.evaluate(&topologies::ripple(12)), baseline);
+        assert_eq!(plain.evaluate(&topologies::sklansky(12)), a);
+        assert_eq!(plain.evaluate(&topologies::brent_kung(12)), b);
+        assert!(ev.detach_archive().is_some());
+        assert!(ev.archive().is_none());
+        let _ = ev.evaluate(&topologies::kogge_stone(12));
+        assert_eq!(archive.lock().observations().len(), 2, "detached = silent");
+    }
+
+    #[test]
+    fn weight_sweep_builds_aligned_objectives() {
+        let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, 12);
+        let sweep = Objective::weight_sweep(flow, &[0.1, 0.5, 0.9]);
+        assert_eq!(sweep.len(), 3);
+        let g = topologies::sklansky(12);
+        for (obj, w) in sweep.iter().zip([0.1, 0.5, 0.9]) {
+            assert_eq!(obj.cost_params().delay_weight, w);
+            assert_eq!(
+                obj.flow().config().delay_weight,
+                w,
+                "sizing weight aligned to the cost weight"
+            );
+            let rec = obj.evaluate(&g);
+            assert_eq!(rec.cost, obj.cost_params().cost(&rec.ppa));
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ mod commercial;
 mod cost;
 mod evaluator;
 mod flow;
+mod pareto;
 mod session;
 mod sizing;
 mod tracking;
@@ -36,6 +37,13 @@ pub use commercial::CommercialTool;
 pub use cost::{CostParams, PpaReport};
 pub use evaluator::{CachedEvaluator, EvalRecord, Objective, SimCounter};
 pub use flow::{SynthesisConfig, SynthesisFlow};
+pub use pareto::{
+    crowding_distance, dominates, dominates_xy, non_dominated_sort, Observation, ParetoArchive,
+    ParetoPoint, SharedArchive,
+};
 pub use session::EvalSession;
 pub use sizing::{size_gates, size_gates_incremental};
-pub use tracking::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
+pub use tracking::{
+    eval_and_track, eval_and_track_from, eval_record_and_track, eval_record_and_track_from,
+    BestTracker, SearchOutcome,
+};

@@ -39,7 +39,12 @@ pub fn size_gates(
                 + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
             let gain = current_score - trial_score;
             netlist.set_drive(gid, old_drive);
-            if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+            if gain > 1e-9
+                && match best {
+                    None => true,
+                    Some((_, _, g)) => gain > g,
+                }
+            {
                 best = Some((gid, bigger, gain));
             }
         }
@@ -92,7 +97,12 @@ pub fn size_gates_incremental(
                 + (1.0 - delay_weight) * netlist.area_um2(lib) / 100.0;
             let gain = current_score - trial_score;
             engine.set_drive(netlist, lib, gid, old_drive);
-            if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
+            if gain > 1e-9
+                && match best {
+                    None => true,
+                    Some((_, _, g)) => gain > g,
+                }
+            {
                 best = Some((gid, bigger, gain));
             }
         }

@@ -1,7 +1,7 @@
 //! Best-so-far tracking against the simulation budget — shared by every
 //! search algorithm (CircuitVAE, BO, GA, RL, SA, random search).
 
-use crate::evaluator::CachedEvaluator;
+use crate::evaluator::{CachedEvaluator, EvalRecord};
 use cv_prefix::PrefixGrid;
 use serde::{Deserialize, Serialize};
 
@@ -62,6 +62,19 @@ impl BestTracker {
     pub fn best_cost(&self) -> f64 {
         self.best_cost
     }
+
+    /// Current best design, if any observation has been made. Searchers
+    /// that restart from the best-so-far (SA, sweep warm starts) read it
+    /// from here instead of keeping their own copy.
+    pub fn best_grid(&self) -> Option<&PrefixGrid> {
+        self.best_grid.as_ref()
+    }
+
+    /// Every observed `(grid, cost)` pair so far (empty unless the
+    /// tracker was created with `keep_evaluated`).
+    pub fn evaluated(&self) -> &[(PrefixGrid, f64)] {
+        &self.evaluated
+    }
 }
 
 /// The result of one search run.
@@ -97,6 +110,65 @@ impl SearchOutcome {
             .find(|(_, c)| *c <= target)
             .map(|(s, _)| *s)
     }
+
+    /// Merges an initialization phase into this outcome: the curve is
+    /// shifted right by `init_sims` (simulations already charged before
+    /// the search proper started), prefixed with the initialization's
+    /// own best breakpoint, and the overall best is reconciled. Shared
+    /// by every two-phase method (GA-seeded VAE/BO, sweep warm starts)
+    /// so the merge arithmetic lives in exactly one place.
+    #[must_use]
+    pub fn with_init_prefix(
+        self,
+        init_sims: usize,
+        init_best: f64,
+        init_best_grid: Option<PrefixGrid>,
+    ) -> SearchOutcome {
+        let mut history = Vec::with_capacity(self.history.len() + 1);
+        if init_best.is_finite() {
+            history.push((init_sims, init_best));
+        }
+        for (s, c) in self.history {
+            history.push((s + init_sims, c));
+        }
+        let (best_cost, best_grid) = if self.best_cost <= init_best {
+            (self.best_cost, self.best_grid)
+        } else {
+            (init_best, init_best_grid)
+        };
+        SearchOutcome {
+            history,
+            best_cost,
+            best_grid,
+            evaluated: self.evaluated,
+        }
+    }
+}
+
+/// Evaluate, observe, and return the full [`EvalRecord`] — the hook for
+/// multi-objective searchers (NSGA-II GA) that need the PPA report, not
+/// just the scalar cost.
+pub fn eval_record_and_track(
+    evaluator: &CachedEvaluator,
+    tracker: &mut BestTracker,
+    grid: &PrefixGrid,
+) -> EvalRecord {
+    let rec = evaluator.evaluate(grid);
+    tracker.observe(evaluator.counter().count(), grid, rec.cost);
+    rec
+}
+
+/// Like [`eval_record_and_track`], with a derivation hint (see
+/// [`eval_and_track_from`]).
+pub fn eval_record_and_track_from(
+    evaluator: &CachedEvaluator,
+    tracker: &mut BestTracker,
+    prev: &PrefixGrid,
+    grid: &PrefixGrid,
+) -> EvalRecord {
+    let rec = evaluator.evaluate_from(prev, grid);
+    tracker.observe(evaluator.counter().count(), grid, rec.cost);
+    rec
 }
 
 /// Convenience wrapper: evaluate, observe, and return the cost.
@@ -105,9 +177,7 @@ pub fn eval_and_track(
     tracker: &mut BestTracker,
     grid: &PrefixGrid,
 ) -> f64 {
-    let rec = evaluator.evaluate(grid);
-    tracker.observe(evaluator.counter().count(), grid, rec.cost);
-    rec.cost
+    eval_record_and_track(evaluator, tracker, grid).cost
 }
 
 /// Like [`eval_and_track`], but tells the evaluator which design `grid`
@@ -120,9 +190,7 @@ pub fn eval_and_track_from(
     prev: &PrefixGrid,
     grid: &PrefixGrid,
 ) -> f64 {
-    let rec = evaluator.evaluate_from(prev, grid);
-    tracker.observe(evaluator.counter().count(), grid, rec.cost);
-    rec.cost
+    eval_record_and_track_from(evaluator, tracker, prev, grid).cost
 }
 
 #[cfg(test)]
@@ -141,6 +209,37 @@ mod tests {
         assert_eq!(out.history, vec![(1, 5.0), (3, 4.0), (10, 4.0)]);
         assert_eq!(out.best_cost, 4.0);
         assert_eq!(out.evaluated.len(), 3);
+    }
+
+    #[test]
+    fn init_prefix_merges_curve_and_best() {
+        let g = PrefixGrid::ripple(8);
+        let out = SearchOutcome {
+            history: vec![(2, 4.0), (9, 3.0)],
+            best_cost: 3.0,
+            best_grid: Some(g.clone()),
+            evaluated: vec![],
+        };
+        // Search beat the init phase: init breakpoint prepended, curve
+        // shifted, search best kept.
+        let merged = out.clone().with_init_prefix(10, 5.0, None);
+        assert_eq!(merged.history, vec![(10, 5.0), (12, 4.0), (19, 3.0)]);
+        assert_eq!(merged.best_cost, 3.0);
+        assert!(merged.best_grid.is_some());
+        // Init phase beat the search: init best (and grid) win.
+        let merged = out.with_init_prefix(10, 2.0, None);
+        assert_eq!(merged.best_cost, 2.0);
+        assert!(merged.best_grid.is_none());
+        // An infinite init best (empty init phase) adds no breakpoint.
+        let empty = SearchOutcome {
+            history: vec![(1, 7.0)],
+            best_cost: 7.0,
+            best_grid: None,
+            evaluated: vec![],
+        };
+        let merged = empty.with_init_prefix(3, f64::INFINITY, None);
+        assert_eq!(merged.history, vec![(4, 7.0)]);
+        assert_eq!(merged.best_cost, 7.0);
     }
 
     #[test]

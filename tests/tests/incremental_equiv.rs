@@ -23,7 +23,7 @@ const KINDS: [CircuitKind; 3] = [
 ];
 
 fn tech(idx: usize) -> CellLibrary {
-    if idx.is_multiple_of(2) {
+    if idx % 2 == 0 {
         nangate45_like()
     } else {
         scaled_8nm_like()

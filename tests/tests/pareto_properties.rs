@@ -1,0 +1,136 @@
+//! Property tests pinning the [`ParetoArchive`] contracts the frontier
+//! subsystem rests on:
+//!
+//! 1. the archived front is always mutually non-dominated;
+//! 2. with ε = 0 and unbounded capacity, the front is independent of
+//!    insertion order (it is exactly the non-dominated subset of
+//!    everything inserted — cross-checked against `pareto_filter`);
+//! 3. hypervolume is monotone under insertion.
+//!
+//! Plus the pinned edge cases: empty archive, single point, duplicate
+//! PPA.
+
+use cv_bench::stats::{hypervolume, pareto_filter};
+use cv_prefix::PrefixGrid;
+use cv_synth::{dominates_xy, ParetoArchive, PpaReport};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn ppa(area: f64, delay: f64) -> PpaReport {
+    PpaReport {
+        area_um2: area,
+        delay_ns: delay,
+        gate_count: 1,
+        buffers_inserted: 0,
+        gates_upsized: 0,
+    }
+}
+
+fn grid() -> PrefixGrid {
+    PrefixGrid::ripple(8)
+}
+
+/// Points on a coarse integer lattice: exercises duplicates and exact
+/// objective ties far more often than uniform floats would.
+fn arb_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((1u32..40, 1u32..40), 0..40)
+        .prop_map(|v| v.into_iter().map(|(a, d)| (a as f64, d as f64)).collect())
+}
+
+fn filled(points: &[(f64, f64)]) -> ParetoArchive {
+    let mut archive = ParetoArchive::new();
+    for (i, &(a, d)) in points.iter().enumerate() {
+        archive.insert(grid(), ppa(a, d), i + 1);
+    }
+    archive
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_archived_point_dominates_another(points in arb_points()) {
+        let archive = filled(&points);
+        let objs = archive.objectives();
+        for (i, &a) in objs.iter().enumerate() {
+            for (j, &b) in objs.iter().enumerate() {
+                prop_assert!(
+                    i == j || (!dominates_xy(a, b) && a != b),
+                    "{a:?} dominates or duplicates {b:?}"
+                );
+            }
+        }
+        // And the front is sorted by ascending area.
+        for w in objs.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn front_is_insertion_order_independent(points in arb_points(), seed in 0u64..1000) {
+        let forward = filled(&points).objectives();
+        let mut shuffled = points.clone();
+        shuffled.shuffle(&mut StdRng::seed_from_u64(seed));
+        let permuted = filled(&shuffled).objectives();
+        prop_assert_eq!(&forward, &permuted);
+        // Cross-check: the front IS the non-dominated subset of the
+        // inputs, as computed independently by `pareto_filter`.
+        prop_assert_eq!(forward, pareto_filter(&points));
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_insertion(points in arb_points()) {
+        let reference = (41.0, 41.0); // dominated by every lattice point
+        let mut archive = ParetoArchive::new();
+        let mut prev_hv = 0.0;
+        for (i, &(a, d)) in points.iter().enumerate() {
+            archive.insert(grid(), ppa(a, d), i + 1);
+            let hv = hypervolume(&archive.objectives(), reference);
+            prop_assert!(
+                hv >= prev_hv - 1e-12,
+                "hypervolume shrank: {prev_hv} -> {hv} after ({a}, {d})"
+            );
+            prev_hv = hv;
+        }
+    }
+
+    #[test]
+    fn accepted_count_never_exceeds_inserted(points in arb_points()) {
+        let archive = filled(&points);
+        prop_assert_eq!(archive.inserted(), points.len());
+        prop_assert!(archive.accepted() <= archive.inserted());
+        prop_assert!(archive.len() <= archive.accepted().max(1));
+    }
+}
+
+#[test]
+fn pinned_empty_archive() {
+    let archive = ParetoArchive::new();
+    assert!(archive.is_empty());
+    assert_eq!(archive.len(), 0);
+    assert_eq!(hypervolume(&archive.objectives(), (10.0, 10.0)), 0.0);
+}
+
+#[test]
+fn pinned_single_point() {
+    let mut archive = ParetoArchive::new();
+    assert!(archive.insert(grid(), ppa(3.0, 2.0), 1));
+    assert_eq!(archive.objectives(), vec![(3.0, 2.0)]);
+    let hv = hypervolume(&archive.objectives(), (10.0, 10.0));
+    assert!((hv - 56.0).abs() < 1e-12, "(10-3)*(10-2) = 56, got {hv}");
+}
+
+#[test]
+fn pinned_duplicate_ppa() {
+    let mut archive = ParetoArchive::new();
+    assert!(archive.insert(grid(), ppa(3.0, 2.0), 1));
+    assert!(
+        !archive.insert(grid(), ppa(3.0, 2.0), 2),
+        "duplicate rejected"
+    );
+    assert_eq!(archive.len(), 1);
+    assert_eq!(archive.front()[0].sims, 1, "first observation wins");
+    assert_eq!((archive.inserted(), archive.accepted()), (2, 1));
+}

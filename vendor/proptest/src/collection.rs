@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-/// Size specification for [`vec`]: a fixed length or a half-open range.
+/// Size specification for [`vec()`]: a fixed length or a half-open range.
 #[derive(Debug, Clone)]
 pub enum SizeRange {
     /// Exactly this many elements.
@@ -25,7 +25,7 @@ impl From<core::ops::Range<usize>> for SizeRange {
     }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -78,3 +78,21 @@ macro_rules! impl_float_range_strategy {
     )*};
 }
 impl_float_range_strategy!(f32, f64);
+
+// Tuples of strategies are strategies over tuples, as in real proptest
+// (each component draws in order from the shared RNG).
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
