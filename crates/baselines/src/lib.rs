@@ -7,6 +7,13 @@
 //! PrefixRL-lite DQN, plus simulated annealing and random search as extra
 //! reference points.
 //!
+//! Every method is a step-based [`SearchDriver`] state machine
+//! ([`SaDriver`], [`GaDriver`], [`RlDriver`], [`RandomSearchDriver`]):
+//! the classic `run()` entry points below are thin wrappers that step a
+//! driver to completion, and the `StdRng`-seeded driver constructors
+//! additionally support full checkpoint/resume ([`Checkpointable`];
+//! Contract 8 in `DESIGN.md` §7).
+//!
 //! ```no_run
 //! use cv_baselines::{GaConfig, GeneticAlgorithm};
 //! use cv_synth::{CachedEvaluator, CostParams, Objective, SynthesisFlow};
@@ -25,13 +32,13 @@
 #![deny(missing_docs)]
 
 mod annealing;
-mod archive_util;
 mod ga;
 mod random_search;
 mod rl;
 
-pub use annealing::{SaConfig, SimulatedAnnealing};
+pub use annealing::{SaConfig, SaDriver, SimulatedAnnealing};
+pub use circuitvae::driver::{run_archived, Checkpointable, SearchDriver, StepStatus};
 pub use cv_synth::{eval_and_track, eval_and_track_from, BestTracker, SearchOutcome};
-pub use ga::{ga_initial_dataset, GaConfig, GaMode, GeneticAlgorithm};
-pub use random_search::random_search;
-pub use rl::{PrefixRlLite, RlConfig};
+pub use ga::{ga_initial_dataset, GaConfig, GaDriver, GaMode, GeneticAlgorithm};
+pub use random_search::{random_search, RandomSearchDriver};
+pub use rl::{PrefixRlLite, RlConfig, RlDriver};

@@ -1,9 +1,16 @@
-//! Uniform random search — the sanity-floor baseline.
+//! Uniform random search — the sanity-floor baseline — as a step-based
+//! [`SearchDriver`].
 
+use circuitvae::driver::{
+    read_opt_outcome, read_rng, write_opt_outcome, write_rng, Checkpointable, SearchDriver,
+    StepStatus,
+};
 use cv_prefix::mutate;
+use cv_synth::ckpt::{CkptError, Dec, Enc};
 use cv_synth::CachedEvaluator;
 use cv_synth::{eval_and_track, BestTracker, SearchOutcome};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Samples random legalized grids across a density sweep until the
 /// budget is spent.
@@ -13,15 +20,111 @@ pub fn random_search<R: Rng + ?Sized>(
     budget: usize,
     rng: &mut R,
 ) -> SearchOutcome {
-    let mut tracker = BestTracker::new(false);
-    let start = evaluator.counter().count();
-    while evaluator.counter().count() - start < budget {
-        let density = rng.gen_range(0.0..0.6);
-        let g = mutate::random_grid(width, density, rng);
-        let _ = eval_and_track(evaluator, &mut tracker, &g);
+    RandomSearchDriver::with_rng(width, budget, rng).run_to_completion(evaluator)
+}
+
+/// The random-search state machine: one random sample per step.
+#[derive(Debug)]
+pub struct RandomSearchDriver<R = StdRng> {
+    width: usize,
+    budget: usize,
+    used: usize,
+    tracker: BestTracker,
+    rng: R,
+    outcome: Option<SearchOutcome>,
+}
+
+impl RandomSearchDriver<StdRng> {
+    /// A checkpointable driver seeded from `seed`.
+    pub fn new(width: usize, budget: usize, seed: u64) -> Self {
+        Self::with_rng(width, budget, StdRng::seed_from_u64(seed))
     }
-    tracker.finish(evaluator.counter().count() - start);
-    tracker.into_outcome()
+}
+
+impl<R: Rng> RandomSearchDriver<R> {
+    /// A driver over a caller-supplied RNG.
+    pub fn with_rng(width: usize, budget: usize, rng: R) -> Self {
+        RandomSearchDriver {
+            width,
+            budget,
+            used: 0,
+            tracker: BestTracker::new(false),
+            rng,
+            outcome: None,
+        }
+    }
+}
+
+impl<R: Rng> SearchDriver for RandomSearchDriver<R> {
+    fn step(&mut self, evaluator: &CachedEvaluator) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if self.used >= self.budget {
+            let mut tracker = std::mem::replace(&mut self.tracker, BestTracker::new(false));
+            tracker.finish(self.used);
+            self.outcome = Some(tracker.into_outcome());
+            return StepStatus::Done;
+        }
+        let before = evaluator.counter().count();
+        let density = self.rng.gen_range(0.0..0.6);
+        let g = mutate::random_grid(self.width, density, &mut self.rng);
+        let _ = eval_and_track(evaluator, &mut self.tracker, &g);
+        self.used += evaluator.counter().count() - before;
+        StepStatus::Running
+    }
+
+    fn sims_used(&self) -> usize {
+        self.used
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn outcome(&self) -> Option<&SearchOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn best_cost(&self) -> f64 {
+        self.outcome
+            .as_ref()
+            .map_or_else(|| self.tracker.best_cost(), |o| o.best_cost)
+    }
+}
+
+const MAGIC: &[u8; 8] = b"CVDRRS01";
+
+impl Checkpointable for RandomSearchDriver<StdRng> {
+    fn save(&self) -> Vec<u8> {
+        let mut enc = Enc::with_magic(MAGIC);
+        enc.usize(self.width);
+        enc.usize(self.budget);
+        enc.usize(self.used);
+        self.tracker.write_ckpt(&mut enc);
+        write_rng(&mut enc, &self.rng);
+        write_opt_outcome(&mut enc, self.outcome.as_ref());
+        enc.finish()
+    }
+
+    fn load(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut dec = Dec::with_magic(bytes, MAGIC)?;
+        let width = dec.usize()?;
+        let budget = dec.usize()?;
+        let used = dec.usize()?;
+        let tracker = BestTracker::read_ckpt(&mut dec)?;
+        let rng = read_rng(&mut dec)?;
+        let outcome = read_opt_outcome(&mut dec)?;
+        dec.finish()?;
+        Ok(RandomSearchDriver {
+            width,
+            budget,
+            used,
+            tracker,
+            rng,
+            outcome,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -30,8 +133,6 @@ mod tests {
     use cv_cells::nangate45_like;
     use cv_prefix::CircuitKind;
     use cv_synth::{CostParams, Objective, SynthesisFlow};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn random_search_spends_budget_and_tracks() {

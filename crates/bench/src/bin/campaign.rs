@@ -1,0 +1,169 @@
+//! The **campaign** orchestrator binary: a method×seed×width×tech grid
+//! executed on the persistent driver pool, with per-round JSONL
+//! telemetry, periodic checkpoints, and bit-exact resume.
+//!
+//! Every task runs its method through the step-based `SearchDriver`
+//! engine; the campaign checkpoints each task every few simulations and
+//! can be killed (or stopped deterministically with `--halt-after N`)
+//! and re-run with the same `--dir` to continue exactly where it
+//! stopped — the final JSONL/CSV outputs byte-match an uninterrupted
+//! run (Contract 8; the CI campaign-smoke job enforces it).
+//!
+//! Emits under the campaign directory (default `results/campaign/`):
+//! * `<task>.jsonl` — per-round telemetry `{task, round, sims, best}`,
+//! * `<task>.done`  — binary outcome + frontier archive,
+//! * `campaign_summary.csv` — one row per task (written on completion).
+//!
+//! Usage: `campaign [--scale smoke|default|paper] [--dir PATH]
+//! [--halt-after N] [--threads N] [--fresh]`
+
+use cv_bench::campaign::{run_campaign, CampaignConfig, CampaignTask};
+use cv_bench::harness::{results_dir, ExperimentSpec, Method, Scale, TechLibrary};
+use cv_prefix::CircuitKind;
+use std::path::PathBuf;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+        if args[i] == name {
+            return args.get(i + 1).cloned();
+        }
+        i += 1;
+    }
+    None
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let dir: PathBuf = arg_value("--dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("campaign"));
+    let halt_after: Option<usize> = arg_value("--halt-after").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: --halt-after expects an integer, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+    let threads: usize = arg_value("--threads")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads expects an integer, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    if arg_flag("--fresh") {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let (widths, seeds): (&[usize], usize) = match scale {
+        Scale::Smoke => (&[8], 1),
+        Scale::Default => (&[8, 16], 2),
+        Scale::Paper => (&[16, 32], 5),
+    };
+    let techs = [TechLibrary::Nangate45Like, TechLibrary::Scaled8nmLike];
+    let methods = [
+        Method::Sa,
+        Method::Ga,
+        Method::GaNsga2,
+        Method::Random,
+        Method::Rl,
+        Method::CircuitVae,
+    ];
+
+    let mut tasks = Vec::new();
+    for &tech in &techs {
+        for &width in widths {
+            let budget = (((8 * width) as f64) * scale.budget_factor())
+                .round()
+                .max(40.0) as usize;
+            for &method in &methods {
+                for s in 0..seeds as u64 {
+                    let mut spec =
+                        ExperimentSpec::standard(width, CircuitKind::Adder, 0.66, budget);
+                    spec.tech = tech;
+                    tasks.push(CampaignTask {
+                        method,
+                        spec,
+                        seed: 1000 + s,
+                    });
+                }
+            }
+        }
+    }
+
+    let cfg = CampaignConfig {
+        dir: Some(dir.clone()),
+        checkpoint_every: match scale {
+            Scale::Smoke => 10,
+            Scale::Default | Scale::Paper => 50,
+        },
+        threads,
+        halt_after,
+    };
+    println!(
+        "campaign: {} tasks ({} techs × {widths:?} × {} methods × {seeds} seeds), {} threads, dir {}",
+        tasks.len(),
+        techs.len(),
+        methods.len(),
+        cfg.threads,
+        dir.display()
+    );
+
+    let results = run_campaign(&tasks, &cfg);
+    let incomplete = results.iter().filter(|r| r.is_none()).count();
+    if incomplete > 0 {
+        println!(
+            "campaign halted: {incomplete}/{} tasks pending; re-run with the same --dir to resume",
+            tasks.len()
+        );
+        return;
+    }
+
+    let mut csv = String::from("tech,width,method,seed,sims,best_cost,front_size\n");
+    println!(
+        "{:>10} {:>5} {:>12} {:>6} {:>6} {:>12} {:>6}",
+        "tech", "width", "method", "seed", "sims", "best", "front"
+    );
+    for (task, result) in tasks.iter().zip(&results) {
+        let r = result.as_ref().expect("campaign completed");
+        let tech = match task.spec.tech {
+            TechLibrary::Nangate45Like => "nangate45",
+            TechLibrary::Scaled8nmLike => "scaled8nm",
+        };
+        let sims = r.outcome.history.last().map_or(0, |&(s, _)| s);
+        csv.push_str(&format!(
+            "{tech},{},{},{},{sims},{:.9},{}\n",
+            task.spec.width,
+            task.method.label(),
+            task.seed,
+            r.outcome.best_cost,
+            r.archive.len()
+        ));
+        println!(
+            "{:>10} {:>5} {:>12} {:>6} {:>6} {:>12.4} {:>6}",
+            tech,
+            task.spec.width,
+            task.method.label(),
+            task.seed,
+            sims,
+            r.outcome.best_cost,
+            r.archive.len()
+        );
+    }
+    let summary = dir.join("campaign_summary.csv");
+    std::fs::write(&summary, csv).expect("write campaign summary");
+    println!(
+        "campaign OK: {} tasks complete; wrote {}",
+        tasks.len(),
+        summary.display()
+    );
+}

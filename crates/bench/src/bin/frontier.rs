@@ -80,6 +80,10 @@ fn run_ladder(
     }
 }
 
+/// One panel: every method as an independent unit on the persistent
+/// campaign pool (each unit owns its evaluators and archive, so pooled
+/// execution is bit-identical to the old serial loop; results come back
+/// in method order).
 fn run_panel(
     tech: TechLibrary,
     width: usize,
@@ -96,45 +100,53 @@ fn run_panel(
         Method::GaNsga2,
         Method::Rl,
     ];
-    let mut out = Vec::with_capacity(methods.len());
-    for (mi, &method) in methods.iter().enumerate() {
-        let archive = ParetoArchive::new().with_log().into_shared();
-        let mseed = seed + 37 * mi as u64;
-        match method {
-            Method::CircuitVae => {
-                let spec = spec_for(tech, width, weights[0], per_weight);
-                let sweep = SweepConfig::new(weights.to_vec(), per_weight);
-                let _ = run_weight_sweep(
-                    width,
-                    &vae_config(&spec),
-                    &sweep,
-                    |w| {
-                        let mut s = spec.clone();
-                        s.delay_weight = w;
-                        build_evaluator(&s)
-                    },
-                    Some(&archive),
-                    mseed,
-                );
-            }
-            Method::GaNsga2 => {
-                // Natively multi-objective: the whole budget in one run.
-                let spec = spec_for(tech, width, 0.5, total);
-                let evaluator = build_evaluator(&spec);
-                evaluator.attach_archive(archive.clone());
-                let _ = cv_bench::harness::run_method_on(method, &spec, mseed, &evaluator);
-                evaluator.detach_archive();
-            }
-            _ => run_ladder(method, tech, width, weights, per_weight, mseed, &archive),
-        }
-        let arch = archive.lock();
-        out.push(MethodFrontier {
-            method,
-            front: arch.objectives(),
-            observations: arch.observations().to_vec(),
-        });
-    }
-    out
+    let units: Vec<Box<dyn FnOnce() -> MethodFrontier + Send>> = methods
+        .iter()
+        .enumerate()
+        .map(|(mi, &method)| {
+            let weights = weights.to_vec();
+            let mseed = seed + 37 * mi as u64;
+            Box::new(move || {
+                let archive = ParetoArchive::new().with_log().into_shared();
+                match method {
+                    Method::CircuitVae => {
+                        let spec = spec_for(tech, width, weights[0], per_weight);
+                        let sweep = SweepConfig::new(weights.to_vec(), per_weight);
+                        let _ = run_weight_sweep(
+                            width,
+                            &vae_config(&spec),
+                            &sweep,
+                            |w| {
+                                let mut s = spec.clone();
+                                s.delay_weight = w;
+                                build_evaluator(&s)
+                            },
+                            Some(&archive),
+                            mseed,
+                        );
+                    }
+                    Method::GaNsga2 => {
+                        // Natively multi-objective: the whole budget in
+                        // one run.
+                        let spec = spec_for(tech, width, 0.5, total);
+                        let evaluator = build_evaluator(&spec);
+                        evaluator.attach_archive(archive.clone());
+                        let _ = cv_bench::harness::run_method_on(method, &spec, mseed, &evaluator);
+                        evaluator.detach_archive();
+                    }
+                    _ => run_ladder(method, tech, width, &weights, per_weight, mseed, &archive),
+                }
+                let arch = archive.lock();
+                MethodFrontier {
+                    method,
+                    front: arch.objectives(),
+                    observations: arch.observations().to_vec(),
+                }
+            }) as Box<dyn FnOnce() -> MethodFrontier + Send>
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    cv_bench::campaign::run_units(units, threads)
 }
 
 fn main() {

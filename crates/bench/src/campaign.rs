@@ -1,0 +1,493 @@
+//! The resumable campaign orchestrator: method×seed×width×tech grids
+//! executed on a persistent scoped thread pool, with per-round JSONL
+//! telemetry and on-disk checkpoints that make an interrupted campaign
+//! resume bit-for-bit (Contract 8, DESIGN.md §7).
+//!
+//! Each task runs one [`MethodDriver`] on its own evaluator with a
+//! logging [`ParetoArchive`] attached. Every `checkpoint_every`
+//! simulations the runner atomically (tmp + rename) persists
+//!
+//! * `<id>.ckpt` — driver state + evaluator snapshot + archive +
+//!   telemetry lines emitted so far,
+//! * `<id>.jsonl` — the telemetry stream up to the checkpoint.
+//!
+//! On completion the runner writes `<id>.done` (outcome + archive
+//! bytes), finalizes the JSONL, and removes the checkpoint. A re-run of
+//! the same campaign directory skips `.done` tasks, resumes `.ckpt`
+//! tasks from their snapshot, and starts the rest fresh — so after a
+//! kill (or a deterministic `halt_after` stop) the final outputs
+//! byte-match an uninterrupted run; the CI campaign-smoke job enforces
+//! exactly that.
+
+use crate::driver::{make_driver, MethodDriver};
+use crate::harness::{build_evaluator, ExperimentSpec, Method, TechLibrary};
+use circuitvae::driver::{Checkpointable, SearchDriver, StepStatus};
+use cv_synth::ckpt::{CkptError, Dec, Enc};
+use cv_synth::{EvaluatorState, ParetoArchive, SearchOutcome};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// One unit of a campaign grid.
+#[derive(Debug, Clone)]
+pub struct CampaignTask {
+    /// The search method.
+    pub method: Method,
+    /// The experiment setting (width, tech, ω, budget).
+    pub spec: ExperimentSpec,
+    /// The method seed.
+    pub seed: u64,
+}
+
+impl CampaignTask {
+    /// The task's stable identifier — the stem of its on-disk files.
+    pub fn id(&self) -> String {
+        let tech = match self.spec.tech {
+            TechLibrary::Nangate45Like => "nangate45",
+            TechLibrary::Scaled8nmLike => "scaled8nm",
+        };
+        format!(
+            "{tech}_w{}_{}_s{}",
+            self.spec.width,
+            self.method.label().to_lowercase().replace('-', ""),
+            self.seed
+        )
+    }
+}
+
+/// Campaign execution policy.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Where checkpoints/telemetry/results live; `None` disables
+    /// persistence (pure in-memory pool run).
+    pub dir: Option<PathBuf>,
+    /// Simulations between checkpoints.
+    pub checkpoint_every: usize,
+    /// Worker threads of the persistent pool.
+    pub threads: usize,
+    /// Stop the whole campaign after this many checkpoint writes — the
+    /// deterministic stand-in for a mid-run kill, used by the CI
+    /// resume-equality smoke. `None` runs to completion.
+    pub halt_after: Option<usize>,
+}
+
+impl CampaignConfig {
+    /// An in-memory configuration (no persistence) with `threads`
+    /// workers.
+    pub fn in_memory(threads: usize) -> Self {
+        CampaignConfig {
+            dir: None,
+            checkpoint_every: usize::MAX,
+            threads,
+            halt_after: None,
+        }
+    }
+}
+
+/// A completed task: the outcome plus the frontier its run traced.
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The search outcome.
+    pub outcome: SearchOutcome,
+    /// The archive observed during the run.
+    pub archive: ParetoArchive,
+}
+
+const DONE_MAGIC: &[u8; 8] = b"CVCPDN01";
+const CKPT_MAGIC: &[u8; 8] = b"CVCPCK01";
+
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).expect("campaign state must be writable");
+    std::fs::rename(&tmp, path).expect("campaign state rename");
+}
+
+fn encode_done(result: &TaskResult) -> Vec<u8> {
+    let mut enc = Enc::with_magic(DONE_MAGIC);
+    result.outcome.write_ckpt(&mut enc);
+    result.archive.write_ckpt(&mut enc);
+    enc.finish()
+}
+
+fn decode_done(bytes: &[u8]) -> Result<TaskResult, CkptError> {
+    let mut dec = Dec::with_magic(bytes, DONE_MAGIC)?;
+    let outcome = SearchOutcome::read_ckpt(&mut dec)?;
+    let archive = ParetoArchive::read_ckpt(&mut dec)?;
+    dec.finish()?;
+    Ok(TaskResult { outcome, archive })
+}
+
+fn encode_ckpt(
+    driver: &MethodDriver,
+    evaluator_state: &EvaluatorState,
+    archive: &ParetoArchive,
+    round: usize,
+    last_line_sims: usize,
+    lines: &[String],
+) -> Vec<u8> {
+    let mut enc = Enc::with_magic(CKPT_MAGIC);
+    enc.bytes(&driver.save());
+    evaluator_state.write_ckpt(&mut enc);
+    archive.write_ckpt(&mut enc);
+    enc.usize(round);
+    enc.usize(last_line_sims);
+    enc.usize(lines.len());
+    for l in lines {
+        enc.str(l);
+    }
+    enc.finish()
+}
+
+struct ResumedTask {
+    driver: MethodDriver,
+    evaluator_state: EvaluatorState,
+    archive: ParetoArchive,
+    round: usize,
+    last_line_sims: usize,
+    lines: Vec<String>,
+}
+
+fn decode_ckpt(bytes: &[u8]) -> Result<ResumedTask, CkptError> {
+    let mut dec = Dec::with_magic(bytes, CKPT_MAGIC)?;
+    let driver = MethodDriver::load(dec.bytes()?)?;
+    let evaluator_state = EvaluatorState::read_ckpt(&mut dec)?;
+    let archive = ParetoArchive::read_ckpt(&mut dec)?;
+    let round = dec.usize()?;
+    let last_line_sims = dec.usize()?;
+    let n = dec.seq_len()?;
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        lines.push(dec.str()?);
+    }
+    dec.finish()?;
+    Ok(ResumedTask {
+        driver,
+        evaluator_state,
+        archive,
+        round,
+        last_line_sims,
+        lines,
+    })
+}
+
+fn telemetry_line(task_id: &str, round: usize, sims: usize, best: f64) -> String {
+    if best.is_finite() {
+        format!(r#"{{"task":"{task_id}","round":{round},"sims":{sims},"best":{best:.9}}}"#)
+    } else {
+        format!(r#"{{"task":"{task_id}","round":{round},"sims":{sims},"best":null}}"#)
+    }
+}
+
+/// Shared halt bookkeeping: counts checkpoint writes and flips the halt
+/// flag once the configured limit is reached.
+struct HaltState {
+    checkpoints: AtomicUsize,
+    halted: AtomicBool,
+    limit: Option<usize>,
+}
+
+impl HaltState {
+    fn new(limit: Option<usize>) -> Self {
+        HaltState {
+            checkpoints: AtomicUsize::new(0),
+            halted: AtomicBool::new(false),
+            limit,
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.halted.load(Ordering::Relaxed)
+    }
+
+    fn note_checkpoint(&self) {
+        let n = self.checkpoints.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(limit) = self.limit {
+            if n >= limit {
+                self.halted.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Runs one task to completion (or to the campaign halt), reading and
+/// writing its on-disk state. Returns `None` when the task was
+/// interrupted by the halt flag (its checkpoint is on disk).
+fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Option<TaskResult> {
+    let id = task.id();
+    let paths = cfg.dir.as_ref().map(|d| {
+        (
+            d.join(format!("{id}.done")),
+            d.join(format!("{id}.ckpt")),
+            d.join(format!("{id}.jsonl")),
+        )
+    });
+
+    // Completed on a previous run: reuse the stored result verbatim. A
+    // real kill can land between the `.done` write and the checkpoint
+    // removal, so sweep up any leftover `.ckpt` here — otherwise the
+    // stale file would survive every later resume and the directory
+    // would never byte-match a clean run.
+    if let Some((done, ckpt, _)) = &paths {
+        if let Ok(bytes) = std::fs::read(done) {
+            let _ = std::fs::remove_file(ckpt);
+            return Some(decode_done(&bytes).expect("valid .done file"));
+        }
+    }
+
+    let evaluator = build_evaluator(&task.spec);
+    let (mut driver, archive, mut round, mut last_line_sims, mut lines) = match &paths {
+        Some((_, ckpt, _)) if ckpt.exists() => {
+            let resumed =
+                decode_ckpt(&std::fs::read(ckpt).expect("readable .ckpt")).expect("valid .ckpt");
+            evaluator.restore_state(&resumed.evaluator_state);
+            let shared = resumed.archive.into_shared();
+            evaluator.attach_archive(shared.clone());
+            (
+                resumed.driver,
+                shared,
+                resumed.round,
+                resumed.last_line_sims,
+                resumed.lines,
+            )
+        }
+        _ => {
+            let shared = ParetoArchive::new().with_log().into_shared();
+            evaluator.attach_archive(shared.clone());
+            (
+                make_driver(task.method, &task.spec, task.seed),
+                shared,
+                0,
+                usize::MAX, // sentinel: force a line on the first progress
+                Vec::new(),
+            )
+        }
+    };
+
+    let mut last_ckpt = driver.sims_used();
+    loop {
+        if halt.halted() {
+            if let Some((_, ckpt, jsonl)) = &paths {
+                let bytes = encode_ckpt(
+                    &driver,
+                    &evaluator.state(),
+                    &archive.lock(),
+                    round,
+                    last_line_sims,
+                    &lines,
+                );
+                write_atomic(ckpt, &bytes);
+                write_atomic(jsonl, lines.join("\n").as_bytes());
+            }
+            evaluator.detach_archive();
+            return None;
+        }
+        match driver.step(&evaluator) {
+            StepStatus::Done => break,
+            StepStatus::Running => {
+                round += 1;
+                let sims = driver.sims_used();
+                // One telemetry line per round that made progress on the
+                // budget axis (phase transitions and cache hits stay
+                // silent, so the stream length is bounded by the budget).
+                if sims != last_line_sims && sims > 0 {
+                    lines.push(telemetry_line(&id, round, sims, driver.best_cost()));
+                    last_line_sims = sims;
+                }
+                if sims - last_ckpt >= cfg.checkpoint_every {
+                    if let Some((_, ckpt, jsonl)) = &paths {
+                        let bytes = encode_ckpt(
+                            &driver,
+                            &evaluator.state(),
+                            &archive.lock(),
+                            round,
+                            last_line_sims,
+                            &lines,
+                        );
+                        write_atomic(ckpt, &bytes);
+                        write_atomic(jsonl, lines.join("\n").as_bytes());
+                    }
+                    last_ckpt = sims;
+                    halt.note_checkpoint();
+                }
+            }
+        }
+    }
+    evaluator.detach_archive();
+
+    let outcome = driver.outcome().cloned().expect("driver completed");
+    lines.push(telemetry_line(
+        &id,
+        round,
+        driver.sims_used(),
+        outcome.best_cost,
+    ));
+    let result = TaskResult {
+        outcome,
+        archive: archive.lock().clone(),
+    };
+    if let Some((done, ckpt, jsonl)) = &paths {
+        write_atomic(jsonl, lines.join("\n").as_bytes());
+        write_atomic(done, &encode_done(&result));
+        let _ = std::fs::remove_file(ckpt);
+    }
+    Some(result)
+}
+
+/// Executes a campaign grid on the persistent pool. Returns one entry
+/// per task, in task order; `None` marks tasks interrupted by
+/// [`CampaignConfig::halt_after`] (resume by re-running with the same
+/// directory) or never started before the halt.
+pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<TaskResult>> {
+    if let Some(dir) = &cfg.dir {
+        std::fs::create_dir_all(dir).expect("campaign dir must be creatable");
+    }
+    let halt = HaltState::new(cfg.halt_after);
+    let results: Vec<parking_lot::Mutex<Option<TaskResult>>> = tasks
+        .iter()
+        .map(|_| parking_lot::Mutex::new(None))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.threads.clamp(1, tasks.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if halt.halted() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks.len() {
+                    break;
+                }
+                *results[i].lock() = run_task(&tasks[i], cfg, &halt);
+            });
+        }
+    });
+    results.into_iter().map(|m| m.into_inner()).collect()
+}
+
+/// A boxed unit of pool work (what [`run_units`] consumes).
+pub type Unit<T> = Box<dyn FnOnce() -> T + Send>;
+
+/// Runs independent units on the persistent scoped pool, preserving
+/// input order in the returned vector. The generic cousin of
+/// [`run_campaign`] — `frontier` panels and multi-seed curve sets ride
+/// on it.
+pub fn run_units<T: Send>(units: Vec<Unit<T>>, threads: usize) -> Vec<T> {
+    let n = units.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return units.into_iter().map(|u| u()).collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Option<Unit<T>>>> = units
+        .into_iter()
+        .map(|u| parking_lot::Mutex::new(Some(u)))
+        .collect();
+    let results: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let unit = slots[i].lock().take().expect("each unit runs once");
+                *results[i].lock() = Some(unit());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all units completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_prefix::CircuitKind;
+
+    fn tiny_task(method: Method, seed: u64) -> CampaignTask {
+        CampaignTask {
+            method,
+            spec: ExperimentSpec::standard(8, CircuitKind::Adder, 0.5, 30),
+            seed,
+        }
+    }
+
+    #[test]
+    fn task_ids_are_stable_and_filesystem_safe() {
+        let t = tiny_task(Method::GaNsga2, 7);
+        assert_eq!(t.id(), "nangate45_w8_gansga2_s7");
+        let mut t2 = tiny_task(Method::Sa, 1);
+        t2.spec.tech = TechLibrary::Scaled8nmLike;
+        assert_eq!(t2.id(), "scaled8nm_w8_sa_s1");
+    }
+
+    #[test]
+    fn in_memory_campaign_matches_direct_runs() {
+        let tasks = vec![tiny_task(Method::Sa, 3), tiny_task(Method::Random, 4)];
+        let results = run_campaign(&tasks, &CampaignConfig::in_memory(2));
+        for (task, result) in tasks.iter().zip(&results) {
+            let direct = crate::harness::run_method(task.method, &task.spec, task.seed);
+            let got = &result.as_ref().expect("completed").outcome;
+            assert_eq!(got.to_ckpt_bytes(), direct.to_ckpt_bytes());
+        }
+    }
+
+    #[test]
+    fn halted_campaign_resumes_to_byte_identical_outputs() {
+        let base = std::env::temp_dir().join(format!("cv_campaign_test_{}", std::process::id()));
+        let clean_dir = base.join("clean");
+        let resumed_dir = base.join("resumed");
+        let _ = std::fs::remove_dir_all(&base);
+        let tasks = vec![tiny_task(Method::Sa, 9), tiny_task(Method::Ga, 9)];
+        let cfg = |dir: &PathBuf, halt: Option<usize>| CampaignConfig {
+            dir: Some(dir.clone()),
+            checkpoint_every: 7,
+            threads: 1,
+            halt_after: halt,
+        };
+
+        let clean = run_campaign(&tasks, &cfg(&clean_dir, None));
+        assert!(clean.iter().all(Option::is_some));
+
+        // Halt after two checkpoints (mid-first-task), then resume.
+        let halted = run_campaign(&tasks, &cfg(&resumed_dir, Some(2)));
+        assert!(
+            halted.iter().any(Option::is_none),
+            "the halt must interrupt at least one task"
+        );
+        let resumed = run_campaign(&tasks, &cfg(&resumed_dir, None));
+        assert!(resumed.iter().all(Option::is_some));
+
+        for (a, b) in clean.iter().zip(&resumed) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.outcome.to_ckpt_bytes(), b.outcome.to_ckpt_bytes());
+            assert_eq!(a.archive.to_ckpt_bytes(), b.archive.to_ckpt_bytes());
+        }
+        // On-disk telemetry byte-matches too.
+        for task in &tasks {
+            let id = task.id();
+            let a = std::fs::read(clean_dir.join(format!("{id}.jsonl"))).unwrap();
+            let b = std::fs::read(resumed_dir.join(format!("{id}.jsonl"))).unwrap();
+            assert_eq!(a, b, "telemetry for {id} must byte-match");
+            let a = std::fs::read(clean_dir.join(format!("{id}.done"))).unwrap();
+            let b = std::fs::read(resumed_dir.join(format!("{id}.done"))).unwrap();
+            assert_eq!(a, b, "results for {id} must byte-match");
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn run_units_preserves_order() {
+        let units: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..17usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_units(units, 4);
+        assert_eq!(out, (0..17usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

@@ -1,10 +1,7 @@
 //! Method dispatch: run any search method on any experiment setting.
 
-use circuitvae::{Acquisition, CircuitVae, CircuitVaeConfig};
-use cv_baselines::{
-    ga_initial_dataset, GaConfig, GeneticAlgorithm, PrefixRlLite, RlConfig, SaConfig,
-    SimulatedAnnealing,
-};
+use circuitvae::{CircuitVae, CircuitVaeConfig};
+use cv_baselines::ga_initial_dataset;
 use cv_cells::{nangate45_like, scaled_8nm_like, CellLibrary};
 use cv_prefix::CircuitKind;
 use cv_sta::IoTiming;
@@ -238,77 +235,40 @@ pub fn run_method(method: Method, spec: &ExperimentSpec, seed: u64) -> SearchOut
 /// `incremental` bench uses to A/B the session-backed evaluator against
 /// [`CachedEvaluator::new_reference`]. Outcomes are identical either way
 /// (the incremental path is bit-for-bit equal); only throughput differs.
+///
+/// Every method runs through its step [`SearchDriver`] (built by
+/// [`crate::driver::make_driver`]); this is the uninterrupted
+/// `run(budget)` form of the driver loop.
+///
+/// [`SearchDriver`]: circuitvae::driver::SearchDriver
 pub fn run_method_on(
     method: Method,
     spec: &ExperimentSpec,
     seed: u64,
     evaluator: &CachedEvaluator,
 ) -> SearchOutcome {
-    let mut rng = StdRng::seed_from_u64(seed);
-    match method {
-        Method::Ga => {
-            let ga = GeneticAlgorithm::new(spec.width, GaConfig::default());
-            ga.run(evaluator, spec.budget, usize::MAX, false, &mut rng)
-        }
-        Method::GaNsga2 => {
-            let ga = GeneticAlgorithm::new(spec.width, GaConfig::nsga2());
-            ga.run(evaluator, spec.budget, usize::MAX, false, &mut rng)
-        }
-        Method::Sa => SimulatedAnnealing::new(spec.width, SaConfig::default()).run(
-            evaluator,
-            spec.budget,
-            &mut rng,
-        ),
-        Method::Random => cv_baselines::random_search(spec.width, evaluator, spec.budget, &mut rng),
-        Method::Rl => {
-            let hidden = if spec.width >= 32 { 96 } else { 64 };
-            let rl = PrefixRlLite::new(
-                spec.width,
-                RlConfig {
-                    hidden,
-                    train_interval: 4,
-                    ..RlConfig::default()
-                },
-            );
-            rl.run(evaluator, spec.budget, &mut rng)
-        }
-        Method::CircuitVae | Method::LatentBo => {
-            let init_budget =
-                ((spec.budget as f64 * spec.init_fraction) as usize).clamp(1, spec.budget);
-            let initial = ga_initial_dataset(spec.width, evaluator, init_budget, &mut rng);
-            let init_used = evaluator.counter().count();
-            let init_best = initial
-                .iter()
-                .map(|(_, c)| *c)
-                .fold(f64::INFINITY, f64::min);
-            let init_best_grid = initial
-                .iter()
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .map(|(g, _)| g.clone());
-
-            let acquisition = if method == Method::CircuitVae {
-                Acquisition::GradientSearch
-            } else {
-                Acquisition::BayesOpt
-            };
-            let mut vae = CircuitVae::new(spec.width, vae_config(spec), initial, seed ^ 0x5eed)
-                .with_acquisition(acquisition);
-            let outcome = vae.run(evaluator, spec.budget.saturating_sub(init_used));
-            outcome.with_init_prefix(init_used, init_best, init_best_grid)
-        }
-    }
+    use circuitvae::driver::SearchDriver;
+    crate::driver::make_driver(method, spec, seed).run_to_completion(evaluator)
 }
 
-/// Runs a method across seeds, returning a labelled curve set.
+/// Runs a method across seeds on the shared campaign pool, returning a
+/// labelled curve set. Each seed is an independent unit (own evaluator,
+/// own RNG), so pooled execution is bit-identical to the old serial
+/// loop.
 pub fn run_method_seeds(
     method: Method,
     spec: &ExperimentSpec,
     seeds: usize,
 ) -> crate::stats::CurveSet {
-    let outcomes: Vec<SearchOutcome> = (0..seeds as u64)
-        .map(|s| run_method(method, spec, 1000 + s))
+    let units: Vec<Box<dyn FnOnce() -> SearchOutcome + Send>> = (0..seeds as u64)
+        .map(|s| {
+            let spec = spec.clone();
+            Box::new(move || run_method(method, &spec, 1000 + s))
+                as Box<dyn FnOnce() -> SearchOutcome + Send>
+        })
         .collect();
-    crate::stats::CurveSet::new(method.label(), outcomes)
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    crate::stats::CurveSet::new(method.label(), crate::campaign::run_units(units, threads))
 }
 
 /// Runs a CircuitVAE variant with a config mutator applied — the

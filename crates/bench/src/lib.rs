@@ -8,9 +8,13 @@
 
 #![deny(missing_docs)]
 
+pub mod campaign;
+pub mod driver;
 pub mod harness;
 pub mod stats;
 
+pub use campaign::{run_campaign, run_units, CampaignConfig, CampaignTask, TaskResult};
+pub use driver::{make_driver, MethodDriver, VaeMethodDriver};
 pub use harness::{
     build_evaluator, run_method, run_method_on, ExperimentSpec, Method, Scale, TechLibrary,
 };

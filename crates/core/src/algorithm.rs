@@ -4,11 +4,17 @@
 use crate::bo::{propose_by_ei, BoConfig};
 use crate::config::CircuitVaeConfig;
 use crate::dataset::Dataset;
+use crate::driver::{
+    read_opt_outcome, read_rng, read_vae_config, write_opt_outcome, write_rng, write_vae_config,
+    Checkpointable, SearchDriver, StepStatus,
+};
 use crate::model::CircuitVaeModel;
 use crate::search::{decode_candidates, initial_latents, run_trajectories};
 use crate::train;
+use cv_gp::Kernel;
 use cv_nn::ParamStore;
 use cv_prefix::{mutate, PrefixGrid};
+use cv_synth::ckpt::{CkptError, Dec, Enc};
 use cv_synth::{BestTracker, CachedEvaluator, SearchOutcome};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -115,7 +121,8 @@ impl CircuitVae {
     }
 
     /// Runs Algorithm 1 until `budget` simulations (counted by the
-    /// evaluator relative to its state at call time) are consumed.
+    /// evaluator relative to its state at call time) are consumed — the
+    /// monolithic form of stepping a [`CircuitVaeDriver`].
     pub fn run(&mut self, evaluator: &CachedEvaluator, budget: usize) -> SearchOutcome {
         let start = evaluator.counter().count();
         let used = |ev: &CachedEvaluator| ev.counter().count() - start;
@@ -126,8 +133,8 @@ impl CircuitVae {
         }
 
         while used(evaluator) < budget {
-            let remaining = budget - used(evaluator);
-            let report = self.step_round(evaluator, start, remaining, &mut tracker);
+            let u = used(evaluator);
+            let report = self.step_round(evaluator, u, budget - u, &mut tracker);
             self.reports.push(report);
         }
         tracker.finish(used(evaluator));
@@ -135,11 +142,15 @@ impl CircuitVae {
     }
 
     /// One Algorithm-1 iteration: reweight, refit, acquire, simulate,
-    /// absorb. `remaining` caps how many new simulations may be spent.
-    fn step_round(
+    /// absorb. `used_before` is how many simulations this run had
+    /// consumed on entry (the tracker's budget axis continues from it);
+    /// `remaining` caps how many new simulations may be spent. Budget
+    /// accounting is relative — counter deltas only — so a round behaves
+    /// identically on a fresh evaluator and on one restored mid-flight.
+    pub(crate) fn step_round(
         &mut self,
         evaluator: &CachedEvaluator,
-        run_start: usize,
+        used_before: usize,
         remaining: usize,
         tracker: &mut BestTracker,
     ) -> RoundReport {
@@ -235,7 +246,11 @@ impl CircuitVae {
             }
             proposed += 1;
             let rec = evaluator.evaluate(&grid);
-            tracker.observe(evaluator.counter().count() - run_start, &grid, rec.cost);
+            tracker.observe(
+                used_before + (evaluator.counter().count() - before),
+                &grid,
+                rec.cost,
+            );
             // Line 11: D ← D ∪ D_i (store the legalized twin so dataset
             // keys match evaluator cache keys).
             let key = if grid.is_legal() {
@@ -250,12 +265,241 @@ impl CircuitVae {
         self.rounds_done += 1;
         RoundReport {
             round: self.rounds_done - 1,
-            sims_used: evaluator.counter().count() - run_start,
+            sims_used: used_before + newly,
             best_cost: tracker.best_cost(),
             train_loss,
             proposed,
             newly_simulated: newly,
         }
+    }
+
+    /// Writes the optimizer's full state (config, weights, dataset, RNG
+    /// stream, round reports) into a checkpoint encoder.
+    pub(crate) fn write_ckpt(&self, enc: &mut Enc) {
+        enc.usize(self.model.width());
+        write_vae_config(enc, &self.config);
+        enc.bool(self.acquisition == Acquisition::BayesOpt);
+        enc.usize(self.bo_config.max_gp_points);
+        enc.usize(self.bo_config.pool);
+        enc.f64(self.bo_config.noise);
+        enc.bool(self.bo_config.kernel == Kernel::Matern52);
+        enc.bytes(&self.store.to_bytes());
+        let entries = self.dataset.entries();
+        enc.usize(entries.len());
+        for (g, c) in entries {
+            enc.grid(g);
+            enc.f64(*c);
+        }
+        write_rng(enc, &self.rng);
+        enc.usize(self.rounds_done);
+        enc.usize(self.reports.len());
+        for r in &self.reports {
+            enc.usize(r.round);
+            enc.usize(r.sims_used);
+            enc.f64(r.best_cost);
+            enc.f64(r.train_loss);
+            enc.usize(r.proposed);
+            enc.usize(r.newly_simulated);
+        }
+    }
+
+    /// Reads an optimizer written by [`CircuitVae::write_ckpt`]. The
+    /// model architecture is rebuilt from the config (layer registration
+    /// order is deterministic) and its weights overwritten from the
+    /// serialized store, so the restored optimizer trains and searches
+    /// bit-for-bit like the original.
+    pub(crate) fn read_ckpt(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let width = dec.usize()?;
+        let config = read_vae_config(dec)?;
+        let acquisition = if dec.bool()? {
+            Acquisition::BayesOpt
+        } else {
+            Acquisition::GradientSearch
+        };
+        let bo_config = BoConfig {
+            max_gp_points: dec.usize()?,
+            pool: dec.usize()?,
+            noise: dec.f64()?,
+            kernel: if dec.bool()? {
+                Kernel::Matern52
+            } else {
+                Kernel::Rbf
+            },
+        };
+        let store = ParamStore::from_bytes(dec.bytes()?)
+            .map_err(|_| CkptError::Invalid("vae param store"))?;
+        let n = dec.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((dec.grid()?, dec.f64()?));
+        }
+        let rng = read_rng(dec)?;
+        let rounds_done = dec.usize()?;
+        let n = dec.seq_len()?;
+        let mut reports = Vec::with_capacity(n);
+        for _ in 0..n {
+            reports.push(RoundReport {
+                round: dec.usize()?,
+                sims_used: dec.usize()?,
+                best_cost: dec.f64()?,
+                train_loss: dec.f64()?,
+                proposed: dec.usize()?,
+                newly_simulated: dec.usize()?,
+            });
+        }
+        // Rebuild architecture handles against a scratch store; the
+        // deserialized store then slots in because registration order is
+        // deterministic for a given (config, width).
+        let mut scratch = ParamStore::new();
+        let model =
+            CircuitVaeModel::new(&mut scratch, &config, width, &mut StdRng::seed_from_u64(0));
+        if scratch.len() != store.len() {
+            return Err(CkptError::Invalid("vae store layout"));
+        }
+        Ok(CircuitVae {
+            config,
+            acquisition,
+            bo_config,
+            model,
+            store,
+            dataset: Dataset::new(width, entries),
+            rng,
+            rounds_done,
+            reports,
+        })
+    }
+}
+
+/// The CircuitVAE outer loop as a step-based [`SearchDriver`]: one
+/// Algorithm-1 acquisition round per step. Checkpoints carry the full
+/// optimizer — VAE + cost-predictor weights with Adam state, the growing
+/// dataset, the RNG stream, and the best-so-far tracker — so a resumed
+/// run retrains and re-acquires bit-for-bit (Contract 8).
+pub struct CircuitVaeDriver {
+    vae: CircuitVae,
+    budget: usize,
+    used: usize,
+    tracker: BestTracker,
+    started: bool,
+    outcome: Option<SearchOutcome>,
+}
+
+impl CircuitVaeDriver {
+    /// A driver over a fresh optimizer (see [`CircuitVae::new`]).
+    pub fn new(
+        width: usize,
+        config: CircuitVaeConfig,
+        initial: Vec<(PrefixGrid, f64)>,
+        seed: u64,
+        budget: usize,
+    ) -> Self {
+        Self::from_vae(CircuitVae::new(width, config, initial, seed), budget)
+    }
+
+    /// Wraps an existing optimizer (e.g. one carrying acquisition /
+    /// BO-config overrides) for `budget` further simulations.
+    pub fn from_vae(vae: CircuitVae, budget: usize) -> Self {
+        CircuitVaeDriver {
+            vae,
+            budget,
+            used: 0,
+            tracker: BestTracker::new(false),
+            started: false,
+            outcome: None,
+        }
+    }
+
+    /// The wrapped optimizer (model, dataset, reports).
+    pub fn vae(&self) -> &CircuitVae {
+        &self.vae
+    }
+
+    /// Unwraps the optimizer, e.g. to carry its dataset into the next
+    /// sweep rung.
+    pub fn into_vae(self) -> CircuitVae {
+        self.vae
+    }
+}
+
+impl SearchDriver for CircuitVaeDriver {
+    fn step(&mut self, evaluator: &CachedEvaluator) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if !self.started {
+            self.started = true;
+            // Seed the curve with the initial dataset's best.
+            if let Some((g, c)) = self.vae.dataset.best().map(|(g, c)| (g.clone(), *c)) {
+                self.tracker.observe(self.used, &g, c);
+            }
+            return StepStatus::Running;
+        }
+        if self.used >= self.budget {
+            let mut tracker = std::mem::replace(&mut self.tracker, BestTracker::new(false));
+            tracker.finish(self.used);
+            self.outcome = Some(tracker.into_outcome());
+            return StepStatus::Done;
+        }
+        let before = evaluator.counter().count();
+        let u = self.used;
+        let report = self
+            .vae
+            .step_round(evaluator, u, self.budget - u, &mut self.tracker);
+        self.vae.reports.push(report);
+        self.used += evaluator.counter().count() - before;
+        StepStatus::Running
+    }
+
+    fn sims_used(&self) -> usize {
+        self.used
+    }
+
+    fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn outcome(&self) -> Option<&SearchOutcome> {
+        self.outcome.as_ref()
+    }
+
+    fn best_cost(&self) -> f64 {
+        self.outcome
+            .as_ref()
+            .map_or_else(|| self.tracker.best_cost(), |o| o.best_cost)
+    }
+}
+
+const DRIVER_MAGIC: &[u8; 8] = b"CVDRVA01";
+
+impl Checkpointable for CircuitVaeDriver {
+    fn save(&self) -> Vec<u8> {
+        let mut enc = Enc::with_magic(DRIVER_MAGIC);
+        self.vae.write_ckpt(&mut enc);
+        enc.usize(self.budget);
+        enc.usize(self.used);
+        self.tracker.write_ckpt(&mut enc);
+        enc.bool(self.started);
+        write_opt_outcome(&mut enc, self.outcome.as_ref());
+        enc.finish()
+    }
+
+    fn load(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut dec = Dec::with_magic(bytes, DRIVER_MAGIC)?;
+        let vae = CircuitVae::read_ckpt(&mut dec)?;
+        let budget = dec.usize()?;
+        let used = dec.usize()?;
+        let tracker = BestTracker::read_ckpt(&mut dec)?;
+        let started = dec.bool()?;
+        let outcome = read_opt_outcome(&mut dec)?;
+        dec.finish()?;
+        Ok(CircuitVaeDriver {
+            vae,
+            budget,
+            used,
+            tracker,
+            started,
+            outcome,
+        })
     }
 }
 
@@ -330,6 +574,35 @@ mod tests {
             .with_acquisition(Acquisition::BayesOpt);
         let out = vae.run(&ev, 120);
         assert!(out.best_cost.is_finite());
+    }
+
+    #[test]
+    fn driver_matches_run_and_resumes_bitwise() {
+        use crate::driver::{Checkpointable, SearchDriver, StepStatus};
+        let width = 10;
+        let ev = evaluator(width);
+        let initial = ga_like_dataset(width, &ev, 20, 3);
+        let mut vae = CircuitVae::new(width, CircuitVaeConfig::smoke(width), initial, 9);
+        let legacy = vae.run(&ev, 60);
+
+        // Same run through the driver, with a save/load round trip and a
+        // fresh snapshot-restored evaluator in the middle.
+        let ev2 = evaluator(width);
+        let initial2 = ga_like_dataset(width, &ev2, 20, 3);
+        let mut d = CircuitVaeDriver::new(width, CircuitVaeConfig::smoke(width), initial2, 9, 60);
+        while d.sims_used() < 25 {
+            assert_eq!(d.step(&ev2), StepStatus::Running);
+        }
+        let bytes = d.save();
+        let snap = ev2.state();
+        drop(d);
+        drop(ev2);
+        let ev3 = evaluator(width);
+        ev3.restore_state(&snap);
+        let mut d = CircuitVaeDriver::load(&bytes).unwrap();
+        let resumed = d.run_to_completion(&ev3);
+        assert_eq!(resumed.to_ckpt_bytes(), legacy.to_ckpt_bytes());
+        assert_eq!(d.vae().reports().len(), vae.reports().len());
     }
 
     #[test]

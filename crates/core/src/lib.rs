@@ -50,18 +50,20 @@ mod algorithm;
 mod bo;
 mod config;
 mod dataset;
+pub mod driver;
 mod model;
 mod search;
 mod sweep;
 mod train;
 
-pub use algorithm::{Acquisition, CircuitVae, RoundReport};
+pub use algorithm::{Acquisition, CircuitVae, CircuitVaeDriver, RoundReport};
 pub use bo::{propose_by_ei, BoConfig};
 pub use config::{CircuitVaeConfig, InitStrategy, ModelArch, SearchRegularizer};
 pub use dataset::Dataset;
+pub use driver::{Checkpointable, SearchDriver, StepStatus};
 pub use model::CircuitVaeModel;
 pub use search::{
     decode_candidates, initial_latents, run_trajectories, CapturedLatent, TrajectoryRecord,
 };
-pub use sweep::{run_weight_sweep, SweepConfig, SweepRung};
+pub use sweep::{run_weight_sweep, SweepConfig, SweepDriver, SweepRung};
 pub use train::{evaluate_losses, sample_batch, train, LossReport, TrainItem};

@@ -15,8 +15,9 @@
 
 use crate::algorithm::CircuitVae;
 use crate::config::CircuitVaeConfig;
+use crate::driver::{SearchDriver, StepStatus};
 use cv_prefix::{mutate, topologies, PrefixGrid};
-use cv_synth::{CachedEvaluator, SearchOutcome, SharedArchive};
+use cv_synth::{BestTracker, CachedEvaluator, SearchOutcome, SharedArchive};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -85,17 +86,130 @@ pub fn run_weight_sweep(
     archive: Option<&SharedArchive>,
     seed: u64,
 ) -> Vec<SweepRung> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5_1eeb);
-    let mut carry: Vec<PrefixGrid> = Vec::new();
-    let mut rungs = Vec::with_capacity(sweep.weights.len());
-    let mut consumed_total = 0usize;
+    let mut driver = SweepDriver::new(
+        width,
+        base_config.clone(),
+        sweep.clone(),
+        make_evaluator,
+        archive.cloned(),
+        seed,
+    );
+    driver.run_all();
+    driver.into_rungs()
+}
 
-    for (i, &w) in sweep.weights.iter().enumerate() {
-        let evaluator = make_evaluator(w);
-        if let Some(a) = archive {
+/// The weight sweep as a step-based [`SearchDriver`]: one rung —
+/// warm-start seeding plus a full Algorithm-1 run under one ω — per
+/// step.
+///
+/// The driver owns its per-rung evaluators (built through the factory
+/// it was constructed with), so the evaluator passed to
+/// [`SearchDriver::step`] is ignored — prefer the evaluator-free
+/// [`SweepDriver::advance`]/[`SweepDriver::run_all`] entry points. In
+/// particular, do **not** wrap a sweep in
+/// [`run_archived`](crate::driver::run_archived): the archive it
+/// attaches lands on the ignored placeholder; pass the archive to
+/// [`SweepDriver::new`] instead.
+pub struct SweepDriver<F> {
+    width: usize,
+    base_config: CircuitVaeConfig,
+    sweep: SweepConfig,
+    factory: F,
+    archive: Option<SharedArchive>,
+    seed: u64,
+    rng: StdRng,
+    carry: Vec<PrefixGrid>,
+    consumed_total: usize,
+    rung_idx: usize,
+    rungs: Vec<SweepRung>,
+    /// Cumulative simulations consumed before each completed rung (the
+    /// shift that puts rung curves on one budget axis).
+    offsets: Vec<usize>,
+    outcome: Option<SearchOutcome>,
+}
+
+impl<F: Fn(f64) -> CachedEvaluator> SweepDriver<F> {
+    /// A driver for `sweep` over `width`-bit circuits. `factory` builds
+    /// the evaluator for a given ω (the caller owns tech/IO/width
+    /// policy); `archive`, when given, observes every rung with a
+    /// cumulative simulation axis.
+    pub fn new(
+        width: usize,
+        base_config: CircuitVaeConfig,
+        sweep: SweepConfig,
+        factory: F,
+        archive: Option<SharedArchive>,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !sweep.weights.is_empty(),
+            "a sweep needs at least one weight"
+        );
+        SweepDriver {
+            width,
+            base_config,
+            sweep,
+            factory,
+            archive,
+            seed,
+            rng: StdRng::seed_from_u64(seed ^ 0x5_1eeb),
+            carry: Vec::new(),
+            consumed_total: 0,
+            rung_idx: 0,
+            rungs: Vec::new(),
+            offsets: Vec::new(),
+            outcome: None,
+        }
+    }
+
+    /// Builds the evaluator for one ω through the driver's factory.
+    pub fn make_evaluator(&self, weight: f64) -> CachedEvaluator {
+        (self.factory)(weight)
+    }
+
+    /// The rungs completed so far.
+    pub fn rungs(&self) -> &[SweepRung] {
+        &self.rungs
+    }
+
+    /// Consumes the driver, returning all completed rungs.
+    pub fn into_rungs(self) -> Vec<SweepRung> {
+        self.rungs
+    }
+
+    /// Advances the sweep by one rung without an evaluator argument —
+    /// the sweep builds its own per-rung evaluators through its
+    /// factory. [`SearchDriver::step`] delegates here.
+    pub fn advance(&mut self) -> StepStatus {
+        if self.outcome.is_some() {
+            return StepStatus::Done;
+        }
+        if self.rung_idx >= self.sweep.weights.len() {
+            self.outcome = Some(self.combined_outcome());
+            return StepStatus::Done;
+        }
+        self.run_rung();
+        StepStatus::Running
+    }
+
+    /// Runs every remaining rung to completion (the evaluator-free form
+    /// of [`SearchDriver::run_to_completion`]).
+    pub fn run_all(&mut self) {
+        while let StepStatus::Running = self.advance() {}
+    }
+
+    /// One rung: seed (cold start or warm-start re-scoring), run
+    /// Algorithm 1 under this rung's ω, update the carry set.
+    fn run_rung(&mut self) {
+        let i = self.rung_idx;
+        let w = self.sweep.weights[i];
+        let width = self.width;
+        let sweep = &self.sweep;
+        let evaluator = (self.factory)(w);
+        if let Some(a) = &self.archive {
             // Each rung's evaluator counts from zero; offset the archive
             // so its simulation axis stays cumulative across the sweep.
-            a.lock().set_sim_offset(consumed_total);
+            a.lock().set_sim_offset(self.consumed_total);
             evaluator.attach_archive(a.clone());
         }
 
@@ -109,7 +223,7 @@ pub fn run_weight_sweep(
         let mut initial: Vec<(PrefixGrid, f64)> = Vec::new();
         let budget = sweep.budget_per_weight;
         let seed_cap = (budget / 2).max(1);
-        if carry.is_empty() {
+        if self.carry.is_empty() {
             if sweep.seed_classical {
                 for (_, g) in topologies::all_classical(width) {
                     if evaluator.counter().count() >= seed_cap {
@@ -123,13 +237,14 @@ pub fn run_weight_sweep(
                 if evaluator.counter().count() >= seed_cap {
                     break;
                 }
-                let g = mutate::random_grid(width, rng.gen_range(0.02..0.5), &mut rng);
+                let density = self.rng.gen_range(0.02..0.5);
+                let g = mutate::random_grid(width, density, &mut self.rng);
                 let cost = evaluator.evaluate(&g).cost;
                 initial.push((g, cost));
             }
         } else {
             let mut prev: Option<&PrefixGrid> = None;
-            for g in &carry {
+            for g in &self.carry {
                 if evaluator.counter().count() >= seed_cap {
                     break;
                 }
@@ -151,7 +266,12 @@ pub fn run_weight_sweep(
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(g, _)| g.clone());
 
-        let mut vae = CircuitVae::new(width, base_config.clone(), initial, seed + i as u64);
+        let mut vae = CircuitVae::new(
+            width,
+            self.base_config.clone(),
+            initial,
+            self.seed + i as u64,
+        );
         let outcome = vae.run(&evaluator, budget.saturating_sub(init_used));
         let merged = outcome.with_init_prefix(init_used, init_best, init_best_grid);
 
@@ -160,35 +280,82 @@ pub fn run_weight_sweep(
         // across the whole front), then this rung's best by its own
         // cost. Deduped in insertion order, so the set is deterministic.
         let mut seen: HashSet<PrefixGrid> = HashSet::new();
-        carry = Vec::new();
-        if let Some(a) = archive {
+        self.carry = Vec::new();
+        if let Some(a) = &self.archive {
             for p in a.lock().front() {
-                if carry.len() < sweep.carry && seen.insert(p.grid.clone()) {
-                    carry.push(p.grid.clone());
+                if self.carry.len() < sweep.carry && seen.insert(p.grid.clone()) {
+                    self.carry.push(p.grid.clone());
                 }
             }
         }
         let mut entries: Vec<(PrefixGrid, f64)> = vae.dataset().entries().to_vec();
         entries.sort_by(|a, b| a.1.total_cmp(&b.1));
         for (g, _) in entries {
-            if carry.len() >= sweep.carry {
+            if self.carry.len() >= sweep.carry {
                 break;
             }
             if seen.insert(g.clone()) {
-                carry.push(g);
+                self.carry.push(g);
             }
         }
 
-        consumed_total += evaluator.counter().count();
-        if archive.is_some() {
+        self.offsets.push(self.consumed_total);
+        self.consumed_total += evaluator.counter().count();
+        if self.archive.is_some() {
             evaluator.detach_archive();
         }
-        rungs.push(SweepRung {
+        self.rungs.push(SweepRung {
             delay_weight: w,
             outcome: merged,
         });
+        self.rung_idx += 1;
     }
-    rungs
+
+    /// Concatenates the completed rung curves onto one cumulative
+    /// simulation axis. The per-rung objectives differ (each rung has
+    /// its own ω), so the combined best is a telemetry summary, not a
+    /// single-objective optimum.
+    fn combined_outcome(&self) -> SearchOutcome {
+        let mut tracker = BestTracker::new(false);
+        for (rung, &off) in self.rungs.iter().zip(&self.offsets) {
+            for &(s, c) in &rung.outcome.history {
+                if let Some(g) = rung.outcome.best_grid.as_ref() {
+                    tracker.observe(off + s, g, c);
+                }
+            }
+        }
+        let mut out = tracker.into_outcome();
+        // Preserve every rung breakpoint (the tracker would drop
+        // non-improving ones, but cross-ω costs are not comparable).
+        out.history = self
+            .rungs
+            .iter()
+            .zip(&self.offsets)
+            .flat_map(|(rung, &off)| rung.outcome.history.iter().map(move |&(s, c)| (off + s, c)))
+            .collect();
+        out
+    }
+}
+
+impl<F: Fn(f64) -> CachedEvaluator> SearchDriver for SweepDriver<F> {
+    /// Runs one rung. The passed evaluator is ignored — the sweep builds
+    /// one evaluator per rung through its factory (see the type docs;
+    /// prefer [`SweepDriver::advance`]).
+    fn step(&mut self, _evaluator: &CachedEvaluator) -> StepStatus {
+        self.advance()
+    }
+
+    fn sims_used(&self) -> usize {
+        self.consumed_total
+    }
+
+    fn budget(&self) -> usize {
+        self.sweep.weights.len() * self.sweep.budget_per_weight
+    }
+
+    fn outcome(&self) -> Option<&SearchOutcome> {
+        self.outcome.as_ref()
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,15 @@ pub fn parallel_grad_accumulate<T: Sync>(
     threads: usize,
     forward: impl Fn(&mut Graph, &ParamStore, &[T]) -> Var + Sync,
 ) -> (f32, Vec<Tensor>) {
-    let threads = threads.clamp(1, items.len().max(1));
+    // Degenerate inputs must not reach `forward` or the chunker:
+    // an empty batch has zero loss and zero gradients by definition
+    // (callers' `forward` closures routinely index `part[0]`), and
+    // `threads` outside `1..=items.len()` is clamped — same bug class
+    // as the `evaluate_batch` thread-count regression.
+    if items.is_empty() {
+        return (0.0, store.zero_grads());
+    }
+    let threads = threads.clamp(1, items.len());
     if threads <= 1 || items.len() <= 1 {
         let mut g = Graph::new();
         let loss = forward(&mut g, store, items);
@@ -91,6 +99,44 @@ mod tests {
             for (x, y) in a.data().iter().zip(b.data()) {
                 assert!((x - y).abs() < 1e-3 * x.abs().max(1.0), "{x} vs {y}");
             }
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts_and_empty_batches_are_safe() {
+        // Regression (same bug class as the `evaluate_batch` thread
+        // regression): `threads == 0`, `threads > items.len()`, and an
+        // empty batch must all be handled without panicking, and the
+        // thread count must never change the result structure.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lin = Linear::new(&mut store, 3, 1, &mut rng);
+        let items: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32, -1.0, 0.25]).collect();
+        let forward = |g: &mut Graph, store: &ParamStore, part: &[Vec<f32>]| {
+            let rows = part.len();
+            let data: Vec<f32> = part.iter().flatten().copied().collect();
+            let x = g.input(Tensor::new([rows, 3], data));
+            let y = lin.forward(g, store, x);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        };
+        let (l_ref, g_ref) = parallel_grad_accumulate(&store, &items, 1, forward);
+        for threads in [0, 2, items.len(), items.len() + 1, 64] {
+            let (l, g) = parallel_grad_accumulate(&store, &items, threads, forward);
+            assert!(
+                (l - l_ref).abs() < 1e-3 * l_ref.abs().max(1.0),
+                "threads={threads}: {l} vs {l_ref}"
+            );
+            assert_eq!(g.len(), g_ref.len(), "threads={threads}");
+        }
+        // Empty batch: zero loss, zeroed gradient buffer, `forward`
+        // never called (it would index part[0]).
+        let empty: Vec<Vec<f32>> = Vec::new();
+        for threads in [0, 1, 8] {
+            let (l, g) = parallel_grad_accumulate(&store, &empty, threads, forward);
+            assert_eq!(l, 0.0);
+            assert_eq!(g.len(), store.len());
+            assert!(g.iter().all(|t| t.data().iter().all(|&x| x == 0.0)));
         }
     }
 

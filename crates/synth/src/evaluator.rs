@@ -40,6 +40,12 @@ impl SimCounter {
     pub fn add_and_count(&self, n: usize) -> usize {
         self.0.fetch_add(n, Ordering::Relaxed) + n
     }
+
+    /// Overwrites the count — only meaningful while no evaluation is in
+    /// flight (checkpoint restore between driver steps).
+    pub fn set(&self, n: usize) {
+        self.0.store(n, Ordering::Relaxed);
+    }
 }
 
 /// The outcome of one evaluation.
@@ -49,6 +55,46 @@ pub struct EvalRecord {
     pub cost: f64,
     /// The underlying PPA report.
     pub ppa: PpaReport,
+}
+
+/// A replayable snapshot of a [`CachedEvaluator`]: its cache contents
+/// (canonically sorted) and simulation count. See
+/// [`CachedEvaluator::state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluatorState {
+    /// Every cached `(grid, record)` pair, sorted by encoded grid bytes.
+    pub entries: Vec<(PrefixGrid, EvalRecord)>,
+    /// The simulation count at snapshot time.
+    pub sims: usize,
+}
+
+impl EvaluatorState {
+    /// Writes the snapshot into a checkpoint encoder.
+    pub fn write_ckpt(&self, enc: &mut crate::ckpt::Enc) {
+        enc.usize(self.entries.len());
+        for (g, rec) in &self.entries {
+            enc.grid(g);
+            enc.record(rec);
+        }
+        enc.usize(self.sims);
+    }
+
+    /// Reads a snapshot written by [`EvaluatorState::write_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ckpt::CkptError`] on malformed input.
+    pub fn read_ckpt(dec: &mut crate::ckpt::Dec<'_>) -> Result<Self, crate::ckpt::CkptError> {
+        let n = dec.seq_len()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push((dec.grid()?, dec.record()?));
+        }
+        Ok(EvaluatorState {
+            entries,
+            sims: dec.usize()?,
+        })
+    }
 }
 
 /// A synthesis flow paired with cost parameters: the full black-box
@@ -299,6 +345,55 @@ impl CachedEvaluator {
         }
     }
 
+    /// Captures the evaluator's replayable state — every cached
+    /// `(grid, record)` pair plus the simulation count — for
+    /// checkpointing. Entries are sorted canonically (by encoded grid
+    /// bytes) so the snapshot is deterministic regardless of hash-map
+    /// iteration order. In-flight slots (a concurrent evaluation that
+    /// has claimed its key but not yet published) are skipped; drivers
+    /// snapshot between steps, where none exist.
+    ///
+    /// Restoring the snapshot into a *fresh* evaluator of the same
+    /// objective ([`CachedEvaluator::restore_state`]) makes it
+    /// observationally identical to the original: the same queries hit
+    /// the cache, so budget accounting resumes without double-counting —
+    /// the property Contract 8's kill-and-resume equality rests on.
+    pub fn state(&self) -> EvaluatorState {
+        let mut entries: Vec<(PrefixGrid, EvalRecord)> = self
+            .cache
+            .lock()
+            .iter()
+            .filter_map(|(k, slot)| slot.lock().map(|rec| (k.clone(), rec)))
+            .collect();
+        let mut keyed: Vec<(Vec<u8>, (PrefixGrid, EvalRecord))> = entries
+            .drain(..)
+            .map(|e| {
+                let mut enc = crate::ckpt::Enc::new();
+                enc.grid(&e.0);
+                (enc.finish(), e)
+            })
+            .collect();
+        keyed.sort_by(|a, b| a.0.cmp(&b.0));
+        EvaluatorState {
+            entries: keyed.into_iter().map(|(_, e)| e).collect(),
+            sims: self.counter.count(),
+        }
+    }
+
+    /// Restores a snapshot captured by [`CachedEvaluator::state`]:
+    /// replaces the cache contents and the simulation count. Intended
+    /// for a freshly built evaluator of the same objective; any existing
+    /// cache entries are dropped.
+    pub fn restore_state(&self, state: &EvaluatorState) {
+        let mut map = self.cache.lock();
+        map.clear();
+        for (g, rec) in &state.entries {
+            map.insert(g.clone(), Arc::new(Mutex::new(Some(*rec))));
+        }
+        drop(map);
+        self.counter.set(state.sims);
+    }
+
     /// Evaluates a batch in parallel across `threads` worker threads
     /// (clamped to the batch size). Results align with the input order.
     pub fn evaluate_batch(&self, grids: &[PrefixGrid], threads: usize) -> Vec<EvalRecord> {
@@ -484,6 +579,48 @@ mod tests {
         assert!(ev.archive().is_none());
         let _ = ev.evaluate(&topologies::kogge_stone(12));
         assert_eq!(archive.lock().observations().len(), 2, "detached = silent");
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_cache_hits_and_counts() {
+        let ev = evaluator(10, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let grids: Vec<PrefixGrid> = (0..6)
+            .map(|_| mutate::random_grid(10, 0.3, &mut rng))
+            .collect();
+        for g in &grids {
+            let _ = ev.evaluate(g);
+        }
+        let state = ev.state();
+        assert_eq!(state.sims, ev.counter().count());
+        // Determinism: snapshotting twice yields identical bytes.
+        let bytes = {
+            let mut e = crate::ckpt::Enc::new();
+            state.write_ckpt(&mut e);
+            e.finish()
+        };
+        let bytes2 = {
+            let mut e = crate::ckpt::Enc::new();
+            ev.state().write_ckpt(&mut e);
+            e.finish()
+        };
+        assert_eq!(bytes, bytes2, "snapshot must be canonical");
+        let decoded = EvaluatorState::read_ckpt(&mut crate::ckpt::Dec::new(&bytes)).unwrap();
+        assert_eq!(decoded, state);
+        // Restore into a fresh evaluator: old queries are cache hits
+        // (not re-counted), new queries count from the restored total.
+        let fresh = evaluator(10, 0.5);
+        fresh.restore_state(&decoded);
+        let before = fresh.counter().count();
+        assert_eq!(before, state.sims);
+        for g in &grids {
+            let a = fresh.evaluate(g);
+            let b = ev.evaluate(g);
+            assert_eq!(a, b);
+        }
+        assert_eq!(fresh.counter().count(), before, "all hits, none counted");
+        let _ = fresh.evaluate(&topologies::sklansky(10));
+        assert_eq!(fresh.counter().count(), before + 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 mod buffering;
+pub mod ckpt;
 mod commercial;
 mod cost;
 mod evaluator;
@@ -35,7 +36,7 @@ mod tracking;
 pub use buffering::buffer_high_fanout;
 pub use commercial::CommercialTool;
 pub use cost::{CostParams, PpaReport};
-pub use evaluator::{CachedEvaluator, EvalRecord, Objective, SimCounter};
+pub use evaluator::{CachedEvaluator, EvalRecord, EvaluatorState, Objective, SimCounter};
 pub use flow::{SynthesisConfig, SynthesisFlow};
 pub use pareto::{
     crowding_distance, dominates, dominates_xy, non_dominated_sort, Observation, ParetoArchive,

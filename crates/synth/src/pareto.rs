@@ -157,6 +157,83 @@ impl ParetoArchive {
         Arc::new(Mutex::new(self))
     }
 
+    /// Writes the full archive state (front, log, counters, settings)
+    /// into a checkpoint encoder; [`ParetoArchive::read_ckpt`] restores
+    /// it bit-for-bit.
+    pub fn write_ckpt(&self, enc: &mut crate::ckpt::Enc) {
+        enc.usize(self.front.len());
+        for p in &self.front {
+            enc.grid(&p.grid);
+            enc.ppa(&p.ppa);
+            enc.usize(p.sims);
+        }
+        enc.f64(self.eps_area);
+        enc.f64(self.eps_delay);
+        enc.bool(self.capacity.is_some());
+        enc.usize(self.capacity.unwrap_or(0));
+        enc.bool(self.keep_log);
+        enc.usize(self.log.len());
+        for o in &self.log {
+            enc.usize(o.sims);
+            enc.f64(o.area_um2);
+            enc.f64(o.delay_ns);
+        }
+        enc.usize(self.inserted);
+        enc.usize(self.accepted);
+        enc.usize(self.sim_offset);
+    }
+
+    /// Reads an archive written by [`ParetoArchive::write_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::ckpt::CkptError`] on malformed input.
+    pub fn read_ckpt(dec: &mut crate::ckpt::Dec<'_>) -> Result<Self, crate::ckpt::CkptError> {
+        let n = dec.seq_len()?;
+        let mut front = Vec::with_capacity(n);
+        for _ in 0..n {
+            front.push(ParetoPoint {
+                grid: dec.grid()?,
+                ppa: dec.ppa()?,
+                sims: dec.usize()?,
+            });
+        }
+        let eps_area = dec.f64()?;
+        let eps_delay = dec.f64()?;
+        let has_capacity = dec.bool()?;
+        let capacity_raw = dec.usize()?;
+        let keep_log = dec.bool()?;
+        let n = dec.seq_len()?;
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            log.push(Observation {
+                sims: dec.usize()?,
+                area_um2: dec.f64()?,
+                delay_ns: dec.f64()?,
+            });
+        }
+        Ok(ParetoArchive {
+            front,
+            eps_area,
+            eps_delay,
+            capacity: has_capacity.then_some(capacity_raw),
+            keep_log,
+            log,
+            inserted: dec.usize()?,
+            accepted: dec.usize()?,
+            sim_offset: dec.usize()?,
+        })
+    }
+
+    /// The archive as standalone checkpoint bytes (front + log +
+    /// counters) — two archives are equal iff their bytes are, which is
+    /// how the resume tests byte-diff Pareto fronts.
+    pub fn to_ckpt_bytes(&self) -> Vec<u8> {
+        let mut enc = crate::ckpt::Enc::new();
+        self.write_ckpt(&mut enc);
+        enc.finish()
+    }
+
     /// The current front, sorted by ascending area (descending delay).
     pub fn front(&self) -> &[ParetoPoint] {
         &self.front

@@ -1,6 +1,7 @@
 //! Best-so-far tracking against the simulation budget — shared by every
 //! search algorithm (CircuitVAE, BO, GA, RL, SA, random search).
 
+use crate::ckpt::{CkptError, Dec, Enc};
 use crate::evaluator::{CachedEvaluator, EvalRecord};
 use cv_prefix::PrefixGrid;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,51 @@ impl BestTracker {
     pub fn evaluated(&self) -> &[(PrefixGrid, f64)] {
         &self.evaluated
     }
+
+    /// Writes the full tracker state into a checkpoint encoder.
+    pub fn write_ckpt(&self, enc: &mut Enc) {
+        enc.usize(self.points.len());
+        for &(s, c) in &self.points {
+            enc.usize(s);
+            enc.f64(c);
+        }
+        enc.f64(self.best_cost);
+        enc.opt_grid(self.best_grid.as_ref());
+        enc.usize(self.evaluated.len());
+        for (g, c) in &self.evaluated {
+            enc.grid(g);
+            enc.f64(*c);
+        }
+        enc.bool(self.keep_evaluated);
+    }
+
+    /// Reads a tracker written by [`BestTracker::write_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] on malformed input.
+    pub fn read_ckpt(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let n = dec.seq_len()?;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push((dec.usize()?, dec.f64()?));
+        }
+        let best_cost = dec.f64()?;
+        let best_grid = dec.opt_grid()?;
+        let n = dec.seq_len()?;
+        let mut evaluated = Vec::with_capacity(n);
+        for _ in 0..n {
+            evaluated.push((dec.grid()?, dec.f64()?));
+        }
+        let keep_evaluated = dec.bool()?;
+        Ok(BestTracker {
+            points,
+            best_cost,
+            best_grid,
+            evaluated,
+            keep_evaluated,
+        })
+    }
 }
 
 /// The result of one search run.
@@ -142,6 +188,57 @@ impl SearchOutcome {
             best_grid,
             evaluated: self.evaluated,
         }
+    }
+
+    /// Writes the outcome into a checkpoint encoder.
+    pub fn write_ckpt(&self, enc: &mut Enc) {
+        enc.usize(self.history.len());
+        for &(s, c) in &self.history {
+            enc.usize(s);
+            enc.f64(c);
+        }
+        enc.f64(self.best_cost);
+        enc.opt_grid(self.best_grid.as_ref());
+        enc.usize(self.evaluated.len());
+        for (g, c) in &self.evaluated {
+            enc.grid(g);
+            enc.f64(*c);
+        }
+    }
+
+    /// Reads an outcome written by [`SearchOutcome::write_ckpt`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CkptError`] on malformed input.
+    pub fn read_ckpt(dec: &mut Dec<'_>) -> Result<Self, CkptError> {
+        let n = dec.seq_len()?;
+        let mut history = Vec::with_capacity(n);
+        for _ in 0..n {
+            history.push((dec.usize()?, dec.f64()?));
+        }
+        let best_cost = dec.f64()?;
+        let best_grid = dec.opt_grid()?;
+        let n = dec.seq_len()?;
+        let mut evaluated = Vec::with_capacity(n);
+        for _ in 0..n {
+            evaluated.push((dec.grid()?, dec.f64()?));
+        }
+        Ok(SearchOutcome {
+            history,
+            best_cost,
+            best_grid,
+            evaluated,
+        })
+    }
+
+    /// The outcome as standalone checkpoint bytes — the canonical form
+    /// for the "byte-identical resume" assertions of Contract 8: two
+    /// outcomes are equal iff their bytes are.
+    pub fn to_ckpt_bytes(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        self.write_ckpt(&mut enc);
+        enc.finish()
     }
 }
 

@@ -1,0 +1,192 @@
+//! Contract 8 (DESIGN.md §7) — checkpoint/resume transparency of the
+//! step-driver engine, pinned per method and per tech:
+//!
+//! 1. **Stepped ≡ monolithic.** Driving a method step by step produces a
+//!    bitwise-identical `SearchOutcome` to the one-shot harness run at
+//!    equal seed and budget (byte-diffed through the checkpoint codec).
+//! 2. **Kill-and-resume determinism.** Interrupting at an arbitrary
+//!    simulation count — serializing the driver, the evaluator snapshot,
+//!    and the observing archive, then restoring all three into a fresh
+//!    evaluator — yields a final outcome *and* Pareto front that
+//!    byte-match the uninterrupted run.
+
+use circuitvae::driver::{run_archived, Checkpointable, SearchDriver};
+use cv_bench::driver::{make_driver, MethodDriver};
+use cv_bench::harness::{build_evaluator, run_method_on, ExperimentSpec, Method, TechLibrary};
+use cv_prefix::CircuitKind;
+use cv_synth::ParetoArchive;
+use proptest::prelude::*;
+
+fn spec_for(tech: TechLibrary, budget: usize) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::standard(8, CircuitKind::Adder, 0.6, budget);
+    spec.tech = tech;
+    spec
+}
+
+fn tech_of(bit: bool) -> TechLibrary {
+    if bit {
+        TechLibrary::Scaled8nmLike
+    } else {
+        TechLibrary::Nangate45Like
+    }
+}
+
+/// The uninterrupted reference: the harness one-shot run plus the
+/// frontier its driver traced.
+fn reference(method: Method, spec: &ExperimentSpec, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let evaluator = build_evaluator(spec);
+    let mut driver = make_driver(method, spec, seed);
+    let (outcome, archive) = run_archived(&mut driver, &evaluator);
+    // Cross-check against the public harness entry point: stepping to
+    // completion is exactly what `run_method_on` does.
+    let ev2 = build_evaluator(spec);
+    let direct = run_method_on(method, spec, seed, &ev2);
+    assert_eq!(
+        outcome.to_ckpt_bytes(),
+        direct.to_ckpt_bytes(),
+        "{}: archived driver run must equal the plain harness run",
+        method.label()
+    );
+    (outcome.to_ckpt_bytes(), archive.to_ckpt_bytes())
+}
+
+/// Kill at ~`k` simulations, serialize everything, restore into a fresh
+/// evaluator, finish, and return (outcome bytes, archive bytes).
+fn killed_and_resumed(
+    method: Method,
+    spec: &ExperimentSpec,
+    seed: u64,
+    k: usize,
+) -> (Vec<u8>, Vec<u8>) {
+    let evaluator = build_evaluator(spec);
+    let shared = ParetoArchive::new().with_log().into_shared();
+    evaluator.attach_archive(shared.clone());
+    let mut driver = make_driver(method, spec, seed);
+    while !driver.is_done() && driver.sims_used() < k {
+        driver.step(&evaluator);
+    }
+    let driver_bytes = driver.save();
+    let evaluator_snapshot = evaluator.state();
+    let archive_at_kill = shared.lock().clone();
+    drop(driver);
+    drop(evaluator);
+
+    // "New process": fresh evaluator, all state restored from bytes.
+    let restored_archive = ParetoArchive::read_ckpt(&mut cv_synth::ckpt::Dec::new(
+        &archive_at_kill.to_ckpt_bytes(),
+    ))
+    .expect("archive bytes round-trip")
+    .into_shared();
+    let evaluator = build_evaluator(spec);
+    evaluator.restore_state(&evaluator_snapshot);
+    evaluator.attach_archive(restored_archive.clone());
+    let mut driver = MethodDriver::load(&driver_bytes).expect("driver bytes round-trip");
+    let outcome = driver.run_to_completion(&evaluator);
+    evaluator.detach_archive();
+    let archive_bytes = restored_archive.lock().to_ckpt_bytes();
+    (outcome.to_ckpt_bytes(), archive_bytes)
+}
+
+fn assert_contract8(method: Method, tech: TechLibrary, budget: usize, seed: u64, k: usize) {
+    let spec = spec_for(tech, budget);
+    let (ref_outcome, ref_archive) = reference(method, &spec, seed);
+    let (res_outcome, res_archive) = killed_and_resumed(method, &spec, seed, k);
+    assert_eq!(
+        ref_outcome,
+        res_outcome,
+        "{} @ {tech:?}: resumed outcome must byte-match the uninterrupted run",
+        method.label()
+    );
+    assert_eq!(
+        ref_archive,
+        res_archive,
+        "{} @ {tech:?}: resumed Pareto front must byte-match the uninterrupted run",
+        method.label()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sa_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 24usize..48, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::Sa, tech_of(tech8), budget, seed, k);
+    }
+
+    #[test]
+    fn ga_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 24usize..48, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::Ga, tech_of(tech8), budget, seed, k);
+    }
+
+    #[test]
+    fn random_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 24usize..48, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::Random, tech_of(tech8), budget, seed, k);
+    }
+}
+
+proptest! {
+    // The heavier methods get fewer cases; they exercise the deep
+    // checkpoint paths (replay buffers + Adam state for RL, model +
+    // dataset + warm-started training for the VAE, NSGA-II population
+    // state for the multi-objective GA).
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn ga_nsga2_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 24usize..40, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::GaNsga2, tech_of(tech8), budget, seed, k);
+    }
+
+    #[test]
+    fn rl_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 20usize..32, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::Rl, tech_of(tech8), budget, seed, k);
+    }
+
+    #[test]
+    fn circuitvae_stepped_and_resumed_matches_run(
+        params in (any::<bool>(), 20usize..32, 0u64..1_000_000, 0.05f64..0.95)
+    ) {
+        let (tech8, budget, seed, kf) = params;
+        let k = ((budget as f64) * kf) as usize;
+        assert_contract8(Method::CircuitVae, tech_of(tech8), budget, seed, k);
+    }
+}
+
+/// A deterministic floor under the proptests: every method, both techs,
+/// one pinned (seed, budget, kill point) — so a regression names the
+/// method even if a proptest shrink obscures it.
+#[test]
+fn every_method_resumes_bitwise_at_pinned_points() {
+    for method in [
+        Method::Sa,
+        Method::Ga,
+        Method::GaNsga2,
+        Method::Random,
+        Method::Rl,
+        Method::CircuitVae,
+        Method::LatentBo,
+    ] {
+        for tech in [TechLibrary::Nangate45Like, TechLibrary::Scaled8nmLike] {
+            assert_contract8(method, tech, 30, 42, 13);
+        }
+    }
+}
