@@ -1,0 +1,424 @@
+//! Compute-core benchmarks: GEMM kernels, the width-32 VAE training
+//! step, and pooled batch evaluation — every A/B measured against the
+//! retained naive reference kernels.
+//!
+//! Beyond timing, this bench *gates* the tentpole claims (outside
+//! `--test` smoke mode):
+//! * every fast-kernel result is bit-for-bit equal to its naive
+//!   reference (checked in smoke mode too);
+//! * the width-32 training step must be ≥3× faster on the compute core.
+//!
+//! All measurements are folded into `results/bench_perf.json` through
+//! `cv_bench::perf` (schema-checked by the `perf_schema` binary), so CI
+//! accumulates a machine-readable perf trajectory.
+
+use circuitvae::{train, CircuitVaeConfig, CircuitVaeModel, Dataset, ModelArch};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cv_bench::perf::{AbPerf, GemmPerf, PerfReport};
+use cv_cells::nangate45_like;
+use cv_nn::{gemm, ParamStore};
+use cv_pool::WorkerPool;
+use cv_prefix::{mutate, topologies, CircuitKind, GridMetrics, PrefixGrid};
+use cv_synth::{CachedEvaluator, CostParams, EvalRecord, EvalSession, Objective, SynthesisFlow};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+const WIDTH: usize = 32;
+
+fn report() -> &'static Mutex<PerfReport> {
+    static REPORT: OnceLock<Mutex<PerfReport>> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        Mutex::new(PerfReport {
+            pool_threads: WorkerPool::global().threads(),
+            ..PerfReport::default()
+        })
+    })
+}
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn reps() -> usize {
+    if smoke() {
+        1
+    } else {
+        5
+    }
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn dense(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Training-data-like density: mostly nonzero, some zeros.
+            if rng.gen_range(0..8) == 0 {
+                0.0
+            } else {
+                rng.gen_range(-1.0f32..1.0)
+            }
+        })
+        .collect()
+}
+
+/// Times `f` over `reps` runs and returns the median in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed().as_secs_f64() * 1e3);
+    }
+    median(times)
+}
+
+/// One GEMM shape A/B: returns the perf record after asserting the
+/// fast kernel is bit-identical to the reference.
+fn gemm_ab(op: &str, m: usize, k: usize, n: usize) -> GemmPerf {
+    let reps = reps();
+    let (naive_ms, fast_ms) = match op {
+        "nn" => {
+            let a = dense(m * k, 1);
+            let b = dense(k * n, 2);
+            let mut fast = vec![0.0f32; m * n];
+            let mut naive = vec![0.0f32; m * n];
+            gemm::gemm_nn(&mut fast, &a, &b, m, k, n);
+            gemm::reference::gemm_nn(&mut naive, &a, &b, m, k, n);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "nn diverged from reference"
+            );
+            (
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm::reference::gemm_nn(&mut out, &a, &b, m, k, n);
+                    black_box(out);
+                }),
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm::gemm_nn(&mut out, &a, &b, m, k, n);
+                    black_box(out);
+                }),
+            )
+        }
+        "nt" => {
+            // g [m,n] × b[k,n]ᵀ → [m,k]: the backward-to-inputs product.
+            let g = dense(m * n, 3);
+            let b = dense(k * n, 4);
+            let mut fast = vec![0.0f32; m * k];
+            let mut naive = vec![0.0f32; m * k];
+            gemm::gemm_nt(&mut fast, &g, &b, m, n, k);
+            gemm::reference::gemm_nt(&mut naive, &g, &b, m, n, k);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "nt diverged from reference"
+            );
+            (
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; m * k];
+                    gemm::reference::gemm_nt(&mut out, &g, &b, m, n, k);
+                    black_box(out);
+                }),
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; m * k];
+                    gemm::gemm_nt(&mut out, &g, &b, m, n, k);
+                    black_box(out);
+                }),
+            )
+        }
+        "tn" => {
+            let a = dense(m * k, 5);
+            let g = dense(m * n, 6);
+            let mut fast = vec![0.0f32; k * n];
+            let mut naive = vec![0.0f32; k * n];
+            gemm::gemm_tn(&mut fast, &a, &g, m, k, n);
+            gemm::reference::gemm_tn(&mut naive, &a, &g, m, k, n);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "tn diverged from reference"
+            );
+            (
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; k * n];
+                    gemm::reference::gemm_tn(&mut out, &a, &g, m, k, n);
+                    black_box(out);
+                }),
+                time_ms(reps, || {
+                    let mut out = vec![0.0f32; k * n];
+                    gemm::gemm_tn(&mut out, &a, &g, m, k, n);
+                    black_box(out);
+                }),
+            )
+        }
+        other => panic!("unknown op {other}"),
+    };
+    GemmPerf {
+        op: op.to_string(),
+        m,
+        k,
+        n,
+        naive_ms,
+        fast_ms,
+    }
+}
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_kernels");
+    group.bench_function("ab_suite", |b| {
+        b.iter(|| {
+            // Shapes from the width-32 CNN model's dense stages:
+            // encoder trunk (batch×flat × flat×hidden), its backward
+            // products, and a conv-like panel.
+            let records = vec![
+                gemm_ab("nn", 64, 768, 128),
+                gemm_ab("nt", 64, 128, 768),
+                gemm_ab("tn", 64, 768, 128),
+                gemm_ab("nn", 12, 54, 256),
+            ];
+            for r in &records {
+                println!(
+                    "gemm/{} {}x{}x{}: naive {:.3} ms ({:.2} GF/s) -> fast {:.3} ms ({:.2} GF/s), {:.2}x",
+                    r.op,
+                    r.m,
+                    r.k,
+                    r.n,
+                    r.naive_ms,
+                    r.gflops_naive(),
+                    r.fast_ms,
+                    r.gflops_fast(),
+                    r.naive_ms / r.fast_ms.max(1e-12)
+                );
+            }
+            report().lock().unwrap().gemm = records;
+        })
+    });
+    group.finish();
+}
+
+fn toy_dataset(width: usize, count: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let entries: Vec<(PrefixGrid, f64)> = (0..count)
+        .map(|_| {
+            let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+            let cost = GridMetrics::of(&g).analytic_proxy();
+            (g, cost)
+        })
+        .collect();
+    let mut ds = Dataset::new(width, entries);
+    ds.recompute_weights(1e-3, true);
+    ds
+}
+
+/// Runs `steps` training steps of the width-32 CNN VAE with either the
+/// reference or the fast kernels, returning (mean loss, parameter
+/// bytes, wall-clock ms).
+fn run_training(steps: usize, reference: bool) -> (f64, Vec<u8>, f64) {
+    let mut cfg = CircuitVaeConfig::for_width(WIDTH);
+    assert!(matches!(cfg.arch, ModelArch::Cnn { .. }), "w32 must be CNN");
+    cfg.batch_size = 32;
+    // One chunk per step: the A/B compares kernels, not chunking; a
+    // single tape keeps per-op overhead identical and minimal for both
+    // paths (results are bit-identical at any thread count anyway).
+    cfg.threads = 1;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let model = CircuitVaeModel::new(&mut store, &cfg, WIDTH, &mut rng);
+    let ds = toy_dataset(WIDTH, 60, 11);
+    gemm::set_reference_kernels(reference);
+    let t = Instant::now();
+    let loss = train(&model, &mut store, &ds, &cfg, steps, &mut rng);
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    gemm::set_reference_kernels(false);
+    (loss, store.to_bytes(), ms)
+}
+
+/// The tentpole gate: the width-32 training step on the compute core
+/// must be ≥3× the naive kernels, with bit-identical training results.
+///
+/// Measurement protocol: order-alternated (naive, fast) pairs — clock
+/// drift (thermal throttling) between the two members of a pair then
+/// biases half the pairs each way — with the median of per-pair ratios
+/// as the gate statistic. The full protocol runs once per process; the
+/// bench harness's repeat iterations reuse the result.
+fn bench_training_step_w32(c: &mut Criterion) {
+    static GATE: OnceLock<(f64, f64, f64)> = OnceLock::new();
+    let mut group = c.benchmark_group("training_step_w32");
+    group.bench_function("ab_gate", |b| {
+        b.iter(|| {
+            let (naive_ms, fast_ms, speedup) = *GATE.get_or_init(|| {
+                // Enough steps per measurement to amortize the first
+                // step's arena/buffer build-up (the compute core's
+                // steady state is the quantity of interest).
+                let steps = if smoke() { 1 } else { 10 };
+                let outer = if smoke() { 1 } else { 4 };
+                let mut naive_times = Vec::new();
+                let mut fast_times = Vec::new();
+                let mut ratios = Vec::new();
+                let (mut naive_out, mut fast_out) = (None, None);
+                for r in 0..outer {
+                    let (naive, fast) = if r % 2 == 0 {
+                        let naive = run_training(steps, true);
+                        let fast = run_training(steps, false);
+                        (naive, fast)
+                    } else {
+                        let fast = run_training(steps, false);
+                        let naive = run_training(steps, true);
+                        (naive, fast)
+                    };
+                    ratios.push(naive.2 / fast.2.max(1e-12));
+                    naive_times.push(naive.2);
+                    fast_times.push(fast.2);
+                    naive_out = Some((naive.0, naive.1));
+                    fast_out = Some((fast.0, fast.1));
+                }
+                let (nl, np) = naive_out.unwrap();
+                let (fl, fp) = fast_out.unwrap();
+                assert_eq!(
+                    nl.to_bits(),
+                    fl.to_bits(),
+                    "training loss diverged between kernel paths"
+                );
+                assert_eq!(np, fp, "trained parameters diverged between kernel paths");
+                (
+                    median(naive_times) / steps as f64,
+                    median(fast_times) / steps as f64,
+                    median(ratios),
+                )
+            });
+            println!(
+                "training_step_w32: naive {naive_ms:.1} ms/step -> fast {fast_ms:.1} ms/step ({speedup:.2}x median pair ratio)"
+            );
+            report().lock().unwrap().training_step = Some(AbPerf {
+                width: WIDTH,
+                naive_ms,
+                fast_ms,
+            });
+            if !smoke() {
+                assert!(
+                    speedup >= 3.0,
+                    "width-32 training step must be >=3x faster on the compute core, got {speedup:.2}x"
+                );
+            }
+            speedup
+        })
+    });
+    group.finish();
+}
+
+fn eval_grids(width: usize, count: usize, seed: u64) -> Vec<PrefixGrid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| mutate::random_grid(width, 0.3, &mut rng))
+        .collect()
+}
+
+fn bench_evaluate_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_batch_w16");
+    group.bench_function("pool_vs_serial", |b| {
+        b.iter(|| {
+            let width = 16;
+            let grids = eval_grids(width, if smoke() { 6 } else { 16 }, 0xFEED);
+            let make = || {
+                CachedEvaluator::new(Objective::new(
+                    SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, width),
+                    CostParams::new(0.66),
+                ))
+            };
+            let serial_ev = make();
+            let t = Instant::now();
+            let serial: Vec<EvalRecord> = grids.iter().map(|g| serial_ev.evaluate(g)).collect();
+            let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+            let pool_ev = make();
+            let t = Instant::now();
+            let pooled = pool_ev.evaluate_batch(&grids, 8);
+            let pool_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(serial, pooled, "batch path diverged from sequential");
+            assert_eq!(serial_ev.counter().count(), pool_ev.counter().count());
+            println!(
+                "evaluate_batch_w16: serial {serial_ms:.1} ms -> pool {pool_ms:.1} ms ({} threads)",
+                WorkerPool::global().threads()
+            );
+            report().lock().unwrap().evaluate_batch = Some(AbPerf {
+                width,
+                naive_ms: serial_ms,
+                fast_ms: pool_ms,
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_incremental_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_point");
+    group.bench_function("chain_speedup", |b| {
+        b.iter(|| {
+            // One measurement of the incremental-evaluation speedup for
+            // the perf trajectory (the `incremental` bench owns the
+            // rigorous gate).
+            let mut rng = StdRng::seed_from_u64(0xA11CE);
+            let mut chain = vec![topologies::sklansky(WIDTH)];
+            for _ in 1..if smoke() { 4 } else { 12 } {
+                chain.push(mutate::neighbour(chain.last().unwrap(), &mut rng));
+            }
+            let flow = SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, WIDTH);
+            let t = Instant::now();
+            let full: Vec<_> = chain.iter().map(|g| flow.synthesize(g)).collect();
+            let full_s = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let mut session = EvalSession::new(flow.clone(), CostParams::new(0.66));
+            let mut delta = vec![session.evaluate(&chain[0]).ppa];
+            for w in chain.windows(2) {
+                delta.push(session.evaluate_delta(&w[0], &w[1]).ppa);
+            }
+            let delta_s = t.elapsed().as_secs_f64();
+            assert_eq!(full, delta, "delta path diverged");
+            let speedup = full_s / delta_s.max(1e-12);
+            println!(
+                "incremental_point: {speedup:.2}x over {}-step chain",
+                chain.len()
+            );
+            report().lock().unwrap().incremental_speedup = Some(speedup);
+        })
+    });
+    group.finish();
+}
+
+/// Last group: persist the accumulated report (validated against its own
+/// schema) for CI to archive.
+fn bench_write_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_report");
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            // Benches run with the package dir as cwd; anchor the report
+            // at the workspace root's results/ like the figure binaries.
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../../results/bench_perf.json");
+            report().lock().unwrap().write(&path);
+            println!("wrote {}", path.display());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_kernels,
+    bench_training_step_w32,
+    bench_evaluate_batch,
+    bench_incremental_point,
+    bench_write_report
+);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Validates `results/bench_perf.json` against the cv-bench perf
+//! schema. CI runs this right after the `gemm` bench so a malformed or
+//! missing report fails the job instead of silently uploading garbage.
+//!
+//! Usage: `perf_schema [path]` (default `results/bench_perf.json`).
+
+use cv_bench::perf::validate_report;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/bench_perf.json".to_string());
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_schema: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match validate_report(&text) {
+        Ok(()) => println!("perf schema OK: {path}"),
+        Err(e) => {
+            eprintln!("perf_schema: {path} violates the schema: {e}");
+            std::process::exit(1);
+        }
+    }
+}

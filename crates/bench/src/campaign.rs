@@ -1,7 +1,11 @@
 //! The resumable campaign orchestrator: method×seed×width×tech grids
-//! executed on a persistent scoped thread pool, with per-round JSONL
-//! telemetry and on-disk checkpoints that make an interrupted campaign
-//! resume bit-for-bit (Contract 8, DESIGN.md §7).
+//! executed on the process-wide [`cv_pool::WorkerPool`], with per-round
+//! JSONL telemetry and on-disk checkpoints that make an interrupted
+//! campaign resume bit-for-bit (Contract 8, DESIGN.md §7).
+//!
+//! Campaign tasks are coarse and independent (each owns its evaluator,
+//! archive, and on-disk files), so they ride the pool's *dynamic*
+//! assignment: scheduling balances load without influencing any result.
 //!
 //! Each task runs one [`MethodDriver`] on its own evaluator with a
 //! logging [`ParetoArchive`] attached. Every `checkpoint_every`
@@ -332,8 +336,9 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
     Some(result)
 }
 
-/// Executes a campaign grid on the persistent pool. Returns one entry
-/// per task, in task order; `None` marks tasks interrupted by
+/// Executes a campaign grid on the shared worker pool (at most
+/// [`CampaignConfig::threads`] tasks in flight). Returns one entry per
+/// task, in task order; `None` marks tasks interrupted by
 /// [`CampaignConfig::halt_after`] (resume by re-running with the same
 /// directory) or never started before the halt.
 pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<TaskResult>> {
@@ -345,21 +350,11 @@ pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<
         .iter()
         .map(|_| parking_lot::Mutex::new(None))
         .collect();
-    let next = AtomicUsize::new(0);
-    let workers = cfg.threads.clamp(1, tasks.len().max(1));
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                if halt.halted() {
-                    break;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= tasks.len() {
-                    break;
-                }
-                *results[i].lock() = run_task(&tasks[i], cfg, &halt);
-            });
+    cv_pool::WorkerPool::global().run_dynamic(tasks.len(), cfg.threads.max(1), |i| {
+        if halt.halted() {
+            return;
         }
+        *results[i].lock() = run_task(&tasks[i], cfg, &halt);
     });
     results.into_iter().map(|m| m.into_inner()).collect()
 }
@@ -367,10 +362,9 @@ pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<
 /// A boxed unit of pool work (what [`run_units`] consumes).
 pub type Unit<T> = Box<dyn FnOnce() -> T + Send>;
 
-/// Runs independent units on the persistent scoped pool, preserving
-/// input order in the returned vector. The generic cousin of
-/// [`run_campaign`] — `frontier` panels and multi-seed curve sets ride
-/// on it.
+/// Runs independent units on the shared worker pool, preserving input
+/// order in the returned vector. The generic cousin of [`run_campaign`]
+/// — `frontier` panels and multi-seed curve sets ride on it.
 pub fn run_units<T: Send>(units: Vec<Unit<T>>, threads: usize) -> Vec<T> {
     let n = units.len();
     if n == 0 {
@@ -386,18 +380,9 @@ pub fn run_units<T: Send>(units: Vec<Unit<T>>, threads: usize) -> Vec<T> {
         .collect();
     let results: Vec<parking_lot::Mutex<Option<T>>> =
         (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let unit = slots[i].lock().take().expect("each unit runs once");
-                *results[i].lock() = Some(unit());
-            });
-        }
+    cv_pool::WorkerPool::global().run_dynamic(n, threads, |i| {
+        let unit = slots[i].lock().take().expect("each unit runs once");
+        *results[i].lock() = Some(unit());
     });
     results
         .into_iter()

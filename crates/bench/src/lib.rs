@@ -11,6 +11,7 @@
 pub mod campaign;
 pub mod driver;
 pub mod harness;
+pub mod perf;
 pub mod stats;
 
 pub use campaign::{run_campaign, run_units, CampaignConfig, CampaignTask, TaskResult};
@@ -18,6 +19,7 @@ pub use driver::{make_driver, MethodDriver, VaeMethodDriver};
 pub use harness::{
     build_evaluator, run_method, run_method_on, ExperimentSpec, Method, Scale, TechLibrary,
 };
+pub use perf::{validate_report, AbPerf, GemmPerf, PerfReport};
 pub use stats::{
     hypervolume, hypervolume_within, igd, median_iqr, nadir_reference, pareto_filter,
     quantile_sorted, CurveSet, Quartiles,

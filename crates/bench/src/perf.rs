@@ -1,0 +1,546 @@
+//! Machine-readable performance reporting for the compute-core benches.
+//!
+//! `benches/gemm.rs` measures the GEMM kernels, the width-32 VAE
+//! training step, and batched evaluation, then emits
+//! `results/bench_perf.json` through [`PerfReport`] so CI can archive a
+//! perf trajectory instead of scraping bench stdout. The schema is
+//! validated by [`validate_report`] (also exposed as the `perf_schema`
+//! binary), backed by a minimal dependency-free JSON parser — the
+//! vendored `serde` is a marker facade, so the wire format is explicit
+//! here just like the checkpoint codec.
+
+use std::fmt::Write as _;
+
+/// Schema identifier stamped into every report.
+pub const PERF_SCHEMA: &str = "cv-bench-perf-v1";
+
+/// One GEMM kernel measurement (naive reference vs. compute core).
+#[derive(Debug, Clone)]
+pub struct GemmPerf {
+    /// Kernel variant: `"nn"`, `"nt"`, or `"tn"`.
+    pub op: String,
+    /// Left rows.
+    pub m: usize,
+    /// Contraction size.
+    pub k: usize,
+    /// Right columns.
+    pub n: usize,
+    /// Naive kernel wall-clock, milliseconds per call.
+    pub naive_ms: f64,
+    /// Compute-core wall-clock, milliseconds per call.
+    pub fast_ms: f64,
+}
+
+impl GemmPerf {
+    fn gflops(&self, ms: f64) -> f64 {
+        if ms <= 0.0 {
+            0.0
+        } else {
+            (2.0 * self.m as f64 * self.k as f64 * self.n as f64) / (ms * 1e6)
+        }
+    }
+
+    /// GFLOP/s of the naive kernel.
+    pub fn gflops_naive(&self) -> f64 {
+        self.gflops(self.naive_ms)
+    }
+
+    /// GFLOP/s of the compute core.
+    pub fn gflops_fast(&self) -> f64 {
+        self.gflops(self.fast_ms)
+    }
+}
+
+/// A naive-vs-fast wall-clock pair for an end-to-end path.
+#[derive(Debug, Clone, Copy)]
+pub struct AbPerf {
+    /// Problem size tag (circuit width).
+    pub width: usize,
+    /// Reference-path milliseconds.
+    pub naive_ms: f64,
+    /// Compute-core milliseconds.
+    pub fast_ms: f64,
+}
+
+impl AbPerf {
+    /// naive / fast (1.0 when degenerate).
+    pub fn speedup(&self) -> f64 {
+        if self.fast_ms <= 0.0 {
+            1.0
+        } else {
+            self.naive_ms / self.fast_ms
+        }
+    }
+}
+
+/// The full bench report serialized to `results/bench_perf.json`.
+#[derive(Debug, Clone, Default)]
+pub struct PerfReport {
+    /// Worker-pool size the benches ran with.
+    pub pool_threads: usize,
+    /// GEMM kernel measurements.
+    pub gemm: Vec<GemmPerf>,
+    /// Width-32 VAE training-step A/B.
+    pub training_step: Option<AbPerf>,
+    /// `evaluate_batch` pool path vs. sequential loop.
+    pub evaluate_batch: Option<AbPerf>,
+    /// Incremental-evaluation speedup (the `incremental` bench's gate
+    /// quantity), when measured.
+    pub incremental_speedup: Option<f64>,
+}
+
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:.6}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl PerfReport {
+    /// Serializes the report to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"{PERF_SCHEMA}\",");
+        let _ = writeln!(s, "  \"pool_threads\": {},", self.pool_threads);
+        s.push_str("  \"gemm\": [\n");
+        for (i, g) in self.gemm.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"naive_ms\": ",
+                g.op, g.m, g.k, g.n
+            );
+            push_num(&mut s, g.naive_ms);
+            s.push_str(", \"fast_ms\": ");
+            push_num(&mut s, g.fast_ms);
+            s.push_str(", \"gflops_naive\": ");
+            push_num(&mut s, g.gflops_naive());
+            s.push_str(", \"gflops_fast\": ");
+            push_num(&mut s, g.gflops_fast());
+            s.push_str(", \"speedup\": ");
+            push_num(
+                &mut s,
+                if g.fast_ms > 0.0 {
+                    g.naive_ms / g.fast_ms
+                } else {
+                    1.0
+                },
+            );
+            s.push('}');
+            s.push_str(if i + 1 < self.gemm.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ],\n");
+        for (key, ab) in [
+            ("training_step", &self.training_step),
+            ("evaluate_batch", &self.evaluate_batch),
+        ] {
+            match ab {
+                Some(ab) => {
+                    let _ = write!(s, "  \"{key}\": {{\"width\": {}, \"naive_ms\": ", ab.width);
+                    push_num(&mut s, ab.naive_ms);
+                    s.push_str(", \"fast_ms\": ");
+                    push_num(&mut s, ab.fast_ms);
+                    s.push_str(", \"speedup\": ");
+                    push_num(&mut s, ab.speedup());
+                    s.push_str("},\n");
+                }
+                None => {
+                    let _ = writeln!(s, "  \"{key}\": null,");
+                }
+            }
+        }
+        s.push_str("  \"incremental_speedup\": ");
+        match self.incremental_speedup {
+            Some(v) => push_num(&mut s, v),
+            None => s.push_str("null"),
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Writes the validated report to `path` (creating parent dirs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the serialized report fails its own schema check or the
+    /// file cannot be written — both are bench-infrastructure bugs that
+    /// must fail loudly in CI.
+    pub fn write(&self, path: &std::path::Path) {
+        let json = self.to_json();
+        validate_report(&json).expect("generated report must satisfy its own schema");
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("results dir must be creatable");
+        }
+        std::fs::write(path, json).expect("bench_perf.json must be writable");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing + schema validation
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (just enough structure for schema checks).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            // Copy unescaped runs as str slices: '"' and '\\' are ASCII,
+            // so the run boundaries always fall on UTF-8 char boundaries
+            // and multi-byte content survives intact.
+            let start = self.pos;
+            while let Some(&c) = self.bytes.get(self.pos) {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(&self.text[start..self.pos]);
+            let c = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    s.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    });
+                }
+                other => return Err(format!("unexpected byte {other} in string")),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'n' => self.literal("null", Json::Null),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'[' => {
+                self.eat(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => {
+                            return Err(format!("expected ',' or ']', got '{}'", other as char))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.eat(b'{')?;
+                let mut members = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    let val = self.value()?;
+                    members.push((key, val));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(members));
+                        }
+                        other => {
+                            return Err(format!("expected ',' or '}}', got '{}'", other as char))
+                        }
+                    }
+                }
+            }
+            _ => {
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Json::Num)
+                    .ok_or_else(|| format!("invalid number at byte {start}"))
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        text,
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    match obj.get(key) {
+        Some(Json::Num(v)) => Ok(*v),
+        other => Err(format!("{ctx}.{key}: expected number, got {other:?}")),
+    }
+}
+
+fn check_ab(v: &Json, ctx: &str) -> Result<(), String> {
+    match v {
+        Json::Null => Ok(()),
+        Json::Obj(_) => {
+            require_num(v, "width", ctx)?;
+            require_num(v, "naive_ms", ctx)?;
+            require_num(v, "fast_ms", ctx)?;
+            require_num(v, "speedup", ctx)?;
+            Ok(())
+        }
+        other => Err(format!("{ctx}: expected object or null, got {other:?}")),
+    }
+}
+
+/// Validates a `bench_perf.json` document against the
+/// [`PERF_SCHEMA`] shape.
+///
+/// # Errors
+///
+/// Returns a description of the first schema violation.
+pub fn validate_report(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    match doc.get("schema") {
+        Some(Json::Str(s)) if s == PERF_SCHEMA => {}
+        other => return Err(format!("schema: expected \"{PERF_SCHEMA}\", got {other:?}")),
+    }
+    let threads = require_num(&doc, "pool_threads", "report")?;
+    if threads < 1.0 {
+        return Err("pool_threads: must be >= 1".to_string());
+    }
+    match doc.get("gemm") {
+        Some(Json::Arr(items)) => {
+            if items.is_empty() {
+                return Err("gemm: at least one kernel measurement required".to_string());
+            }
+            for (i, item) in items.iter().enumerate() {
+                let ctx = format!("gemm[{i}]");
+                match item.get("op") {
+                    Some(Json::Str(op)) if matches!(op.as_str(), "nn" | "nt" | "tn") => {}
+                    other => return Err(format!("{ctx}.op: expected nn|nt|tn, got {other:?}")),
+                }
+                for key in [
+                    "m",
+                    "k",
+                    "n",
+                    "naive_ms",
+                    "fast_ms",
+                    "gflops_naive",
+                    "gflops_fast",
+                    "speedup",
+                ] {
+                    require_num(item, key, &ctx)?;
+                }
+            }
+        }
+        other => return Err(format!("gemm: expected array, got {other:?}")),
+    }
+    check_ab(
+        doc.get("training_step").unwrap_or(&Json::Null),
+        "training_step",
+    )?;
+    check_ab(
+        doc.get("evaluate_batch").unwrap_or(&Json::Null),
+        "evaluate_batch",
+    )?;
+    match doc.get("incremental_speedup") {
+        Some(Json::Null) | Some(Json::Num(_)) => {}
+        other => {
+            return Err(format!(
+                "incremental_speedup: expected number or null, got {other:?}"
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PerfReport {
+        PerfReport {
+            pool_threads: 4,
+            gemm: vec![GemmPerf {
+                op: "nn".into(),
+                m: 64,
+                k: 768,
+                n: 128,
+                naive_ms: 10.0,
+                fast_ms: 2.5,
+            }],
+            training_step: Some(AbPerf {
+                width: 32,
+                naive_ms: 500.0,
+                fast_ms: 100.0,
+            }),
+            evaluate_batch: None,
+            incremental_speedup: Some(5.1),
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_its_own_validator() {
+        let json = sample().to_json();
+        validate_report(&json).expect("self-produced report must validate");
+        let doc = parse_json(&json).unwrap();
+        assert_eq!(doc.get("schema"), Some(&Json::Str(PERF_SCHEMA.into())));
+        let ts = doc.get("training_step").unwrap();
+        assert_eq!(ts.get("speedup"), Some(&Json::Num(5.0)));
+        assert_eq!(doc.get("evaluate_batch"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_report("{").is_err());
+        assert!(validate_report("{}").is_err());
+        assert!(validate_report(r#"{"schema": "wrong"}"#).is_err());
+        // Right schema marker but an empty gemm section.
+        let bad = format!(
+            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 1, "gemm": [],
+                "training_step": null, "evaluate_batch": null, "incremental_speedup": null}}"#
+        );
+        assert!(validate_report(&bad).unwrap_err().contains("gemm"));
+        // A gemm entry with a missing field.
+        let bad = format!(
+            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 2,
+                "gemm": [{{"op": "nn", "m": 1, "k": 2, "n": 3}}],
+                "training_step": null, "evaluate_batch": null, "incremental_speedup": null}}"#
+        );
+        assert!(validate_report(&bad).unwrap_err().contains("naive_ms"));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_escapes() {
+        let doc = parse_json(r#"{"a": [1, -2.5e1, "x\ny"], "b": {"c": true}}"#).unwrap();
+        assert_eq!(
+            doc.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-25.0),
+                Json::Str("x\ny".into())
+            ]))
+        );
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        // Multi-byte UTF-8 survives intact (strings are copied as str
+        // slices between ASCII delimiters, never byte-by-byte).
+        let doc = parse_json(r#"{"unit": "µs → ναι"}"#).unwrap();
+        assert_eq!(doc.get("unit"), Some(&Json::Str("µs → ναι".into())));
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} garbage").is_err());
+    }
+
+    #[test]
+    fn speedup_and_gflops_are_consistent() {
+        let g = sample().gemm[0].clone();
+        assert!((g.gflops_fast() / g.gflops_naive() - 4.0).abs() < 1e-9);
+        let ab = sample().training_step.unwrap();
+        assert_eq!(ab.speedup(), 5.0);
+    }
+}

@@ -10,7 +10,7 @@
 use crate::config::CircuitVaeConfig;
 use crate::dataset::Dataset;
 use crate::model::CircuitVaeModel;
-use cv_nn::{parallel_grad_accumulate, randn, AdamConfig, Graph, ParamStore, Tensor, Var};
+use cv_nn::{randn, AdamConfig, GradAccumulator, Graph, ParamStore, Tensor, Var};
 use cv_prefix::bitvec;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -127,17 +127,20 @@ pub fn train<R: Rng + ?Sized>(
         ..AdamConfig::default()
     };
     let mut total = 0.0f64;
+    // One persistent accumulator: tapes and gradient buffers are reused
+    // across steps (same chunking as the one-shot path, so losses and
+    // gradients are bit-identical — only the allocations disappear).
+    let mut acc = GradAccumulator::new();
     for _ in 0..steps {
         let batch = sample_batch(dataset, model, config.batch_size, rng);
         let scale = 1.0 / batch.len() as f32;
-        let (loss, mut grads) =
-            parallel_grad_accumulate(store, &batch, config.threads, |g, store, part| {
-                chunk_loss(g, store, model, config, part)
-            });
-        for gt in &mut grads {
+        let loss = acc.run(store, &batch, config.threads, |g, store, part| {
+            chunk_loss(g, store, model, config, part)
+        });
+        for gt in acc.grads_mut() {
             gt.scale(scale);
         }
-        store.adam_step(&grads, &adam);
+        store.adam_step(acc.grads(), &adam);
         total += f64::from(loss) * f64::from(scale);
     }
     if steps == 0 {

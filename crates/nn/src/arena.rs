@@ -1,0 +1,102 @@
+//! A recycling buffer arena for tape and kernel scratch memory.
+//!
+//! One training step builds a forward tape, runs backward, and drops
+//! everything — historically one heap allocation per op per step. A
+//! [`ScratchArena`] keeps the freed `Vec<f32>` backing stores and hands
+//! them back out, so a steady-state training loop (same graph shape
+//! every step) stops allocating entirely after the first step. Values
+//! are bit-identical either way: the arena only changes *where* buffers
+//! come from, never what is written into them.
+
+/// A LIFO free-list of `f32` buffers.
+///
+/// Buffers keep their capacity when recycled; repeated graphs converge
+/// to zero allocation after the first pass. The list is bounded so a
+/// one-off giant graph cannot pin its peak memory forever.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    free: Vec<Vec<f32>>,
+}
+
+/// Retained buffer cap: generous for any model in this workspace (a
+/// graph recycles one buffer per node) while bounding worst-case
+/// retention.
+const MAX_FREE: usize = 512;
+
+impl ScratchArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cleared buffer with capacity for at least `cap` elements
+    /// (length 0). Fill it with `extend`-style writes.
+    pub fn take_empty(&mut self, cap: usize) -> Vec<f32> {
+        match self.free.pop() {
+            Some(mut v) => {
+                v.clear();
+                if v.capacity() < cap {
+                    v.reserve(cap - v.len());
+                }
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// A buffer of exactly `len` zeros.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut v = self.take_empty(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Returns a buffer to the free list for reuse.
+    pub fn give(&mut self, v: Vec<f32>) {
+        if self.free.len() < MAX_FREE && v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+
+    /// Number of buffers currently held for reuse.
+    pub fn held(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled() {
+        let mut arena = ScratchArena::new();
+        let mut v = arena.take_empty(100);
+        v.extend((0..100).map(|i| i as f32));
+        let ptr = v.as_ptr();
+        arena.give(v);
+        assert_eq!(arena.held(), 1);
+        let v2 = arena.take_zeroed(64);
+        assert_eq!(v2.as_ptr(), ptr, "the recycled allocation is reused");
+        assert_eq!(v2.len(), 64);
+        assert!(v2.iter().all(|&x| x == 0.0), "recycled buffers are reset");
+    }
+
+    #[test]
+    fn take_grows_capacity_when_needed() {
+        let mut arena = ScratchArena::new();
+        arena.give(vec![1.0; 4]);
+        let v = arena.take_zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut arena = ScratchArena::new();
+        for _ in 0..(MAX_FREE + 50) {
+            arena.give(vec![0.0; 8]);
+        }
+        assert_eq!(arena.held(), MAX_FREE);
+    }
+}

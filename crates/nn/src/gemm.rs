@@ -1,0 +1,1388 @@
+//! The deterministic parallel compute core: cache-blocked, thread-parallel
+//! f32 GEMM kernels plus an im2col convolution lowering.
+//!
+//! # Bit-exactness contract (DESIGN.md Contract 9)
+//!
+//! Every fast kernel here produces output **bit-identical** to its naive
+//! counterpart in [`mod@reference`] for all finite inputs, at every thread
+//! count (including 1). The trick: blocking and parallelism only ever
+//! re-tile the *independent* output dimensions; the floating-point
+//! accumulation chain of each individual output element keeps exactly
+//! the reference order:
+//!
+//! * `gemm_nn` (`A×B`): element `(i,j)` accumulates over `p = 0..k`
+//!   ascending. k-blocks are visited in order and continue the chain in
+//!   place; the 4-way unroll fuses four chain links without reassociating
+//!   (`(((o+t₀)+t₁)+t₂)+t₃`).
+//! * `gemm_nt` (`G×Bᵀ`): element `(i,p)` is a single sequential
+//!   reduction over `j = 0..n`; speed comes from running many
+//!   *independent* chains (4 columns × 2 rows) through the pipeline at
+//!   once, never from splitting one chain.
+//! * `gemm_tn` (`Aᵀ×G`): element `(p,j)` accumulates over `i = 0..m`
+//!   ascending, same in-place chaining as NN.
+//! * conv lowering: the reference kernel forms a per-input-channel
+//!   partial in a register chain and adds per-channel partials in order;
+//!   the im2col path reproduces that grouping with one small GEMM per
+//!   input channel. Zero padding contributes explicit `w·(+0.0)` terms
+//!   the reference skips — bit-safe because an IEEE-754 accumulation
+//!   chain that starts at `+0.0` can never sit at `-0.0` (a sum is
+//!   `-0.0` only when both addends are), so adding `±0.0` never changes
+//!   the stored bits. The same argument covers the removed `a == 0.0`
+//!   zero-skips of the naive matmuls (which defeated vectorization on
+//!   dense training data).
+//!
+//! Inputs containing NaN/±inf are outside the contract (`0·inf = NaN`).
+
+use crate::arena::ScratchArena;
+use cv_pool::WorkerPool;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// k-dimension cache block: 256 f32 rows of B keep the streamed panel
+/// comfortably in L1/L2 while the unrolled inner loops run.
+const KC: usize = 256;
+
+/// Below this many flops a dispatch to the pool costs more than the
+/// kernel; run single-threaded inline.
+const MIN_PAR_FLOPS: usize = 1 << 17;
+
+static FORCE_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Routes the graph's matmul/conv ops through the retained naive
+/// [`mod@reference`] kernels instead of the fast ones. **A/B benchmarking
+/// and equivalence testing only** — results are bit-identical either
+/// way, so flipping this can only make things slower.
+pub fn set_reference_kernels(on: bool) {
+    FORCE_REFERENCE.store(on, Ordering::Relaxed);
+}
+
+/// Whether [`set_reference_kernels`] currently forces the naive path.
+pub fn reference_kernels() -> bool {
+    FORCE_REFERENCE.load(Ordering::Relaxed)
+}
+
+fn par_chunks(pool: &WorkerPool, rows: usize, flops: usize) -> usize {
+    if pool.threads() <= 1 || flops < MIN_PAR_FLOPS || WorkerPool::on_worker_thread() {
+        1
+    } else {
+        pool.threads().min(rows.max(1))
+    }
+}
+
+// ---------------------------------------------------------------------
+// NN: out[m,n] += a[m,k] × b[k,n]
+// ---------------------------------------------------------------------
+
+/// Row-block inner kernel: accumulates `a_rows × b` into `out_rows`,
+/// element chains in ascending-`p` order.
+fn nn_block(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let mut p0 = 0;
+    while p0 < k {
+        let p_end = (p0 + KC).min(k);
+        for (orow, arow) in out.chunks_exact_mut(n).zip(a.chunks_exact(k)) {
+            let mut p = p0;
+            while p + 4 <= p_end {
+                let (a0, a1, a2, a3) = (arow[p], arow[p + 1], arow[p + 2], arow[p + 3]);
+                // Coarse zero-skip: only when all four chain links vanish
+                // (common for post-ReLU activations), so the vectorized
+                // inner loop stays branch-free. Skipping `±0.0` adds is
+                // bit-safe — see the module contract.
+                if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                    p += 4;
+                    continue;
+                }
+                let b0 = &b[p * n..(p + 1) * n];
+                let b1 = &b[(p + 1) * n..(p + 2) * n];
+                let b2 = &b[(p + 2) * n..(p + 3) * n];
+                let b3 = &b[(p + 3) * n..(p + 4) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    *o = (((*o + a0 * b0[j]) + a1 * b1[j]) + a2 * b2[j]) + a3 * b3[j];
+                }
+                p += 4;
+            }
+            while p < p_end {
+                let ap = arow[p];
+                if ap == 0.0 {
+                    p += 1;
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += ap * bv;
+                }
+                p += 1;
+            }
+        }
+        p0 = p_end;
+    }
+}
+
+/// `out[m,n] += a[m,k] × b[k,n]`, parallel over row blocks on `pool`.
+/// Pass a zeroed `out` for a plain product. Bit-identical to
+/// [`reference::gemm_nn`] (which writes a fresh product) for finite
+/// inputs at any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_nn_with(
+    pool: &WorkerPool,
+    out: &mut [f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_nn a length");
+    assert_eq!(b.len(), k * n, "gemm_nn b length");
+    assert_eq!(out.len(), m * n, "gemm_nn out length");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let chunks = par_chunks(pool, m, 2 * m * k * n);
+    if chunks <= 1 {
+        nn_block(out, a, b, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(chunks);
+    pool.scatter(out, rows_per * n, |c, ochunk| {
+        let r0 = c * rows_per;
+        let rows = ochunk.len() / n;
+        nn_block(ochunk, &a[r0 * k..(r0 + rows) * k], b, k, n);
+    });
+}
+
+/// [`gemm_nn_with`] on the process-global pool.
+pub fn gemm_nn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    gemm_nn_with(WorkerPool::global(), out, a, b, m, k, n);
+}
+
+// ---------------------------------------------------------------------
+// NT: out[m,kk] = g[m,n] × b[kk,n]ᵀ
+// ---------------------------------------------------------------------
+
+/// One output row of NT: `o[p] = Σ_j grow[j]·b[p,j]`, each chain
+/// sequential in `j`, four independent chains in flight.
+fn nt_row(orow: &mut [f32], grow: &[f32], b: &[f32], n: usize, kk: usize) {
+    let mut p = 0;
+    while p + 4 <= kk {
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        let (mut s0, mut s1, mut s2, mut s3) = (0f32, 0f32, 0f32, 0f32);
+        for (j, &gv) in grow.iter().enumerate() {
+            if gv == 0.0 {
+                continue; // bit-safe ±0.0 skip; g is ReLU-sparse in backward
+            }
+            s0 += gv * b0[j];
+            s1 += gv * b1[j];
+            s2 += gv * b2[j];
+            s3 += gv * b3[j];
+        }
+        orow[p] = s0;
+        orow[p + 1] = s1;
+        orow[p + 2] = s2;
+        orow[p + 3] = s3;
+        p += 4;
+    }
+    while p < kk {
+        let brow = &b[p * n..(p + 1) * n];
+        let mut s = 0f32;
+        for (&gv, &bv) in grow.iter().zip(brow) {
+            if gv == 0.0 {
+                continue;
+            }
+            s += gv * bv;
+        }
+        orow[p] = s;
+        p += 1;
+    }
+}
+
+/// Two output rows of NT at once (eight independent chains).
+fn nt_rows2(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    g0: &[f32],
+    g1: &[f32],
+    b: &[f32],
+    n: usize,
+    kk: usize,
+) {
+    let mut p = 0;
+    while p + 4 <= kk {
+        let b0 = &b[p * n..(p + 1) * n];
+        let b1 = &b[(p + 1) * n..(p + 2) * n];
+        let b2 = &b[(p + 2) * n..(p + 3) * n];
+        let b3 = &b[(p + 3) * n..(p + 4) * n];
+        let (mut s00, mut s01, mut s02, mut s03) = (0f32, 0f32, 0f32, 0f32);
+        let (mut s10, mut s11, mut s12, mut s13) = (0f32, 0f32, 0f32, 0f32);
+        for j in 0..n {
+            let (x0, x1) = (g0[j], g1[j]);
+            if x0 == 0.0 && x1 == 0.0 {
+                continue;
+            }
+            s00 += x0 * b0[j];
+            s01 += x0 * b1[j];
+            s02 += x0 * b2[j];
+            s03 += x0 * b3[j];
+            s10 += x1 * b0[j];
+            s11 += x1 * b1[j];
+            s12 += x1 * b2[j];
+            s13 += x1 * b3[j];
+        }
+        o0[p] = s00;
+        o0[p + 1] = s01;
+        o0[p + 2] = s02;
+        o0[p + 3] = s03;
+        o1[p] = s10;
+        o1[p + 1] = s11;
+        o1[p + 2] = s12;
+        o1[p + 3] = s13;
+        p += 4;
+    }
+    while p < kk {
+        let brow = &b[p * n..(p + 1) * n];
+        let (mut s0, mut s1) = (0f32, 0f32);
+        for (j, &bv) in brow.iter().enumerate() {
+            let (x0, x1) = (g0[j], g1[j]);
+            if x0 == 0.0 && x1 == 0.0 {
+                continue;
+            }
+            s0 += x0 * bv;
+            s1 += x1 * bv;
+        }
+        o0[p] = s0;
+        o1[p] = s1;
+        p += 1;
+    }
+}
+
+fn nt_block(out: &mut [f32], g: &[f32], b: &[f32], n: usize, kk: usize) {
+    if kk == 0 {
+        return;
+    }
+    let rows = out.len() / kk;
+    let mut i = 0;
+    while i + 2 <= rows {
+        let (head, tail) = out[i * kk..].split_at_mut(kk);
+        nt_rows2(
+            head,
+            &mut tail[..kk],
+            &g[i * n..(i + 1) * n],
+            &g[(i + 1) * n..(i + 2) * n],
+            b,
+            n,
+            kk,
+        );
+        i += 2;
+    }
+    if i < rows {
+        nt_row(
+            &mut out[i * kk..(i + 1) * kk],
+            &g[i * n..(i + 1) * n],
+            b,
+            n,
+            kk,
+        );
+    }
+}
+
+/// `out[m,kk] = g[m,n] × b[kk,n]ᵀ` (fresh write), parallel over row
+/// blocks on `pool`. Bit-identical to [`reference::gemm_nt`] at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_nt_with(
+    pool: &WorkerPool,
+    out: &mut [f32],
+    g: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    kk: usize,
+) {
+    assert_eq!(g.len(), m * n, "gemm_nt g length");
+    assert_eq!(b.len(), kk * n, "gemm_nt b length");
+    assert_eq!(out.len(), m * kk, "gemm_nt out length");
+    if m == 0 || kk == 0 {
+        return;
+    }
+    if n == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let chunks = par_chunks(pool, m, 2 * m * n * kk);
+    if chunks <= 1 {
+        nt_block(out, g, b, n, kk);
+        return;
+    }
+    let rows_per = m.div_ceil(chunks);
+    pool.scatter(out, rows_per * kk, |c, ochunk| {
+        let r0 = c * rows_per;
+        let rows = ochunk.len() / kk;
+        nt_block(ochunk, &g[r0 * n..(r0 + rows) * n], b, n, kk);
+    });
+}
+
+/// [`gemm_nt_with`] on the process-global pool.
+pub fn gemm_nt(out: &mut [f32], g: &[f32], b: &[f32], m: usize, n: usize, kk: usize) {
+    gemm_nt_with(WorkerPool::global(), out, g, b, m, n, kk);
+}
+
+// ---------------------------------------------------------------------
+// TN: out[k,n] += a[m,k]ᵀ × g[m,n]
+// ---------------------------------------------------------------------
+
+/// TN inner: `out` covers output rows `p_off..p_off + out.len()/n`;
+/// element chains ascend over `i = 0..m` (four fused links per pass).
+fn tn_block(out: &mut [f32], a: &[f32], g: &[f32], p_off: usize, m: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + 8 <= m {
+        let g0 = &g[i * n..(i + 1) * n];
+        let g1 = &g[(i + 1) * n..(i + 2) * n];
+        let g2 = &g[(i + 2) * n..(i + 3) * n];
+        let g3 = &g[(i + 3) * n..(i + 4) * n];
+        let g4 = &g[(i + 4) * n..(i + 5) * n];
+        let g5 = &g[(i + 5) * n..(i + 6) * n];
+        let g6 = &g[(i + 6) * n..(i + 7) * n];
+        let g7 = &g[(i + 7) * n..(i + 8) * n];
+        for (pi, orow) in out.chunks_exact_mut(n).enumerate() {
+            let p = p_off + pi;
+            let (a0, a1, a2, a3, a4, a5, a6, a7) = (
+                a[i * k + p],
+                a[(i + 1) * k + p],
+                a[(i + 2) * k + p],
+                a[(i + 3) * k + p],
+                a[(i + 4) * k + p],
+                a[(i + 5) * k + p],
+                a[(i + 6) * k + p],
+                a[(i + 7) * k + p],
+            );
+            if a0 == 0.0
+                && a1 == 0.0
+                && a2 == 0.0
+                && a3 == 0.0
+                && a4 == 0.0
+                && a5 == 0.0
+                && a6 == 0.0
+                && a7 == 0.0
+            {
+                continue;
+            }
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = (((((((*o + a0 * g0[j]) + a1 * g1[j]) + a2 * g2[j]) + a3 * g3[j])
+                    + a4 * g4[j])
+                    + a5 * g5[j])
+                    + a6 * g6[j])
+                    + a7 * g7[j];
+            }
+        }
+        i += 8;
+    }
+    while i + 4 <= m {
+        let g0 = &g[i * n..(i + 1) * n];
+        let g1 = &g[(i + 1) * n..(i + 2) * n];
+        let g2 = &g[(i + 2) * n..(i + 3) * n];
+        let g3 = &g[(i + 3) * n..(i + 4) * n];
+        for (pi, orow) in out.chunks_exact_mut(n).enumerate() {
+            let p = p_off + pi;
+            let (a0, a1, a2, a3) = (
+                a[i * k + p],
+                a[(i + 1) * k + p],
+                a[(i + 2) * k + p],
+                a[(i + 3) * k + p],
+            );
+            // Coarse zero-skip (bit-safe ±0.0 adds, see module contract):
+            // post-ReLU activation columns are often dead across the
+            // whole batch quad.
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                continue;
+            }
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = (((*o + a0 * g0[j]) + a1 * g1[j]) + a2 * g2[j]) + a3 * g3[j];
+            }
+        }
+        i += 4;
+    }
+    while i < m {
+        let grow = &g[i * n..(i + 1) * n];
+        for (pi, orow) in out.chunks_exact_mut(n).enumerate() {
+            let ap = a[i * k + p_off + pi];
+            if ap == 0.0 {
+                continue;
+            }
+            for (o, &gv) in orow.iter_mut().zip(grow) {
+                *o += ap * gv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `out[k,n] += a[m,k]ᵀ × g[m,n]`, parallel over output-row blocks on
+/// `pool`. Pass a zeroed `out` for a plain product. Bit-identical to
+/// [`reference::gemm_tn`] for finite inputs at any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the dimensions.
+pub fn gemm_tn_with(
+    pool: &WorkerPool,
+    out: &mut [f32],
+    a: &[f32],
+    g: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm_tn a length");
+    assert_eq!(g.len(), m * n, "gemm_tn g length");
+    assert_eq!(out.len(), k * n, "gemm_tn out length");
+    if k == 0 || n == 0 || m == 0 {
+        return;
+    }
+    let chunks = par_chunks(pool, k, 2 * m * k * n);
+    if chunks <= 1 {
+        tn_block(out, a, g, 0, m, k, n);
+        return;
+    }
+    let rows_per = k.div_ceil(chunks);
+    pool.scatter(out, rows_per * n, |c, ochunk| {
+        tn_block(ochunk, a, g, c * rows_per, m, k, n);
+    });
+}
+
+/// [`gemm_tn_with`] on the process-global pool.
+pub fn gemm_tn(out: &mut [f32], a: &[f32], g: &[f32], m: usize, k: usize, n: usize) {
+    gemm_tn_with(WorkerPool::global(), out, a, g, m, k, n);
+}
+
+// ---------------------------------------------------------------------
+// Convolution lowering
+// ---------------------------------------------------------------------
+
+/// The geometry of one 2-D convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Batch size.
+    pub batch: usize,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Stride (both axes).
+    pub stride: usize,
+    /// Zero padding (both axes).
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Builds the geometry from `x [b,cin,h,w]` and `w [cout,cin,kh,kw]`
+    /// shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-4-D shapes or a channel mismatch.
+    pub fn from_shapes(sx: &[usize], sw: &[usize], stride: usize, pad: usize) -> Self {
+        assert!(sx.len() == 4 && sw.len() == 4, "conv2d expects 4-D tensors");
+        assert_eq!(sx[1], sw[1], "conv2d channel mismatch");
+        ConvShape {
+            batch: sx[0],
+            cin: sx[1],
+            h: sx[2],
+            w: sx[3],
+            cout: sw[0],
+            kh: sw[2],
+            kw: sw[3],
+            stride,
+            pad,
+        }
+    }
+
+    /// Output height.
+    pub fn oh(&self) -> usize {
+        (self.h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn ow(&self) -> usize {
+        (self.w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+}
+
+/// Fills `cols` (`cin·kh·kw × oh·ow`, row `r = (ci·kh + ki)·kw + kj`,
+/// column `j = oi·ow + oj`) from one batch item's input plane, writing
+/// explicit zeros where the padded window leaves the image.
+fn im2col(x: &[f32], cols: &mut [f32], s: &ConvShape) {
+    let (oh, ow) = (s.oh(), s.ow());
+    let ohow = oh * ow;
+    for ci in 0..s.cin {
+        let xc = &x[ci * s.h * s.w..][..s.h * s.w];
+        for ki in 0..s.kh {
+            for kj in 0..s.kw {
+                let r = (ci * s.kh + ki) * s.kw + kj;
+                let row = &mut cols[r * ohow..][..ohow];
+                for oi in 0..oh {
+                    let ii = (oi * s.stride + ki) as isize - s.pad as isize;
+                    let dst = &mut row[oi * ow..][..ow];
+                    if ii < 0 || ii >= s.h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let xrow = &xc[ii as usize * s.w..][..s.w];
+                    // Strided gather (stride 1 never reaches im2col: the
+                    // forward handles it on the shifted-plane path).
+                    for (oj, d) in dst.iter_mut().enumerate() {
+                        let jj = (oj * s.stride + kj) as isize - s.pad as isize;
+                        *d = if jj < 0 || jj >= s.w as isize {
+                            0.0
+                        } else {
+                            xrow[jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution, writing into a zeroed `out`
+/// (`batch·cout·oh·ow`). Scratch buffers are borrowed from (and
+/// returned to) `scratch`. Bit-identical to
+/// [`reference::conv2d_forward`] for finite inputs.
+///
+/// Two lowerings, both preserving the reference's per-input-channel
+/// register chain (`(ki, kj)` ascending) and channel-ordered partial
+/// adds:
+///
+/// * `stride == 1`: *shifted-plane* accumulation — for each `(ki, kj)`
+///   one dense unit-stride axpy of the shifted input row into a
+///   per-channel partial plane. No im2col materialization at all, and
+///   the padded positions are skipped exactly like the reference.
+/// * `stride > 1`: im2col + one small GEMM per input channel (strided
+///   gathers pay for themselves once materialized).
+pub fn conv2d_forward_into(
+    out: &mut [f32],
+    x: &[f32],
+    wgt: &[f32],
+    s: &ConvShape,
+    scratch: &mut ScratchArena,
+) {
+    let (oh, ow) = (s.oh(), s.ow());
+    let (ohow, khkw) = (oh * ow, s.kh * s.kw);
+    let hw = s.h * s.w;
+    debug_assert_eq!(out.len(), s.batch * s.cout * ohow);
+    if out.is_empty() {
+        return;
+    }
+    if s.stride == 1 {
+        // Per-output-row partial: stays L1-resident across the three
+        // kernel-row passes, with the channel-ordered add fused right
+        // after each row completes.
+        let mut part = scratch.take_zeroed(ow);
+        let fused_3tap = s.kw == 3 && s.pad == 1 && ow == s.w && ow >= 2;
+        for bi in 0..s.batch {
+            let xb = &x[bi * s.cin * hw..][..s.cin * hw];
+            let obi = &mut out[bi * s.cout * ohow..][..s.cout * ohow];
+            for co in 0..s.cout {
+                let oplane = &mut obi[co * ohow..][..ohow];
+                for ci in 0..s.cin {
+                    let xc = &xb[ci * hw..][..hw];
+                    let wsl = &wgt[(co * s.cin + ci) * khkw..][..khkw];
+                    for oi in 0..oh {
+                        // `started` tracks whether `part` holds data yet:
+                        // the first valid kernel row *overwrites* instead
+                        // of zero-fill + accumulate. A written first tap
+                        // can leave `-0.0` where the reference chain
+                        // holds `+0.0`, but the difference cannot survive
+                        // `out += part` (adding `±0.0` to a chain that is
+                        // never `-0.0` — module contract), and `part` is
+                        // observed nowhere else.
+                        let mut started = false;
+                        for ki in 0..s.kh {
+                            let ishift = ki as isize - s.pad as isize;
+                            let ii = oi as isize + ishift;
+                            if ii < 0 || ii >= s.h as isize {
+                                continue;
+                            }
+                            let xrow = &xc[ii as usize * s.w..][..s.w];
+                            if fused_3tap {
+                                // All three kj taps in one pass; per
+                                // element the chain is kj-ascending over
+                                // the in-bounds taps, exactly the
+                                // reference's register chain.
+                                let (w0, w1, w2) = (wsl[ki * 3], wsl[ki * 3 + 1], wsl[ki * 3 + 2]);
+                                if started {
+                                    part[0] = (part[0] + xrow[0] * w1) + xrow[1] * w2;
+                                    for oj in 1..ow - 1 {
+                                        part[oj] = ((part[oj] + xrow[oj - 1] * w0) + xrow[oj] * w1)
+                                            + xrow[oj + 1] * w2;
+                                    }
+                                    part[ow - 1] =
+                                        (part[ow - 1] + xrow[ow - 2] * w0) + xrow[ow - 1] * w1;
+                                } else {
+                                    part[0] = xrow[0] * w1 + xrow[1] * w2;
+                                    for oj in 1..ow - 1 {
+                                        part[oj] =
+                                            (xrow[oj - 1] * w0 + xrow[oj] * w1) + xrow[oj + 1] * w2;
+                                    }
+                                    part[ow - 1] = xrow[ow - 2] * w0 + xrow[ow - 1] * w1;
+                                    started = true;
+                                }
+                                continue;
+                            }
+                            if !started {
+                                part.fill(0.0);
+                                started = true;
+                            }
+                            for kj in 0..s.kw {
+                                let wv = wsl[ki * s.kw + kj];
+                                let jshift = kj as isize - s.pad as isize;
+                                let oj_lo = ((-jshift).max(0) as usize).min(ow);
+                                let oj_hi = ((s.w as isize - jshift).max(0) as usize).min(ow);
+                                if oj_lo >= oj_hi {
+                                    continue;
+                                }
+                                let jj0 = (oj_lo as isize + jshift) as usize;
+                                let dst = &mut part[oj_lo..oj_hi];
+                                let src = &xrow[jj0..jj0 + (oj_hi - oj_lo)];
+                                for (d, &xv) in dst.iter_mut().zip(src) {
+                                    *d += xv * wv;
+                                }
+                            }
+                        }
+                        if started {
+                            for (o, &pv) in oplane[oi * ow..(oi + 1) * ow].iter_mut().zip(&part) {
+                                *o += pv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        scratch.give(part);
+        return;
+    }
+    let mut cols = scratch.take_zeroed(s.cin * khkw * ohow);
+    // Weights packed per input channel: wpack[ci][co][kh·kw].
+    let mut wpack = scratch.take_empty(s.cin * s.cout * khkw);
+    for ci in 0..s.cin {
+        for co in 0..s.cout {
+            wpack.extend_from_slice(&wgt[(co * s.cin + ci) * khkw..][..khkw]);
+        }
+    }
+    let mut part = if s.cin > 1 {
+        scratch.take_zeroed(s.cout * ohow)
+    } else {
+        Vec::new()
+    };
+    for bi in 0..s.batch {
+        im2col(
+            &x[bi * s.cin * s.h * s.w..][..s.cin * s.h * s.w],
+            &mut cols,
+            s,
+        );
+        let obi = &mut out[bi * s.cout * ohow..][..s.cout * ohow];
+        if s.cin == 1 {
+            nn_block(
+                obi,
+                &wpack[..s.cout * khkw],
+                &cols[..khkw * ohow],
+                khkw,
+                ohow,
+            );
+        } else {
+            for ci in 0..s.cin {
+                part.fill(0.0);
+                nn_block(
+                    &mut part,
+                    &wpack[ci * s.cout * khkw..][..s.cout * khkw],
+                    &cols[ci * khkw * ohow..][..khkw * ohow],
+                    khkw,
+                    ohow,
+                );
+                for (o, &pv) in obi.iter_mut().zip(&part) {
+                    *o += pv;
+                }
+            }
+        }
+    }
+    scratch.give(cols);
+    scratch.give(wpack);
+    if s.cin > 1 {
+        scratch.give(part);
+    }
+}
+
+/// Backward convolution: writes the input gradient into a zeroed `gx`
+/// and the weight gradient into a zeroed `gw`. Bit-identical to
+/// [`reference::conv2d_backward`] for finite inputs.
+///
+/// A fused direct kernel keeping the reference's `g == 0` skip (training
+/// gradients are ReLU-sparse, so most output positions drop out), with
+/// two overhead cuts the reference lacks:
+///
+/// * the per-multiply bounds checks are hoisted into precomputed valid
+///   kernel intervals per output position, and
+/// * the input-channel loop runs *inside* the gradient-zero test, so
+///   `g` is loaded and tested once per output position instead of once
+///   per `(ci, position)`. Legal because `ci` is part of every touched
+///   element's identity (gx plane, gw slice): for any fixed element the
+///   contribution order is still the reference's `(co, oi, oj, ki, kj)`
+///   (gx) and `(bi, oi, oj)` (gw).
+pub fn conv2d_backward_into(
+    gx: &mut [f32],
+    gw: &mut [f32],
+    x: &[f32],
+    wgt: &[f32],
+    gout: &[f32],
+    s: &ConvShape,
+    scratch: &mut ScratchArena,
+) {
+    let (oh, ow) = (s.oh(), s.ow());
+    let (ohow, khkw) = (oh * ow, s.kh * s.kw);
+    let hw = s.h * s.w;
+    debug_assert_eq!(gx.len(), s.batch * s.cin * hw);
+    debug_assert_eq!(gw.len(), s.cout * s.cin * khkw);
+    debug_assert_eq!(gout.len(), s.batch * s.cout * ohow);
+    if s.kh == 3 && s.kw == 3 {
+        conv2d_backward_3x3(gx, gw, x, wgt, gout, s, scratch);
+        return;
+    }
+    for bi in 0..s.batch {
+        let xb = &x[bi * s.cin * hw..][..s.cin * hw];
+        let gxb = &mut gx[bi * s.cin * hw..][..s.cin * hw];
+        for co in 0..s.cout {
+            let gsl = &gout[(bi * s.cout + co) * ohow..][..ohow];
+            let wco = &wgt[co * s.cin * khkw..][..s.cin * khkw];
+            let gwco = &mut gw[co * s.cin * khkw..][..s.cin * khkw];
+            for oi in 0..oh {
+                let base_i = (oi * s.stride) as isize - s.pad as isize;
+                let ki_lo = ((-base_i).max(0) as usize).min(s.kh);
+                let ki_hi = ((s.h as isize - base_i).max(0) as usize).min(s.kh);
+                if ki_lo >= ki_hi {
+                    continue;
+                }
+                for oj in 0..ow {
+                    let g = gsl[oi * ow + oj];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let base_j = (oj * s.stride) as isize - s.pad as isize;
+                    let kj_lo = ((-base_j).max(0) as usize).min(s.kw);
+                    let kj_hi = ((s.w as isize - base_j).max(0) as usize).min(s.kw);
+                    if kj_lo >= kj_hi {
+                        continue;
+                    }
+                    let span = kj_hi - kj_lo;
+                    for ci in 0..s.cin {
+                        let xc = &xb[ci * hw..][..hw];
+                        let gxc = &mut gxb[ci * hw..][..hw];
+                        let wsl = &wco[ci * khkw..][..khkw];
+                        let gwsl = &mut gwco[ci * khkw..][..khkw];
+                        for ki in ki_lo..ki_hi {
+                            let ii = (base_i + ki as isize) as usize;
+                            let jj0 = (base_j + kj_lo as isize) as usize;
+                            let gxrow = &mut gxc[ii * s.w + jj0..][..span];
+                            let xrow = &xc[ii * s.w + jj0..][..span];
+                            let wrow = &wsl[ki * s.kw + kj_lo..][..span];
+                            let gwrow = &mut gwsl[ki * s.kw + kj_lo..][..span];
+                            if span == 3 {
+                                // Straight-line interior case for the 3×3
+                                // kernels every model here uses; same
+                                // gx-then-gw interleave as the reference.
+                                gxrow[0] += g * wrow[0];
+                                gwrow[0] += g * xrow[0];
+                                gxrow[1] += g * wrow[1];
+                                gwrow[1] += g * xrow[1];
+                                gxrow[2] += g * wrow[2];
+                                gwrow[2] += g * xrow[2];
+                            } else {
+                                for q in 0..span {
+                                    gxrow[q] += g * wrow[q];
+                                    gwrow[q] += g * xrow[q];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One nonzero output-gradient position with its precomputed valid
+/// kernel intervals (see [`conv2d_backward_3x3`]).
+struct NzEntry {
+    base_i: i32,
+    base_j: i32,
+    ki_lo: u8,
+    ki_hi: u8,
+    kj_lo: u8,
+    kj_hi: u8,
+    g: f32,
+}
+
+/// Per-output-row processing plan for [`conv2d_backward_3x3`].
+#[derive(Clone, Copy)]
+enum RowPlan {
+    /// Skip (no valid kernel rows, or all gradients zero).
+    Empty,
+    /// Replay `nz[start..end]` entry by entry.
+    Entries { start: u32, end: u32 },
+    /// `stride == 1, pad == 1` interior row, dense enough: process the
+    /// interior columns as full-width axpys/dots (explicit `±0.0` terms
+    /// for the zero gradients — bit-safe), plus inline edge columns.
+    Dense,
+}
+
+/// 3×3 specialization of the backward kernel (the only kernel size the
+/// models here use). Same element-chain orders as the generic path —
+/// and therefore the reference — with these structural cuts:
+///
+/// * the sparse scan of the output gradient (load, zero-test, interval
+///   math) happens once per `(bi, co)` into a compact entry list that
+///   every input channel then replays;
+/// * the nine weights are read into registers per channel, and the nine
+///   weight-gradient accumulators live in registers across the whole
+///   position scan (loaded from and stored back to `gw`, preserving the
+///   reference's `(bi, oi, oj)` chain per element);
+/// * rows whose gradient is dense enough take a vectorized path: the
+///   `kj` axpys run over the whole row interior in descending `kj`
+///   order (`oj ascending ⇔ kj descending` per gx element keeps the
+///   reference chain), with `±0.0` contributions included — bit-safe
+///   per the module contract.
+#[allow(clippy::too_many_lines)]
+fn conv2d_backward_3x3(
+    gx: &mut [f32],
+    gw: &mut [f32],
+    x: &[f32],
+    wgt: &[f32],
+    gout: &[f32],
+    s: &ConvShape,
+    _scratch: &mut ScratchArena,
+) {
+    let (oh, ow) = (s.oh(), s.ow());
+    let ohow = oh * ow;
+    let hw = s.h * s.w;
+    let mut nz: Vec<NzEntry> = Vec::with_capacity(ohow);
+    let mut plans: Vec<RowPlan> = Vec::with_capacity(oh);
+    for bi in 0..s.batch {
+        let xb = &x[bi * s.cin * hw..][..s.cin * hw];
+        let gxb = &mut gx[bi * s.cin * hw..][..s.cin * hw];
+        for co in 0..s.cout {
+            let gsl = &gout[(bi * s.cout + co) * ohow..][..ohow];
+            nz.clear();
+            plans.clear();
+            for oi in 0..oh {
+                let base_i = (oi * s.stride) as isize - s.pad as isize;
+                let ki_lo = ((-base_i).max(0) as usize).min(3);
+                let ki_hi = ((s.h as isize - base_i).max(0) as usize).min(3);
+                if ki_lo >= ki_hi {
+                    plans.push(RowPlan::Empty);
+                    continue;
+                }
+                let grow = &gsl[oi * ow..][..ow];
+                let interior_ok =
+                    s.stride == 1 && s.pad == 1 && ow == s.w && ow >= 3 && ki_lo == 0 && ki_hi == 3;
+                if interior_ok {
+                    let nnz = grow.iter().filter(|&&g| g != 0.0).count();
+                    if 4 * nnz >= ow {
+                        plans.push(RowPlan::Dense);
+                        continue;
+                    }
+                }
+                let start = nz.len() as u32;
+                for (oj, &g) in grow.iter().enumerate() {
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let base_j = (oj * s.stride) as isize - s.pad as isize;
+                    let kj_lo = ((-base_j).max(0) as usize).min(3);
+                    let kj_hi = ((s.w as isize - base_j).max(0) as usize).min(3);
+                    if kj_lo >= kj_hi {
+                        continue;
+                    }
+                    nz.push(NzEntry {
+                        base_i: base_i as i32,
+                        base_j: base_j as i32,
+                        ki_lo: ki_lo as u8,
+                        ki_hi: ki_hi as u8,
+                        kj_lo: kj_lo as u8,
+                        kj_hi: kj_hi as u8,
+                        g,
+                    });
+                }
+                plans.push(RowPlan::Entries {
+                    start,
+                    end: nz.len() as u32,
+                });
+            }
+            for ci in 0..s.cin {
+                let xc = &xb[ci * hw..][..hw];
+                let gxc = &mut gxb[ci * hw..][..hw];
+                let wbase = (co * s.cin + ci) * 9;
+                let wsl: [f32; 9] = wgt[wbase..wbase + 9].try_into().expect("3x3 kernel");
+                let mut gwacc: [f32; 9] = gw[wbase..wbase + 9].try_into().expect("3x3 kernel");
+                for (oi, plan) in plans.iter().enumerate() {
+                    match *plan {
+                        RowPlan::Empty => {}
+                        RowPlan::Entries { start, end } => {
+                            for e in &nz[start as usize..end as usize] {
+                                let g = e.g;
+                                if e.ki_lo == 0 && e.ki_hi == 3 && e.kj_lo == 0 && e.kj_hi == 3 {
+                                    // Full-interior 3×3 block: straight
+                                    // line, reference (ki, kj) order.
+                                    let mut r0 = (e.base_i as usize) * s.w + e.base_j as usize;
+                                    for wb in [0usize, 3, 6] {
+                                        let xr = &xc[r0..r0 + 3];
+                                        let gxr = &mut gxc[r0..r0 + 3];
+                                        gxr[0] += g * wsl[wb];
+                                        gwacc[wb] += g * xr[0];
+                                        gxr[1] += g * wsl[wb + 1];
+                                        gwacc[wb + 1] += g * xr[1];
+                                        gxr[2] += g * wsl[wb + 2];
+                                        gwacc[wb + 2] += g * xr[2];
+                                        r0 += s.w;
+                                    }
+                                    continue;
+                                }
+                                let span = (e.kj_hi - e.kj_lo) as usize;
+                                for ki in e.ki_lo..e.ki_hi {
+                                    let ii = (e.base_i + i32::from(ki)) as usize;
+                                    let row0 = ii * s.w + (e.base_j + i32::from(e.kj_lo)) as usize;
+                                    let wb = usize::from(ki) * 3 + usize::from(e.kj_lo);
+                                    let gxrow = &mut gxc[row0..row0 + span];
+                                    let xrow = &xc[row0..row0 + span];
+                                    for q in 0..span {
+                                        gxrow[q] += g * wsl[wb + q];
+                                        gwacc[wb + q] += g * xrow[q];
+                                    }
+                                }
+                            }
+                        }
+                        RowPlan::Dense => {
+                            // Interior row, stride 1, pad 1 (oi-th output
+                            // row reads input rows oi-1+ki). A gx element
+                            // jj receives, in the reference's oj-ascending
+                            // order, g[jj-1]·w₂ then g[jj]·w₁ then
+                            // g[jj+1]·w₀ — a 3-tap correlation computed in
+                            // one vectorizable pass. gw is the matching
+                            // 3-chain dot. Zero gradients contribute
+                            // explicit ±0.0 terms (bit-safe).
+                            let grow = &gsl[oi * ow..][..ow];
+                            for ki in 0..3usize {
+                                let gxrow = &mut gxc[(oi + ki - 1) * s.w..][..s.w];
+                                let wb = ki * 3;
+                                let (w0, w1, w2) = (wsl[wb], wsl[wb + 1], wsl[wb + 2]);
+                                gxrow[0] = (gxrow[0] + grow[0] * w1) + grow[1] * w0;
+                                for jj in 1..ow - 1 {
+                                    gxrow[jj] = ((gxrow[jj] + grow[jj - 1] * w2) + grow[jj] * w1)
+                                        + grow[jj + 1] * w0;
+                                }
+                                gxrow[ow - 1] =
+                                    (gxrow[ow - 1] + grow[ow - 2] * w2) + grow[ow - 1] * w1;
+                            }
+                            // gw: all nine (ki, kj) chains advance in one
+                            // oj pass (oj ascending per chain, as in the
+                            // reference). Each kernel row's three chains
+                            // sit in lanes 0..3 of a 4-lane accumulator
+                            // (lane 3 is a discarded dummy chain), so the
+                            // inner update is a plain lane-wise SIMD
+                            // multiply-add — no chain is ever split.
+                            let x0 = &xc[(oi - 1) * s.w..][..s.w];
+                            let x1 = &xc[oi * s.w..][..s.w];
+                            let x2 = &xc[(oi + 1) * s.w..][..s.w];
+                            let mut a0 = [gwacc[0], gwacc[1], gwacc[2], 0.0];
+                            let mut a1 = [gwacc[3], gwacc[4], gwacc[5], 0.0];
+                            let mut a2 = [gwacc[6], gwacc[7], gwacc[8], 0.0];
+                            let g0 = grow[0];
+                            a0[1] += g0 * x0[0];
+                            a0[2] += g0 * x0[1];
+                            a1[1] += g0 * x1[0];
+                            a1[2] += g0 * x1[1];
+                            a2[1] += g0 * x2[0];
+                            a2[2] += g0 * x2[1];
+                            if ow >= 4 {
+                                for oj in 1..ow - 2 {
+                                    let g = grow[oj];
+                                    let (v0, v1, v2) = (
+                                        &x0[oj - 1..oj + 3],
+                                        &x1[oj - 1..oj + 3],
+                                        &x2[oj - 1..oj + 3],
+                                    );
+                                    for l in 0..4 {
+                                        a0[l] += g * v0[l];
+                                        a1[l] += g * v1[l];
+                                        a2[l] += g * v2[l];
+                                    }
+                                }
+                                let g = grow[ow - 2];
+                                a0[0] += g * x0[ow - 3];
+                                a0[1] += g * x0[ow - 2];
+                                a0[2] += g * x0[ow - 1];
+                                a1[0] += g * x1[ow - 3];
+                                a1[1] += g * x1[ow - 2];
+                                a1[2] += g * x1[ow - 1];
+                                a2[0] += g * x2[ow - 3];
+                                a2[1] += g * x2[ow - 2];
+                                a2[2] += g * x2[ow - 1];
+                            } else {
+                                for oj in 1..ow - 1 {
+                                    let g = grow[oj];
+                                    a0[0] += g * x0[oj - 1];
+                                    a0[1] += g * x0[oj];
+                                    a0[2] += g * x0[oj + 1];
+                                    a1[0] += g * x1[oj - 1];
+                                    a1[1] += g * x1[oj];
+                                    a1[2] += g * x1[oj + 1];
+                                    a2[0] += g * x2[oj - 1];
+                                    a2[1] += g * x2[oj];
+                                    a2[2] += g * x2[oj + 1];
+                                }
+                            }
+                            let gl = grow[ow - 1];
+                            a0[0] += gl * x0[ow - 2];
+                            a0[1] += gl * x0[ow - 1];
+                            a1[0] += gl * x1[ow - 2];
+                            a1[1] += gl * x1[ow - 1];
+                            a2[0] += gl * x2[ow - 2];
+                            a2[1] += gl * x2[ow - 1];
+                            gwacc[0] = a0[0];
+                            gwacc[1] = a0[1];
+                            gwacc[2] = a0[2];
+                            gwacc[3] = a1[0];
+                            gwacc[4] = a1[1];
+                            gwacc[5] = a1[2];
+                            gwacc[6] = a2[0];
+                            gwacc[7] = a2[1];
+                            gwacc[8] = a2[2];
+                        }
+                    }
+                }
+                gw[wbase..wbase + 9].copy_from_slice(&gwacc);
+            }
+        }
+    }
+}
+
+/// The retained naive kernels — the bit-exactness reference for every
+/// fast path in this module, moved verbatim from the original
+/// `graph.rs` implementations (zero-skips and all).
+pub mod reference {
+    use super::ConvShape;
+
+    /// Naive `out[m,n] = a[m,k] × b[k,n]` with the historical
+    /// `a == 0.0` zero-skip.
+    pub fn gemm_nn(out: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &b[p * n..(p + 1) * n];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aip * bv;
+                }
+            }
+        }
+    }
+
+    /// Naive `out[m,kk] = g[m,n] × b[kk,n]ᵀ` (sequential dot products).
+    pub fn gemm_nt(out: &mut [f32], g: &[f32], b: &[f32], m: usize, n: usize, kk: usize) {
+        for i in 0..m {
+            for p in 0..kk {
+                let mut acc = 0.0;
+                let grow = &g[i * n..(i + 1) * n];
+                let brow = &b[p * n..(p + 1) * n];
+                for (gv, bv) in grow.iter().zip(brow) {
+                    acc += gv * bv;
+                }
+                out[i * kk + p] = acc;
+            }
+        }
+    }
+
+    /// Naive `out[k,n] = a[m,k]ᵀ × g[m,n]` with the historical
+    /// `a == 0.0` zero-skip.
+    pub fn gemm_tn(out: &mut [f32], a: &[f32], g: &[f32], m: usize, k: usize, n: usize) {
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let grow = &g[i * n..(i + 1) * n];
+                let orow = &mut out[p * n..(p + 1) * n];
+                for (o, &gv) in orow.iter_mut().zip(grow) {
+                    *o += aip * gv;
+                }
+            }
+        }
+    }
+
+    /// Naive direct convolution forward (into a zeroed `out`).
+    pub fn conv2d_forward(out: &mut [f32], x: &[f32], wgt: &[f32], s: &ConvShape) {
+        let (oh, ow) = (s.oh(), s.ow());
+        for bi in 0..s.batch {
+            for co in 0..s.cout {
+                let obase = (bi * s.cout + co) * oh * ow;
+                for ci in 0..s.cin {
+                    let xbase = (bi * s.cin + ci) * s.h * s.w;
+                    let wbase = (co * s.cin + ci) * s.kh * s.kw;
+                    for oi in 0..oh {
+                        for oj in 0..ow {
+                            let mut acc = 0.0f32;
+                            for ki in 0..s.kh {
+                                let ii = (oi * s.stride + ki) as isize - s.pad as isize;
+                                if ii < 0 || ii >= s.h as isize {
+                                    continue;
+                                }
+                                for kj in 0..s.kw {
+                                    let jj = (oj * s.stride + kj) as isize - s.pad as isize;
+                                    if jj < 0 || jj >= s.w as isize {
+                                        continue;
+                                    }
+                                    acc += x[xbase + ii as usize * s.w + jj as usize]
+                                        * wgt[wbase + ki * s.kw + kj];
+                                }
+                            }
+                            out[obase + oi * ow + oj] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Naive direct convolution backward (into zeroed `gx`/`gw`).
+    pub fn conv2d_backward(
+        gx: &mut [f32],
+        gw: &mut [f32],
+        x: &[f32],
+        wgt: &[f32],
+        gout: &[f32],
+        s: &ConvShape,
+    ) {
+        let (oh, ow) = (s.oh(), s.ow());
+        for bi in 0..s.batch {
+            for co in 0..s.cout {
+                let obase = (bi * s.cout + co) * oh * ow;
+                for ci in 0..s.cin {
+                    let xbase = (bi * s.cin + ci) * s.h * s.w;
+                    let wbase = (co * s.cin + ci) * s.kh * s.kw;
+                    for oi in 0..oh {
+                        for oj in 0..ow {
+                            let g = gout[obase + oi * ow + oj];
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ki in 0..s.kh {
+                                let ii = (oi * s.stride + ki) as isize - s.pad as isize;
+                                if ii < 0 || ii >= s.h as isize {
+                                    continue;
+                                }
+                                for kj in 0..s.kw {
+                                    let jj = (oj * s.stride + kj) as isize - s.pad as isize;
+                                    if jj < 0 || jj >= s.w as isize {
+                                        continue;
+                                    }
+                                    let xi = xbase + ii as usize * s.w + jj as usize;
+                                    let wi = wbase + ki * s.kw + kj;
+                                    gx[xi] += g * wgt[wi];
+                                    gw[wi] += g * x[xi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(n: usize, seed: u64) -> Vec<f32> {
+        // Deterministic mix of magnitudes, zeros, and signs.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                match s % 7 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    _ => ((s % 2000) as f32 - 1000.0) / 64.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nn_matches_reference_bitwise() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 32, 9),
+            (8, 257, 13),
+            (5, 0, 4),
+            (0, 3, 3),
+        ] {
+            let a = vals(m * k, 1);
+            let b = vals(k * n, 2);
+            let mut fast = vec![0.0f32; m * n];
+            let mut naive = vec![0.0f32; m * n];
+            gemm_nn(&mut fast, &a, &b, m, k, n);
+            reference::gemm_nn(&mut naive, &a, &b, m, k, n);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn nt_matches_reference_bitwise() {
+        for &(m, n, kk) in &[(1, 1, 1), (2, 9, 5), (7, 33, 4), (3, 0, 6), (6, 130, 11)] {
+            let g = vals(m * n, 3);
+            let b = vals(kk * n, 4);
+            let mut fast = vec![0.0f32; m * kk];
+            let mut naive = vec![0.0f32; m * kk];
+            gemm_nt(&mut fast, &g, &b, m, n, kk);
+            reference::gemm_nt(&mut naive, &g, &b, m, n, kk);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{n},{kk})"
+            );
+        }
+    }
+
+    #[test]
+    fn tn_matches_reference_bitwise() {
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 8), (33, 7, 6), (0, 4, 4), (9, 12, 259)] {
+            let a = vals(m * k, 5);
+            let g = vals(m * n, 6);
+            let mut fast = vec![0.0f32; k * n];
+            let mut naive = vec![0.0f32; k * n];
+            gemm_tn(&mut fast, &a, &g, m, k, n);
+            reference::gemm_tn(&mut naive, &a, &g, m, k, n);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_forward_and_backward_match_reference_bitwise() {
+        for &(b, cin, h, w, cout, kk, stride, pad) in &[
+            (1, 1, 5, 5, 2, 3, 1, 1),
+            (2, 3, 8, 7, 4, 3, 2, 1),
+            (1, 2, 4, 9, 3, 2, 2, 0),
+            (3, 1, 1, 1, 1, 1, 1, 0),
+            (2, 2, 6, 6, 2, 3, 1, 0),
+        ] {
+            let s = ConvShape {
+                batch: b,
+                cin,
+                h,
+                w,
+                cout,
+                kh: kk,
+                kw: kk,
+                stride,
+                pad,
+            };
+            let x = vals(b * cin * h * w, 7);
+            let wgt = vals(cout * cin * kk * kk, 8);
+            let out_len = b * cout * s.oh() * s.ow();
+            let mut scratch = ScratchArena::new();
+            let mut fast = vec![0.0f32; out_len];
+            let mut naive = vec![0.0f32; out_len];
+            conv2d_forward_into(&mut fast, &x, &wgt, &s, &mut scratch);
+            reference::conv2d_forward(&mut naive, &x, &wgt, &s);
+            assert!(
+                fast.iter()
+                    .zip(&naive)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "fwd {s:?}"
+            );
+            let gout = vals(out_len, 9);
+            let (mut gx, mut gw) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+            let (mut gx_r, mut gw_r) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+            conv2d_backward_into(&mut gx, &mut gw, &x, &wgt, &gout, &s, &mut scratch);
+            reference::conv2d_backward(&mut gx_r, &mut gw_r, &x, &wgt, &gout, &s);
+            assert!(
+                gx.iter()
+                    .zip(&gx_r)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "gx {s:?}"
+            );
+            assert!(
+                gw.iter()
+                    .zip(&gw_r)
+                    .all(|(p, q)| p.to_bits() == q.to_bits()),
+                "gw {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        let (m, k, n) = (13, 310, 17);
+        let a = vals(m * k, 10);
+        let b = vals(k * n, 11);
+        let mut one = vec![0.0f32; m * n];
+        gemm_nn_with(&WorkerPool::new(1), &mut one, &a, &b, m, k, n);
+        for threads in [2, 3, 5] {
+            let pool = WorkerPool::new(threads);
+            let mut out = vec![0.0f32; m * n];
+            gemm_nn_with(&pool, &mut out, &a, &b, m, k, n);
+            assert!(
+                out.iter()
+                    .zip(&one)
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn reference_flag_roundtrips() {
+        assert!(!reference_kernels());
+        set_reference_kernels(true);
+        assert!(reference_kernels());
+        set_reference_kernels(false);
+        assert!(!reference_kernels());
+    }
+}

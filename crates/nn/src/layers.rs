@@ -1,4 +1,9 @@
 //! Reusable layers: fully connected and convolutional.
+//!
+//! Both layer kinds build their forward passes from [`Graph`] ops, so
+//! the dense (`matmul` + bias) and convolution paths run on the
+//! deterministic parallel compute core ([`crate::gemm`]) in both
+//! directions — layers never touch kernels directly.
 
 use crate::graph::{Graph, Var};
 use crate::init::{he_init, xavier_init};

@@ -6,7 +6,13 @@
 //! implements exactly the pieces that model needs — dense tensors,
 //! reverse-mode autodiff (including `conv2d`, nearest upsampling and
 //! cropping for odd widths), He/Xavier init, Adam, and data-parallel
-//! gradient accumulation over CPU threads.
+//! gradient accumulation over the shared worker pool.
+//!
+//! The heavy ops run on the deterministic parallel compute core
+//! ([`gemm`]): cache-blocked, pool-parallel kernels that are
+//! **bit-identical** to the retained naive references at every thread
+//! count (DESIGN.md Contract 9), with a buffer-recycling
+//! [`ScratchArena`] so a steady-state training step stops allocating.
 //!
 //! # Example: fit y = 2x with one linear layer
 //!
@@ -35,7 +41,9 @@
 
 #![deny(missing_docs)]
 
+mod arena;
 mod checkpoint;
+pub mod gemm;
 mod graph;
 mod init;
 mod layers;
@@ -43,10 +51,11 @@ mod parallel;
 mod param;
 mod tensor;
 
+pub use arena::ScratchArena;
 pub use checkpoint::CheckpointError;
 pub use graph::{Grads, Graph, Var};
 pub use init::{he_init, randn, randn_tensor, xavier_init};
 pub use layers::{Conv2d, Linear, Mlp};
-pub use parallel::parallel_grad_accumulate;
+pub use parallel::{parallel_grad_accumulate, GradAccumulator};
 pub use param::{AdamConfig, ParamId, ParamStore};
 pub use tensor::Tensor;

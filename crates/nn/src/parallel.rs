@@ -1,70 +1,169 @@
-//! Data-parallel gradient accumulation over CPU threads.
+//! Data-parallel gradient accumulation over the shared worker pool.
+//!
+//! [`GradAccumulator`] is the persistent form: it owns one tape +
+//! gradient buffer per batch chunk and reuses them (graphs reset into
+//! their arenas, gradient buffers zeroed in place) across training
+//! steps, so a steady-state loop allocates nothing. The free function
+//! [`parallel_grad_accumulate`] remains as the one-shot wrapper with the
+//! historical signature.
+//!
+//! Determinism: the batch is split into `threads` contiguous chunks
+//! (sizes `ceil(len/threads)`, exactly as the original scoped-thread
+//! implementation) and partial losses/gradients are merged in chunk
+//! order — so results depend only on the `threads` *argument*, never on
+//! the pool's worker count or scheduling (DESIGN.md Contract 9).
 
 use crate::graph::{Graph, Var};
 use crate::param::ParamStore;
 use crate::tensor::Tensor;
+use cv_pool::WorkerPool;
 
-/// Splits `items` across `threads` workers; each worker builds its own
-/// tape with `forward` (which must return the **sum**, not mean, of the
-/// per-item losses so the merged gradient is exact), runs backward, and
-/// accumulates parameter gradients. Returns `(total_loss, grads)`.
-///
-/// Scaling of the loss (e.g. dividing by batch size) is the caller's
-/// choice, applied inside `forward` via per-item weights or afterwards by
-/// scaling the gradient buffer.
+/// Per-chunk worker state: a reusable tape and an aligned gradient
+/// buffer.
+struct Slot {
+    graph: Graph,
+    grads: Vec<Tensor>,
+    loss: f32,
+}
+
+/// A reusable data-parallel gradient accumulator (see module docs).
+#[derive(Default)]
+pub struct GradAccumulator {
+    slots: Vec<Slot>,
+}
+
+impl GradAccumulator {
+    /// An accumulator with no slots yet; they are created (and then
+    /// reused) by [`GradAccumulator::run`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures `self.slots[..n]` exist with gradient buffers aligned to
+    /// `store`, zeroing buffers in place when shapes already match.
+    fn prepare_slots(&mut self, n: usize, store: &ParamStore) {
+        while self.slots.len() < n {
+            self.slots.push(Slot {
+                graph: Graph::new(),
+                grads: store.zero_grads(),
+                loss: 0.0,
+            });
+        }
+        for slot in &mut self.slots[..n] {
+            let aligned = slot.grads.len() == store.len()
+                && slot
+                    .grads
+                    .iter()
+                    .enumerate()
+                    .all(|(i, t)| t.shape() == store.raw_parts(i).0.shape());
+            if aligned {
+                for t in &mut slot.grads {
+                    t.data_mut().fill(0.0);
+                }
+            } else {
+                slot.grads = store.zero_grads();
+            }
+            slot.loss = 0.0;
+        }
+    }
+
+    /// Splits `items` across `threads` contiguous chunks; each chunk
+    /// builds its own tape with `forward` (which must return the **sum**,
+    /// not mean, of the per-item losses so the merged gradient is exact),
+    /// runs backward, and accumulates parameter gradients. Returns the
+    /// total loss; the merged gradients are available from
+    /// [`GradAccumulator::grads`] until the next call.
+    ///
+    /// Scaling of the loss (e.g. dividing by batch size) is the caller's
+    /// choice, applied inside `forward` via per-item weights or afterwards
+    /// by scaling the gradient buffer.
+    pub fn run<T: Sync>(
+        &mut self,
+        store: &ParamStore,
+        items: &[T],
+        threads: usize,
+        forward: impl Fn(&mut Graph, &ParamStore, &[T]) -> Var + Sync,
+    ) -> f32 {
+        // Degenerate inputs must not reach `forward` or the chunker:
+        // an empty batch has zero loss and zero gradients by definition
+        // (callers' `forward` closures routinely index `part[0]`), and
+        // `threads` outside `1..=items.len()` is clamped.
+        if crate::gemm::reference_kernels() {
+            // A/B baseline fidelity: the seed engine rebuilt its tapes
+            // and gradient buffers from scratch every step.
+            self.slots.clear();
+        }
+        if items.is_empty() {
+            self.prepare_slots(1, store);
+            return 0.0;
+        }
+        let threads = threads.clamp(1, items.len());
+        let chunk_len = items.len().div_ceil(threads);
+        let n_chunks = items.len().div_ceil(chunk_len);
+        self.prepare_slots(n_chunks, store);
+        let worker = |slot: &mut Slot, part: &[T]| {
+            slot.graph.reset();
+            let loss = forward(&mut slot.graph, store, part);
+            let grads = slot.graph.backward(loss);
+            slot.graph.accumulate_param_grads(&grads, &mut slot.grads);
+            slot.loss = slot.graph.value(loss).item();
+            slot.graph.recycle_grads(grads);
+        };
+        if n_chunks == 1 {
+            worker(&mut self.slots[0], items);
+        } else {
+            WorkerPool::global().scatter(&mut self.slots[..n_chunks], 1, |c, chunk_slots| {
+                let part = &items[c * chunk_len..((c + 1) * chunk_len).min(items.len())];
+                worker(&mut chunk_slots[0], part);
+            });
+        }
+        // Merge in chunk order (chunk 0 is the accumulation target).
+        let (head, rest) = self.slots[..n_chunks].split_at_mut(1);
+        let mut total = head[0].loss;
+        for slot in rest {
+            total += slot.loss;
+            for (a, b) in head[0].grads.iter_mut().zip(&slot.grads) {
+                a.add_assign(b);
+            }
+        }
+        total
+    }
+
+    /// The merged gradients of the last [`GradAccumulator::run`], aligned
+    /// with the store it ran against.
+    pub fn grads(&self) -> &[Tensor] {
+        &self.slots[0].grads
+    }
+
+    /// Mutable access to the merged gradients (e.g. for loss scaling
+    /// before an optimizer step).
+    pub fn grads_mut(&mut self) -> &mut [Tensor] {
+        &mut self.slots[0].grads
+    }
+
+    /// Consumes the accumulator, returning the merged gradient buffer.
+    pub fn into_grads(mut self) -> Vec<Tensor> {
+        if self.slots.is_empty() {
+            Vec::new()
+        } else {
+            std::mem::take(&mut self.slots[0].grads)
+        }
+    }
+}
+
+/// One-shot data-parallel gradient accumulation: builds a throwaway
+/// [`GradAccumulator`], runs it once, and returns `(total_loss, grads)`.
+/// Training loops should hold a `GradAccumulator` instead to amortize
+/// tape and buffer allocation across steps.
 pub fn parallel_grad_accumulate<T: Sync>(
     store: &ParamStore,
     items: &[T],
     threads: usize,
     forward: impl Fn(&mut Graph, &ParamStore, &[T]) -> Var + Sync,
 ) -> (f32, Vec<Tensor>) {
-    // Degenerate inputs must not reach `forward` or the chunker:
-    // an empty batch has zero loss and zero gradients by definition
-    // (callers' `forward` closures routinely index `part[0]`), and
-    // `threads` outside `1..=items.len()` is clamped — same bug class
-    // as the `evaluate_batch` thread-count regression.
-    if items.is_empty() {
-        return (0.0, store.zero_grads());
-    }
-    let threads = threads.clamp(1, items.len());
-    if threads <= 1 || items.len() <= 1 {
-        let mut g = Graph::new();
-        let loss = forward(&mut g, store, items);
-        let grads = g.backward(loss);
-        let mut buf = store.zero_grads();
-        g.accumulate_param_grads(&grads, &mut buf);
-        return (g.value(loss).item(), buf);
-    }
-    let chunk = items.len().div_ceil(threads);
-    let partials: Vec<(f32, Vec<Tensor>)> = std::thread::scope(|s| {
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .map(|part| {
-                s.spawn(|| {
-                    let mut g = Graph::new();
-                    let loss = forward(&mut g, store, part);
-                    let grads = g.backward(loss);
-                    let mut buf = store.zero_grads();
-                    g.accumulate_param_grads(&grads, &mut buf);
-                    (g.value(loss).item(), buf)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker must not panic"))
-            .collect()
-    });
-
-    let mut iter = partials.into_iter();
-    let (mut total, mut acc) = iter.next().expect("at least one chunk");
-    for (l, g) in iter {
-        total += l;
-        for (a, b) in acc.iter_mut().zip(&g) {
-            a.add_assign(b);
-        }
-    }
-    (total, acc)
+    let mut acc = GradAccumulator::new();
+    let loss = acc.run(store, items, threads, forward);
+    (loss, acc.into_grads())
 }
 
 #[cfg(test)]
@@ -152,5 +251,42 @@ mod tests {
             g.sum(y)
         });
         assert_eq!(grads.len(), store.len());
+    }
+
+    #[test]
+    fn reused_accumulator_matches_one_shot_bitwise() {
+        // The persistent accumulator (recycled tapes + zeroed-in-place
+        // buffers) must produce bit-identical losses and gradients to
+        // fresh one-shot runs, step after step.
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let lin = Linear::new(&mut store, 4, 2, &mut rng);
+        let forward = |g: &mut Graph, store: &ParamStore, part: &[Vec<f32>]| {
+            let rows = part.len();
+            let data: Vec<f32> = part.iter().flatten().copied().collect();
+            let x = g.input(Tensor::new([rows, 4], data));
+            let y = lin.forward(g, store, x);
+            let sq = g.mul(y, y);
+            g.sum(sq)
+        };
+        let mut acc = GradAccumulator::new();
+        for step in 0..4 {
+            let items: Vec<Vec<f32>> = (0..7)
+                .map(|i| vec![i as f32 + step as f32, -1.0, 0.5, 2.0])
+                .collect();
+            let loss = acc.run(&store, &items, 3, forward);
+            let (loss_ref, grads_ref) = parallel_grad_accumulate(&store, &items, 3, forward);
+            assert_eq!(loss.to_bits(), loss_ref.to_bits(), "step {step}");
+            for (a, b) in acc.grads().iter().zip(&grads_ref) {
+                assert_eq!(a.shape(), b.shape());
+                assert!(
+                    a.data()
+                        .iter()
+                        .zip(b.data())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "step {step}"
+                );
+            }
+        }
     }
 }

@@ -5,10 +5,11 @@ use crate::cost::{CostParams, PpaReport};
 use crate::flow::SynthesisFlow;
 use crate::pareto::SharedArchive;
 use crate::session::EvalSession;
+use cv_pool::WorkerPool;
 use cv_prefix::PrefixGrid;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -394,34 +395,91 @@ impl CachedEvaluator {
         self.counter.set(state.sims);
     }
 
-    /// Evaluates a batch in parallel across `threads` worker threads
-    /// (clamped to the batch size). Results align with the input order.
+    /// Publishes a result simulated outside the cache claim discipline
+    /// (the parallel batch path): claims the key, stamps the counter and
+    /// archive exactly like a sequential cache miss, and returns the
+    /// authoritative record (a racing evaluation's record if it got
+    /// there first — its owner already counted it).
+    fn publish(&self, key: &PrefixGrid, rec: EvalRecord) -> EvalRecord {
+        loop {
+            let mut map = self.cache.lock();
+            if let Some(slot) = map.get(key).cloned() {
+                drop(map);
+                if let Some(existing) = *slot.lock() {
+                    return existing;
+                }
+                // The claiming owner unwound; retry and claim ourselves.
+                continue;
+            }
+            let slot = Arc::new(Mutex::new(None));
+            map.insert(key.clone(), Arc::clone(&slot));
+            let mut guard = slot.lock();
+            drop(map);
+            let sims = self.counter.add_and_count(1);
+            if let Some(archive) = self.archive.lock().clone() {
+                archive.lock().insert(key.clone(), rec.ppa, sims);
+            }
+            *guard = Some(rec);
+            return rec;
+        }
+    }
+
+    /// Evaluates a batch across the shared worker pool (at most
+    /// `threads` result chunks). Results align with the input order.
+    ///
+    /// **Deterministically equal to the sequential path**: unique
+    /// uncached designs are simulated in parallel into per-chunk result
+    /// slots (lock-free disjoint writes), then *published* — counted,
+    /// offered to any attached archive, and inserted into the cache —
+    /// sequentially in first-occurrence order. Batch output order, the
+    /// final simulation count, and every archive observation stamp are
+    /// therefore bit-identical to `grids.iter().map(|g| evaluate(g))`,
+    /// at every thread count.
     pub fn evaluate_batch(&self, grids: &[PrefixGrid], threads: usize) -> Vec<EvalRecord> {
         if grids.is_empty() {
             return Vec::new();
         }
         let threads = threads.clamp(1, grids.len());
-        if threads == 1 {
-            return grids.iter().map(|g| self.evaluate(g)).collect();
-        }
-        let results: Vec<Mutex<Option<EvalRecord>>> =
-            grids.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= grids.len() {
-                        break;
-                    }
-                    *results[i].lock() = Some(self.evaluate(&grids[i]));
-                });
+        let keys: Vec<PrefixGrid> = grids
+            .iter()
+            .map(|g| {
+                if g.is_legal() {
+                    g.clone()
+                } else {
+                    g.legalized()
+                }
+            })
+            .collect();
+        // Unique keys not yet claimed in the cache, first-occurrence
+        // order (the order the sequential path would count them in).
+        let pending: Vec<PrefixGrid> = {
+            let map = self.cache.lock();
+            let mut seen = HashSet::new();
+            keys.iter()
+                .filter(|k| !map.contains_key(*k) && seen.insert((*k).clone()))
+                .cloned()
+                .collect()
+        };
+        if threads > 1 && pending.len() > 1 {
+            let mut results: Vec<Option<EvalRecord>> = vec![None; pending.len()];
+            let chunk = pending.len().div_ceil(threads);
+            WorkerPool::global().scatter(&mut results, chunk, |c, out| {
+                for (slot, key) in out.iter_mut().zip(&pending[c * chunk..]) {
+                    *slot = Some(self.simulate(key, None));
+                }
+            });
+            for (key, rec) in pending.iter().zip(results) {
+                self.publish(key, rec.expect("chunk simulated"));
             }
-        });
-        results
-            .into_iter()
-            .map(|m| m.into_inner().expect("all batch slots filled"))
-            .collect()
+        } else {
+            for key in &pending {
+                let rec = self.simulate(key, None);
+                self.publish(key, rec);
+            }
+        }
+        // Every key is now cached (or claimed by a racing evaluation):
+        // plain lookups, no further counting.
+        keys.iter().map(|k| self.evaluate(k)).collect()
     }
 }
 
@@ -547,6 +605,49 @@ mod tests {
             let batch = ev.evaluate_batch(&grids, threads);
             assert_eq!(batch, serial, "threads={threads} must match serial order");
             assert_eq!(ev.counter().count(), serial_ev.counter().count());
+        }
+    }
+
+    #[test]
+    fn batch_order_and_stamps_match_the_sequential_path() {
+        // Regression for the batch determinism contract: the parallel
+        // batch path must reproduce the sequential path exactly —
+        // result order, the final simulation count, and every archive
+        // observation stamp (simulation indices per design) — at every
+        // thread count. Duplicates inside the batch must be counted
+        // once, at their first occurrence.
+        use crate::pareto::ParetoArchive;
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut grids: Vec<PrefixGrid> = (0..9)
+            .map(|_| mutate::random_grid(10, 0.3, &mut rng))
+            .collect();
+        grids.push(grids[2].clone());
+        grids.push(grids[0].clone());
+        let seq = evaluator(10, 0.5);
+        let seq_arch = ParetoArchive::new().with_log().into_shared();
+        seq.attach_archive(seq_arch.clone());
+        let seq_records: Vec<EvalRecord> = grids.iter().map(|g| seq.evaluate(g)).collect();
+        for threads in [1, 2, 3, grids.len(), 64] {
+            let ev = evaluator(10, 0.5);
+            let arch = ParetoArchive::new().with_log().into_shared();
+            ev.attach_archive(arch.clone());
+            let batch = ev.evaluate_batch(&grids, threads);
+            assert_eq!(batch, seq_records, "threads={threads}: batch output order");
+            assert_eq!(
+                ev.counter().count(),
+                seq.counter().count(),
+                "threads={threads}: simulation count"
+            );
+            assert_eq!(
+                arch.lock().observations(),
+                seq_arch.lock().observations(),
+                "threads={threads}: observation stamps"
+            );
+            assert_eq!(
+                arch.lock().to_ckpt_bytes(),
+                seq_arch.lock().to_ckpt_bytes(),
+                "threads={threads}: archive bytes"
+            );
         }
     }
 

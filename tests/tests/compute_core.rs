@@ -1,0 +1,300 @@
+//! Property suite for the deterministic parallel compute core
+//! (DESIGN.md Contract 9): every fast kernel in `cv_nn::gemm` is
+//! **bit-identical** to its retained naive reference for finite inputs,
+//! across shapes (empty, 1×N, N×1, non-multiple-of-tile) and at every
+//! worker-pool size; and a whole training step is bit-identical whether
+//! the graph runs on the compute core or the reference kernels.
+
+use cv_nn::gemm::{self, reference, ConvShape};
+use cv_nn::{GradAccumulator, Graph, ParamStore, ScratchArena, Tensor};
+use cv_pool::WorkerPool;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic value mix: magnitudes across several orders, exact
+/// zeros of both signs (the zero-skip/±0 contract), and negatives.
+fn vals(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).max(1));
+    (0..n)
+        .map(|_| match rng.gen_range(0..10u32) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => rng.gen_range(-1e-4f32..1e-4),
+            3 => rng.gen_range(-1e4f32..1e4),
+            _ => rng.gen_range(-4.0f32..4.0),
+        })
+        .collect()
+}
+
+fn assert_bits_eq(fast: &[f32], naive: &[f32], what: &str) {
+    assert_eq!(fast.len(), naive.len(), "{what}: length");
+    for (i, (a, b)) in fast.iter().zip(naive).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}: element {i} diverged ({a} vs {b})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// NN/NT/TN are bit-identical to the naive kernels across shapes,
+    /// including degenerate dims and sizes straddling the k-cache block.
+    #[test]
+    fn gemm_kernels_match_reference_bitwise(dims in (0usize..20, 0usize..300, 0usize..20), seed in 0u64..1_000_000) {
+        let (m, k, n) = dims;
+        let a = vals(m * k, seed);
+        let b = vals(k * n, seed + 1);
+        let mut fast = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm::gemm_nn(&mut fast, &a, &b, m, k, n);
+        reference::gemm_nn(&mut naive, &a, &b, m, k, n);
+        assert_bits_eq(&fast, &naive, "gemm_nn");
+
+        // NT: g [m,k] × b[n,k]ᵀ → [m,n] (k is the reduction axis here).
+        let g = vals(m * k, seed + 2);
+        let bt = vals(n * k, seed + 3);
+        let mut fast = vec![0.0f32; m * n];
+        let mut naive = vec![0.0f32; m * n];
+        gemm::gemm_nt(&mut fast, &g, &bt, m, k, n);
+        reference::gemm_nt(&mut naive, &g, &bt, m, k, n);
+        assert_bits_eq(&fast, &naive, "gemm_nt");
+
+        // TN: a[m,k]ᵀ × g[m,n] → [k,n].
+        let g2 = vals(m * n, seed + 4);
+        let mut fast = vec![0.0f32; k * n];
+        let mut naive = vec![0.0f32; k * n];
+        gemm::gemm_tn(&mut fast, &a, &g2, m, k, n);
+        reference::gemm_tn(&mut naive, &a, &g2, m, k, n);
+        assert_bits_eq(&fast, &naive, "gemm_tn");
+    }
+
+    /// Results are independent of the worker-pool size (including the
+    /// inline single-thread path) for every kernel.
+    #[test]
+    fn gemm_results_are_thread_count_independent(dims in (1usize..12, 50usize..300, 1usize..16), seed in 0u64..1_000_000) {
+        let (m, k, n) = dims;
+        let a = vals(m * k, seed);
+        let b = vals(k * n, seed + 1);
+        let g = vals(m * n, seed + 2);
+        let single = WorkerPool::new(1);
+        let mut nn_one = vec![0.0f32; m * n];
+        gemm::gemm_nn_with(&single, &mut nn_one, &a, &b, m, k, n);
+        let mut tn_one = vec![0.0f32; k * n];
+        gemm::gemm_tn_with(&single, &mut tn_one, &a, &g, m, k, n);
+        let mut nt_one = vec![0.0f32; m * k];
+        gemm::gemm_nt_with(&single, &mut nt_one, &g, &b, m, n, k);
+        for threads in [2usize, 3, 5] {
+            let pool = WorkerPool::new(threads);
+            let mut nn = vec![0.0f32; m * n];
+            gemm::gemm_nn_with(&pool, &mut nn, &a, &b, m, k, n);
+            assert_bits_eq(&nn, &nn_one, "gemm_nn pool");
+            let mut tn = vec![0.0f32; k * n];
+            gemm::gemm_tn_with(&pool, &mut tn, &a, &g, m, k, n);
+            assert_bits_eq(&tn, &tn_one, "gemm_tn pool");
+            let mut nt = vec![0.0f32; m * k];
+            gemm::gemm_nt_with(&pool, &mut nt, &g, &b, m, n, k);
+            assert_bits_eq(&nt, &nt_one, "gemm_nt pool");
+        }
+    }
+
+    /// The im2col/shifted-plane conv forward and the fused backward are
+    /// bit-identical to the retained direct kernels across geometries
+    /// (strides 1–2, pads 0–2, kernels 1–4, empty batches).
+    #[test]
+    fn conv_kernels_match_reference_bitwise(
+        geom in (0usize..3, 1usize..4, 1usize..9, 1usize..9),
+        kern in (1usize..4, 1usize..5, 1usize..3, 0usize..3),
+        seed in 0u64..1_000_000,
+    ) {
+        let (batch, cin, h, w) = geom;
+        let (cout, kk, stride, pad) = kern;
+        // Geometry must admit at least the output formula (same
+        // constraint the graph op enforces implicitly).
+        if h + 2 * pad < kk || w + 2 * pad < kk {
+            return;
+        }
+        let s = ConvShape { batch, cin, h, w, cout, kh: kk, kw: kk, stride, pad };
+        let x = vals(batch * cin * h * w, seed);
+        let wgt = vals(cout * cin * kk * kk, seed + 1);
+        let out_len = batch * cout * s.oh() * s.ow();
+        let mut scratch = ScratchArena::new();
+        let mut fast = vec![0.0f32; out_len];
+        let mut naive = vec![0.0f32; out_len];
+        gemm::conv2d_forward_into(&mut fast, &x, &wgt, &s, &mut scratch);
+        reference::conv2d_forward(&mut naive, &x, &wgt, &s);
+        assert_bits_eq(&fast, &naive, "conv2d forward");
+
+        let gout = vals(out_len, seed + 2);
+        let (mut gx_f, mut gw_f) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        let (mut gx_n, mut gw_n) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        gemm::conv2d_backward_into(&mut gx_f, &mut gw_f, &x, &wgt, &gout, &s, &mut scratch);
+        reference::conv2d_backward(&mut gx_n, &mut gw_n, &x, &wgt, &gout, &s);
+        assert_bits_eq(&gx_f, &gx_n, "conv2d backward gx");
+        assert_bits_eq(&gw_f, &gw_n, "conv2d backward gw");
+    }
+
+    /// 3×3 stride-1/2 geometries with ReLU-like sparse gradients — the
+    /// exact regime the dense-row/entry-list specializations target.
+    #[test]
+    fn conv3x3_sparse_gradients_match_reference_bitwise(
+        geom in (1usize..3, 1usize..4, 3usize..12, 1usize..3),
+        density in 0usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let (batch, cin, hw_dim, stride) = geom;
+        let s = ConvShape {
+            batch,
+            cin,
+            h: hw_dim,
+            w: hw_dim,
+            cout: 2,
+            kh: 3,
+            kw: 3,
+            stride,
+            pad: 1,
+        };
+        let x = vals(batch * cin * hw_dim * hw_dim, seed);
+        let wgt = vals(2 * cin * 9, seed + 1);
+        let out_len = batch * 2 * s.oh() * s.ow();
+        let mut rng = StdRng::seed_from_u64(seed + 2);
+        // density 0: all-zero gradient; 3: fully dense.
+        let gout: Vec<f32> = (0..out_len)
+            .map(|_| {
+                if rng.gen_range(0..3u32) < density as u32 {
+                    rng.gen_range(-2.0f32..2.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let mut scratch = ScratchArena::new();
+        let (mut gx_f, mut gw_f) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        let (mut gx_n, mut gw_n) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        gemm::conv2d_backward_into(&mut gx_f, &mut gw_f, &x, &wgt, &gout, &s, &mut scratch);
+        reference::conv2d_backward(&mut gx_n, &mut gw_n, &x, &wgt, &gout, &s);
+        assert_bits_eq(&gx_f, &gx_n, "3x3 backward gx");
+        assert_bits_eq(&gw_f, &gw_n, "3x3 backward gw");
+    }
+}
+
+/// Pinned floor: the exact model geometries the width-32 CNN uses.
+#[test]
+fn model_conv_geometries_match_reference_bitwise() {
+    for &(cin, cout, hw_dim, stride) in &[
+        (1usize, 6usize, 32usize, 2usize), // encoder conv1
+        (6, 12, 16, 2),                    // encoder conv2
+        (12, 6, 16, 1),                    // decoder conv1
+        (6, 1, 32, 1),                     // decoder conv2
+    ] {
+        let s = ConvShape {
+            batch: 3,
+            cin,
+            h: hw_dim,
+            w: hw_dim,
+            cout,
+            kh: 3,
+            kw: 3,
+            stride,
+            pad: 1,
+        };
+        let x = vals(3 * cin * hw_dim * hw_dim, 7);
+        let wgt = vals(cout * cin * 9, 8);
+        let out_len = 3 * cout * s.oh() * s.ow();
+        let gout = vals(out_len, 9);
+        let mut scratch = ScratchArena::new();
+        let mut fast = vec![0.0f32; out_len];
+        let mut naive = vec![0.0f32; out_len];
+        gemm::conv2d_forward_into(&mut fast, &x, &wgt, &s, &mut scratch);
+        reference::conv2d_forward(&mut naive, &x, &wgt, &s);
+        assert_bits_eq(&fast, &naive, "model conv forward");
+        let (mut gx_f, mut gw_f) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        let (mut gx_n, mut gw_n) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+        gemm::conv2d_backward_into(&mut gx_f, &mut gw_f, &x, &wgt, &gout, &s, &mut scratch);
+        reference::conv2d_backward(&mut gx_n, &mut gw_n, &x, &wgt, &gout, &s);
+        assert_bits_eq(&gx_f, &gx_n, "model conv backward gx");
+        assert_bits_eq(&gw_f, &gw_n, "model conv backward gw");
+    }
+}
+
+/// A whole CNN training step — graph ops, arena reuse, accumulator —
+/// produces bit-identical losses and parameters on the compute core and
+/// on the reference kernels (the seed engine). This is the end-to-end
+/// statement of Contract 9 the `gemm` bench A/B rides on.
+#[test]
+fn training_step_is_bit_identical_across_kernel_paths() {
+    use circuitvae::{CircuitVaeConfig, CircuitVaeModel, Dataset, ModelArch};
+    use cv_prefix::{mutate, GridMetrics, PrefixGrid};
+
+    let width = 26; // odd-ish CNN width: exercises the crop path for real
+    let mut cfg = CircuitVaeConfig::smoke(width);
+    cfg.arch = ModelArch::Cnn {
+        channels: 4,
+        hidden: 32,
+    };
+    cfg.batch_size = 12;
+    cfg.threads = 3;
+    let run = |reference: bool| -> (f64, Vec<u8>) {
+        gemm::set_reference_kernels(reference);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let model = CircuitVaeModel::new(&mut store, &cfg, width, &mut rng);
+        let entries: Vec<(PrefixGrid, f64)> = (0..30)
+            .map(|_| {
+                let g = mutate::random_grid(width, rng.gen_range(0.05..0.4), &mut rng);
+                let cost = GridMetrics::of(&g).analytic_proxy();
+                (g, cost)
+            })
+            .collect();
+        let mut ds = Dataset::new(width, entries);
+        ds.recompute_weights(1e-3, true);
+        let loss = circuitvae::train(&model, &mut store, &ds, &cfg, 4, &mut rng);
+        gemm::set_reference_kernels(false);
+        (loss, store.to_bytes())
+    };
+    let (loss_ref, params_ref) = run(true);
+    let (loss_fast, params_fast) = run(false);
+    assert_eq!(
+        loss_ref.to_bits(),
+        loss_fast.to_bits(),
+        "training loss must be bit-identical across kernel paths"
+    );
+    assert_eq!(
+        params_ref, params_fast,
+        "trained parameters must be bit-identical across kernel paths"
+    );
+}
+
+/// The persistent accumulator's merged gradients depend only on the
+/// requested chunk count, never on the pool's worker count — and reuse
+/// across steps never perturbs bits (each run equals a fresh one-shot).
+#[test]
+fn grad_accumulator_reuse_and_pool_are_bit_transparent() {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let lin = cv_nn::Linear::new(&mut store, 6, 3, &mut rng);
+    let forward = |g: &mut Graph, store: &ParamStore, part: &[Vec<f32>]| {
+        let rows = part.len();
+        let data: Vec<f32> = part.iter().flatten().copied().collect();
+        let x = g.input(Tensor::new([rows, 6], data));
+        let y = lin.forward(g, store, x);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    };
+    let items: Vec<Vec<f32>> = (0..10)
+        .map(|i| (0..6).map(|j| (i * 6 + j) as f32 / 7.0 - 3.0).collect())
+        .collect();
+    let mut acc = GradAccumulator::new();
+    for threads in [1usize, 2, 3, 10] {
+        let loss = acc.run(&store, &items, threads, forward);
+        let (loss_ref, grads_ref) =
+            cv_nn::parallel_grad_accumulate(&store, &items, threads, forward);
+        assert_eq!(loss.to_bits(), loss_ref.to_bits(), "threads={threads}");
+        for (a, b) in acc.grads().iter().zip(&grads_ref) {
+            assert_bits_eq(a.data(), b.data(), "accumulator grads");
+        }
+    }
+}
