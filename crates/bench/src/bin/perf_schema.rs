@@ -1,27 +1,98 @@
 //! Validates `results/bench_perf.json` against the cv-bench perf
-//! schema. CI runs this right after the `gemm` bench so a malformed or
-//! missing report fails the job instead of silently uploading garbage.
+//! schema, optionally gating on what the report *claims*. CI runs this
+//! right after the `gemm` bench so a malformed or missing report fails
+//! the job instead of silently uploading garbage, and again with gates
+//! so a report that quietly lost its parallelism (wrong pool size, no
+//! batch speedup) fails too.
 //!
-//! Usage: `perf_schema [path]` (default `results/bench_perf.json`).
+//! Usage:
+//!
+//! ```text
+//! perf_schema [path]
+//!     [--expect-pool-threads N]
+//!     [--min-batch-speedup X --at-threads T]
+//! ```
+//!
+//! `path` defaults to `results/bench_perf.json`.
+//! `--expect-pool-threads` asserts the report's `pool_threads` field.
+//! `--min-batch-speedup X --at-threads T` asserts the `evaluate_batch`
+//! scaling curve has a point at exactly `T` threads whose headline
+//! speedup is at least `X` (wall or modeled per the point's recorded
+//! basis).
 
-use cv_bench::perf::validate_report;
+use cv_bench::perf::{parse_json, scaling_speedup_at, validate_report, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_schema: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "results/bench_perf.json".to_string());
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("perf_schema: cannot read {path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    match validate_report(&text) {
-        Ok(()) => println!("perf schema OK: {path}"),
-        Err(e) => {
-            eprintln!("perf_schema: {path} violates the schema: {e}");
-            std::process::exit(1);
+    let mut path = "results/bench_perf.json".to_string();
+    let mut expect_pool: Option<usize> = None;
+    let mut min_speedup: Option<f64> = None;
+    let mut at_threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+        };
+        match arg.as_str() {
+            "--expect-pool-threads" => {
+                expect_pool = Some(value("--expect-pool-threads").parse().unwrap_or_else(|e| {
+                    fail(&format!("--expect-pool-threads: invalid count: {e}"))
+                }));
+            }
+            "--min-batch-speedup" => {
+                min_speedup = Some(
+                    value("--min-batch-speedup")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--min-batch-speedup: invalid: {e}"))),
+                );
+            }
+            "--at-threads" => {
+                at_threads = Some(
+                    value("--at-threads")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--at-threads: invalid count: {e}"))),
+                );
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
+            p => path = p.to_string(),
         }
     }
+    if min_speedup.is_some() != at_threads.is_some() {
+        fail("--min-batch-speedup and --at-threads must be passed together");
+    }
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    if let Err(e) = validate_report(&text) {
+        fail(&format!("{path} violates the schema: {e}"));
+    }
+    let doc = parse_json(&text).expect("validated report parses");
+
+    if let Some(expected) = expect_pool {
+        match doc.get("pool_threads") {
+            Some(Json::Num(n)) if *n == expected as f64 => {}
+            other => fail(&format!(
+                "{path}: expected pool_threads {expected}, report says {other:?}"
+            )),
+        }
+    }
+    if let (Some(min), Some(threads)) = (min_speedup, at_threads) {
+        match scaling_speedup_at(&doc, "evaluate_batch", threads) {
+            Some(s) if s >= min => {
+                println!("perf_schema: evaluate_batch speedup at {threads} threads: {s:.2}x >= {min:.2}x");
+            }
+            Some(s) => fail(&format!(
+                "{path}: evaluate_batch speedup at {threads} threads is {s:.2}x, required >= {min:.2}x"
+            )),
+            None => fail(&format!(
+                "{path}: no evaluate_batch scaling point at {threads} threads"
+            )),
+        }
+    }
+    println!("perf schema OK: {path}");
 }

@@ -12,7 +12,20 @@
 use std::fmt::Write as _;
 
 /// Schema identifier stamped into every report.
-pub const PERF_SCHEMA: &str = "cv-bench-perf-v1";
+///
+/// v2 makes thread accounting honest and adds the thread-scaling plane:
+/// every timed section records the *effective* parallelism its timed
+/// region used (`threads`), the report records the machine's
+/// `cpu_cores`, and a `scaling` section carries 1/2/4/8/16 curves for
+/// `evaluate_batch` and the training step. Each scaling point is
+/// labeled with its measurement `basis`: `"wall"` when the machine had
+/// enough cores for the wall clock to mean parallel speedup, or
+/// `"modeled"` (zero-contention critical-path makespan computed from
+/// individually measured per-design simulation times) when it did not —
+/// so a report produced on a 1-core container can never pass off
+/// timeshared wall clock, or quietly claim pool parallelism it didn't
+/// have.
+pub const PERF_SCHEMA: &str = "cv-bench-perf-v2";
 
 /// One GEMM kernel measurement (naive reference vs. compute core).
 #[derive(Debug, Clone)]
@@ -29,6 +42,8 @@ pub struct GemmPerf {
     pub naive_ms: f64,
     /// Compute-core wall-clock, milliseconds per call.
     pub fast_ms: f64,
+    /// Worker-pool threads the fast kernel's timed region dispatched on.
+    pub threads: usize,
 }
 
 impl GemmPerf {
@@ -60,6 +75,11 @@ pub struct AbPerf {
     pub naive_ms: f64,
     /// Compute-core milliseconds.
     pub fast_ms: f64,
+    /// Effective parallelism of the fast path's timed region — the
+    /// number of workers that actually ran it, not the pool's nominal
+    /// size. A `pool_threads: 1` report can therefore never describe a
+    /// pooled run (and vice versa): each section carries its own truth.
+    pub threads: usize,
 }
 
 impl AbPerf {
@@ -73,17 +93,80 @@ impl AbPerf {
     }
 }
 
+/// One point of a thread-scaling curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Requested thread count (the chunking the batch was split into).
+    pub threads: usize,
+    /// Workers that actually executed the timed region (pool size; 1
+    /// when the dispatch ran inline).
+    pub workers: usize,
+    /// Measured wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Zero-contention critical-path makespan, milliseconds: the max
+    /// over workers of their summed per-design simulation times (each
+    /// measured individually on the sequential path) plus the measured
+    /// sequential residue. `None` for sections without per-item
+    /// instrumentation.
+    pub modeled_ms: Option<f64>,
+}
+
+impl ScalePoint {
+    /// `(speedup, basis)` relative to `baseline_ms`: the wall-clock
+    /// ratio (basis `"wall"`) when the machine's cores cover the
+    /// requested threads — timesharing can then only *understate* the
+    /// speedup — or the modeled-makespan ratio (basis `"modeled"`) when
+    /// they do not and a model is available. A core-starved point
+    /// without a model stays honest: wall basis, speedup ≈ 1.
+    pub fn headline(&self, baseline_ms: f64, cpu_cores: usize) -> (f64, &'static str) {
+        let ratio = |ms: f64| if ms <= 0.0 { 1.0 } else { baseline_ms / ms };
+        match self.modeled_ms {
+            Some(modeled) if cpu_cores < self.threads => (ratio(modeled), "modeled"),
+            _ => (ratio(self.wall_ms), "wall"),
+        }
+    }
+
+    /// Measured wall-clock speedup relative to `baseline_ms`.
+    pub fn wall_speedup(&self, baseline_ms: f64) -> f64 {
+        if self.wall_ms <= 0.0 {
+            1.0
+        } else {
+            baseline_ms / self.wall_ms
+        }
+    }
+}
+
+/// A thread-scaling curve for one end-to-end section.
+#[derive(Debug, Clone, Default)]
+pub struct ScalingCurve {
+    /// Problem size tag (circuit width).
+    pub width: usize,
+    /// Measured single-thread wall-clock, milliseconds (the curve's
+    /// denominator).
+    pub baseline_ms: f64,
+    /// Measured points, ascending in `threads`.
+    pub points: Vec<ScalePoint>,
+}
+
 /// The full bench report serialized to `results/bench_perf.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfReport {
-    /// Worker-pool size the benches ran with.
+    /// Worker-pool size the benches ran with (`CV_POOL_THREADS` or the
+    /// machine's available parallelism).
     pub pool_threads: usize,
+    /// CPU cores actually available to this process — the context every
+    /// wall-clock number in the report must be read against.
+    pub cpu_cores: usize,
     /// GEMM kernel measurements.
     pub gemm: Vec<GemmPerf>,
     /// Width-32 VAE training-step A/B.
     pub training_step: Option<AbPerf>,
     /// `evaluate_batch` pool path vs. sequential loop.
     pub evaluate_batch: Option<AbPerf>,
+    /// `evaluate_batch` thread-scaling curve (1/2/4/8/16).
+    pub batch_scaling: Option<ScalingCurve>,
+    /// Training-step thread-scaling curve (1/2/4/8/16).
+    pub training_scaling: Option<ScalingCurve>,
     /// Incremental-evaluation speedup (the `incremental` bench's gate
     /// quantity), when measured.
     pub incremental_speedup: Option<f64>,
@@ -104,12 +187,13 @@ impl PerfReport {
         s.push_str("{\n");
         let _ = writeln!(s, "  \"schema\": \"{PERF_SCHEMA}\",");
         let _ = writeln!(s, "  \"pool_threads\": {},", self.pool_threads);
+        let _ = writeln!(s, "  \"cpu_cores\": {},", self.cpu_cores);
         s.push_str("  \"gemm\": [\n");
         for (i, g) in self.gemm.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"naive_ms\": ",
-                g.op, g.m, g.k, g.n
+                "    {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \"naive_ms\": ",
+                g.op, g.m, g.k, g.n, g.threads
             );
             push_num(&mut s, g.naive_ms);
             s.push_str(", \"fast_ms\": ");
@@ -137,7 +221,11 @@ impl PerfReport {
         ] {
             match ab {
                 Some(ab) => {
-                    let _ = write!(s, "  \"{key}\": {{\"width\": {}, \"naive_ms\": ", ab.width);
+                    let _ = write!(
+                        s,
+                        "  \"{key}\": {{\"width\": {}, \"threads\": {}, \"naive_ms\": ",
+                        ab.width, ab.threads
+                    );
                     push_num(&mut s, ab.naive_ms);
                     s.push_str(", \"fast_ms\": ");
                     push_num(&mut s, ab.fast_ms);
@@ -150,6 +238,52 @@ impl PerfReport {
                 }
             }
         }
+        s.push_str("  \"scaling\": {\n");
+        for (i, (key, curve)) in [
+            ("evaluate_batch", &self.batch_scaling),
+            ("training_step", &self.training_scaling),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let sep = if i == 0 { ",\n" } else { "\n" };
+            match curve {
+                Some(c) => {
+                    let _ = write!(
+                        s,
+                        "    \"{key}\": {{\"width\": {}, \"baseline_ms\": ",
+                        c.width
+                    );
+                    push_num(&mut s, c.baseline_ms);
+                    s.push_str(", \"points\": [\n");
+                    for (j, p) in c.points.iter().enumerate() {
+                        let (speedup, basis) = p.headline(c.baseline_ms, self.cpu_cores);
+                        let _ = write!(
+                            s,
+                            "      {{\"threads\": {}, \"workers\": {}, \"wall_ms\": ",
+                            p.threads, p.workers
+                        );
+                        push_num(&mut s, p.wall_ms);
+                        s.push_str(", \"wall_speedup\": ");
+                        push_num(&mut s, p.wall_speedup(c.baseline_ms));
+                        s.push_str(", \"modeled_ms\": ");
+                        match p.modeled_ms {
+                            Some(m) => push_num(&mut s, m),
+                            None => s.push_str("null"),
+                        }
+                        s.push_str(", \"speedup\": ");
+                        push_num(&mut s, speedup);
+                        let _ = write!(s, ", \"basis\": \"{basis}\"}}");
+                        s.push_str(if j + 1 < c.points.len() { ",\n" } else { "\n" });
+                    }
+                    let _ = write!(s, "    ]}}{sep}");
+                }
+                None => {
+                    let _ = write!(s, "    \"{key}\": null{sep}");
+                }
+            }
+        }
+        s.push_str("  },\n");
         s.push_str("  \"incremental_speedup\": ");
         match self.incremental_speedup {
             Some(v) => push_num(&mut s, v),
@@ -389,6 +523,7 @@ fn check_ab(v: &Json, ctx: &str) -> Result<(), String> {
         Json::Null => Ok(()),
         Json::Obj(_) => {
             require_num(v, "width", ctx)?;
+            require_num(v, "threads", ctx)?;
             require_num(v, "naive_ms", ctx)?;
             require_num(v, "fast_ms", ctx)?;
             require_num(v, "speedup", ctx)?;
@@ -396,6 +531,73 @@ fn check_ab(v: &Json, ctx: &str) -> Result<(), String> {
         }
         other => Err(format!("{ctx}: expected object or null, got {other:?}")),
     }
+}
+
+fn check_curve(v: &Json, ctx: &str) -> Result<(), String> {
+    match v {
+        Json::Null => Ok(()),
+        Json::Obj(_) => {
+            require_num(v, "width", ctx)?;
+            require_num(v, "baseline_ms", ctx)?;
+            let points = match v.get("points") {
+                Some(Json::Arr(points)) if !points.is_empty() => points,
+                other => {
+                    return Err(format!(
+                        "{ctx}.points: expected non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            for (i, p) in points.iter().enumerate() {
+                let pctx = format!("{ctx}.points[{i}]");
+                for key in ["threads", "workers", "wall_ms", "wall_speedup", "speedup"] {
+                    require_num(p, key, &pctx)?;
+                }
+                let modeled = match p.get("modeled_ms") {
+                    Some(Json::Null) => false,
+                    Some(Json::Num(_)) => true,
+                    other => {
+                        return Err(format!(
+                            "{pctx}.modeled_ms: expected number or null, got {other:?}"
+                        ))
+                    }
+                };
+                match p.get("basis") {
+                    Some(Json::Str(b)) if b == "wall" => {}
+                    Some(Json::Str(b)) if b == "modeled" => {
+                        if !modeled {
+                            return Err(format!(
+                                "{pctx}: basis \"modeled\" requires a modeled_ms number"
+                            ));
+                        }
+                    }
+                    other => {
+                        return Err(format!(
+                            "{pctx}.basis: expected \"wall\" or \"modeled\", got {other:?}"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("{ctx}: expected object or null, got {other:?}")),
+    }
+}
+
+/// The headline speedup the report claims for `section` (`"evaluate_batch"`
+/// or `"training_step"`) at exactly `threads` threads, from the `scaling`
+/// curves of an already-parsed report. `None` when the curve or point is
+/// absent.
+pub fn scaling_speedup_at(doc: &Json, section: &str, threads: usize) -> Option<f64> {
+    let curve = doc.get("scaling")?.get(section)?;
+    let Json::Arr(points) = curve.get("points")? else {
+        return None;
+    };
+    points
+        .iter()
+        .find_map(|p| match (p.get("threads"), p.get("speedup")) {
+            (Some(Json::Num(t)), Some(Json::Num(s))) if *t == threads as f64 => Some(*s),
+            _ => None,
+        })
 }
 
 /// Validates a `bench_perf.json` document against the
@@ -414,6 +616,10 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     if threads < 1.0 {
         return Err("pool_threads: must be >= 1".to_string());
     }
+    let cores = require_num(&doc, "cpu_cores", "report")?;
+    if cores < 1.0 {
+        return Err("cpu_cores: must be >= 1".to_string());
+    }
     match doc.get("gemm") {
         Some(Json::Arr(items)) => {
             if items.is_empty() {
@@ -429,6 +635,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                     "m",
                     "k",
                     "n",
+                    "threads",
                     "naive_ms",
                     "fast_ms",
                     "gflops_naive",
@@ -449,6 +656,19 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         doc.get("evaluate_batch").unwrap_or(&Json::Null),
         "evaluate_batch",
     )?;
+    match doc.get("scaling") {
+        Some(scaling @ Json::Obj(_)) => {
+            check_curve(
+                scaling.get("evaluate_batch").unwrap_or(&Json::Null),
+                "scaling.evaluate_batch",
+            )?;
+            check_curve(
+                scaling.get("training_step").unwrap_or(&Json::Null),
+                "scaling.training_step",
+            )?;
+        }
+        other => return Err(format!("scaling: expected object, got {other:?}")),
+    }
     match doc.get("incremental_speedup") {
         Some(Json::Null) | Some(Json::Num(_)) => {}
         other => {
@@ -467,6 +687,7 @@ mod tests {
     fn sample() -> PerfReport {
         PerfReport {
             pool_threads: 4,
+            cpu_cores: 2,
             gemm: vec![GemmPerf {
                 op: "nn".into(),
                 m: 64,
@@ -474,13 +695,40 @@ mod tests {
                 n: 128,
                 naive_ms: 10.0,
                 fast_ms: 2.5,
+                threads: 4,
             }],
             training_step: Some(AbPerf {
                 width: 32,
                 naive_ms: 500.0,
                 fast_ms: 100.0,
+                threads: 1,
             }),
             evaluate_batch: None,
+            batch_scaling: Some(ScalingCurve {
+                width: 32,
+                baseline_ms: 80.0,
+                points: vec![
+                    ScalePoint {
+                        threads: 1,
+                        workers: 1,
+                        wall_ms: 80.0,
+                        modeled_ms: Some(80.0),
+                    },
+                    ScalePoint {
+                        threads: 2,
+                        workers: 2,
+                        wall_ms: 41.0,
+                        modeled_ms: Some(40.0),
+                    },
+                    ScalePoint {
+                        threads: 4,
+                        workers: 4,
+                        wall_ms: 79.0,
+                        modeled_ms: Some(20.0),
+                    },
+                ],
+            }),
+            training_scaling: None,
             incremental_speedup: Some(5.1),
         }
     }
@@ -491,9 +739,50 @@ mod tests {
         validate_report(&json).expect("self-produced report must validate");
         let doc = parse_json(&json).unwrap();
         assert_eq!(doc.get("schema"), Some(&Json::Str(PERF_SCHEMA.into())));
+        assert_eq!(doc.get("cpu_cores"), Some(&Json::Num(2.0)));
         let ts = doc.get("training_step").unwrap();
         assert_eq!(ts.get("speedup"), Some(&Json::Num(5.0)));
+        assert_eq!(ts.get("threads"), Some(&Json::Num(1.0)));
         assert_eq!(doc.get("evaluate_batch"), Some(&Json::Null));
+        let scaling = doc.get("scaling").unwrap();
+        assert_eq!(scaling.get("training_step"), Some(&Json::Null));
+        assert!(scaling
+            .get("evaluate_batch")
+            .unwrap()
+            .get("points")
+            .is_some());
+    }
+
+    #[test]
+    fn scaling_basis_switches_to_model_only_when_core_starved() {
+        // cpu_cores = 2: the t=1 and t=2 points have enough cores, so
+        // their headline is the measured wall clock; t=4 does not, so its
+        // headline is the zero-contention makespan, clearly labeled.
+        let json = sample().to_json();
+        let doc = parse_json(&json).unwrap();
+        let points = match doc
+            .get("scaling")
+            .and_then(|s| s.get("evaluate_batch"))
+            .and_then(|c| c.get("points"))
+        {
+            Some(Json::Arr(points)) => points,
+            other => panic!("missing scaling points: {other:?}"),
+        };
+        let basis: Vec<_> = points.iter().map(|p| p.get("basis").cloned()).collect();
+        assert_eq!(
+            basis,
+            vec![
+                Some(Json::Str("wall".into())),
+                Some(Json::Str("wall".into())),
+                Some(Json::Str("modeled".into())),
+            ]
+        );
+        assert_eq!(scaling_speedup_at(&doc, "evaluate_batch", 4), Some(4.0));
+        // Serialized at 6 decimals, so compare with matching tolerance.
+        let at2 = scaling_speedup_at(&doc, "evaluate_batch", 2).unwrap();
+        assert!((at2 - 80.0 / 41.0).abs() < 1e-6, "got {at2}");
+        assert_eq!(scaling_speedup_at(&doc, "evaluate_batch", 16), None);
+        assert_eq!(scaling_speedup_at(&doc, "training_step", 1), None);
     }
 
     #[test]
@@ -503,17 +792,57 @@ mod tests {
         assert!(validate_report(r#"{"schema": "wrong"}"#).is_err());
         // Right schema marker but an empty gemm section.
         let bad = format!(
-            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 1, "gemm": [],
-                "training_step": null, "evaluate_batch": null, "incremental_speedup": null}}"#
+            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 1, "cpu_cores": 1, "gemm": [],
+                "training_step": null, "evaluate_batch": null,
+                "scaling": {{"evaluate_batch": null, "training_step": null}},
+                "incremental_speedup": null}}"#
         );
         assert!(validate_report(&bad).unwrap_err().contains("gemm"));
         // A gemm entry with a missing field.
         let bad = format!(
-            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 2,
+            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 2, "cpu_cores": 1,
                 "gemm": [{{"op": "nn", "m": 1, "k": 2, "n": 3}}],
-                "training_step": null, "evaluate_batch": null, "incremental_speedup": null}}"#
+                "training_step": null, "evaluate_batch": null,
+                "scaling": {{"evaluate_batch": null, "training_step": null}},
+                "incremental_speedup": null}}"#
         );
-        assert!(validate_report(&bad).unwrap_err().contains("naive_ms"));
+        assert!(validate_report(&bad).unwrap_err().contains("threads"));
+        // Thread-honesty requirements of v2: cpu_cores and the scaling
+        // section are mandatory, and a "modeled" basis must carry the
+        // model that produced it.
+        let mut report = sample().to_json();
+        report = report.replacen("  \"cpu_cores\": 2,\n", "", 1);
+        assert!(validate_report(&report).unwrap_err().contains("cpu_cores"));
+        let mut report = sample().to_json();
+        let start = report.find("  \"scaling\": {").unwrap();
+        let end = report.find("  \"incremental_speedup\"").unwrap();
+        report.replace_range(start..end, "");
+        assert!(validate_report(&report).unwrap_err().contains("scaling"));
+        let dishonest = sample().to_json().replacen(
+            "\"modeled_ms\": 20.000000, \"speedup\": 4.000000, \"basis\": \"modeled\"",
+            "\"modeled_ms\": null, \"speedup\": 4.000000, \"basis\": \"modeled\"",
+            1,
+        );
+        assert!(validate_report(&dishonest)
+            .unwrap_err()
+            .contains("modeled_ms"));
+    }
+
+    /// Satellite guard: `results/bench_perf.json` is a committed artifact
+    /// (ROADMAP requires the perf trajectory to live in-tree). A deleted
+    /// or stale-schema file must fail `cargo test`, not just the CI
+    /// perf-smoke job.
+    #[test]
+    fn committed_perf_report_exists_and_validates() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_perf.json");
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "results/bench_perf.json missing or unreadable ({e}); \
+                 regenerate it with `cargo bench --bench gemm` and commit it"
+            )
+        });
+        validate_report(&text).expect("committed bench_perf.json violates the current schema");
     }
 
     #[test]

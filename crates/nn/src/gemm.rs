@@ -68,6 +68,15 @@ fn par_chunks(pool: &WorkerPool, rows: usize, flops: usize) -> usize {
     }
 }
 
+/// The number of row chunks the fast kernels dispatch for a product
+/// with `rows` parallelizable rows and `flops` total flops on `pool` —
+/// i.e. the effective parallelism of that timed region (1 when the
+/// product is too small to amortize a dispatch). Exposed so perf
+/// reporting can record what actually ran instead of the pool size.
+pub fn planned_chunks(pool: &WorkerPool, rows: usize, flops: usize) -> usize {
+    par_chunks(pool, rows, flops)
+}
+
 // ---------------------------------------------------------------------
 // NN: out[m,n] += a[m,k] × b[k,n]
 // ---------------------------------------------------------------------

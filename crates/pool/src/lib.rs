@@ -28,6 +28,10 @@
 
 #![deny(missing_docs)]
 
+mod slots;
+
+pub use slots::WorkerSlots;
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
@@ -73,7 +77,10 @@ impl Shared {
 }
 
 thread_local! {
-    static ON_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// The worker index of the current thread, when it is a pool worker
+    /// (of any pool — indices are per-pool, 0-based, stable for the
+    /// thread's lifetime).
+    static WORKER_ID: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
 }
 
 /// A fixed set of long-lived worker threads executing borrowed closures
@@ -152,7 +159,20 @@ impl WorkerPool {
     /// Whether the current thread is one of this process's pool workers
     /// (any pool — a nested dispatch always runs inline).
     pub fn on_worker_thread() -> bool {
-        ON_WORKER.with(std::cell::Cell::get)
+        Self::current_worker().is_some()
+    }
+
+    /// The current thread's worker index, when it is a pool worker.
+    ///
+    /// Indices are 0-based and stable for the thread's lifetime, which
+    /// makes them usable as slots into worker-indexed storage (see
+    /// [`WorkerSlots`]): under static assignment, task `t` always sees
+    /// the same index `t % threads`, so per-worker resident state stays
+    /// warm across dispatches. Non-worker threads (including the
+    /// dispatcher, and every thread of a 1-thread pool, which runs
+    /// inline) return `None`.
+    pub fn current_worker() -> Option<usize> {
+        WORKER_ID.with(std::cell::Cell::get)
     }
 
     /// Runs `f(t)` for every `t in 0..tasks` with static assignment:
@@ -279,7 +299,7 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared, id: usize, threads: usize) {
-    ON_WORKER.with(|f| f.set(true));
+    WORKER_ID.with(|f| f.set(Some(id)));
     let mut seen = 0u64;
     loop {
         let msg = {

@@ -1,0 +1,214 @@
+//! Worker-indexed storage: one resident value per pool worker.
+//!
+//! [`WorkerSlots`] replaces the `Mutex<Vec<T>>` "grab any free one"
+//! pattern for expensive resident state (incremental evaluation
+//! sessions, scratch arenas). Under that pattern every borrow funnels
+//! through one lock and values migrate between threads, so per-thread
+//! warm state (caches, resident netlists) keeps landing on a thread it
+//! was not warmed for. Here each pool worker owns a dedicated slot
+//! addressed by [`WorkerPool::current_worker`]; non-worker threads
+//! (sequential callers, the dispatcher) share a spill stack, which for
+//! the common one-sequential-searcher case degenerates to a single
+//! always-warm resident value.
+//!
+//! Check-out moves the value out of its slot, so a panic while using it
+//! simply drops it — the slot is left empty and the next checkout
+//! starts fresh. Nothing is ever left half-mutated in a slot.
+
+use crate::WorkerPool;
+use std::sync::Mutex;
+
+/// Per-worker resident storage with a spill stack for non-worker
+/// threads. See the module docs for the design rationale.
+pub struct WorkerSlots<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    spill: Mutex<Vec<T>>,
+}
+
+impl<T> WorkerSlots<T> {
+    /// Storage with `workers` dedicated slots. Workers with an index
+    /// beyond `workers` (a pool larger than anticipated) fall back to
+    /// the spill stack — correct, just not resident.
+    pub fn new(workers: usize) -> Self {
+        WorkerSlots {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+            spill: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of dedicated worker slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn lock<'a, U>(m: &'a Mutex<U>) -> std::sync::MutexGuard<'a, U> {
+        // Poisoning cannot leave a half-mutated value here (values are
+        // moved out before use), so recover instead of propagating.
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The current thread's dedicated slot, when it is a pool worker
+    /// with an in-range index.
+    fn own_slot(&self) -> Option<&Mutex<Option<T>>> {
+        WorkerPool::current_worker().and_then(|w| self.slots.get(w))
+    }
+
+    /// Takes the resident value: a worker takes from its own slot, any
+    /// other thread pops the spill stack. Returns `None` when nothing is
+    /// resident — the caller creates a fresh value and later returns it
+    /// via [`WorkerSlots::checkin`].
+    pub fn checkout(&self) -> Option<T> {
+        self.checkout_where(|_| false)
+    }
+
+    /// [`WorkerSlots::checkout`], but a non-worker thread first scans
+    /// the spill stack for a value matching `prefer` (e.g. a session
+    /// whose resident state matches a delta-evaluation hint) before
+    /// falling back to the most recently checked-in one. A worker's own
+    /// slot is always taken as-is: it holds that worker's warm state by
+    /// construction.
+    pub fn checkout_where(&self, prefer: impl Fn(&T) -> bool) -> Option<T> {
+        if let Some(slot) = self.own_slot() {
+            return Self::lock(slot).take();
+        }
+        let mut spill = Self::lock(&self.spill);
+        match spill.iter().position(&prefer) {
+            // `remove`, not `swap_remove`: the stack stays LIFO-ordered
+            // (warmest last) for the next preference miss.
+            Some(i) => Some(spill.remove(i)),
+            None => spill.pop(),
+        }
+    }
+
+    /// Returns a value: a worker parks it in its own slot (spilling only
+    /// if the slot is somehow occupied), any other thread pushes it onto
+    /// the spill stack.
+    pub fn checkin(&self, value: T) {
+        if let Some(slot) = self.own_slot() {
+            let mut guard = Self::lock(slot);
+            if guard.is_none() {
+                *guard = Some(value);
+                return;
+            }
+        }
+        Self::lock(&self.spill).push(value);
+    }
+}
+
+impl<T> std::fmt::Debug for WorkerSlots<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSlots")
+            .field("capacity", &self.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn non_worker_threads_use_the_spill_stack() {
+        let slots: WorkerSlots<u32> = WorkerSlots::new(4);
+        assert_eq!(slots.capacity(), 4);
+        assert!(slots.checkout().is_none());
+        slots.checkin(7);
+        slots.checkin(9);
+        // LIFO: the most recently checked-in value is the warmest.
+        assert_eq!(slots.checkout(), Some(9));
+        assert_eq!(slots.checkout_where(|v| *v == 7), Some(7));
+        assert!(slots.checkout().is_none());
+    }
+
+    #[test]
+    fn checkout_where_prefers_matching_spill_values() {
+        let slots: WorkerSlots<u32> = WorkerSlots::new(1);
+        slots.checkin(1);
+        slots.checkin(2);
+        slots.checkin(3);
+        assert_eq!(slots.checkout_where(|v| *v == 1), Some(1));
+        assert_eq!(slots.checkout(), Some(3), "no match falls back to LIFO");
+    }
+
+    #[test]
+    fn workers_keep_their_own_resident_value() {
+        let pool = WorkerPool::new(4);
+        let slots: WorkerSlots<usize> = WorkerSlots::new(4);
+        // First epoch: every slot is empty; each worker checks in a
+        // value tagged with its own id.
+        pool.run(4, |t| {
+            assert!(slots.checkout().is_none(), "task {t}: slot starts empty");
+            let id = WorkerPool::current_worker().expect("task runs on a worker");
+            assert_eq!(id, t % 4, "static assignment maps task to worker");
+            slots.checkin(id);
+        });
+        // Second epoch: each worker gets its own value back.
+        let matches = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            let id = WorkerPool::current_worker().unwrap();
+            let got = slots.checkout().expect("value is resident");
+            if got == id {
+                matches.fetch_add(1, Ordering::Relaxed);
+            }
+            slots.checkin(got);
+        });
+        assert_eq!(
+            matches.load(Ordering::Relaxed),
+            4,
+            "residency is per-worker"
+        );
+        // The dispatcher never sees worker-slot values.
+        assert!(slots.checkout().is_none());
+    }
+
+    #[test]
+    fn out_of_range_workers_spill_instead_of_panicking() {
+        let pool = WorkerPool::new(3);
+        let slots: WorkerSlots<usize> = WorkerSlots::new(1);
+        pool.run(3, |t| slots.checkin(t));
+        // Worker 0 parked in its slot; workers 1 and 2 spilled.
+        let mut spilled = Vec::new();
+        while let Some(v) = slots.checkout() {
+            spilled.push(v);
+        }
+        spilled.sort_unstable();
+        assert_eq!(spilled, vec![1, 2]);
+        let resident = AtomicUsize::new(usize::MAX);
+        // Three tasks so the dispatch actually fans out (a single task
+        // runs inline on the dispatcher); only worker 0's matters.
+        pool.run(3, |t| {
+            if t == 0 {
+                if let Some(v) = slots.checkout() {
+                    resident.store(v, Ordering::Relaxed);
+                    slots.checkin(v);
+                }
+            }
+        });
+        assert_eq!(resident.load(Ordering::Relaxed), 0, "slot 0 kept its value");
+    }
+
+    #[test]
+    fn dropped_checkouts_leave_the_slot_empty() {
+        // A panic between checkout and checkin drops the value: the next
+        // checkout sees an empty slot rather than stale state.
+        let pool = WorkerPool::new(2);
+        let slots: WorkerSlots<String> = WorkerSlots::new(2);
+        pool.run(2, |_| slots.checkin("warm".to_string()));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(2, |_| {
+                let _v = slots.checkout().expect("resident");
+                panic!("evaluation failed");
+            });
+        }));
+        assert!(r.is_err());
+        let refreshed = AtomicUsize::new(0);
+        pool.run(2, |_| {
+            if slots.checkout().is_none() {
+                refreshed.fetch_add(1, Ordering::Relaxed);
+            }
+            slots.checkin("fresh".to_string());
+        });
+        assert_eq!(refreshed.load(Ordering::Relaxed), 2);
+    }
+}

@@ -5,11 +5,13 @@ use crate::cost::{CostParams, PpaReport};
 use crate::flow::SynthesisFlow;
 use crate::pareto::SharedArchive;
 use crate::session::EvalSession;
-use cv_pool::WorkerPool;
+use cv_pool::{WorkerPool, WorkerSlots};
 use cv_prefix::PrefixGrid;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -149,6 +151,56 @@ impl Objective {
 /// A cache slot: `None` while its owning thread is synthesizing.
 type Slot = Arc<Mutex<Option<EvalRecord>>>;
 
+/// One lock stripe of the sharded cache.
+type Shard = Mutex<HashMap<PrefixGrid, Slot>>;
+
+/// Number of lock stripes. A power of two comfortably above any worker
+/// count we dispatch (the pool clamps at 256 threads but batch chunks
+/// rarely exceed 16): with uniformly hashed keys, the probability that
+/// two concurrent publishes collide on a stripe stays low, and a stripe
+/// lock is held only for a `HashMap` probe — never across a synthesis.
+const CACHE_SHARDS: usize = 16;
+
+/// A lock-striped `PrefixGrid → Slot` map: the evaluator's cache,
+/// sharded so concurrent cache probes and publishes from different
+/// workers stop serializing on one global mutex. Claim slots (the
+/// in-flight `None` state of a [`Slot`]) live inside their shard, so
+/// the per-key claim discipline is unchanged — only the lock that
+/// guards the *map* is split.
+struct ShardedCache {
+    shards: Box<[Shard]>,
+}
+
+impl ShardedCache {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The stripe owning `key`. Routing uses a fixed-key hasher
+    /// (deterministic across runs), though nothing observable depends on
+    /// the routing: accounting and publish order are fixed by the
+    /// callers, and snapshots sort canonically.
+    fn shard(&self, key: &PrefixGrid) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Whether `key` is cached or claimed, with a brief stripe lock.
+    fn contains(&self, key: &PrefixGrid) -> bool {
+        self.shard(key).lock().contains_key(key)
+    }
+
+    /// Total entries (cached + claimed) across all stripes.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
 /// A caching, counting, thread-safe evaluator.
 ///
 /// Re-evaluating a grid already in the cache costs nothing and does *not*
@@ -159,18 +211,20 @@ type Slot = Arc<Mutex<Option<EvalRecord>>>;
 /// paper notes legalization "may be considered part of the objective").
 pub struct CachedEvaluator {
     objective: Objective,
-    // Each entry is a slot shared by every thread querying that design:
-    // the first thread holds the slot's lock while it synthesizes, so
-    // concurrent queries for the same key block on the slot (not the
-    // whole cache) and never double-count a simulation.
-    cache: Mutex<HashMap<PrefixGrid, Slot>>,
+    // Lock-striped map of slots. Each slot is shared by every thread
+    // querying that design: the first thread holds the slot's lock while
+    // it synthesizes, so concurrent queries for the same key block on
+    // the slot (not even the stripe, let alone the whole cache) and
+    // never double-count a simulation.
+    cache: ShardedCache,
     counter: SimCounter,
-    // Pool of incremental evaluation sessions; every cache miss borrows
-    // one (creating it on demand), so a sequential searcher keeps hitting
-    // the same resident state and parallel batches get one session per
-    // worker. Sessions are bit-for-bit equal to `Objective::evaluate`,
-    // which is what keeps the cache coherent.
-    sessions: Mutex<Vec<EvalSession>>,
+    // Incremental evaluation sessions, one resident per pool worker
+    // (created on demand): delta-evaluation state warms up per worker
+    // instead of bouncing through a shared lock, and a sequential
+    // searcher keeps hitting the same resident spill session. Sessions
+    // are bit-for-bit equal to `Objective::evaluate`, which is what
+    // keeps the cache coherent.
+    sessions: WorkerSlots<EvalSession>,
     incremental: bool,
     // Optional frontier observer: every *counted* simulation offers its
     // (grid, PPA) to the attached archive. Observation-only — see the
@@ -182,7 +236,7 @@ pub struct CachedEvaluator {
 /// publishing a result, so a panicking synthesis (e.g. a width-mismatch
 /// assert) doesn't wedge the key for every later query.
 struct Unclaim<'a> {
-    cache: &'a Mutex<HashMap<PrefixGrid, Slot>>,
+    shard: &'a Shard,
     key: &'a PrefixGrid,
     armed: bool,
 }
@@ -190,7 +244,7 @@ struct Unclaim<'a> {
 impl Drop for Unclaim<'_> {
     fn drop(&mut self) {
         if self.armed {
-            self.cache.lock().remove(self.key);
+            self.shard.lock().remove(self.key);
         }
     }
 }
@@ -213,9 +267,12 @@ impl CachedEvaluator {
     fn with_incremental(objective: Objective, incremental: bool) -> Self {
         CachedEvaluator {
             objective,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             counter: SimCounter::new(),
-            sessions: Mutex::new(Vec::new()),
+            // Enough dedicated slots for the global pool; custom pools
+            // (benches, tests) stay resident up to 16 workers and spill
+            // beyond. Capacity only affects perf, never results.
+            sessions: WorkerSlots::new(WorkerPool::global().threads().max(16)),
             incremental,
             archive: Mutex::new(None),
         }
@@ -249,28 +306,26 @@ impl CachedEvaluator {
         self.incremental
     }
 
-    /// Runs one physical simulation of `key` (already legalized),
-    /// preferring a pooled session whose resident state matches `prev`.
+    /// Runs one physical simulation of `key` (already legalized) on the
+    /// current thread's resident session: a pool worker uses its own
+    /// slot, a sequential caller the spill stack (preferring a spilled
+    /// session whose resident state matches `prev`).
     fn simulate(&self, key: &PrefixGrid, prev: Option<&PrefixGrid>) -> EvalRecord {
         if !self.incremental {
             return self.objective.evaluate(key);
         }
-        let mut session = {
-            let mut pool = self.sessions.lock();
-            let picked = prev
-                .and_then(|p| pool.iter().position(|s| s.last_grid() == Some(p)))
-                .map(|i| pool.swap_remove(i))
-                .or_else(|| pool.pop());
-            picked.unwrap_or_else(|| EvalSession::from_objective(&self.objective))
-        };
-        // If evaluation panics the session is simply dropped (a fresh one
-        // is created on demand later), so the pool never holds a session
-        // in a half-mutated state.
+        let mut session = self
+            .sessions
+            .checkout_where(|s| prev.is_some() && s.last_grid() == prev)
+            .unwrap_or_else(|| EvalSession::from_objective(&self.objective));
+        // If evaluation panics the checked-out session is simply dropped
+        // (a fresh one is created on demand later), so no slot ever holds
+        // a session in a half-mutated state.
         let rec = match prev {
             Some(p) => session.evaluate_delta(p, key),
             None => session.evaluate(key),
         };
-        self.sessions.lock().push(session);
+        self.sessions.checkin(session);
         rec
     }
 
@@ -286,7 +341,7 @@ impl CachedEvaluator {
 
     /// Number of distinct designs simulated so far.
     pub fn unique_designs(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.len()
     }
 
     /// Evaluates one grid, consulting the cache.
@@ -304,17 +359,24 @@ impl CachedEvaluator {
     }
 
     fn evaluate_inner(&self, grid: &PrefixGrid, prev: Option<&PrefixGrid>) -> EvalRecord {
-        let key = if grid.is_legal() {
-            grid.clone()
+        if grid.is_legal() {
+            self.evaluate_key(grid, prev)
         } else {
-            grid.legalized()
-        };
+            self.evaluate_key(&grid.legalized(), prev)
+        }
+    }
+
+    /// [`CachedEvaluator::evaluate_inner`] for an already-legalized key.
+    /// Cache hits never clone the grid; the claim path clones it once,
+    /// to own the map entry.
+    fn evaluate_key(&self, key: &PrefixGrid, prev: Option<&PrefixGrid>) -> EvalRecord {
+        let shard = self.cache.shard(key);
         loop {
             // Claim or find the slot for this key. If we create it, lock
-            // it *before* releasing the cache lock so racers on the same
+            // it *before* releasing the stripe lock so racers on the same
             // key block until our result is in.
-            let mut map = self.cache.lock();
-            if let Some(slot) = map.get(&key).cloned() {
+            let mut map = shard.lock();
+            if let Some(slot) = map.get(key).cloned() {
                 drop(map);
                 if let Some(rec) = *slot.lock() {
                     return rec;
@@ -328,11 +390,11 @@ impl CachedEvaluator {
             let mut guard = slot.lock();
             drop(map);
             let mut unclaim = Unclaim {
-                cache: &self.cache,
-                key: &key,
+                shard,
+                key,
                 armed: true,
             };
-            let rec = self.simulate(&key, prev);
+            let rec = self.simulate(key, prev);
             unclaim.armed = false;
             // The post-add count is taken atomically with the add so
             // parallel batch evaluations stamp distinct, gap-free
@@ -362,9 +424,15 @@ impl CachedEvaluator {
     pub fn state(&self) -> EvaluatorState {
         let mut entries: Vec<(PrefixGrid, EvalRecord)> = self
             .cache
-            .lock()
+            .shards
             .iter()
-            .filter_map(|(k, slot)| slot.lock().map(|rec| (k.clone(), rec)))
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .iter()
+                    .filter_map(|(k, slot)| slot.lock().map(|rec| (k.clone(), rec)))
+                    .collect::<Vec<_>>()
+            })
             .collect();
         let mut keyed: Vec<(Vec<u8>, (PrefixGrid, EvalRecord))> = entries
             .drain(..)
@@ -386,27 +454,33 @@ impl CachedEvaluator {
     /// for a freshly built evaluator of the same objective; any existing
     /// cache entries are dropped.
     pub fn restore_state(&self, state: &EvaluatorState) {
-        let mut map = self.cache.lock();
-        map.clear();
-        for (g, rec) in &state.entries {
-            map.insert(g.clone(), Arc::new(Mutex::new(Some(*rec))));
+        for shard in self.cache.shards.iter() {
+            shard.lock().clear();
         }
-        drop(map);
+        for (g, rec) in &state.entries {
+            self.cache
+                .shard(g)
+                .lock()
+                .insert(g.clone(), Arc::new(Mutex::new(Some(*rec))));
+        }
         self.counter.set(state.sims);
     }
 
     /// Publishes a result simulated outside the cache claim discipline
-    /// (the parallel batch path): claims the key, stamps the counter and
-    /// archive exactly like a sequential cache miss, and returns the
-    /// authoritative record (a racing evaluation's record if it got
-    /// there first — its owner already counted it).
-    fn publish(&self, key: &PrefixGrid, rec: EvalRecord) -> EvalRecord {
+    /// (the parallel batch path): claims the key and stamps the counter
+    /// exactly like a sequential cache miss. Returns the `(ppa, sims)`
+    /// archive offer when this call published (the caller replays offers
+    /// in first-occurrence order under one archive lock), and `None`
+    /// when a racing evaluation got there first — its owner already
+    /// counted and offered it.
+    fn publish_slot(&self, key: &PrefixGrid, rec: EvalRecord) -> Option<(PpaReport, usize)> {
+        let shard = self.cache.shard(key);
         loop {
-            let mut map = self.cache.lock();
+            let mut map = shard.lock();
             if let Some(slot) = map.get(key).cloned() {
                 drop(map);
-                if let Some(existing) = *slot.lock() {
-                    return existing;
+                if slot.lock().is_some() {
+                    return None;
                 }
                 // The claiming owner unwound; retry and claim ourselves.
                 continue;
@@ -416,70 +490,96 @@ impl CachedEvaluator {
             let mut guard = slot.lock();
             drop(map);
             let sims = self.counter.add_and_count(1);
-            if let Some(archive) = self.archive.lock().clone() {
-                archive.lock().insert(key.clone(), rec.ppa, sims);
-            }
             *guard = Some(rec);
-            return rec;
+            return Some((rec.ppa, sims));
         }
     }
 
-    /// Evaluates a batch across the shared worker pool (at most
-    /// `threads` result chunks). Results align with the input order.
+    /// Evaluates a batch across the shared worker pool. See
+    /// [`CachedEvaluator::evaluate_batch_on`].
+    pub fn evaluate_batch(&self, grids: &[PrefixGrid], threads: usize) -> Vec<EvalRecord> {
+        self.evaluate_batch_on(WorkerPool::global(), grids, threads)
+    }
+
+    /// Evaluates a batch across `pool` (at most `threads` result
+    /// chunks). Results align with the input order.
     ///
     /// **Deterministically equal to the sequential path**: unique
     /// uncached designs are simulated in parallel into per-chunk result
-    /// slots (lock-free disjoint writes), then *published* — counted,
-    /// offered to any attached archive, and inserted into the cache —
-    /// sequentially in first-occurrence order. Batch output order, the
-    /// final simulation count, and every archive observation stamp are
-    /// therefore bit-identical to `grids.iter().map(|g| evaluate(g))`,
-    /// at every thread count.
-    pub fn evaluate_batch(&self, grids: &[PrefixGrid], threads: usize) -> Vec<EvalRecord> {
+    /// slots (lock-free disjoint writes, one resident session per
+    /// worker), then *published* — counted and inserted into the cache
+    /// sequentially in first-occurrence order, with the archive offers
+    /// replayed in that same order under a single archive lock. Batch
+    /// output order, the final simulation count, and every archive
+    /// observation stamp are therefore bit-identical to
+    /// `grids.iter().map(|g| evaluate(g))`, at every thread count and
+    /// pool size.
+    pub fn evaluate_batch_on(
+        &self,
+        pool: &WorkerPool,
+        grids: &[PrefixGrid],
+        threads: usize,
+    ) -> Vec<EvalRecord> {
         if grids.is_empty() {
             return Vec::new();
         }
         let threads = threads.clamp(1, grids.len());
-        let keys: Vec<PrefixGrid> = grids
+        // Legalize lazily: already-legal grids are borrowed, not cloned.
+        let keys: Vec<Cow<'_, PrefixGrid>> = grids
             .iter()
             .map(|g| {
                 if g.is_legal() {
-                    g.clone()
+                    Cow::Borrowed(g)
                 } else {
-                    g.legalized()
+                    Cow::Owned(g.legalized())
                 }
             })
             .collect();
-        // Unique keys not yet claimed in the cache, first-occurrence
-        // order (the order the sequential path would count them in).
-        let pending: Vec<PrefixGrid> = {
-            let map = self.cache.lock();
-            let mut seen = HashSet::new();
-            keys.iter()
-                .filter(|k| !map.contains_key(*k) && seen.insert((*k).clone()))
-                .cloned()
-                .collect()
-        };
+        // Unique keys in first-occurrence order (the order the
+        // sequential path would count them in), deduplicated by
+        // reference — no clones, no cache lock. Only the pending misses
+        // are then cloned, outside any stripe lock (`contains` takes its
+        // stripe lock per probe, for just the probe).
+        let mut seen: HashSet<&PrefixGrid> = HashSet::with_capacity(keys.len());
+        let pending: Vec<PrefixGrid> = keys
+            .iter()
+            .map(Cow::as_ref)
+            .filter(|k| seen.insert(*k) && !self.cache.contains(k))
+            .cloned()
+            .collect();
+        let mut results: Vec<Option<EvalRecord>> = vec![None; pending.len()];
         if threads > 1 && pending.len() > 1 {
-            let mut results: Vec<Option<EvalRecord>> = vec![None; pending.len()];
             let chunk = pending.len().div_ceil(threads);
-            WorkerPool::global().scatter(&mut results, chunk, |c, out| {
+            pool.scatter(&mut results, chunk, |c, out| {
                 for (slot, key) in out.iter_mut().zip(&pending[c * chunk..]) {
                     *slot = Some(self.simulate(key, None));
                 }
             });
-            for (key, rec) in pending.iter().zip(results) {
-                self.publish(key, rec.expect("chunk simulated"));
-            }
         } else {
-            for key in &pending {
-                let rec = self.simulate(key, None);
-                self.publish(key, rec);
+            for (slot, key) in results.iter_mut().zip(&pending) {
+                *slot = Some(self.simulate(key, None));
             }
+        }
+        // Publish phase, sequential in first-occurrence order. Archive
+        // offers are accumulated and replayed in that same order under
+        // one archive lock, so the publish loop itself never serializes
+        // on the archive (Contract 7 holds: same offers, same order,
+        // same stamps as the sequential path).
+        let archive = self.archive.lock().clone();
+        let mut offers: Vec<(PrefixGrid, PpaReport, usize)> = Vec::new();
+        for (key, rec) in pending.iter().zip(results) {
+            if let Some((ppa, sims)) = self.publish_slot(key, rec.expect("chunk simulated")) {
+                if archive.is_some() {
+                    offers.push((key.clone(), ppa, sims));
+                }
+            }
+        }
+        if let Some(archive) = archive {
+            archive.lock().insert_all(offers);
         }
         // Every key is now cached (or claimed by a racing evaluation):
         // plain lookups, no further counting.
-        keys.iter().map(|k| self.evaluate(k)).collect()
+        keys.iter().map(|k| self.evaluate_key(k, None)).collect()
     }
 }
 

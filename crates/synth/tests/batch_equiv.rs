@@ -1,0 +1,137 @@
+//! Equivalence properties of the sharded-cache parallel batch path
+//! (DESIGN.md §8): `evaluate_batch` must be observationally identical to
+//! the sequential loop — output order, simulation counts, and archive
+//! observation stamps byte-for-byte — at every thread count, for
+//! duplicate-heavy and all-cache-hit batches alike. Plus a regression
+//! test that per-worker resident sessions survive a panicking
+//! evaluation.
+
+use cv_cells::nangate45_like;
+use cv_pool::WorkerPool;
+use cv_prefix::{bitvec, topologies, CircuitKind, PrefixGrid};
+use cv_synth::{CachedEvaluator, CostParams, EvalRecord, Objective, ParetoArchive, SynthesisFlow};
+use proptest::prelude::*;
+
+const W: usize = 10;
+
+fn evaluator() -> CachedEvaluator {
+    CachedEvaluator::new(Objective::new(
+        SynthesisFlow::new(nangate45_like(), CircuitKind::Adder, W),
+        CostParams::new(0.66),
+    ))
+}
+
+fn arb_grid() -> impl Strategy<Value = PrefixGrid> {
+    let free = (W - 1) * (W - 2) / 2;
+    prop::collection::vec(any::<bool>(), free)
+        .prop_map(|bits| bitvec::decode_bits(W, &bits).expect("length matches"))
+}
+
+/// A batch of up to 6 distinct designs with up to 6 duplicates spliced
+/// in at arbitrary positions — the duplicate-heavy shape that stresses
+/// first-occurrence accounting.
+fn arb_batch() -> impl Strategy<Value = Vec<PrefixGrid>> {
+    (
+        prop::collection::vec(arb_grid(), 1..6),
+        prop::collection::vec((0usize..64, 0usize..64), 0..6),
+    )
+        .prop_map(|(mut batch, dups)| {
+            for (src, pos) in dups {
+                let dup = batch[src % batch.len()].clone();
+                batch.insert(pos % (batch.len() + 1), dup);
+            }
+            batch
+        })
+}
+
+/// Thread counts exercised per case: serial, small, odd, and far beyond
+/// both the batch size and any real pool.
+const THREADS: [usize; 4] = [1, 2, 5, 64];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn batch_is_byte_identical_to_sequential(batch in arb_batch()) {
+        let seq_ev = evaluator();
+        let seq_arch = ParetoArchive::new().with_log().into_shared();
+        seq_ev.attach_archive(seq_arch.clone());
+        let seq: Vec<EvalRecord> = batch.iter().map(|g| seq_ev.evaluate(g)).collect();
+        let seq_obs = seq_arch.lock().observations().to_vec();
+        let seq_bytes = seq_arch.lock().to_ckpt_bytes();
+        for threads in THREADS {
+            let ev = evaluator();
+            let arch = ParetoArchive::new().with_log().into_shared();
+            ev.attach_archive(arch.clone());
+            let out = ev.evaluate_batch(&batch, threads);
+            prop_assert_eq!(&out, &seq, "threads={}: output order", threads);
+            prop_assert_eq!(
+                ev.counter().count(),
+                seq_ev.counter().count(),
+                "threads={}: simulation count",
+                threads
+            );
+            let obs = arch.lock().observations().to_vec();
+            prop_assert_eq!(obs, seq_obs.clone(), "threads={}: observation stamps", threads);
+            let bytes = arch.lock().to_ckpt_bytes();
+            prop_assert_eq!(bytes, seq_bytes.clone(), "threads={}: archive bytes", threads);
+        }
+    }
+
+    #[test]
+    fn all_cache_hit_batches_stay_silent(batch in arb_batch()) {
+        // Once every design is cached, a batch at any thread count must
+        // cost zero simulations and leave the archive untouched.
+        let ev = evaluator();
+        let arch = ParetoArchive::new().with_log().into_shared();
+        ev.attach_archive(arch.clone());
+        let warm: Vec<EvalRecord> = batch.iter().map(|g| ev.evaluate(g)).collect();
+        let sims = ev.counter().count();
+        let bytes = arch.lock().to_ckpt_bytes();
+        for threads in THREADS {
+            let out = ev.evaluate_batch(&batch, threads);
+            prop_assert_eq!(&out, &warm, "threads={}: cached results", threads);
+            prop_assert_eq!(ev.counter().count(), sims, "threads={}: no new sims", threads);
+            let after = arch.lock().to_ckpt_bytes();
+            prop_assert_eq!(after, bytes.clone(), "threads={}: archive untouched", threads);
+        }
+    }
+}
+
+/// Per-worker resident sessions must survive a panicking evaluation:
+/// the panic unwinds out of the batch (re-thrown by the pool), the
+/// poisoned design's key is un-claimed, nothing is counted for it, and
+/// the same evaluator/pool pair keeps producing correct results.
+#[test]
+fn batch_survives_a_panicking_evaluation() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let pool = WorkerPool::new(4);
+    let ev = evaluator();
+    let good: Vec<PrefixGrid> = vec![
+        topologies::sklansky(W),
+        topologies::brent_kung(W),
+        topologies::ripple(W),
+        topologies::kogge_stone(W),
+    ];
+    // A wrong-width design panics inside the synthesis flow.
+    let mut poisoned = good.clone();
+    poisoned.insert(2, topologies::sklansky(W + 4));
+    for _ in 0..2 {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            ev.evaluate_batch_on(&pool, &poisoned, 4)
+        }));
+        assert!(r.is_err(), "width mismatch must propagate out of the batch");
+    }
+    // Reference results from an untouched evaluator.
+    let reference = evaluator();
+    let expected: Vec<EvalRecord> = good.iter().map(|g| reference.evaluate(g)).collect();
+    let after = ev.evaluate_batch_on(&pool, &good, 4);
+    assert_eq!(after, expected, "evaluator unusable after a batch panic");
+    assert_eq!(
+        ev.counter().count(),
+        good.len(),
+        "only successful simulations may count (failed ones must not)"
+    );
+    // And the sequential entry points still work on the same instance.
+    assert_eq!(ev.evaluate(&good[0]), expected[0]);
+}
