@@ -16,8 +16,18 @@
 //!
 //! Usage: `campaign [--scale smoke|default|paper] [--dir PATH]
 //! [--halt-after N] [--threads N] [--fresh]`
+//!
+//! Fault injection: setting `CV_FAILPOINT=<ticks>` arms the
+//! `cv-journal` failpoint harness in real-kill mode — the process
+//! aborts once the durable write path has spent that many ticks (one
+//! per byte written, one per fsync/rename/…). Re-running with the same
+//! `--dir` (and no `CV_FAILPOINT`) must then resume to outputs
+//! byte-identical to an uninterrupted run; the CI `crash-smoke` job
+//! cycles several such kill points and `diff -r`s the directories.
 
-use cv_bench::campaign::{run_campaign, CampaignConfig, CampaignTask};
+use cv_bench::campaign::{
+    run_campaign, summary_csv, CampaignConfig, CampaignTask, JOURNAL_MAX_BYTES,
+};
 use cv_bench::harness::{results_dir, ExperimentSpec, Method, Scale, TechLibrary};
 use cv_prefix::CircuitKind;
 use std::path::PathBuf;
@@ -42,6 +52,9 @@ fn arg_flag(name: &str) -> bool {
 }
 
 fn main() {
+    if cv_journal::failpoint::arm_from_env() {
+        eprintln!("campaign: CV_FAILPOINT armed — this run will be killed mid-write");
+    }
     let scale = Scale::from_args();
     let dir: PathBuf = arg_value("--dir")
         .map(PathBuf::from)
@@ -108,6 +121,7 @@ fn main() {
         },
         threads,
         halt_after,
+        journal_max_bytes: JOURNAL_MAX_BYTES,
     };
     println!(
         "campaign: {} tasks ({} techs × {widths:?} × {} methods × {seeds} seeds), {} threads, dir {}",
@@ -128,7 +142,6 @@ fn main() {
         return;
     }
 
-    let mut csv = String::from("tech,width,method,seed,sims,best_cost,front_size\n");
     println!(
         "{:>10} {:>5} {:>12} {:>6} {:>6} {:>12} {:>6}",
         "tech", "width", "method", "seed", "sims", "best", "front"
@@ -140,14 +153,6 @@ fn main() {
             TechLibrary::Scaled8nmLike => "scaled8nm",
         };
         let sims = r.outcome.history.last().map_or(0, |&(s, _)| s);
-        csv.push_str(&format!(
-            "{tech},{},{},{},{sims},{:.9},{}\n",
-            task.spec.width,
-            task.method.label(),
-            task.seed,
-            r.outcome.best_cost,
-            r.archive.len()
-        ));
         println!(
             "{:>10} {:>5} {:>12} {:>6} {:>6} {:>12.4} {:>6}",
             tech,
@@ -160,7 +165,8 @@ fn main() {
         );
     }
     let summary = dir.join("campaign_summary.csv");
-    std::fs::write(&summary, csv).expect("write campaign summary");
+    cv_journal::fs::write_atomic(&summary, summary_csv(&tasks, &results).as_bytes())
+        .expect("write campaign summary");
     println!(
         "campaign OK: {} tasks complete; wrote {}",
         tasks.len(),

@@ -246,10 +246,16 @@ fn main() {
     }
     json.push_str("\n  ]\n}\n");
 
+    // Published through the audited durable write path (Contract 10):
+    // a crash mid-publication can never leave a torn CSV for the
+    // determinism job to diff.
     let dir = results_dir();
-    std::fs::write(dir.join("frontier_points.csv"), &points_csv).expect("write points csv");
-    std::fs::write(dir.join("frontier_hv.csv"), &hv_csv).expect("write hv csv");
-    std::fs::write(dir.join("frontier_summary.json"), &json).expect("write summary json");
+    cv_journal::fs::write_atomic(&dir.join("frontier_points.csv"), points_csv.as_bytes())
+        .expect("write points csv");
+    cv_journal::fs::write_atomic(&dir.join("frontier_hv.csv"), hv_csv.as_bytes())
+        .expect("write hv csv");
+    cv_journal::fs::write_atomic(&dir.join("frontier_summary.json"), json.as_bytes())
+        .expect("write summary json");
     println!(
         "wrote frontier_points.csv, frontier_hv.csv, frontier_summary.json under {}",
         dir.display()

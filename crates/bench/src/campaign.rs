@@ -22,12 +22,30 @@
 //! kill (or a deterministic `halt_after` stop) the final outputs
 //! byte-match an uninterrupted run; the CI campaign-smoke job enforces
 //! exactly that.
+//!
+//! **Durability (Contract 10, DESIGN.md §9).** Every persistent
+//! artifact flows through the audited write path in [`cv_journal::fs`]
+//! (unique staging names, fsync before rename, parent-directory sync),
+//! and each task additionally records its life in an append-only
+//! checksummed [`cv_journal::Journal`] (`<id>.journal`): *started*,
+//! *simulated-N* + *checkpointed* at every checkpoint, *completed* (the
+//! final result and telemetry bytes) at the end, when the segment is
+//! atomically rotated down to that single record. Recovery replays the
+//! journal's durable prefix: a torn tail is truncated, a corrupt or
+//! truncated `.done`/`.ckpt` is logged and treated as absent (never a
+//! panic), and a crash that landed after the *completed* record but
+//! before the result files heals the files from the journal — so every
+//! injected crash point resumes to byte-identical outputs. The
+//! fault-injection proptests in `tests/crash_recovery.rs` and the CI
+//! `crash-smoke` job (`CV_FAILPOINT`) pin exactly that.
 
 use crate::driver::{make_driver, MethodDriver};
 use crate::harness::{build_evaluator, ExperimentSpec, Method, TechLibrary};
 use circuitvae::driver::{Checkpointable, SearchDriver, StepStatus};
+use cv_journal::{failpoint, fs, Journal};
 use cv_synth::ckpt::{CkptError, Dec, Enc};
 use cv_synth::{EvaluatorState, ParetoArchive, SearchOutcome};
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
@@ -72,7 +90,16 @@ pub struct CampaignConfig {
     /// deterministic stand-in for a mid-run kill, used by the CI
     /// resume-equality smoke. `None` runs to completion.
     pub halt_after: Option<usize>,
+    /// Rotate a task's event journal once its segment exceeds this many
+    /// bytes (compacting it to the latest durable state). Keeps
+    /// long-running tasks' journals bounded; tests shrink it to force
+    /// rotation under fault injection.
+    pub journal_max_bytes: u64,
 }
+
+/// Default journal segment cap (see
+/// [`CampaignConfig::journal_max_bytes`]).
+pub const JOURNAL_MAX_BYTES: u64 = 1 << 20;
 
 impl CampaignConfig {
     /// An in-memory configuration (no persistence) with `threads`
@@ -83,6 +110,7 @@ impl CampaignConfig {
             checkpoint_every: usize::MAX,
             threads,
             halt_after: None,
+            journal_max_bytes: JOURNAL_MAX_BYTES,
         }
     }
 }
@@ -99,10 +127,182 @@ pub struct TaskResult {
 const DONE_MAGIC: &[u8; 8] = b"CVCPDN01";
 const CKPT_MAGIC: &[u8; 8] = b"CVCPCK01";
 
-fn write_atomic(path: &Path, bytes: &[u8]) {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, bytes).expect("campaign state must be writable");
-    std::fs::rename(&tmp, path).expect("campaign state rename");
+// ---------------------------------------------------------------------
+// Task event journal (Contract 10)
+// ---------------------------------------------------------------------
+
+/// One durable event in a task's journal. Payloads ride inside
+/// checksummed journal frames, so decoding sees only intact records.
+#[derive(Debug, Clone, PartialEq)]
+enum TaskEvent {
+    /// The task began a fresh run.
+    Started,
+    /// The task has consumed `sims` simulations (stamped alongside each
+    /// checkpoint — the budget axis of the journal).
+    Progress {
+        /// Simulations consumed so far.
+        sims: u64,
+    },
+    /// A full resume snapshot (the same bytes as the `.ckpt` file).
+    Checkpoint {
+        /// Encoded [`encode_ckpt`] bytes.
+        bytes: Vec<u8>,
+    },
+    /// The task finished: the final result and telemetry, byte-exact.
+    Completed {
+        /// Encoded [`encode_done`] bytes.
+        done: Vec<u8>,
+        /// The final `.jsonl` content.
+        jsonl: Vec<u8>,
+    },
+}
+
+const EV_STARTED: u8 = 1;
+const EV_PROGRESS: u8 = 2;
+const EV_CHECKPOINT: u8 = 3;
+const EV_COMPLETED: u8 = 4;
+
+impl TaskEvent {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            TaskEvent::Started => enc.u8(EV_STARTED),
+            TaskEvent::Progress { sims } => {
+                enc.u8(EV_PROGRESS);
+                enc.u64(*sims);
+            }
+            TaskEvent::Checkpoint { bytes } => {
+                enc.u8(EV_CHECKPOINT);
+                enc.bytes(bytes);
+            }
+            TaskEvent::Completed { done, jsonl } => {
+                enc.u8(EV_COMPLETED);
+                enc.bytes(done);
+                enc.bytes(jsonl);
+            }
+        }
+        enc.finish()
+    }
+
+    fn decode(payload: &[u8]) -> Result<TaskEvent, CkptError> {
+        let mut dec = Dec::new(payload);
+        let ev = match dec.u8()? {
+            EV_STARTED => TaskEvent::Started,
+            EV_PROGRESS => TaskEvent::Progress { sims: dec.u64()? },
+            EV_CHECKPOINT => TaskEvent::Checkpoint {
+                bytes: dec.bytes()?.to_vec(),
+            },
+            EV_COMPLETED => TaskEvent::Completed {
+                done: dec.bytes()?.to_vec(),
+                jsonl: dec.bytes()?.to_vec(),
+            },
+            _ => return Err(CkptError::Invalid("task event tag")),
+        };
+        dec.finish()?;
+        Ok(ev)
+    }
+}
+
+/// What a journal's durable prefix reconstructs: exactly the state the
+/// orchestrator held at the last durable record.
+#[derive(Debug, Default)]
+struct ReplayedState {
+    /// The latest durable checkpoint snapshot, if any.
+    checkpoint: Option<Vec<u8>>,
+    /// The final result + telemetry, if the task completed durably.
+    completed: Option<(Vec<u8>, Vec<u8>)>,
+    /// The highest durable simulation count.
+    sims: u64,
+}
+
+/// Replays decoded journal records into orchestrator state. A record
+/// that fails to decode (a version change — CRCs already screened out
+/// corruption) ends the trusted prefix, mirroring the torn-tail rule.
+fn replay(records: &[Vec<u8>]) -> ReplayedState {
+    let mut state = ReplayedState::default();
+    for record in records {
+        match TaskEvent::decode(record) {
+            Ok(TaskEvent::Started) => {}
+            Ok(TaskEvent::Progress { sims }) => state.sims = state.sims.max(sims),
+            Ok(TaskEvent::Checkpoint { bytes }) => state.checkpoint = Some(bytes),
+            Ok(TaskEvent::Completed { done, jsonl }) => state.completed = Some((done, jsonl)),
+            Err(_) => break,
+        }
+    }
+    state
+}
+
+/// A task's open journal plus the rotation policy.
+struct TaskJournal {
+    journal: Option<Journal>,
+    max_bytes: u64,
+}
+
+impl TaskJournal {
+    fn open(path: &Path) -> io::Result<(TaskJournal, ReplayedState)> {
+        let opened = Journal::open(path)?;
+        if opened.truncated_bytes > 0 {
+            eprintln!(
+                "campaign: truncated {} bytes of torn tail from {}",
+                opened.truncated_bytes,
+                path.display()
+            );
+        }
+        let state = replay(&opened.records);
+        Ok((
+            TaskJournal {
+                journal: Some(opened.journal),
+                max_bytes: JOURNAL_MAX_BYTES,
+            },
+            state,
+        ))
+    }
+
+    fn started(&mut self) -> io::Result<()> {
+        let payload = TaskEvent::Started.encode();
+        self.journal
+            .as_mut()
+            .expect("journal open")
+            .append(&payload)
+    }
+
+    /// Appends the per-checkpoint event pair (one durable write +
+    /// fsync) and rotates the segment down to it when the cap is
+    /// exceeded.
+    fn checkpoint(&mut self, sims: u64, bytes: &[u8]) -> io::Result<()> {
+        let payloads = [
+            TaskEvent::Progress { sims }.encode(),
+            TaskEvent::Checkpoint {
+                bytes: bytes.to_vec(),
+            }
+            .encode(),
+        ];
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let journal = self.journal.as_mut().expect("journal open");
+        journal.append_all(&refs)?;
+        if journal.len() > self.max_bytes {
+            let rotated = self.journal.take().expect("journal open").rotate(&refs)?;
+            self.journal = Some(rotated);
+        }
+        Ok(())
+    }
+
+    /// Rotates the segment down to the single *completed* record — the
+    /// durable statement that this task's results are final.
+    fn complete(&mut self, done: &[u8], jsonl: &[u8]) -> io::Result<()> {
+        let payload = TaskEvent::Completed {
+            done: done.to_vec(),
+            jsonl: jsonl.to_vec(),
+        }
+        .encode();
+        let rotated = self
+            .journal
+            .take()
+            .expect("journal open")
+            .rotate(&[&payload])?;
+        self.journal = Some(rotated);
+        Ok(())
+    }
 }
 
 fn encode_done(result: &TaskResult) -> Vec<u8> {
@@ -212,36 +412,126 @@ impl HaltState {
     }
 }
 
+/// The on-disk file set of one persistent task.
+struct TaskPaths {
+    done: PathBuf,
+    ckpt: PathBuf,
+    jsonl: PathBuf,
+    journal: PathBuf,
+}
+
+impl TaskPaths {
+    fn new(dir: &Path, id: &str) -> TaskPaths {
+        TaskPaths {
+            done: dir.join(format!("{id}.done")),
+            ckpt: dir.join(format!("{id}.ckpt")),
+            jsonl: dir.join(format!("{id}.jsonl")),
+            journal: dir.join(format!("{id}.journal")),
+        }
+    }
+}
+
+/// Reads and decodes a `.done`/`.ckpt` artifact; a corrupt or truncated
+/// file is logged and **deleted** (recovery treats it as absent and
+/// falls back — never a panic; Contract 10).
+fn read_or_quarantine<T>(
+    path: &Path,
+    what: &str,
+    decode: impl FnOnce(&[u8]) -> Result<T, CkptError>,
+) -> Option<T> {
+    let bytes = std::fs::read(path).ok()?;
+    match decode(&bytes) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!(
+                "campaign: corrupt {what} at {} ({e}); treating as absent",
+                path.display()
+            );
+            let _ = std::fs::remove_file(path);
+            None
+        }
+    }
+}
+
 /// Runs one task to completion (or to the campaign halt), reading and
-/// writing its on-disk state. Returns `None` when the task was
-/// interrupted by the halt flag (its checkpoint is on disk).
-fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Option<TaskResult> {
+/// writing its on-disk state through the audited durable write path.
+/// Returns `Ok(None)` when the task was interrupted by the halt flag
+/// (its checkpoint is on disk).
+///
+/// # Errors
+///
+/// Propagates persistence failures — including crashes injected by an
+/// armed [`failpoint`] in `Error` mode, which the campaign treats as a
+/// process death.
+fn run_task(
+    task: &CampaignTask,
+    cfg: &CampaignConfig,
+    halt: &HaltState,
+) -> io::Result<Option<TaskResult>> {
     let id = task.id();
-    let paths = cfg.dir.as_ref().map(|d| {
-        (
-            d.join(format!("{id}.done")),
-            d.join(format!("{id}.ckpt")),
-            d.join(format!("{id}.jsonl")),
-        )
-    });
+    let paths = cfg.dir.as_ref().map(|d| TaskPaths::new(d, &id));
 
     // Completed on a previous run: reuse the stored result verbatim. A
     // real kill can land between the `.done` write and the checkpoint
     // removal, so sweep up any leftover `.ckpt` here — otherwise the
     // stale file would survive every later resume and the directory
     // would never byte-match a clean run.
-    if let Some((done, ckpt, _)) = &paths {
-        if let Ok(bytes) = std::fs::read(done) {
-            let _ = std::fs::remove_file(ckpt);
-            return Some(decode_done(&bytes).expect("valid .done file"));
+    if let Some(p) = &paths {
+        if let Some(result) = read_or_quarantine(&p.done, ".done file", decode_done) {
+            let _ = std::fs::remove_file(&p.ckpt);
+            return Ok(Some(result));
         }
     }
 
+    // Open the event journal and replay its durable prefix. The journal
+    // is authoritative: its records were appended *before* the matching
+    // `.ckpt`/`.done` files were published, so it is never behind them.
+    let journal = match &paths {
+        Some(p) => {
+            let (mut journal, state) = TaskJournal::open(&p.journal)?;
+            journal.max_bytes = cfg.journal_max_bytes;
+            if let Some((done_bytes, jsonl_bytes)) = &state.completed {
+                if let Ok(result) = decode_done(done_bytes) {
+                    // The task completed durably but died before (or
+                    // while) publishing its result files: heal them
+                    // from the journal, byte-exact.
+                    fs::write_atomic(&p.jsonl, jsonl_bytes)?;
+                    fs::write_atomic(&p.done, done_bytes)?;
+                    let _ = std::fs::remove_file(&p.ckpt);
+                    return Ok(Some(result));
+                }
+                eprintln!(
+                    "campaign: undecodable completed record in {}; replaying from checkpoint",
+                    p.journal.display()
+                );
+            }
+            Some((journal, state))
+        }
+        None => None,
+    };
+
     let evaluator = build_evaluator(&task.spec);
-    let (mut driver, archive, mut round, mut last_line_sims, mut lines) = match &paths {
-        Some((_, ckpt, _)) if ckpt.exists() => {
-            let resumed =
-                decode_ckpt(&std::fs::read(ckpt).expect("readable .ckpt")).expect("valid .ckpt");
+    // Resume source, in order of trust: the journal's latest durable
+    // checkpoint, then the `.ckpt` file (pre-journal directories), then
+    // a fresh start.
+    let resumed = journal
+        .as_ref()
+        .and_then(|(_, state)| state.checkpoint.as_deref())
+        .and_then(|bytes| match decode_ckpt(bytes) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("campaign: undecodable journal checkpoint for {id} ({e})");
+                None
+            }
+        })
+        .or_else(|| {
+            let p = paths.as_ref()?;
+            read_or_quarantine(&p.ckpt, ".ckpt file", decode_ckpt)
+        });
+    let mut journal = journal.map(|(j, _)| j);
+
+    let (mut driver, archive, mut round, mut last_line_sims, mut lines) = match resumed {
+        Some(resumed) => {
             evaluator.restore_state(&resumed.evaluator_state);
             let shared = resumed.archive.into_shared();
             evaluator.attach_archive(shared.clone());
@@ -253,7 +543,10 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
                 resumed.lines,
             )
         }
-        _ => {
+        None => {
+            if let Some(journal) = &mut journal {
+                journal.started()?;
+            }
             let shared = ParetoArchive::new().with_log().into_shared();
             evaluator.attach_archive(shared.clone());
             (
@@ -266,23 +559,46 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
         }
     };
 
+    // One audited checkpoint write: journal first (the durable record),
+    // then the derived `.ckpt` and `.jsonl` artifacts.
+    let persist_checkpoint = |journal: &mut Option<TaskJournal>,
+                              driver: &MethodDriver,
+                              evaluator_state: &EvaluatorState,
+                              archive: &ParetoArchive,
+                              round: usize,
+                              last_line_sims: usize,
+                              lines: &[String]|
+     -> io::Result<()> {
+        let Some(p) = &paths else { return Ok(()) };
+        let bytes = encode_ckpt(
+            driver,
+            evaluator_state,
+            archive,
+            round,
+            last_line_sims,
+            lines,
+        );
+        if let Some(journal) = journal {
+            journal.checkpoint(driver.sims_used() as u64, &bytes)?;
+        }
+        fs::write_atomic(&p.ckpt, &bytes)?;
+        fs::write_atomic(&p.jsonl, lines.join("\n").as_bytes())
+    };
+
     let mut last_ckpt = driver.sims_used();
     loop {
         if halt.halted() {
-            if let Some((_, ckpt, jsonl)) = &paths {
-                let bytes = encode_ckpt(
-                    &driver,
-                    &evaluator.state(),
-                    &archive.lock(),
-                    round,
-                    last_line_sims,
-                    &lines,
-                );
-                write_atomic(ckpt, &bytes);
-                write_atomic(jsonl, lines.join("\n").as_bytes());
-            }
+            persist_checkpoint(
+                &mut journal,
+                &driver,
+                &evaluator.state(),
+                &archive.lock(),
+                round,
+                last_line_sims,
+                &lines,
+            )?;
             evaluator.detach_archive();
-            return None;
+            return Ok(None);
         }
         match driver.step(&evaluator) {
             StepStatus::Done => break,
@@ -297,18 +613,15 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
                     last_line_sims = sims;
                 }
                 if sims - last_ckpt >= cfg.checkpoint_every {
-                    if let Some((_, ckpt, jsonl)) = &paths {
-                        let bytes = encode_ckpt(
-                            &driver,
-                            &evaluator.state(),
-                            &archive.lock(),
-                            round,
-                            last_line_sims,
-                            &lines,
-                        );
-                        write_atomic(ckpt, &bytes);
-                        write_atomic(jsonl, lines.join("\n").as_bytes());
-                    }
+                    persist_checkpoint(
+                        &mut journal,
+                        &driver,
+                        &evaluator.state(),
+                        &archive.lock(),
+                        round,
+                        last_line_sims,
+                        &lines,
+                    )?;
                     last_ckpt = sims;
                     halt.note_checkpoint();
                 }
@@ -328,12 +641,20 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
         outcome,
         archive: archive.lock().clone(),
     };
-    if let Some((done, ckpt, jsonl)) = &paths {
-        write_atomic(jsonl, lines.join("\n").as_bytes());
-        write_atomic(done, &encode_done(&result));
-        let _ = std::fs::remove_file(ckpt);
+    if let Some(p) = &paths {
+        let done_bytes = encode_done(&result);
+        let jsonl_bytes = lines.join("\n").into_bytes();
+        // Durable completion first (journal rotated down to the single
+        // *completed* record), then the derived files: a crash anywhere
+        // in this sequence heals to the same bytes on resume.
+        if let Some(journal) = &mut journal {
+            journal.complete(&done_bytes, &jsonl_bytes)?;
+        }
+        fs::write_atomic(&p.jsonl, &jsonl_bytes)?;
+        fs::write_atomic(&p.done, &done_bytes)?;
+        let _ = std::fs::remove_file(&p.ckpt);
     }
-    Some(result)
+    Ok(Some(result))
 }
 
 /// Executes a campaign grid on the shared worker pool (at most
@@ -344,6 +665,10 @@ fn run_task(task: &CampaignTask, cfg: &CampaignConfig, halt: &HaltState) -> Opti
 pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<TaskResult>> {
     if let Some(dir) = &cfg.dir {
         std::fs::create_dir_all(dir).expect("campaign dir must be creatable");
+        // Recovery step zero: staging files orphaned by a kill are
+        // noise the directory must shed before it can byte-match a
+        // clean run.
+        fs::sweep_tmp(dir).expect("campaign dir must be sweepable");
     }
     let halt = HaltState::new(cfg.halt_after);
     let results: Vec<parking_lot::Mutex<Option<TaskResult>>> = tasks
@@ -354,9 +679,46 @@ pub fn run_campaign(tasks: &[CampaignTask], cfg: &CampaignConfig) -> Vec<Option<
         if halt.halted() {
             return;
         }
-        *results[i].lock() = run_task(&tasks[i], cfg, &halt);
+        match run_task(&tasks[i], cfg, &halt) {
+            Ok(result) => *results[i].lock() = result,
+            Err(e) if failpoint::is_crash(&e) => {
+                // An injected crash: this "process" is dead. Stop the
+                // campaign exactly as a halt would; the on-disk state is
+                // whatever the crash point left durable.
+                halt.halted.store(true, Ordering::Relaxed);
+            }
+            Err(e) => panic!("campaign persistence failed for {}: {e}", tasks[i].id()),
+        }
     });
     results.into_iter().map(|m| m.into_inner()).collect()
+}
+
+/// Renders the campaign summary CSV (one row per completed task, in
+/// task order) — the shared artifact the `campaign` binary publishes
+/// and the crash-recovery suite byte-compares across resumes.
+///
+/// # Panics
+///
+/// Panics when any task is incomplete; callers gate on completeness.
+pub fn summary_csv(tasks: &[CampaignTask], results: &[Option<TaskResult>]) -> String {
+    let mut csv = String::from("tech,width,method,seed,sims,best_cost,front_size\n");
+    for (task, result) in tasks.iter().zip(results) {
+        let r = result.as_ref().expect("campaign completed");
+        let tech = match task.spec.tech {
+            TechLibrary::Nangate45Like => "nangate45",
+            TechLibrary::Scaled8nmLike => "scaled8nm",
+        };
+        let sims = r.outcome.history.last().map_or(0, |&(s, _)| s);
+        csv.push_str(&format!(
+            "{tech},{},{},{},{sims},{:.9},{}\n",
+            task.spec.width,
+            task.method.label(),
+            task.seed,
+            r.outcome.best_cost,
+            r.archive.len()
+        ));
+    }
+    csv
 }
 
 /// A boxed unit of pool work (what [`run_units`] consumes).
@@ -435,6 +797,7 @@ mod tests {
             checkpoint_every: 7,
             threads: 1,
             halt_after: halt,
+            journal_max_bytes: JOURNAL_MAX_BYTES,
         };
 
         let clean = run_campaign(&tasks, &cfg(&clean_dir, None));
@@ -463,6 +826,9 @@ mod tests {
             let a = std::fs::read(clean_dir.join(format!("{id}.done"))).unwrap();
             let b = std::fs::read(resumed_dir.join(format!("{id}.done"))).unwrap();
             assert_eq!(a, b, "results for {id} must byte-match");
+            let a = std::fs::read(clean_dir.join(format!("{id}.journal"))).unwrap();
+            let b = std::fs::read(resumed_dir.join(format!("{id}.journal"))).unwrap();
+            assert_eq!(a, b, "journals for {id} must byte-match");
         }
         let _ = std::fs::remove_dir_all(&base);
     }

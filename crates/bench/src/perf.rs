@@ -475,20 +475,62 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
-            _ => {
-                let start = self.pos;
-                while self.bytes.get(self.pos).is_some_and(|c| {
-                    c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E')
-                }) {
-                    self.pos += 1;
-                }
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .ok()
-                    .and_then(|s| s.parse::<f64>().ok())
-                    .map(Json::Num)
-                    .ok_or_else(|| format!("invalid number at byte {start}"))
+            _ => self.number(),
+        }
+    }
+
+    /// Scans a number following the JSON grammar exactly:
+    /// `-? (0 | [1-9][0-9]*) (. [0-9]+)? ([eE] [+-]? [0-9]+)?`.
+    ///
+    /// A permissive scanner here once accepted any soup of sign/digit/
+    /// dot/exponent bytes (`+5`, `.5`, `5.`, `01`, `1e`), so a
+    /// malformed `bench_perf.json` could parse to a garbage float and
+    /// sail through validation; now every non-grammar number is a
+    /// syntax error.
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let digits = |p: &mut Self| {
+            let from = p.pos;
+            while p.bytes.get(p.pos).is_some_and(u8::is_ascii_digit) {
+                p.pos += 1;
+            }
+            p.pos > from
+        };
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a lone 0, or a nonzero digit run (no leading
+        // zeros, no bare sign).
+        match self.bytes.get(self.pos) {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                digits(self);
+            }
+            _ => return Err(format!("invalid number at byte {start}")),
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!(
+                    "invalid number at byte {start}: fraction needs digits"
+                ));
             }
         }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!(
+                    "invalid number at byte {start}: exponent needs digits"
+                ));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("invalid number at byte {start}: {e}"))
     }
 }
 
@@ -863,6 +905,63 @@ mod tests {
         assert_eq!(doc.get("unit"), Some(&Json::Str("µs → ναι".into())));
         assert!(parse_json("[1, 2,]").is_err());
         assert!(parse_json("{} garbage").is_err());
+    }
+
+    #[test]
+    fn number_scanner_follows_the_json_grammar() {
+        // Everything the grammar admits parses to the exact float.
+        for (text, expect) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("42", 42.0),
+            ("-17", -17.0),
+            ("0.5", 0.5),
+            ("-0.125", -0.125),
+            ("6.65", 6.65),
+            ("1e3", 1000.0),
+            ("2E-2", 0.02),
+            ("1.5e+2", 150.0),
+            ("10.25e1", 102.5),
+        ] {
+            assert_eq!(parse_json(text).unwrap(), Json::Num(expect), "{text}");
+        }
+        // Non-grammar soups the old scanner let `f64::parse` bless (or
+        // garble) must now be syntax errors: a malformed
+        // bench_perf.json fails validation instead of parsing to a
+        // garbage float.
+        for text in [
+            "+5",    // leading plus
+            ".5",    // no integer part
+            "5.",    // dangling fraction dot
+            "01",    // leading zero
+            "-01",   // leading zero, signed
+            "--5",   // double sign
+            "1.2.3", // two dots
+            "1e",    // empty exponent
+            "1e+",   // signed empty exponent
+            "1.e3",  // fraction dot without digits
+            "-",     // bare sign
+            "1d",    // trailing junk
+            "0x10",  // hex is not JSON
+            "NaN",   // f64::parse would accept this
+            "inf",   // …and this
+        ] {
+            assert!(parse_json(text).is_err(), "`{text}` must be rejected");
+            // Inside a structure, too (the scanner must not silently
+            // stop early and leave the garbage to the container rules).
+            let nested = format!(r#"{{"v": [{text}]}}"#);
+            assert!(parse_json(&nested).is_err(), "`{nested}` must be rejected");
+        }
+        // Numbers terminate cleanly at structural delimiters.
+        let doc = parse_json(r#"{"a":[1,2.5e0,-3],"b":0}"#).unwrap();
+        assert_eq!(
+            doc.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-3.0)
+            ]))
+        );
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Deterministic fault injection for the durable write path.
+//!
+//! Every durable primitive in [`crate::fs`] and [`crate::Journal`]
+//! announces itself here before touching the filesystem. When a
+//! failpoint is **armed**, the announced operations are metered and the
+//! run "crashes" at a precisely reproducible point:
+//!
+//! * **Tick trigger** — every operation costs ticks (`Write` costs one
+//!   tick *per byte*, everything else costs one tick). The crash fires
+//!   when the cumulative tick budget is exhausted, which lets a test
+//!   kill a run *in the middle of a write*: the write is torn at the
+//!   exact surviving-byte boundary, just like a power cut between
+//!   `write(2)` and `fsync(2)`.
+//! * **Op trigger** — the crash fires immediately *before* the N-th
+//!   occurrence of one [`FailOp`] kind, encoding the classic crash
+//!   points by name: before an `Fsync` (bytes written but not durable),
+//!   before a `Rename` (tmp file complete but never published), and so
+//!   on.
+//!
+//! Two crash modes:
+//!
+//! * [`Mode::Abort`] — the process dies via [`std::process::abort`].
+//!   This is the real-kill mode the CI `crash-smoke` job drives through
+//!   the `CV_FAILPOINT` environment variable (see [`arm_from_env`]).
+//! * [`Mode::Error`] — the current operation returns a crash error and
+//!   **every subsequent durable operation fails too**, so an in-process
+//!   test observes exactly the on-disk state a killed process would
+//!   have left behind. The harness stays in this dead state until
+//!   [`disarm`] is called.
+//!
+//! The global tick counter runs even while disarmed (at negligible
+//! cost), so a test can measure the tick length of a clean run with
+//! [`ticks`] and then replay crashes at every interesting offset.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The kinds of durable operation the write path announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailOp {
+    /// Creating (or truncating) a file.
+    Create,
+    /// Writing payload bytes (tick cost = byte count).
+    Write,
+    /// `File::sync_all` on a data file.
+    Fsync,
+    /// Atomically renaming a tmp file over its destination.
+    Rename,
+    /// Syncing the parent directory after a rename.
+    DirSync,
+    /// Truncating a journal's torn tail during recovery.
+    Truncate,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Trigger {
+    Ticks(u64),
+    Op { op: FailOp, remaining: u64 },
+}
+
+/// What happens when an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Kill the process (`std::process::abort`) — a real crash.
+    Abort,
+    /// Fail the operation and every later one — a simulated crash.
+    Error,
+}
+
+#[derive(Debug)]
+struct Armed {
+    trigger: Trigger,
+    mode: Mode,
+}
+
+static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
+static CRASHED: AtomicBool = AtomicBool::new(false);
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// The verdict for one announced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Proceed with the full operation.
+    Proceed,
+    /// Write only this many leading bytes, then crash (only for
+    /// [`FailOp::Write`]; `0` tears the write before any byte lands).
+    Torn(usize),
+    /// Crash before performing the operation at all.
+    Crash,
+}
+
+/// Announces a durable operation of kind `op` touching `bytes` payload
+/// bytes (0 for non-write ops) and returns the injection verdict.
+pub(crate) fn begin_op(op: FailOp, bytes: usize) -> Verdict {
+    let cost = match op {
+        FailOp::Write => (bytes as u64).max(1),
+        _ => 1,
+    };
+    TICKS.fetch_add(cost, Ordering::Relaxed);
+    if CRASHED.load(Ordering::SeqCst) {
+        // The simulated process is already dead: nothing else lands.
+        return Verdict::Crash;
+    }
+    let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(state) = armed.as_mut() else {
+        return Verdict::Proceed;
+    };
+    let verdict = match &mut state.trigger {
+        Trigger::Ticks(remaining) => {
+            if *remaining > cost {
+                *remaining -= cost;
+                Verdict::Proceed
+            } else if op == FailOp::Write {
+                // Tear the write at the exact byte the budget allows.
+                Verdict::Torn((*remaining).saturating_sub(1) as usize)
+            } else {
+                Verdict::Crash
+            }
+        }
+        Trigger::Op {
+            op: target,
+            remaining,
+        } => {
+            if op != *target {
+                Verdict::Proceed
+            } else if *remaining > 1 {
+                *remaining -= 1;
+                Verdict::Proceed
+            } else {
+                Verdict::Crash
+            }
+        }
+    };
+    if verdict != Verdict::Proceed {
+        CRASHED.store(true, Ordering::SeqCst);
+    }
+    verdict
+}
+
+/// Carries out a fired crash: aborts the process in [`Mode::Abort`]
+/// (after any torn bytes already landed), or reports the crash error in
+/// [`Mode::Error`]. Callers invoke this *after* performing the torn
+/// prefix of a write, so a real kill and a simulated one leave the same
+/// bytes on disk.
+pub(crate) fn enforce_crash(op: FailOp) -> std::io::Error {
+    let mode = {
+        let armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+        armed.as_ref().map_or(Mode::Error, |a| a.mode)
+    };
+    if mode == Mode::Abort {
+        eprintln!("cv-journal failpoint: injected crash at {op:?} — aborting");
+        std::process::abort();
+    }
+    crash_error()
+}
+
+fn arm(trigger: Trigger, mode: Mode) {
+    let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    CRASHED.store(false, Ordering::SeqCst);
+    *armed = Some(Armed { trigger, mode });
+}
+
+/// Arms a tick-budget failpoint: the run crashes once `ticks` durable
+/// ticks have been spent (writes cost one tick per byte).
+pub fn arm_ticks(ticks: u64, mode: Mode) {
+    arm(Trigger::Ticks(ticks.max(1)), mode);
+}
+
+/// Arms an operation failpoint: the run crashes immediately before the
+/// `nth` (1-based) occurrence of `op`.
+pub fn arm_op(op: FailOp, nth: u64, mode: Mode) {
+    arm(
+        Trigger::Op {
+            op,
+            remaining: nth.max(1),
+        },
+        mode,
+    );
+}
+
+/// Disarms the harness and clears the crashed state.
+pub fn disarm() {
+    let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+    *armed = None;
+    CRASHED.store(false, Ordering::SeqCst);
+}
+
+/// Whether an armed failpoint has fired since the last [`disarm`].
+pub fn crashed() -> bool {
+    CRASHED.load(Ordering::SeqCst)
+}
+
+/// Cumulative durable ticks spent by this process (counted even while
+/// disarmed) — the yardstick tests use to enumerate crash points.
+pub fn ticks() -> u64 {
+    TICKS.load(Ordering::Relaxed)
+}
+
+/// Arms the real-kill mode from the `CV_FAILPOINT` environment variable
+/// (a tick budget), as the `campaign` binary does on startup for the CI
+/// `crash-smoke` job. Returns `true` when a failpoint was armed.
+///
+/// # Panics
+///
+/// Panics when `CV_FAILPOINT` is set but not a positive integer — a
+/// misconfigured harness must fail loudly, not run clean.
+pub fn arm_from_env() -> bool {
+    match std::env::var("CV_FAILPOINT") {
+        Ok(v) => {
+            let ticks: u64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("CV_FAILPOINT must be a positive integer, got `{v}`"));
+            assert!(ticks > 0, "CV_FAILPOINT must be positive");
+            arm_ticks(ticks, Mode::Abort);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+/// The error payload carried by crash-injected [`std::io::Error`]s.
+pub(crate) const CRASH_MSG: &str = "cv-journal failpoint: injected crash";
+
+/// The `io::Error` a torn/crashed operation reports in [`Mode::Error`].
+pub(crate) fn crash_error() -> std::io::Error {
+    std::io::Error::other(CRASH_MSG)
+}
+
+/// Whether `err` is a crash injected by this harness (as opposed to a
+/// genuine filesystem failure).
+pub fn is_crash(err: &std::io::Error) -> bool {
+    err.get_ref().is_some_and(|e| e.to_string() == CRASH_MSG)
+}

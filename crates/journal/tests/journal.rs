@@ -1,0 +1,288 @@
+//! Durability properties of the journal and the audited write path:
+//! torn tails truncate to the durable prefix at *every* byte boundary,
+//! atomic writes never publish partial content, rotation is all-or-
+//! nothing, and the failpoint harness tears writes at exact byte
+//! offsets.
+
+use cv_journal::failpoint::{self, FailOp, Mode};
+use cv_journal::{crc32, fs, Journal, FRAME_OVERHEAD, JOURNAL_MAGIC};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The failpoint harness is process-global; tests that arm it (or
+/// depend on exact tick counts) must not interleave.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    failpoint::disarm();
+    guard
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cv_journal_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn records(tag: u8) -> Vec<Vec<u8>> {
+    vec![
+        vec![tag; 5],
+        Vec::new(), // empty payloads are legal records
+        (0..200).map(|i| (i as u8).wrapping_mul(tag)).collect(),
+    ]
+}
+
+#[test]
+fn append_and_reopen_roundtrips() {
+    let _guard = serialize();
+    let dir = tmp_dir("roundtrip");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    for r in records(3) {
+        j.append(&r).unwrap();
+    }
+    drop(j);
+    let opened = Journal::open(&path).unwrap();
+    assert_eq!(opened.records, records(3));
+    assert_eq!(opened.truncated_bytes, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_tail_truncates_at_every_byte_boundary() {
+    let _guard = serialize();
+    let dir = tmp_dir("torn");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    let full = records(7);
+    for r in &full {
+        j.append(r).unwrap();
+    }
+    drop(j);
+    let clean = std::fs::read(&path).unwrap();
+    let last_frame = FRAME_OVERHEAD + full.last().unwrap().len();
+    let durable_prefix_len = clean.len() - last_frame;
+
+    // Tear the file at every byte inside the last frame: recovery must
+    // yield exactly the first two records and cut the file back to the
+    // durable prefix.
+    for cut in durable_prefix_len..clean.len() {
+        std::fs::write(&path, &clean[..cut]).unwrap();
+        let opened = Journal::open(&path).unwrap();
+        assert_eq!(opened.records, full[..2].to_vec(), "cut at byte {cut}");
+        assert_eq!(opened.truncated_bytes, (cut - durable_prefix_len) as u64);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            durable_prefix_len as u64,
+            "torn tail must be truncated away (cut at byte {cut})"
+        );
+        // A second open sees a clean segment.
+        let again = Journal::open(&path).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        // …and the journal still accepts appends after recovery.
+        let mut j = again.journal;
+        j.append(full.last().unwrap()).unwrap();
+        drop(j);
+        assert_eq!(Journal::read_back(&path).unwrap(), full);
+        std::fs::write(&path, &clean).unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_record_distrusts_everything_after_it() {
+    let _guard = serialize();
+    let dir = tmp_dir("corrupt");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    for r in records(9) {
+        j.append(&r).unwrap();
+    }
+    drop(j);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one payload byte of the *first* record.
+    let first_payload_at = JOURNAL_MAGIC.len() + FRAME_OVERHEAD;
+    bytes[first_payload_at] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let opened = Journal::open(&path).unwrap();
+    assert_eq!(opened.records, Vec::<Vec<u8>>::new());
+    assert!(opened.truncated_bytes > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_bytes_reset_to_an_empty_segment() {
+    let _guard = serialize();
+    let dir = tmp_dir("foreign");
+    let path = dir.join("task.journal");
+    std::fs::write(&path, b"this is not a journal at all").unwrap();
+    let opened = Journal::open(&path).unwrap();
+    assert!(opened.records.is_empty());
+    assert!(opened.journal.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rotation_compacts_atomically() {
+    let _guard = serialize();
+    let dir = tmp_dir("rotate");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    for r in records(5) {
+        j.append(&r).unwrap();
+    }
+    let keep: Vec<u8> = vec![0xAB; 32];
+    let j = j.rotate(&[&keep]).unwrap();
+    assert_eq!(
+        j.len(),
+        (JOURNAL_MAGIC.len() + FRAME_OVERHEAD + keep.len()) as u64
+    );
+    drop(j);
+    assert_eq!(Journal::read_back(&path).unwrap(), vec![keep]);
+    // No staging leftovers.
+    assert_eq!(fs::sweep_tmp(&dir).unwrap(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn write_atomic_is_all_or_nothing_under_injected_crashes() {
+    let _guard = serialize();
+    let dir = tmp_dir("atomic");
+    let path = dir.join("state.bin");
+    let old = vec![1u8; 100];
+    fs::write_atomic(&path, &old).unwrap();
+    let new = vec![2u8; 300];
+
+    // Crash at every tick of the replacement write: the destination
+    // must always hold either the complete old or complete new bytes.
+    let mut saw_old = false;
+    let mut saw_new = false;
+    for tick in 1..=new.len() as u64 + 10 {
+        failpoint::arm_ticks(tick, Mode::Error);
+        let result = fs::write_atomic(&path, &new);
+        let crashed = failpoint::crashed();
+        failpoint::disarm();
+        let on_disk = std::fs::read(&path).unwrap();
+        assert!(
+            on_disk == old || on_disk == new,
+            "tick {tick}: destination must never be torn (got {} bytes)",
+            on_disk.len()
+        );
+        saw_old |= on_disk == old;
+        saw_new |= on_disk == new;
+        if !crashed {
+            result.unwrap();
+            break;
+        }
+        assert!(result.is_err());
+        assert!(failpoint::is_crash(&result.unwrap_err()));
+        // Orphaned staging files are swept, then invisible.
+        fs::sweep_tmp(&dir).unwrap();
+        fs::write_atomic(&path, &old).unwrap();
+    }
+    assert!(saw_old, "some crash point must leave the old content");
+    assert!(
+        saw_new,
+        "running past the last tick must publish the new content"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_append_crash_tears_the_tail_and_recovery_truncates_it() {
+    let _guard = serialize();
+    let dir = tmp_dir("midappend");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    let first = vec![3u8; 64];
+    j.append(&first).unwrap();
+    let durable_len = j.len();
+
+    // Arm a tick budget that dies inside the second append's write.
+    let second = vec![4u8; 128];
+    failpoint::arm_ticks(20, Mode::Error);
+    let err = j.append(&second).unwrap_err();
+    assert!(failpoint::is_crash(&err));
+    failpoint::disarm();
+    drop(j);
+    let torn_len = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        torn_len > durable_len && torn_len < durable_len + (FRAME_OVERHEAD + second.len()) as u64,
+        "the crash must leave a partial frame on disk"
+    );
+
+    let opened = Journal::open(&path).unwrap();
+    assert_eq!(opened.records, vec![first.clone()]);
+    assert!(opened.truncated_bytes > 0);
+    assert_eq!(std::fs::metadata(&path).unwrap().len(), durable_len);
+
+    // The recovered journal keeps working.
+    let mut j = opened.journal;
+    j.append(&second).unwrap();
+    drop(j);
+    assert_eq!(Journal::read_back(&path).unwrap(), vec![first, second]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn op_failpoints_fire_before_the_named_operation() {
+    let _guard = serialize();
+    let dir = tmp_dir("opfp");
+    let path = dir.join("state.bin");
+    fs::write_atomic(&path, b"old").unwrap();
+
+    // Pre-fsync: bytes staged, nothing published.
+    failpoint::arm_op(FailOp::Fsync, 1, Mode::Error);
+    assert!(fs::write_atomic(&path, b"new").is_err());
+    failpoint::disarm();
+    assert_eq!(std::fs::read(&path).unwrap(), b"old");
+
+    // Pre-rename: staged + fsynced, still nothing published.
+    fs::sweep_tmp(&dir).unwrap();
+    failpoint::arm_op(FailOp::Rename, 1, Mode::Error);
+    assert!(fs::write_atomic(&path, b"new").is_err());
+    failpoint::disarm();
+    assert_eq!(std::fs::read(&path).unwrap(), b"old");
+    assert_eq!(fs::sweep_tmp(&dir).unwrap(), 1, "one orphaned staging file");
+
+    // After the rename the content is published even if the directory
+    // sync never happens.
+    failpoint::arm_op(FailOp::DirSync, 1, Mode::Error);
+    assert!(fs::write_atomic(&path, b"new").is_err());
+    failpoint::disarm();
+    assert_eq!(std::fs::read(&path).unwrap(), b"new");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crashed_harness_fails_every_subsequent_operation() {
+    let _guard = serialize();
+    let dir = tmp_dir("dead");
+    failpoint::arm_ticks(1, Mode::Error);
+    assert!(fs::write_atomic(&dir.join("a"), b"x").is_err());
+    assert!(failpoint::crashed());
+    // The "process" is dead: later writes fail without being armed for
+    // them specifically.
+    assert!(fs::write_atomic(&dir.join("b"), b"y").is_err());
+    assert!(Journal::open(&dir.join("c.journal")).is_err());
+    failpoint::disarm();
+    assert!(fs::write_atomic(&dir.join("b"), b"y").is_ok());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ticks_advance_even_while_disarmed() {
+    let _guard = serialize();
+    let dir = tmp_dir("ticks");
+    let before = failpoint::ticks();
+    fs::write_atomic(&dir.join("t"), &[0u8; 17]).unwrap();
+    let spent = failpoint::ticks() - before;
+    // create + 17 write bytes + fsync + rename + dirsync.
+    assert_eq!(spent, 1 + 17 + 1 + 1 + 1);
+    assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+    let _ = std::fs::remove_dir_all(&dir);
+}

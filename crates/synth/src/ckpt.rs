@@ -63,6 +63,16 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
+    /// Appends a `u8` (one byte — event tags, small enums).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Appends a `usize` (as `u64`).
     pub fn usize(&mut self, v: usize) {
         self.u64(v as u64);
@@ -213,6 +223,16 @@ impl<'a> Dec<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
     /// Reads a `usize`.
     pub fn usize(&mut self) -> Result<usize, CkptError> {
         Ok(self.u64()? as usize)
@@ -317,6 +337,8 @@ mod tests {
     #[test]
     fn scalars_roundtrip_bitwise() {
         let mut e = Enc::with_magic(b"CVTESTS1");
+        e.u8(0xA5);
+        e.u32(u32::MAX - 1);
         e.u64(u64::MAX);
         e.f64(-0.0);
         e.f64(f64::NAN);
@@ -326,6 +348,8 @@ mod tests {
         e.f32s(&[0.0, -1.0, f32::INFINITY]);
         let bytes = e.finish();
         let mut d = Dec::with_magic(&bytes, b"CVTESTS1").unwrap();
+        assert_eq!(d.u8().unwrap(), 0xA5);
+        assert_eq!(d.u32().unwrap(), u32::MAX - 1);
         assert_eq!(d.u64().unwrap(), u64::MAX);
         assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
         assert!(d.f64().unwrap().is_nan());
