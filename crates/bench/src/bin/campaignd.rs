@@ -1,0 +1,283 @@
+//! The **campaignd** service binary: a long-running daemon multiplexing
+//! optimization jobs, plus its CLI client (DESIGN.md §10).
+//!
+//! Server:
+//!
+//! ```text
+//! campaignd serve --dir PATH [--addr 127.0.0.1:0] [--port-file PATH]
+//!                 [--threads N] [--checkpoint-every N]
+//!                 [--slice-steps N]
+//! ```
+//!
+//! Boots (or crash-recovers) the daemon over `--dir` and serves the
+//! line-delimited JSON protocol until a client sends `shutdown`. With
+//! `--port-file`, the bound port is written there once the listener is
+//! live — the rendezvous for ephemeral (`:0`) ports. Setting
+//! `CV_FAILPOINT=<ticks>` arms the `cv-journal` failpoint in real-kill
+//! mode, exactly as the `campaign` binary does: the process aborts once
+//! the durable write path has spent that many ticks. Restarting with
+//! the same `--dir` replays the service journal and resumes every job
+//! byte-identically (Contract 11; the CI `campaignd-smoke` job cycles
+//! kill points and `diff -r`s against a never-killed run).
+//!
+//! Client (all take `--port N` or `--port-file PATH`, with
+//! `--connect-timeout-secs` to wait for a booting daemon):
+//!
+//! ```text
+//! campaignd submit   --kind adder --width 8 --tech nangate45
+//!                    --method sa --budget 64 --seed 1
+//!                    [--delay-weight 0.5]
+//! campaignd status   [--id JOB]
+//! campaignd wait     [--timeout-secs N]     # until no job is running
+//! campaignd pause    --id JOB
+//! campaignd resume   --id JOB
+//! campaignd cancel   --id JOB
+//! campaignd frontier --id JOB
+//! campaignd ping
+//! campaignd shutdown                        # graceful: checkpoints all
+//! ```
+//!
+//! Every client subcommand prints the daemon's raw JSON response line
+//! and exits nonzero when `ok` is false.
+
+use cv_bench::perf::{parse_json, Json};
+use cv_bench::service::{serve, Daemon, DaemonConfig, JobSpec, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+        if args[i] == name {
+            return args.get(i + 1).cloned();
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parsed_arg<T: std::str::FromStr>(name: &str) -> Option<T> {
+    arg_value(name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects a valid value, got `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn required(name: &str) -> String {
+    arg_value(name).unwrap_or_else(|| {
+        eprintln!("error: {name} is required");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_default();
+    match cmd.as_str() {
+        "serve" => run_server(),
+        "submit" => client(Request::Submit(submit_spec())),
+        "status" => client(Request::Status {
+            id: arg_value("--id"),
+        }),
+        "pause" => client(Request::Pause {
+            id: required("--id"),
+        }),
+        "resume" => client(Request::Resume {
+            id: required("--id"),
+        }),
+        "cancel" => client(Request::Cancel {
+            id: required("--id"),
+        }),
+        "frontier" => client(Request::Frontier {
+            id: required("--id"),
+        }),
+        "ping" => client(Request::Ping),
+        "shutdown" => client(Request::Shutdown),
+        "wait" => wait_drained(),
+        other => {
+            eprintln!(
+                "usage: campaignd serve|submit|status|wait|pause|resume|cancel|frontier|ping|shutdown (got `{other}`)"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+fn run_server() {
+    if cv_journal::failpoint::arm_from_env() {
+        eprintln!("campaignd: CV_FAILPOINT armed — this run will be killed mid-write");
+    }
+    let dir: PathBuf = PathBuf::from(required("--dir"));
+    let mut cfg = DaemonConfig::new(dir);
+    if let Some(threads) = parsed_arg::<usize>("--threads") {
+        cfg.threads = threads;
+    }
+    if let Some(every) = parsed_arg::<usize>("--checkpoint-every") {
+        cfg.checkpoint_every = every;
+    }
+    if let Some(steps) = parsed_arg::<usize>("--slice-steps") {
+        cfg.slice_steps = steps;
+    }
+    let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let port_file = arg_value("--port-file").map(PathBuf::from);
+
+    let daemon = Daemon::open(cfg).unwrap_or_else(|e| {
+        eprintln!("campaignd: failed to open state directory: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = serve(daemon, &addr, port_file.as_deref()) {
+        eprintln!("campaignd: serving failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("campaignd: shut down cleanly");
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+fn submit_spec() -> JobSpec {
+    let line = format!(
+        r#"{{"cmd":"submit","job":{{"method":"{}","kind":"{}","width":{},"tech":"{}","delay_weight":{},"budget":{},"seed":{}}}}}"#,
+        required("--method"),
+        arg_value("--kind").unwrap_or_else(|| "adder".to_string()),
+        parsed_arg::<usize>("--width").unwrap_or(8),
+        required("--tech"),
+        parsed_arg::<f64>("--delay-weight").unwrap_or(0.5),
+        parsed_arg::<usize>("--budget").unwrap_or_else(|| {
+            eprintln!("error: --budget is required");
+            std::process::exit(2);
+        }),
+        parsed_arg::<u64>("--seed").unwrap_or(1),
+    );
+    match Request::parse(&line) {
+        Ok(Request::Submit(spec)) => spec,
+        Ok(_) => unreachable!("submit line parses as submit"),
+        Err(e) => {
+            eprintln!("error: invalid job: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Resolves the daemon port from `--port` or `--port-file`, waiting for
+/// the file to appear while the daemon boots.
+fn resolve_port(deadline: Instant) -> u16 {
+    if let Some(port) = parsed_arg::<u16>("--port") {
+        return port;
+    }
+    let Some(pf) = arg_value("--port-file").map(PathBuf::from) else {
+        eprintln!("error: --port or --port-file is required");
+        std::process::exit(2);
+    };
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&pf) {
+            if let Ok(port) = text.trim().parse::<u16>() {
+                return port;
+            }
+        }
+        if Instant::now() >= deadline {
+            eprintln!("error: port file {} never appeared", pf.display());
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn connect(deadline: Instant) -> TcpStream {
+    loop {
+        let port = resolve_port(deadline);
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(stream) => return stream,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    eprintln!("error: cannot connect to campaignd on port {port}: {e}");
+                    std::process::exit(1);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn connect_deadline() -> Instant {
+    let secs = parsed_arg::<u64>("--connect-timeout-secs").unwrap_or(10);
+    Instant::now() + Duration::from_secs(secs)
+}
+
+fn roundtrip(stream: &mut TcpStream, req: &Request, print: bool) -> Json {
+    let line = req.render();
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .unwrap_or_else(|e| {
+            eprintln!("error: send failed: {e}");
+            std::process::exit(1);
+        });
+    let mut reply = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut reply)
+        .unwrap_or_else(|e| {
+            eprintln!("error: recv failed: {e}");
+            std::process::exit(1);
+        });
+    if reply.trim().is_empty() {
+        eprintln!("error: daemon closed the connection");
+        std::process::exit(1);
+    }
+    if print {
+        println!("{}", reply.trim_end());
+    }
+    parse_json(reply.trim()).unwrap_or_else(|e| {
+        eprintln!("error: malformed response: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn client(req: Request) {
+    let mut stream = connect(connect_deadline());
+    let json = roundtrip(&mut stream, &req, true);
+    if json.get("ok") != Some(&Json::Bool(true)) {
+        std::process::exit(1);
+    }
+}
+
+/// Polls `status` until no job is running (all done or paused), the
+/// timeout expires (exit 1), or the daemon vanishes (exit 1).
+fn wait_drained() {
+    let timeout = parsed_arg::<u64>("--timeout-secs").unwrap_or(300);
+    let deadline = Instant::now() + Duration::from_secs(timeout);
+    loop {
+        let mut stream = connect(connect_deadline());
+        let json = roundtrip(&mut stream, &Request::Status { id: None }, false);
+        let running = match json.get("jobs") {
+            Some(Json::Arr(jobs)) => jobs
+                .iter()
+                .filter(|j| j.get("state") == Some(&Json::Str("running".to_string())))
+                .count(),
+            _ => {
+                eprintln!("error: malformed status response");
+                std::process::exit(1);
+            }
+        };
+        if running == 0 {
+            return;
+        }
+        if Instant::now() >= deadline {
+            eprintln!("error: wait timed out with {running} jobs still running");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}

@@ -7,15 +7,16 @@
 //! archive, and on-disk files), so they ride the pool's *dynamic*
 //! assignment: scheduling balances load without influencing any result.
 //!
-//! Each task runs one [`MethodDriver`] on its own evaluator with a
-//! logging [`ParetoArchive`] attached. Every `checkpoint_every`
-//! simulations the runner atomically (tmp + rename) persists
+//! Each task runs one `MethodDriver` through the shared
+//! `crate::persist::RunningTask` step engine — the same engine the
+//! `campaignd` service (DESIGN.md §10) interleaves across jobs. Every
+//! `checkpoint_every` simulations the engine atomically persists
 //!
 //! * `<id>.ckpt` — driver state + evaluator snapshot + archive +
 //!   telemetry lines emitted so far,
 //! * `<id>.jsonl` — the telemetry stream up to the checkpoint.
 //!
-//! On completion the runner writes `<id>.done` (outcome + archive
+//! On completion the engine writes `<id>.done` (outcome + archive
 //! bytes), finalizes the JSONL, and removes the checkpoint. A re-run of
 //! the same campaign directory skips `.done` tasks, resumes `.ckpt`
 //! tasks from their snapshot, and starts the rest fresh — so after a
@@ -39,15 +40,14 @@
 //! fault-injection proptests in `tests/crash_recovery.rs` and the CI
 //! `crash-smoke` job (`CV_FAILPOINT`) pin exactly that.
 
-use crate::driver::{make_driver, MethodDriver};
-use crate::harness::{build_evaluator, ExperimentSpec, Method, TechLibrary};
-use circuitvae::driver::{Checkpointable, SearchDriver, StepStatus};
-use cv_journal::{failpoint, fs, Journal};
-use cv_synth::ckpt::{CkptError, Dec, Enc};
-use cv_synth::{EvaluatorState, ParetoArchive, SearchOutcome};
+use crate::harness::{ExperimentSpec, Method, TechLibrary};
+use crate::persist::{OpenedTask, RunningTask, TaskStep};
+use cv_journal::{failpoint, fs};
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub use crate::persist::TaskResult;
 
 /// One unit of a campaign grid.
 #[derive(Debug, Clone)]
@@ -115,272 +115,6 @@ impl CampaignConfig {
     }
 }
 
-/// A completed task: the outcome plus the frontier its run traced.
-#[derive(Debug, Clone)]
-pub struct TaskResult {
-    /// The search outcome.
-    pub outcome: SearchOutcome,
-    /// The archive observed during the run.
-    pub archive: ParetoArchive,
-}
-
-const DONE_MAGIC: &[u8; 8] = b"CVCPDN01";
-const CKPT_MAGIC: &[u8; 8] = b"CVCPCK01";
-
-// ---------------------------------------------------------------------
-// Task event journal (Contract 10)
-// ---------------------------------------------------------------------
-
-/// One durable event in a task's journal. Payloads ride inside
-/// checksummed journal frames, so decoding sees only intact records.
-#[derive(Debug, Clone, PartialEq)]
-enum TaskEvent {
-    /// The task began a fresh run.
-    Started,
-    /// The task has consumed `sims` simulations (stamped alongside each
-    /// checkpoint — the budget axis of the journal).
-    Progress {
-        /// Simulations consumed so far.
-        sims: u64,
-    },
-    /// A full resume snapshot (the same bytes as the `.ckpt` file).
-    Checkpoint {
-        /// Encoded [`encode_ckpt`] bytes.
-        bytes: Vec<u8>,
-    },
-    /// The task finished: the final result and telemetry, byte-exact.
-    Completed {
-        /// Encoded [`encode_done`] bytes.
-        done: Vec<u8>,
-        /// The final `.jsonl` content.
-        jsonl: Vec<u8>,
-    },
-}
-
-const EV_STARTED: u8 = 1;
-const EV_PROGRESS: u8 = 2;
-const EV_CHECKPOINT: u8 = 3;
-const EV_COMPLETED: u8 = 4;
-
-impl TaskEvent {
-    fn encode(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
-        match self {
-            TaskEvent::Started => enc.u8(EV_STARTED),
-            TaskEvent::Progress { sims } => {
-                enc.u8(EV_PROGRESS);
-                enc.u64(*sims);
-            }
-            TaskEvent::Checkpoint { bytes } => {
-                enc.u8(EV_CHECKPOINT);
-                enc.bytes(bytes);
-            }
-            TaskEvent::Completed { done, jsonl } => {
-                enc.u8(EV_COMPLETED);
-                enc.bytes(done);
-                enc.bytes(jsonl);
-            }
-        }
-        enc.finish()
-    }
-
-    fn decode(payload: &[u8]) -> Result<TaskEvent, CkptError> {
-        let mut dec = Dec::new(payload);
-        let ev = match dec.u8()? {
-            EV_STARTED => TaskEvent::Started,
-            EV_PROGRESS => TaskEvent::Progress { sims: dec.u64()? },
-            EV_CHECKPOINT => TaskEvent::Checkpoint {
-                bytes: dec.bytes()?.to_vec(),
-            },
-            EV_COMPLETED => TaskEvent::Completed {
-                done: dec.bytes()?.to_vec(),
-                jsonl: dec.bytes()?.to_vec(),
-            },
-            _ => return Err(CkptError::Invalid("task event tag")),
-        };
-        dec.finish()?;
-        Ok(ev)
-    }
-}
-
-/// What a journal's durable prefix reconstructs: exactly the state the
-/// orchestrator held at the last durable record.
-#[derive(Debug, Default)]
-struct ReplayedState {
-    /// The latest durable checkpoint snapshot, if any.
-    checkpoint: Option<Vec<u8>>,
-    /// The final result + telemetry, if the task completed durably.
-    completed: Option<(Vec<u8>, Vec<u8>)>,
-    /// The highest durable simulation count.
-    sims: u64,
-}
-
-/// Replays decoded journal records into orchestrator state. A record
-/// that fails to decode (a version change — CRCs already screened out
-/// corruption) ends the trusted prefix, mirroring the torn-tail rule.
-fn replay(records: &[Vec<u8>]) -> ReplayedState {
-    let mut state = ReplayedState::default();
-    for record in records {
-        match TaskEvent::decode(record) {
-            Ok(TaskEvent::Started) => {}
-            Ok(TaskEvent::Progress { sims }) => state.sims = state.sims.max(sims),
-            Ok(TaskEvent::Checkpoint { bytes }) => state.checkpoint = Some(bytes),
-            Ok(TaskEvent::Completed { done, jsonl }) => state.completed = Some((done, jsonl)),
-            Err(_) => break,
-        }
-    }
-    state
-}
-
-/// A task's open journal plus the rotation policy.
-struct TaskJournal {
-    journal: Option<Journal>,
-    max_bytes: u64,
-}
-
-impl TaskJournal {
-    fn open(path: &Path) -> io::Result<(TaskJournal, ReplayedState)> {
-        let opened = Journal::open(path)?;
-        if opened.truncated_bytes > 0 {
-            eprintln!(
-                "campaign: truncated {} bytes of torn tail from {}",
-                opened.truncated_bytes,
-                path.display()
-            );
-        }
-        let state = replay(&opened.records);
-        Ok((
-            TaskJournal {
-                journal: Some(opened.journal),
-                max_bytes: JOURNAL_MAX_BYTES,
-            },
-            state,
-        ))
-    }
-
-    fn started(&mut self) -> io::Result<()> {
-        let payload = TaskEvent::Started.encode();
-        self.journal
-            .as_mut()
-            .expect("journal open")
-            .append(&payload)
-    }
-
-    /// Appends the per-checkpoint event pair (one durable write +
-    /// fsync) and rotates the segment down to it when the cap is
-    /// exceeded.
-    fn checkpoint(&mut self, sims: u64, bytes: &[u8]) -> io::Result<()> {
-        let payloads = [
-            TaskEvent::Progress { sims }.encode(),
-            TaskEvent::Checkpoint {
-                bytes: bytes.to_vec(),
-            }
-            .encode(),
-        ];
-        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
-        let journal = self.journal.as_mut().expect("journal open");
-        journal.append_all(&refs)?;
-        if journal.len() > self.max_bytes {
-            let rotated = self.journal.take().expect("journal open").rotate(&refs)?;
-            self.journal = Some(rotated);
-        }
-        Ok(())
-    }
-
-    /// Rotates the segment down to the single *completed* record — the
-    /// durable statement that this task's results are final.
-    fn complete(&mut self, done: &[u8], jsonl: &[u8]) -> io::Result<()> {
-        let payload = TaskEvent::Completed {
-            done: done.to_vec(),
-            jsonl: jsonl.to_vec(),
-        }
-        .encode();
-        let rotated = self
-            .journal
-            .take()
-            .expect("journal open")
-            .rotate(&[&payload])?;
-        self.journal = Some(rotated);
-        Ok(())
-    }
-}
-
-fn encode_done(result: &TaskResult) -> Vec<u8> {
-    let mut enc = Enc::with_magic(DONE_MAGIC);
-    result.outcome.write_ckpt(&mut enc);
-    result.archive.write_ckpt(&mut enc);
-    enc.finish()
-}
-
-fn decode_done(bytes: &[u8]) -> Result<TaskResult, CkptError> {
-    let mut dec = Dec::with_magic(bytes, DONE_MAGIC)?;
-    let outcome = SearchOutcome::read_ckpt(&mut dec)?;
-    let archive = ParetoArchive::read_ckpt(&mut dec)?;
-    dec.finish()?;
-    Ok(TaskResult { outcome, archive })
-}
-
-fn encode_ckpt(
-    driver: &MethodDriver,
-    evaluator_state: &EvaluatorState,
-    archive: &ParetoArchive,
-    round: usize,
-    last_line_sims: usize,
-    lines: &[String],
-) -> Vec<u8> {
-    let mut enc = Enc::with_magic(CKPT_MAGIC);
-    enc.bytes(&driver.save());
-    evaluator_state.write_ckpt(&mut enc);
-    archive.write_ckpt(&mut enc);
-    enc.usize(round);
-    enc.usize(last_line_sims);
-    enc.usize(lines.len());
-    for l in lines {
-        enc.str(l);
-    }
-    enc.finish()
-}
-
-struct ResumedTask {
-    driver: MethodDriver,
-    evaluator_state: EvaluatorState,
-    archive: ParetoArchive,
-    round: usize,
-    last_line_sims: usize,
-    lines: Vec<String>,
-}
-
-fn decode_ckpt(bytes: &[u8]) -> Result<ResumedTask, CkptError> {
-    let mut dec = Dec::with_magic(bytes, CKPT_MAGIC)?;
-    let driver = MethodDriver::load(dec.bytes()?)?;
-    let evaluator_state = EvaluatorState::read_ckpt(&mut dec)?;
-    let archive = ParetoArchive::read_ckpt(&mut dec)?;
-    let round = dec.usize()?;
-    let last_line_sims = dec.usize()?;
-    let n = dec.seq_len()?;
-    let mut lines = Vec::with_capacity(n);
-    for _ in 0..n {
-        lines.push(dec.str()?);
-    }
-    dec.finish()?;
-    Ok(ResumedTask {
-        driver,
-        evaluator_state,
-        archive,
-        round,
-        last_line_sims,
-        lines,
-    })
-}
-
-fn telemetry_line(task_id: &str, round: usize, sims: usize, best: f64) -> String {
-    if best.is_finite() {
-        format!(r#"{{"task":"{task_id}","round":{round},"sims":{sims},"best":{best:.9}}}"#)
-    } else {
-        format!(r#"{{"task":"{task_id}","round":{round},"sims":{sims},"best":null}}"#)
-    }
-}
-
 /// Shared halt bookkeeping: counts checkpoint writes and flips the halt
 /// flag once the configured limit is reached.
 struct HaltState {
@@ -412,51 +146,9 @@ impl HaltState {
     }
 }
 
-/// The on-disk file set of one persistent task.
-struct TaskPaths {
-    done: PathBuf,
-    ckpt: PathBuf,
-    jsonl: PathBuf,
-    journal: PathBuf,
-}
-
-impl TaskPaths {
-    fn new(dir: &Path, id: &str) -> TaskPaths {
-        TaskPaths {
-            done: dir.join(format!("{id}.done")),
-            ckpt: dir.join(format!("{id}.ckpt")),
-            jsonl: dir.join(format!("{id}.jsonl")),
-            journal: dir.join(format!("{id}.journal")),
-        }
-    }
-}
-
-/// Reads and decodes a `.done`/`.ckpt` artifact; a corrupt or truncated
-/// file is logged and **deleted** (recovery treats it as absent and
-/// falls back — never a panic; Contract 10).
-fn read_or_quarantine<T>(
-    path: &Path,
-    what: &str,
-    decode: impl FnOnce(&[u8]) -> Result<T, CkptError>,
-) -> Option<T> {
-    let bytes = std::fs::read(path).ok()?;
-    match decode(&bytes) {
-        Ok(v) => Some(v),
-        Err(e) => {
-            eprintln!(
-                "campaign: corrupt {what} at {} ({e}); treating as absent",
-                path.display()
-            );
-            let _ = std::fs::remove_file(path);
-            None
-        }
-    }
-}
-
-/// Runs one task to completion (or to the campaign halt), reading and
-/// writing its on-disk state through the audited durable write path.
-/// Returns `Ok(None)` when the task was interrupted by the halt flag
-/// (its checkpoint is on disk).
+/// Runs one task to completion (or to the campaign halt) through the
+/// shared [`RunningTask`] step engine. Returns `Ok(None)` when the task
+/// was interrupted by the halt flag (its checkpoint is on disk).
 ///
 /// # Errors
 ///
@@ -469,192 +161,26 @@ fn run_task(
     halt: &HaltState,
 ) -> io::Result<Option<TaskResult>> {
     let id = task.id();
-    let paths = cfg.dir.as_ref().map(|d| TaskPaths::new(d, &id));
-
-    // Completed on a previous run: reuse the stored result verbatim. A
-    // real kill can land between the `.done` write and the checkpoint
-    // removal, so sweep up any leftover `.ckpt` here — otherwise the
-    // stale file would survive every later resume and the directory
-    // would never byte-match a clean run.
-    if let Some(p) = &paths {
-        if let Some(result) = read_or_quarantine(&p.done, ".done file", decode_done) {
-            let _ = std::fs::remove_file(&p.ckpt);
-            return Ok(Some(result));
-        }
-    }
-
-    // Open the event journal and replay its durable prefix. The journal
-    // is authoritative: its records were appended *before* the matching
-    // `.ckpt`/`.done` files were published, so it is never behind them.
-    let journal = match &paths {
-        Some(p) => {
-            let (mut journal, state) = TaskJournal::open(&p.journal)?;
-            journal.max_bytes = cfg.journal_max_bytes;
-            if let Some((done_bytes, jsonl_bytes)) = &state.completed {
-                if let Ok(result) = decode_done(done_bytes) {
-                    // The task completed durably but died before (or
-                    // while) publishing its result files: heal them
-                    // from the journal, byte-exact.
-                    fs::write_atomic(&p.jsonl, jsonl_bytes)?;
-                    fs::write_atomic(&p.done, done_bytes)?;
-                    let _ = std::fs::remove_file(&p.ckpt);
-                    return Ok(Some(result));
-                }
-                eprintln!(
-                    "campaign: undecodable completed record in {}; replaying from checkpoint",
-                    p.journal.display()
-                );
-            }
-            Some((journal, state))
-        }
-        None => None,
+    let mut running = match RunningTask::open(task, id, cfg.dir.as_deref(), cfg.journal_max_bytes)?
+    {
+        OpenedTask::Done(result) => return Ok(Some(result)),
+        OpenedTask::Run(running) => running,
     };
-
-    let evaluator = build_evaluator(&task.spec);
-    // Resume source, in order of trust: the journal's latest durable
-    // checkpoint, then the `.ckpt` file (pre-journal directories), then
-    // a fresh start.
-    let resumed = journal
-        .as_ref()
-        .and_then(|(_, state)| state.checkpoint.as_deref())
-        .and_then(|bytes| match decode_ckpt(bytes) {
-            Ok(r) => Some(r),
-            Err(e) => {
-                eprintln!("campaign: undecodable journal checkpoint for {id} ({e})");
-                None
-            }
-        })
-        .or_else(|| {
-            let p = paths.as_ref()?;
-            read_or_quarantine(&p.ckpt, ".ckpt file", decode_ckpt)
-        });
-    let mut journal = journal.map(|(j, _)| j);
-
-    let (mut driver, archive, mut round, mut last_line_sims, mut lines) = match resumed {
-        Some(resumed) => {
-            evaluator.restore_state(&resumed.evaluator_state);
-            let shared = resumed.archive.into_shared();
-            evaluator.attach_archive(shared.clone());
-            (
-                resumed.driver,
-                shared,
-                resumed.round,
-                resumed.last_line_sims,
-                resumed.lines,
-            )
-        }
-        None => {
-            if let Some(journal) = &mut journal {
-                journal.started()?;
-            }
-            let shared = ParetoArchive::new().with_log().into_shared();
-            evaluator.attach_archive(shared.clone());
-            (
-                make_driver(task.method, &task.spec, task.seed),
-                shared,
-                0,
-                usize::MAX, // sentinel: force a line on the first progress
-                Vec::new(),
-            )
-        }
-    };
-
-    // One audited checkpoint write: journal first (the durable record),
-    // then the derived `.ckpt` and `.jsonl` artifacts.
-    let persist_checkpoint = |journal: &mut Option<TaskJournal>,
-                              driver: &MethodDriver,
-                              evaluator_state: &EvaluatorState,
-                              archive: &ParetoArchive,
-                              round: usize,
-                              last_line_sims: usize,
-                              lines: &[String]|
-     -> io::Result<()> {
-        let Some(p) = &paths else { return Ok(()) };
-        let bytes = encode_ckpt(
-            driver,
-            evaluator_state,
-            archive,
-            round,
-            last_line_sims,
-            lines,
-        );
-        if let Some(journal) = journal {
-            journal.checkpoint(driver.sims_used() as u64, &bytes)?;
-        }
-        fs::write_atomic(&p.ckpt, &bytes)?;
-        fs::write_atomic(&p.jsonl, lines.join("\n").as_bytes())
-    };
-
-    let mut last_ckpt = driver.sims_used();
     loop {
         if halt.halted() {
-            persist_checkpoint(
-                &mut journal,
-                &driver,
-                &evaluator.state(),
-                &archive.lock(),
-                round,
-                last_line_sims,
-                &lines,
-            )?;
-            evaluator.detach_archive();
+            running.checkpoint_now()?;
+            running.detach();
             return Ok(None);
         }
-        match driver.step(&evaluator) {
-            StepStatus::Done => break,
-            StepStatus::Running => {
-                round += 1;
-                let sims = driver.sims_used();
-                // One telemetry line per round that made progress on the
-                // budget axis (phase transitions and cache hits stay
-                // silent, so the stream length is bounded by the budget).
-                if sims != last_line_sims && sims > 0 {
-                    lines.push(telemetry_line(&id, round, sims, driver.best_cost()));
-                    last_line_sims = sims;
-                }
-                if sims - last_ckpt >= cfg.checkpoint_every {
-                    persist_checkpoint(
-                        &mut journal,
-                        &driver,
-                        &evaluator.state(),
-                        &archive.lock(),
-                        round,
-                        last_line_sims,
-                        &lines,
-                    )?;
-                    last_ckpt = sims;
+        match running.step(cfg.checkpoint_every)? {
+            TaskStep::Done(result) => return Ok(Some(*result)),
+            TaskStep::Running { checkpointed } => {
+                if checkpointed {
                     halt.note_checkpoint();
                 }
             }
         }
     }
-    evaluator.detach_archive();
-
-    let outcome = driver.outcome().cloned().expect("driver completed");
-    lines.push(telemetry_line(
-        &id,
-        round,
-        driver.sims_used(),
-        outcome.best_cost,
-    ));
-    let result = TaskResult {
-        outcome,
-        archive: archive.lock().clone(),
-    };
-    if let Some(p) = &paths {
-        let done_bytes = encode_done(&result);
-        let jsonl_bytes = lines.join("\n").into_bytes();
-        // Durable completion first (journal rotated down to the single
-        // *completed* record), then the derived files: a crash anywhere
-        // in this sequence heals to the same bytes on resume.
-        if let Some(journal) = &mut journal {
-            journal.complete(&done_bytes, &jsonl_bytes)?;
-        }
-        fs::write_atomic(&p.jsonl, &jsonl_bytes)?;
-        fs::write_atomic(&p.done, &done_bytes)?;
-        let _ = std::fs::remove_file(&p.ckpt);
-    }
-    Ok(Some(result))
 }
 
 /// Executes a campaign grid on the shared worker pool (at most

@@ -12,6 +12,8 @@ pub mod campaign;
 pub mod driver;
 pub mod harness;
 pub mod perf;
+mod persist;
+pub mod service;
 pub mod stats;
 
 pub use campaign::{run_campaign, run_units, CampaignConfig, CampaignTask, TaskResult};

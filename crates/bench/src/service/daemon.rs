@@ -1,0 +1,723 @@
+//! The `campaignd` job table, scheduler, and service journal
+//! (DESIGN.md §10, Contract 11).
+//!
+//! A [`Daemon`] owns a directory of durable state and a table of jobs,
+//! each a `crate::persist::RunningTask` — the same step engine the
+//! batch campaign drives, so per-job artifacts (`.done`/`.jsonl`/
+//! rotated task journal) are byte-identical however the schedule
+//! interleaves them. On top of the per-job files the daemon keeps one
+//! *service journal* (`campaignd.journal`): an append-only
+//! [`cv_journal::Journal`] of job-table transitions (*submitted*,
+//! *paused*, *resumed*, *cancelled*, *finished*), appended **before**
+//! the transition is applied or acknowledged. Restart replays the
+//! journal's durable prefix, reopens every surviving job from its own
+//! durable state, and compacts the journal to its canonical form — so a
+//! `kill -9` at any tick resumes every in-flight job byte-identically
+//! and, once drained, the directory `diff -r`-matches a never-killed
+//! run (Contract 11).
+//!
+//! **Canonical journal form.** At startup and at every GC point (a job
+//! finishing or being cancelled, or the segment outgrowing its cap) the
+//! journal is rotated down to a normal form: for each live job in id
+//! order, its *submitted* record, then *paused* if paused, then
+//! *finished* if done; cancelled jobs vanish entirely. The normal form
+//! is a pure function of the job table, which is what makes the final
+//! on-disk bytes independent of the crash/restart history.
+//!
+//! **Scheduling.** One [`Daemon::round`] gives every running job a
+//! fair slice of [`DaemonConfig::slice_steps`] driver steps, dispatched
+//! onto the shared [`cv_pool::WorkerPool`] (dynamic assignment — job
+//! results never depend on which worker runs a slice). The serving loop
+//! interleaves rounds with command handling, so `pause`/`cancel`/
+//! `frontier` take effect at step granularity.
+
+use crate::campaign::CampaignTask;
+use crate::persist::{
+    remove_task_files, result_front, OpenedTask, RunningTask, TaskResult, TaskStep,
+};
+use crate::service::protocol::{JobSpec, JobStatus, Request, Response};
+use cv_journal::{fs, Journal};
+use cv_synth::ckpt::{CkptError, Dec, Enc};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Daemon execution policy.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// The durable state directory (created if absent).
+    pub dir: PathBuf,
+    /// Max workers a scheduling round may occupy.
+    pub threads: usize,
+    /// Simulations between periodic per-job checkpoints.
+    pub checkpoint_every: usize,
+    /// Driver steps per job per scheduling round.
+    pub slice_steps: usize,
+    /// Rotate journals (service and per-task) past this many bytes.
+    pub journal_max_bytes: u64,
+}
+
+impl DaemonConfig {
+    /// A sensible default policy rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            dir: dir.into(),
+            threads: 4,
+            checkpoint_every: 16,
+            slice_steps: 4,
+            journal_max_bytes: crate::campaign::JOURNAL_MAX_BYTES,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service journal events
+// ---------------------------------------------------------------------
+
+const SJ_SUBMITTED: u8 = 1;
+const SJ_PAUSED: u8 = 2;
+const SJ_RESUMED: u8 = 3;
+const SJ_CANCELLED: u8 = 4;
+const SJ_FINISHED: u8 = 5;
+
+fn method_tag(method: crate::harness::Method) -> u8 {
+    use crate::harness::Method::*;
+    match method {
+        CircuitVae => 0,
+        LatentBo => 1,
+        Ga => 2,
+        GaNsga2 => 3,
+        Rl => 4,
+        Sa => 5,
+        Random => 6,
+    }
+}
+
+fn method_from_tag(tag: u8) -> Result<crate::harness::Method, CkptError> {
+    use crate::harness::Method::*;
+    Ok(match tag {
+        0 => CircuitVae,
+        1 => LatentBo,
+        2 => Ga,
+        3 => GaNsga2,
+        4 => Rl,
+        5 => Sa,
+        6 => Random,
+        _ => return Err(CkptError::Invalid("method tag")),
+    })
+}
+
+fn kind_tag(kind: cv_prefix::CircuitKind) -> u8 {
+    use cv_prefix::CircuitKind::*;
+    match kind {
+        Adder => 0,
+        GrayToBinary => 1,
+        LeadingZero => 2,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<cv_prefix::CircuitKind, CkptError> {
+    use cv_prefix::CircuitKind::*;
+    Ok(match tag {
+        0 => Adder,
+        1 => GrayToBinary,
+        2 => LeadingZero,
+        _ => return Err(CkptError::Invalid("kind tag")),
+    })
+}
+
+fn tech_tag(tech: crate::harness::TechLibrary) -> u8 {
+    match tech {
+        crate::harness::TechLibrary::Nangate45Like => 0,
+        crate::harness::TechLibrary::Scaled8nmLike => 1,
+    }
+}
+
+fn tech_from_tag(tag: u8) -> Result<crate::harness::TechLibrary, CkptError> {
+    Ok(match tag {
+        0 => crate::harness::TechLibrary::Nangate45Like,
+        1 => crate::harness::TechLibrary::Scaled8nmLike,
+        _ => return Err(CkptError::Invalid("tech tag")),
+    })
+}
+
+/// One durable job-table transition.
+#[derive(Debug, Clone, PartialEq)]
+enum ServiceEvent {
+    Submitted(JobSpec),
+    Paused(String),
+    Resumed(String),
+    Cancelled(String),
+    Finished(String),
+}
+
+impl ServiceEvent {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        match self {
+            ServiceEvent::Submitted(spec) => {
+                enc.u8(SJ_SUBMITTED);
+                enc.u8(method_tag(spec.method));
+                enc.u8(kind_tag(spec.kind));
+                enc.u8(tech_tag(spec.tech));
+                enc.usize(spec.width);
+                enc.f64(spec.delay_weight);
+                enc.usize(spec.budget);
+                enc.u64(spec.seed);
+            }
+            ServiceEvent::Paused(id) => {
+                enc.u8(SJ_PAUSED);
+                enc.str(id);
+            }
+            ServiceEvent::Resumed(id) => {
+                enc.u8(SJ_RESUMED);
+                enc.str(id);
+            }
+            ServiceEvent::Cancelled(id) => {
+                enc.u8(SJ_CANCELLED);
+                enc.str(id);
+            }
+            ServiceEvent::Finished(id) => {
+                enc.u8(SJ_FINISHED);
+                enc.str(id);
+            }
+        }
+        enc.finish()
+    }
+
+    fn decode(payload: &[u8]) -> Result<ServiceEvent, CkptError> {
+        let mut dec = Dec::new(payload);
+        let ev = match dec.u8()? {
+            SJ_SUBMITTED => ServiceEvent::Submitted(JobSpec {
+                method: method_from_tag(dec.u8()?)?,
+                kind: kind_from_tag(dec.u8()?)?,
+                tech: tech_from_tag(dec.u8()?)?,
+                width: dec.usize()?,
+                delay_weight: dec.f64()?,
+                budget: dec.usize()?,
+                seed: dec.u64()?,
+            }),
+            SJ_PAUSED => ServiceEvent::Paused(dec.str()?),
+            SJ_RESUMED => ServiceEvent::Resumed(dec.str()?),
+            SJ_CANCELLED => ServiceEvent::Cancelled(dec.str()?),
+            SJ_FINISHED => ServiceEvent::Finished(dec.str()?),
+            _ => return Err(CkptError::Invalid("service event tag")),
+        };
+        dec.finish()?;
+        Ok(ev)
+    }
+}
+
+/// A replayed job-table entry (pre-reopen).
+#[derive(Debug)]
+struct ReplayedJob {
+    spec: JobSpec,
+    paused: bool,
+}
+
+/// Replays the service journal's durable prefix into the job table it
+/// described. Returns the surviving jobs (in first-submission order)
+/// and the ids whose cancellation may still need its file GC re-run.
+fn replay_service(records: &[Vec<u8>]) -> (Vec<(String, ReplayedJob)>, Vec<String>) {
+    let mut jobs: Vec<(String, ReplayedJob)> = Vec::new();
+    let mut cancelled = Vec::new();
+    for record in records {
+        let ev = match ServiceEvent::decode(record) {
+            Ok(ev) => ev,
+            // A record that fails to decode ends the trusted prefix
+            // (CRC framing already screened out corruption).
+            Err(_) => break,
+        };
+        match ev {
+            ServiceEvent::Submitted(spec) => {
+                let id = spec.id();
+                if !jobs.iter().any(|(j, _)| *j == id) {
+                    jobs.push((
+                        id,
+                        ReplayedJob {
+                            spec,
+                            paused: false,
+                        },
+                    ));
+                }
+            }
+            ServiceEvent::Paused(id) => {
+                if let Some((_, job)) = jobs.iter_mut().find(|(j, _)| *j == id) {
+                    job.paused = true;
+                }
+            }
+            ServiceEvent::Resumed(id) => {
+                if let Some((_, job)) = jobs.iter_mut().find(|(j, _)| *j == id) {
+                    job.paused = false;
+                }
+            }
+            ServiceEvent::Cancelled(id) => {
+                jobs.retain(|(j, _)| *j != id);
+                cancelled.push(id);
+            }
+            // `finished` is advisory during replay: the job's own
+            // durable files are authoritative for its result, and
+            // reopening them yields `Done` regardless.
+            ServiceEvent::Finished(_) => {}
+        }
+    }
+    (jobs, cancelled)
+}
+
+// ---------------------------------------------------------------------
+// Job table
+// ---------------------------------------------------------------------
+
+/// A job's lifecycle state.
+enum JobState {
+    Running(Box<RunningTask>),
+    Paused(Box<RunningTask>),
+    Done(TaskResult),
+}
+
+impl JobState {
+    fn label(&self) -> &'static str {
+        match self {
+            JobState::Running(_) => "running",
+            JobState::Paused(_) => "paused",
+            JobState::Done(_) => "done",
+        }
+    }
+}
+
+/// One slot of the job table. The state sits behind a mutex so
+/// scheduling rounds can step disjoint jobs from pool workers.
+struct JobSlot {
+    id: String,
+    spec: JobSpec,
+    state: parking_lot::Mutex<JobState>,
+}
+
+/// The filename of the service journal inside the daemon directory.
+pub const SERVICE_JOURNAL: &str = "campaignd.journal";
+
+/// The `campaignd` core: a journaled, crash-replayable multi-job
+/// scheduler. See the module docs for the durability contract.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    journal: Option<Journal>,
+    jobs: Vec<JobSlot>,
+    /// Set when a persistence failure (an injected crash in `Error`
+    /// mode, or a real filesystem error) has killed the durable write
+    /// path: the daemon refuses all further mutation, exactly as a dead
+    /// process would.
+    dead: bool,
+}
+
+impl Daemon {
+    /// Opens (or creates) a daemon over `cfg.dir`, replaying the service
+    /// journal: sweeps orphaned staging files, reopens every surviving
+    /// job from its durable per-job state, re-runs pending cancellation
+    /// GC, and compacts the journal to canonical form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence failures (including injected crashes).
+    pub fn open(cfg: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        // Startup GC half 1: staging files orphaned by a kill.
+        fs::sweep_tmp(&cfg.dir)?;
+
+        let opened = Journal::open(&cfg.dir.join(SERVICE_JOURNAL))?;
+        if opened.truncated_bytes > 0 {
+            eprintln!(
+                "campaignd: truncated {} bytes of torn tail from the service journal",
+                opened.truncated_bytes
+            );
+        }
+        let (replayed, cancelled) = replay_service(&opened.records);
+        // Re-run cancellation GC: a crash between the durable
+        // *cancelled* record and the file removal leaves artifacts the
+        // replay must finish deleting (removal is idempotent).
+        for id in &cancelled {
+            remove_task_files(&cfg.dir, id);
+        }
+
+        let mut jobs = Vec::with_capacity(replayed.len());
+        for (id, job) in replayed {
+            let state = open_job(&job.spec, &id, &cfg, job.paused)?;
+            jobs.push(JobSlot {
+                id,
+                spec: job.spec,
+                state: parking_lot::Mutex::new(state),
+            });
+        }
+
+        let mut daemon = Daemon {
+            cfg,
+            journal: Some(opened.journal),
+            jobs,
+            dead: false,
+        };
+        // Startup GC half 2: compact the journal to canonical form
+        // (this also durably records *finished* for jobs that completed
+        // right before a crash could record them).
+        daemon.rotate_canonical()?;
+        Ok(daemon)
+    }
+
+    /// Whether the durable write path has failed (simulated or real
+    /// process death): all further mutation is refused.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether any job is currently runnable.
+    pub fn has_running(&self) -> bool {
+        self.jobs
+            .iter()
+            .any(|j| matches!(&*j.state.lock(), JobState::Running(_)))
+    }
+
+    /// The daemon's state directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// The canonical journal records for the current job table (id
+    /// order; see the module docs).
+    fn canonical_records(&self) -> Vec<Vec<u8>> {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by(|&a, &b| self.jobs[a].id.cmp(&self.jobs[b].id));
+        let mut records = Vec::new();
+        for idx in order {
+            let slot = &self.jobs[idx];
+            records.push(ServiceEvent::Submitted(slot.spec.clone()).encode());
+            match &*slot.state.lock() {
+                JobState::Running(_) => {}
+                JobState::Paused(_) => {
+                    records.push(ServiceEvent::Paused(slot.id.clone()).encode());
+                }
+                JobState::Done(_) => {
+                    records.push(ServiceEvent::Finished(slot.id.clone()).encode());
+                }
+            }
+        }
+        records
+    }
+
+    /// Rotates the service journal down to canonical form.
+    fn rotate_canonical(&mut self) -> io::Result<()> {
+        let records = self.canonical_records();
+        let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
+        let journal = self.journal.take().expect("service journal open");
+        self.journal = Some(journal.rotate(&refs)?);
+        Ok(())
+    }
+
+    /// Appends one transition event (rotating first if the segment has
+    /// outgrown its cap).
+    fn append_event(&mut self, ev: &ServiceEvent) -> io::Result<()> {
+        let journal = self.journal.as_mut().expect("service journal open");
+        if journal.len() > self.cfg.journal_max_bytes {
+            self.rotate_canonical()?;
+        }
+        self.journal
+            .as_mut()
+            .expect("service journal open")
+            .append(&ev.encode())
+    }
+
+    fn find(&self, id: &str) -> Option<usize> {
+        self.jobs.iter().position(|j| j.id == id)
+    }
+
+    /// Handles one client request, journaling every state transition
+    /// before applying or acknowledging it.
+    ///
+    /// # Errors
+    ///
+    /// `Err` means the durable write path failed mid-command (the
+    /// in-memory table may be behind the journal, never ahead of it);
+    /// the daemon is dead from then on. Client-level failures (unknown
+    /// id, spec collision, invalid transition) are `Ok` with
+    /// [`Response::Error`] and change nothing.
+    pub fn handle(&mut self, req: &Request) -> io::Result<Response> {
+        if self.dead {
+            return Ok(Response::error(
+                "daemon is dead (durable write path failed)",
+            ));
+        }
+        let result = match req {
+            Request::Submit(spec) => self.submit(spec),
+            Request::Status { id } => Ok(self.status(id.as_deref())),
+            Request::Pause { id } => self.pause(id),
+            Request::Resume { id } => self.resume(id),
+            Request::Cancel { id } => self.cancel(id),
+            Request::Frontier { id } => Ok(self.frontier(id)),
+            Request::Ping | Request::Shutdown => Ok(Response::Ok),
+        };
+        if let Err(e) = &result {
+            if cv_journal::failpoint::is_crash(e) {
+                self.dead = true;
+            }
+        }
+        result
+    }
+
+    fn submit(&mut self, spec: &JobSpec) -> io::Result<Response> {
+        let id = spec.id();
+        if let Some(idx) = self.find(&id) {
+            return Ok(if self.jobs[idx].spec == *spec {
+                // Idempotent re-submit: the crash-retry path.
+                Response::Submitted { id, existing: true }
+            } else {
+                Response::error(format!("job {id} exists with a different spec"))
+            });
+        }
+        // Journal first, then build: a crash after the append replays
+        // into exactly the submit the client will retry.
+        self.append_event(&ServiceEvent::Submitted(spec.clone()))?;
+        let state = open_job(spec, &id, &self.cfg, false)?;
+        let finished = matches!(state, JobState::Done(_));
+        self.jobs.push(JobSlot {
+            id: id.clone(),
+            spec: spec.clone(),
+            state: parking_lot::Mutex::new(state),
+        });
+        if finished {
+            // The job had already completed durably under this id (a
+            // pre-crash life): record it as finished right away.
+            self.rotate_canonical()?;
+        }
+        Ok(Response::Submitted {
+            id,
+            existing: false,
+        })
+    }
+
+    fn status(&self, id: Option<&str>) -> Response {
+        let rows: Vec<JobStatus> = self
+            .jobs
+            .iter()
+            .filter(|j| id.map_or(true, |id| j.id == id))
+            .map(|j| {
+                let state = j.state.lock();
+                let (sims, best) = match &*state {
+                    JobState::Running(rt) | JobState::Paused(rt) => {
+                        (rt.sims_used(), rt.best_cost())
+                    }
+                    JobState::Done(r) => (
+                        r.outcome.history.last().map_or(0, |&(s, _)| s),
+                        r.outcome.best_cost,
+                    ),
+                };
+                JobStatus {
+                    id: j.id.clone(),
+                    state: state.label(),
+                    sims,
+                    budget: j.spec.budget,
+                    best,
+                }
+            })
+            .collect();
+        if id.is_some() && rows.is_empty() {
+            return Response::error(format!("unknown job {}", id.unwrap_or_default()));
+        }
+        Response::Status { jobs: rows }
+    }
+
+    fn pause(&mut self, id: &str) -> io::Result<Response> {
+        let Some(idx) = self.find(id) else {
+            return Ok(Response::error(format!("unknown job {id}")));
+        };
+        {
+            let mut state = self.jobs[idx].state.lock();
+            match &mut *state {
+                JobState::Paused(_) => return Ok(Response::Ok), // idempotent
+                JobState::Done(_) => {
+                    return Ok(Response::error(format!("job {id} already finished")))
+                }
+                JobState::Running(rt) => {
+                    // Persist progress before the durable transition, so
+                    // a paused job survives a crash at its exact step.
+                    rt.checkpoint_now()?;
+                }
+            }
+        }
+        self.append_event(&ServiceEvent::Paused(id.to_string()))?;
+        let mut state = self.jobs[idx].state.lock();
+        replace_with(&mut state, |s| match s {
+            JobState::Running(rt) => JobState::Paused(rt),
+            other => other,
+        });
+        Ok(Response::Ok)
+    }
+
+    fn resume(&mut self, id: &str) -> io::Result<Response> {
+        let Some(idx) = self.find(id) else {
+            return Ok(Response::error(format!("unknown job {id}")));
+        };
+        match &*self.jobs[idx].state.lock() {
+            JobState::Running(_) => return Ok(Response::Ok), // idempotent
+            JobState::Done(_) => return Ok(Response::error(format!("job {id} already finished"))),
+            JobState::Paused(_) => {}
+        }
+        self.append_event(&ServiceEvent::Resumed(id.to_string()))?;
+        let mut state = self.jobs[idx].state.lock();
+        replace_with(&mut state, |s| match s {
+            JobState::Paused(rt) => JobState::Running(rt),
+            other => other,
+        });
+        Ok(Response::Ok)
+    }
+
+    fn cancel(&mut self, id: &str) -> io::Result<Response> {
+        let Some(idx) = self.find(id) else {
+            return Ok(Response::error(format!("unknown job {id}")));
+        };
+        if matches!(&*self.jobs[idx].state.lock(), JobState::Done(_)) {
+            return Ok(Response::error(format!(
+                "job {id} already finished (results kept)"
+            )));
+        }
+        // Durable tombstone first; the file GC below is idempotent and
+        // re-run on replay if a crash interrupts it.
+        self.append_event(&ServiceEvent::Cancelled(id.to_string()))?;
+        let slot = self.jobs.remove(idx);
+        match slot.state.into_inner() {
+            JobState::Running(rt) | JobState::Paused(rt) => rt.remove_files(),
+            JobState::Done(_) => unreachable!("checked above"),
+        }
+        // GC point: drop the cancelled job's events from the journal.
+        self.rotate_canonical()?;
+        Ok(Response::Ok)
+    }
+
+    fn frontier(&self, id: &str) -> Response {
+        let Some(idx) = self.find(id) else {
+            return Response::error(format!("unknown job {id}"));
+        };
+        let front = match &*self.jobs[idx].state.lock() {
+            JobState::Running(rt) | JobState::Paused(rt) => rt.front(),
+            JobState::Done(result) => result_front(result),
+        };
+        Response::Frontier {
+            id: id.to_string(),
+            front,
+        }
+    }
+
+    /// Runs one scheduling round: every running job advances by up to
+    /// [`DaemonConfig::slice_steps`] driver steps, dispatched onto the
+    /// shared worker pool. Jobs that complete trigger the finished-job
+    /// GC (journal compaction). Returns the number of jobs stepped
+    /// (`0` = the daemon is idle).
+    ///
+    /// # Errors
+    ///
+    /// The first persistence failure of the round (the daemon is dead
+    /// from then on).
+    pub fn round(&mut self) -> io::Result<usize> {
+        if self.dead {
+            return Ok(0);
+        }
+        let running: Vec<usize> = (0..self.jobs.len())
+            .filter(|&i| matches!(&*self.jobs[i].state.lock(), JobState::Running(_)))
+            .collect();
+        if running.is_empty() {
+            return Ok(0);
+        }
+        let errors: Vec<parking_lot::Mutex<Option<io::Error>>> = running
+            .iter()
+            .map(|_| parking_lot::Mutex::new(None))
+            .collect();
+        let finished = parking_lot::Mutex::new(false);
+        let jobs = &self.jobs;
+        let (slice_steps, checkpoint_every) =
+            (self.cfg.slice_steps.max(1), self.cfg.checkpoint_every);
+        cv_pool::WorkerPool::global().run_dynamic(running.len(), self.cfg.threads.max(1), |i| {
+            let mut state = jobs[running[i]].state.lock();
+            let JobState::Running(rt) = &mut *state else {
+                return;
+            };
+            for _ in 0..slice_steps {
+                match rt.step(checkpoint_every) {
+                    Ok(TaskStep::Running { .. }) => {}
+                    Ok(TaskStep::Done(result)) => {
+                        *state = JobState::Done(*result);
+                        *finished.lock() = true;
+                        break;
+                    }
+                    Err(e) => {
+                        *errors[i].lock() = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        if let Some(e) = errors.into_iter().find_map(|m| m.into_inner()) {
+            self.dead = true;
+            return Err(e);
+        }
+        if finished.into_inner() {
+            // Finished-job GC: compact the journal so completed jobs
+            // occupy exactly their canonical *submitted* + *finished*
+            // pair — and so a fully drained table always leaves the
+            // same journal bytes, crash history or not.
+            self.rotate_canonical()?;
+        }
+        Ok(running.len())
+    }
+
+    /// Durably checkpoints every running job (the graceful-shutdown
+    /// path; paused and done jobs are already durable).
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence failures (the daemon is dead from then
+    /// on).
+    pub fn checkpoint_all(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Ok(());
+        }
+        for slot in &self.jobs {
+            let mut state = slot.state.lock();
+            if let JobState::Running(rt) = &mut *state {
+                if let Err(e) = rt.checkpoint_now() {
+                    self.dead = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Swaps a job state in place through a move-transforming closure.
+fn replace_with(state: &mut JobState, f: impl FnOnce(JobState) -> JobState) {
+    // A placeholder result keeps the slot valid if `f` panics midway;
+    // it is overwritten immediately on the normal path.
+    let placeholder = JobState::Done(TaskResult {
+        outcome: cv_synth::SearchOutcome {
+            history: Vec::new(),
+            best_cost: f64::INFINITY,
+            best_grid: None,
+            evaluated: Vec::new(),
+        },
+        archive: cv_synth::ParetoArchive::new(),
+    });
+    let old = std::mem::replace(state, placeholder);
+    *state = f(old);
+}
+
+/// Opens (or resumes) one job's step engine from its durable per-job
+/// state, classifying it into the replayed lifecycle state.
+fn open_job(spec: &JobSpec, id: &str, cfg: &DaemonConfig, paused: bool) -> io::Result<JobState> {
+    let task = CampaignTask {
+        method: spec.method,
+        spec: spec.to_spec(),
+        seed: spec.seed,
+    };
+    Ok(
+        match RunningTask::open(&task, id.to_string(), Some(&cfg.dir), cfg.journal_max_bytes)? {
+            OpenedTask::Done(result) => JobState::Done(result),
+            OpenedTask::Run(rt) if paused => JobState::Paused(rt),
+            OpenedTask::Run(rt) => JobState::Running(rt),
+        },
+    )
+}

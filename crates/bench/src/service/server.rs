@@ -1,0 +1,165 @@
+//! The `campaignd` TCP front end: line-delimited JSON over a local
+//! socket (DESIGN.md §10).
+//!
+//! Threading model: one accept thread plus one lightweight handler
+//! thread per connection; a single scheduler loop (the caller's thread)
+//! owns the [`Daemon`] and alternates between draining queued commands
+//! and running scheduling rounds, so commands take effect at driver-step
+//! granularity and job state never needs cross-thread sharing beyond
+//! the per-slot locks the rounds already use.
+
+use crate::service::daemon::Daemon;
+use crate::service::protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long an idle scheduler blocks waiting for a command before
+/// polling again.
+const IDLE_WAIT: Duration = Duration::from_millis(25);
+
+type Command = (Request, Sender<String>);
+
+/// Serves `daemon` on `addr` (e.g. `127.0.0.1:0`) until a client sends
+/// `shutdown`. When `port_file` is given, the bound port is written
+/// there once the listener is live — the rendezvous the CLI client and
+/// the CI smoke script use with ephemeral ports.
+///
+/// Shutdown is graceful: every running job is checkpointed durably
+/// before the `shutdown` acknowledgement is sent, so a restart resumes
+/// where serving stopped.
+///
+/// # Errors
+///
+/// Binding/IO failures on the listener, or a daemon persistence failure
+/// (the daemon refuses further work once its durable write path fails).
+pub fn serve(mut daemon: Daemon, addr: &str, port_file: Option<&Path>) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    if let Some(pf) = port_file {
+        // Coordination state, not durable campaign state: a plain write
+        // keeps it off the audited (fault-injected) path.
+        std::fs::write(pf, format!("{}\n", local.port()))?;
+    }
+    eprintln!("campaignd: listening on {local}");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+    let accept = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("campaignd-accept".to_string())
+            .spawn(move || accept_loop(listener, cmd_tx, stop))
+            .expect("spawn accept thread")
+    };
+
+    let result = scheduler_loop(&mut daemon, &cmd_rx);
+    // Unblock the accept thread (it is parked in `accept`) and reap it.
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(local);
+    let _ = accept.join();
+    result
+}
+
+fn accept_loop(listener: TcpListener, cmd_tx: Sender<Command>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let cmd_tx = cmd_tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("campaignd-conn".to_string())
+            .spawn(move || connection_loop(stream, cmd_tx));
+    }
+}
+
+fn connection_loop(stream: TcpStream, cmd_tx: Sender<Command>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match Request::parse(&line) {
+            // Malformed input never reaches the daemon.
+            Err(msg) => Response::error(msg).render(),
+            Ok(req) => {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                if cmd_tx.send((req, reply_tx)).is_err() {
+                    break; // scheduler gone: daemon shut down
+                }
+                match reply_rx.recv() {
+                    Ok(reply) => reply,
+                    Err(_) => break,
+                }
+            }
+        };
+        if writer
+            .write_all(reply.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+}
+
+fn scheduler_loop(daemon: &mut Daemon, cmd_rx: &Receiver<Command>) -> io::Result<()> {
+    loop {
+        // Drain every queued command between rounds.
+        loop {
+            match cmd_rx.try_recv() {
+                Ok(cmd) => {
+                    if dispatch(daemon, cmd)? {
+                        return Ok(());
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return Ok(()),
+            }
+        }
+        let stepped = daemon.round()?;
+        if stepped == 0 {
+            // Idle: block briefly for the next command instead of
+            // spinning.
+            match cmd_rx.recv_timeout(IDLE_WAIT) {
+                Ok(cmd) => {
+                    if dispatch(daemon, cmd)? {
+                        return Ok(());
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Ok(()),
+            }
+        }
+    }
+}
+
+/// Handles one command; returns `Ok(true)` when serving should stop
+/// (a graceful, fully-checkpointed shutdown was acknowledged).
+fn dispatch(daemon: &mut Daemon, (req, reply): Command) -> io::Result<bool> {
+    let is_shutdown = matches!(req, Request::Shutdown);
+    if is_shutdown {
+        // Durability before the acknowledgement, as for every command.
+        daemon.checkpoint_all()?;
+    }
+    match daemon.handle(&req) {
+        Ok(resp) => {
+            let _ = reply.send(resp.render());
+            Ok(is_shutdown)
+        }
+        Err(e) => {
+            let _ = reply.send(Response::error(format!("persistence failure: {e}")).render());
+            Err(e)
+        }
+    }
+}

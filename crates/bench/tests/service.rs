@@ -1,0 +1,509 @@
+//! Semantics suite for the `campaignd` daemon core (DESIGN.md §10).
+//!
+//! The load-bearing property is *schedule independence*: however the
+//! daemon interleaves jobs — fair multiplexed rounds, one job at a
+//! time, pause/resume churn, random command scripts — every job's
+//! final outcome, frontier, and on-disk artifacts byte-match a plain
+//! sequential driver loop of the same method×spec×seed. Plus the
+//! protocol-level lifecycle rules: idempotent re-submit, spec-collision
+//! rejection, cancellation GC, and a TCP end-to-end pass.
+
+use circuitvae::driver::SearchDriver;
+use cv_bench::harness::{build_evaluator, Method, TechLibrary};
+use cv_bench::make_driver;
+use cv_bench::service::{serve, Daemon, DaemonConfig, JobSpec, Request, Response};
+use cv_prefix::CircuitKind;
+use cv_synth::ParetoArchive;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn base_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cv_service_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn job(method: Method, tech: TechLibrary, budget: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        method,
+        kind: CircuitKind::Adder,
+        width: 8,
+        tech,
+        delay_weight: 0.5,
+        budget,
+        seed,
+    }
+}
+
+fn cfg(dir: &Path) -> DaemonConfig {
+    DaemonConfig {
+        dir: dir.to_path_buf(),
+        threads: 2,
+        checkpoint_every: 5,
+        slice_steps: 3,
+        journal_max_bytes: 1 << 20,
+    }
+}
+
+fn submit(daemon: &mut Daemon, spec: &JobSpec) -> String {
+    match daemon
+        .handle(&Request::Submit(spec.clone()))
+        .expect("submit")
+    {
+        Response::Submitted { id, .. } => id,
+        other => panic!("submit failed: {other:?}"),
+    }
+}
+
+fn drain(daemon: &mut Daemon) {
+    while daemon.has_running() {
+        daemon.round().expect("round");
+    }
+}
+
+fn frontier(daemon: &mut Daemon, id: &str) -> Vec<(f64, f64, usize)> {
+    match daemon
+        .handle(&Request::Frontier { id: id.to_string() })
+        .expect("frontier")
+    {
+        Response::Frontier { front, .. } => front,
+        other => panic!("frontier failed: {other:?}"),
+    }
+}
+
+fn status_row(daemon: &mut Daemon, id: &str) -> (String, usize, f64) {
+    match daemon
+        .handle(&Request::Status {
+            id: Some(id.to_string()),
+        })
+        .expect("status")
+    {
+        Response::Status { jobs } => {
+            assert_eq!(jobs.len(), 1);
+            (jobs[0].state.to_string(), jobs[0].sims, jobs[0].best)
+        }
+        other => panic!("status failed: {other:?}"),
+    }
+}
+
+/// The sequential reference: a plain driver loop with an observing
+/// archive, exactly what `run_method_on` does plus frontier tracking.
+fn model(spec: &JobSpec) -> (cv_synth::SearchOutcome, ParetoArchive) {
+    let evaluator = build_evaluator(&spec.to_spec());
+    let shared = ParetoArchive::new().with_log().into_shared();
+    evaluator.attach_archive(shared.clone());
+    let outcome =
+        make_driver(spec.method, &spec.to_spec(), spec.seed).run_to_completion(&evaluator);
+    evaluator.detach_archive();
+    let archive = shared.lock().clone();
+    (outcome, archive)
+}
+
+fn model_front(archive: &ParetoArchive) -> Vec<(f64, f64, usize)> {
+    archive
+        .front()
+        .iter()
+        .map(|p| (p.ppa.area_um2, p.ppa.delay_ns, p.sims))
+        .collect()
+}
+
+/// Reads the per-job durable artifacts (`.done`, `.jsonl`, `.journal`)
+/// of `id` under `dir`.
+fn job_files(dir: &Path, id: &str) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for ext in ["done", "jsonl", "journal"] {
+        let path = dir.join(format!("{id}.{ext}"));
+        files.insert(
+            format!("{id}.{ext}"),
+            std::fs::read(&path).unwrap_or_else(|e| panic!("{} readable: {e}", path.display())),
+        );
+    }
+    assert!(
+        !dir.join(format!("{id}.ckpt")).exists(),
+        "{id}: completed jobs must not leave a checkpoint behind"
+    );
+    files
+}
+
+/// Runs each spec in its own single-job daemon (one at a time, separate
+/// directory) and returns the per-job file bytes — the
+/// schedule-independence reference for multiplexed runs.
+fn sequential_reference(dir: &Path, specs: &[JobSpec]) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for spec in specs {
+        let mut daemon = Daemon::open(cfg(dir)).expect("open");
+        let id = submit(&mut daemon, spec);
+        drain(&mut daemon);
+        files.extend(job_files(dir, &id));
+    }
+    files
+}
+
+#[test]
+fn multiplexed_jobs_match_sequential_driver_loops() {
+    let specs = [
+        job(Method::Sa, TechLibrary::Nangate45Like, 30, 1),
+        job(Method::Random, TechLibrary::Scaled8nmLike, 24, 2),
+        job(Method::GaNsga2, TechLibrary::Nangate45Like, 24, 3),
+    ];
+    let dir = base_dir("multiplex");
+    let mut daemon = Daemon::open(cfg(&dir)).expect("open");
+    let ids: Vec<String> = specs.iter().map(|s| submit(&mut daemon, s)).collect();
+    drain(&mut daemon);
+
+    // Against the in-memory sequential model: outcome and frontier.
+    for (spec, id) in specs.iter().zip(&ids) {
+        let (outcome, archive) = model(spec);
+        let (state, sims, best) = status_row(&mut daemon, id);
+        assert_eq!(state, "done");
+        assert_eq!(sims, outcome.history.last().map_or(0, |&(s, _)| s));
+        assert_eq!(best, outcome.best_cost, "{id}: best cost differs");
+        assert_eq!(
+            frontier(&mut daemon, id),
+            model_front(&archive),
+            "{id}: frontier differs from the sequential driver loop"
+        );
+    }
+
+    // Against a one-job-at-a-time daemon: byte-identical artifacts.
+    let seq_dir = base_dir("multiplex_seq");
+    let reference = sequential_reference(&seq_dir, &specs);
+    for id in &ids {
+        for (name, bytes) in job_files(&dir, id) {
+            assert_eq!(
+                bytes, reference[&name],
+                "{name}: multiplexed bytes differ from single-job run"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&seq_dir);
+}
+
+#[test]
+fn pause_resume_preserves_results_exactly() {
+    let spec = job(Method::Sa, TechLibrary::Nangate45Like, 30, 7);
+    let dir = base_dir("pause");
+    let mut daemon = Daemon::open(cfg(&dir)).expect("open");
+    let id = submit(&mut daemon, &spec);
+
+    for _ in 0..3 {
+        daemon.round().expect("round");
+    }
+    assert!(matches!(
+        daemon
+            .handle(&Request::Pause { id: id.clone() })
+            .expect("pause"),
+        Response::Ok
+    ));
+    let (state, paused_sims, _) = status_row(&mut daemon, &id);
+    assert_eq!(state, "paused");
+    // Paused jobs do not advance, however many rounds pass.
+    for _ in 0..5 {
+        assert_eq!(daemon.round().expect("round"), 0, "paused daemon is idle");
+    }
+    assert_eq!(status_row(&mut daemon, &id).1, paused_sims);
+    // Pause is idempotent; resume flips it back.
+    assert!(matches!(
+        daemon
+            .handle(&Request::Pause { id: id.clone() })
+            .expect("pause"),
+        Response::Ok
+    ));
+    assert!(matches!(
+        daemon
+            .handle(&Request::Resume { id: id.clone() })
+            .expect("resume"),
+        Response::Ok
+    ));
+    drain(&mut daemon);
+
+    let (outcome, archive) = model(&spec);
+    let (_, _, best) = status_row(&mut daemon, &id);
+    assert_eq!(best, outcome.best_cost);
+    assert_eq!(frontier(&mut daemon, &id), model_front(&archive));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_removes_all_artifacts_and_frees_the_id() {
+    let spec = job(Method::Random, TechLibrary::Nangate45Like, 24, 9);
+    let dir = base_dir("cancel");
+    let mut daemon = Daemon::open(cfg(&dir)).expect("open");
+    let id = submit(&mut daemon, &spec);
+    for _ in 0..2 {
+        daemon.round().expect("round");
+    }
+    assert!(dir.join(format!("{id}.journal")).exists());
+    assert!(matches!(
+        daemon
+            .handle(&Request::Cancel { id: id.clone() })
+            .expect("cancel"),
+        Response::Ok
+    ));
+    for ext in ["done", "ckpt", "jsonl", "journal"] {
+        assert!(
+            !dir.join(format!("{id}.{ext}")).exists(),
+            "cancel must remove {id}.{ext}"
+        );
+    }
+    assert!(matches!(
+        daemon
+            .handle(&Request::Status {
+                id: Some(id.clone())
+            })
+            .expect("status"),
+        Response::Error { .. }
+    ));
+    // The id is free again: a fresh submit runs from scratch to the
+    // same result as the model.
+    let id2 = submit(&mut daemon, &spec);
+    assert_eq!(id2, id);
+    drain(&mut daemon);
+    let (outcome, _) = model(&spec);
+    assert_eq!(status_row(&mut daemon, &id).2, outcome.best_cost);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn submit_is_idempotent_and_rejects_spec_collisions() {
+    let spec = job(Method::Sa, TechLibrary::Nangate45Like, 24, 4);
+    let dir = base_dir("idempotent");
+    let mut daemon = Daemon::open(cfg(&dir)).expect("open");
+    let id = submit(&mut daemon, &spec);
+
+    match daemon
+        .handle(&Request::Submit(spec.clone()))
+        .expect("resubmit")
+    {
+        Response::Submitted { id: id2, existing } => {
+            assert_eq!(id2, id);
+            assert!(existing, "re-submit must be flagged as existing");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Same id, different spec (delay_weight is not part of the id).
+    let mut conflicting = spec.clone();
+    conflicting.delay_weight = 0.9;
+    assert_eq!(conflicting.id(), id);
+    assert!(matches!(
+        daemon
+            .handle(&Request::Submit(conflicting))
+            .expect("conflict"),
+        Response::Error { .. }
+    ));
+    // Lifecycle commands on unknown ids fail without side effects.
+    for req in [
+        Request::Pause {
+            id: "nope".to_string(),
+        },
+        Request::Resume {
+            id: "nope".to_string(),
+        },
+        Request::Cancel {
+            id: "nope".to_string(),
+        },
+        Request::Frontier {
+            id: "nope".to_string(),
+        },
+    ] {
+        assert!(matches!(
+            daemon.handle(&req).expect("unknown id"),
+            Response::Error { .. }
+        ));
+    }
+    drain(&mut daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Random command interleavings vs the sequential model
+// ---------------------------------------------------------------------
+
+/// One step of a random daemon script.
+#[derive(Debug, Clone)]
+enum Op {
+    Rounds(u8),
+    Pause(u8),
+    Resume(u8),
+}
+
+/// The vendored proptest shim has no `prop_oneof`: encode the op as a
+/// `(kind, arg)` tuple instead.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..3, 0u8..4).prop_map(|(kind, arg)| match kind {
+        0 => Op::Rounds(1 + arg % 3),
+        1 => Op::Pause(arg % 2),
+        _ => Op::Resume(arg % 2),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random submit/pause/resume interleavings at random step counts:
+    /// the surviving jobs' outcomes and archive fronts byte-match the
+    /// sequential single-job reference (and the in-memory model),
+    /// whatever the script did.
+    #[test]
+    fn random_interleavings_match_sequential_model(
+        script in proptest::collection::vec(op_strategy(), 1..12),
+        cancel_code in 0u8..3, // 0/1 = cancel that job, 2 = no cancel
+    ) {
+        let cancel_victim = (cancel_code < 2).then_some(cancel_code);
+        let specs = [
+            job(Method::Sa, TechLibrary::Nangate45Like, 20, 21),
+            job(Method::Random, TechLibrary::Scaled8nmLike, 20, 22),
+        ];
+        let dir = base_dir("interleave");
+        let mut daemon = Daemon::open(cfg(&dir)).expect("open");
+        let ids: Vec<String> = specs.iter().map(|s| submit(&mut daemon, s)).collect();
+
+        for op in &script {
+            match op {
+                Op::Rounds(n) => {
+                    for _ in 0..*n {
+                        daemon.round().expect("round");
+                    }
+                }
+                Op::Pause(j) => {
+                    daemon.handle(&Request::Pause { id: ids[*j as usize].clone() }).expect("pause");
+                }
+                Op::Resume(j) => {
+                    daemon.handle(&Request::Resume { id: ids[*j as usize].clone() }).expect("resume");
+                }
+            }
+        }
+        // Mid-script cancellation of one victim, then a fresh re-submit:
+        // the job must still land on the model bytes.
+        if let Some(victim) = cancel_victim {
+            let id = ids[victim as usize].clone();
+            daemon.handle(&Request::Cancel { id: id.clone() }).expect("cancel");
+            prop_assert_eq!(submit(&mut daemon, &specs[victim as usize]), id);
+        }
+        for id in &ids {
+            daemon.handle(&Request::Resume { id: id.clone() }).expect("final resume");
+        }
+        drain(&mut daemon);
+
+        let seq_dir = base_dir("interleave_seq");
+        let reference = sequential_reference(&seq_dir, &specs);
+        for (spec, id) in specs.iter().zip(&ids) {
+            let (outcome, archive) = model(spec);
+            let (state, _, best) = status_row(&mut daemon, id);
+            prop_assert_eq!(state, "done");
+            prop_assert_eq!(best, outcome.best_cost);
+            prop_assert_eq!(frontier(&mut daemon, id), model_front(&archive));
+            for (name, bytes) in job_files(&dir, id) {
+                prop_assert_eq!(
+                    &bytes,
+                    &reference[&name],
+                    "{} differs from the sequential reference", name
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&seq_dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP end to end
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_server_end_to_end() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let dir = base_dir("tcp");
+    let port_file = dir.join("port");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let daemon = Daemon::open(cfg(&dir)).expect("open");
+    let pf = port_file.clone();
+    let server = std::thread::spawn(move || serve(daemon, "127.0.0.1:0", Some(&pf)));
+
+    // Wait for the listener, then connect.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let port: u16 = loop {
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Ok(port) = text.trim().parse() {
+                break port;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "port file never appeared"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    fn raw_line(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("recv");
+        reply
+    }
+    fn roundtrip(
+        writer: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        req: &Request,
+    ) -> cv_bench::perf::Json {
+        let reply = raw_line(writer, reader, &req.render());
+        cv_bench::perf::parse_json(reply.trim()).expect("json response")
+    }
+    let ok =
+        |json: &cv_bench::perf::Json| json.get("ok") == Some(&cv_bench::perf::Json::Bool(true));
+
+    let spec = job(Method::Random, TechLibrary::Nangate45Like, 16, 5);
+    let reply = roundtrip(&mut writer, &mut reader, &Request::Submit(spec.clone()));
+    assert!(ok(&reply), "submit failed: {reply:?}");
+    // Malformed lines answer an error without killing the connection.
+    let line = raw_line(&mut writer, &mut reader, "{\"cmd\":\"wat\"}");
+    assert!(line.contains("\"ok\":false"), "bad cmd must error: {line}");
+
+    // Poll status until the job drains.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let json = roundtrip(&mut writer, &mut reader, &Request::Status { id: None });
+        assert!(ok(&json));
+        let all_done = match json.get("jobs") {
+            Some(cv_bench::perf::Json::Arr(jobs)) => {
+                !jobs.is_empty()
+                    && jobs.iter().all(|j| {
+                        j.get("state") == Some(&cv_bench::perf::Json::Str("done".to_string()))
+                    })
+            }
+            _ => false,
+        };
+        if all_done {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job never drained");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let json = roundtrip(
+        &mut writer,
+        &mut reader,
+        &Request::Frontier { id: spec.id() },
+    );
+    assert!(ok(&json));
+    match json.get("front") {
+        Some(cv_bench::perf::Json::Arr(points)) => {
+            assert!(!points.is_empty(), "drained job must serve a frontier")
+        }
+        other => panic!("malformed frontier: {other:?}"),
+    }
+    let json = roundtrip(&mut writer, &mut reader, &Request::Shutdown);
+    assert!(ok(&json));
+    server
+        .join()
+        .expect("server thread")
+        .expect("serve returns cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
