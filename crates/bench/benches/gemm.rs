@@ -6,7 +6,9 @@
 //! `--test` smoke mode):
 //! * every fast-kernel result is bit-for-bit equal to its naive
 //!   reference (checked in smoke mode too);
-//! * the width-32 training step must be ≥3× faster on the compute core.
+//! * the width-32 training step must be ≥3× faster on the compute core;
+//! * on AVX2 hosts the strict-mode SIMD GEMM headline must be ≥2× over
+//!   the scalar tier (loudly skipped elsewhere, never silently).
 //!
 //! All measurements are folded into `results/bench_perf.json` through
 //! `cv_bench::perf` (schema-checked by the `perf_schema` binary), so CI
@@ -14,8 +16,12 @@
 
 use circuitvae::{train, CircuitVaeConfig, CircuitVaeModel, Dataset, ModelArch};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use cv_bench::perf::{AbPerf, GemmPerf, PerfReport, ScalePoint, ScalingCurve};
+use cv_bench::perf::{
+    AbPerf, GemmPerf, PerfReport, ScalePoint, ScalingCurve, SimdLevelPerf, SimdScaling,
+    SimdShapePerf,
+};
 use cv_cells::nangate45_like;
+use cv_nn::gemm::{KernelMode, SimdLevel};
 use cv_nn::{gemm, ParamStore};
 use cv_pool::WorkerPool;
 use cv_prefix::{mutate, topologies, CircuitKind, GridMetrics, PrefixGrid};
@@ -44,6 +50,8 @@ fn report() -> &'static Mutex<PerfReport> {
         Mutex::new(PerfReport {
             pool_threads: WorkerPool::global().threads(),
             cpu_cores: cpu_cores(),
+            simd_level: gemm::simd_level().name().to_string(),
+            cpu_features: gemm::cpu_features().iter().map(|f| f.to_string()).collect(),
             ..PerfReport::default()
         })
     })
@@ -190,6 +198,7 @@ fn gemm_ab(op: &str, m: usize, k: usize, n: usize) -> GemmPerf {
         naive_ms,
         fast_ms,
         threads,
+        simd_level: gemm::simd_level().name(),
     }
 }
 
@@ -325,6 +334,7 @@ fn bench_training_step_w32(c: &mut Criterion) {
                 // Both timed regions ran one accumulation chunk; the
                 // kernels themselves fan dense products out on the pool.
                 threads: 1,
+                simd_level: gemm::simd_level().name(),
             });
             if !smoke() {
                 assert!(
@@ -333,6 +343,237 @@ fn bench_training_step_w32(c: &mut Criterion) {
                 );
             }
             speedup
+        })
+    });
+    group.finish();
+}
+
+/// Shapes of the `simd_scaling` section — the same four dense stages
+/// the `gemm_kernels` A/B measures, so the per-level curves line up
+/// with the committed perf trajectory.
+const SIMD_SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("nn", 64, 768, 128),
+    ("nt", 64, 128, 768),
+    ("tn", 64, 768, 128),
+    ("nn", 12, 54, 256),
+];
+
+/// Strict-mode A/B of one GEMM shape at `level` vs the scalar tier,
+/// through the race-free per-level entry points (`gemm_*_at` — no
+/// global toggles, no pool). Uses the order-alternated
+/// median-pair-ratio protocol of the PR 5/6 gates, and asserts the
+/// Contract 12 strict guarantee (bit-identical to scalar) in-run.
+fn simd_shape_ab(level: SimdLevel, op: &str, m: usize, k: usize, n: usize) -> SimdShapePerf {
+    // Same seeds as `gemm_ab`, so the level curves measure the exact
+    // operand bits of the main A/B section.
+    let (x, y, out_len): (Vec<f32>, Vec<f32>, usize) = match op {
+        "nn" => (dense(m * k, 1), dense(k * n, 2), m * n),
+        "nt" => (dense(m * n, 3), dense(k * n, 4), m * k),
+        "tn" => (dense(m * k, 5), dense(m * n, 6), k * n),
+        other => panic!("unknown op {other}"),
+    };
+    let run = |lvl: SimdLevel, out: &mut [f32]| match op {
+        "nn" => gemm::gemm_nn_at(lvl, KernelMode::Strict, out, &x, &y, m, k, n),
+        "nt" => gemm::gemm_nt_at(lvl, KernelMode::Strict, out, &x, &y, m, n, k),
+        "tn" => gemm::gemm_tn_at(lvl, KernelMode::Strict, out, &x, &y, m, k, n),
+        _ => unreachable!(),
+    };
+    let mut at_level = vec![0.0f32; out_len];
+    let mut at_scalar = vec![0.0f32; out_len];
+    run(level, &mut at_level);
+    run(SimdLevel::Scalar, &mut at_scalar);
+    assert!(
+        at_level
+            .iter()
+            .zip(&at_scalar)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "strict {op} diverged from scalar at level {}",
+        level.name()
+    );
+    let iters = if smoke() { 1 } else { 4 };
+    let time_at = |lvl: SimdLevel| {
+        let mut out = vec![0.0f32; out_len];
+        let t = Instant::now();
+        for _ in 0..iters {
+            run(lvl, &mut out);
+            black_box(&mut out);
+        }
+        t.elapsed().as_secs_f64() * 1e3 / iters as f64
+    };
+    let pairs = if smoke() { 1 } else { 5 };
+    let mut level_times = Vec::with_capacity(pairs);
+    let mut ratios = Vec::with_capacity(pairs);
+    for p in 0..pairs {
+        let (scalar_ms, level_ms) = if p % 2 == 0 {
+            let s = time_at(SimdLevel::Scalar);
+            let l = time_at(level);
+            (s, l)
+        } else {
+            let l = time_at(level);
+            let s = time_at(SimdLevel::Scalar);
+            (s, l)
+        };
+        level_times.push(level_ms);
+        ratios.push(scalar_ms / level_ms.max(1e-12));
+    }
+    SimdShapePerf {
+        op: op.to_string(),
+        m,
+        k,
+        n,
+        ms: median(level_times),
+        speedup_vs_scalar: if level == SimdLevel::Scalar {
+            1.0
+        } else {
+            median(ratios)
+        },
+    }
+}
+
+/// Strict-mode training-step A/B at `level` vs the scalar tier on the
+/// public dispatch path (the per-level GEMM entries cover the raw
+/// kernels; this covers a whole width-32 step through graph wiring and
+/// conv). Toggling `set_simd_level` is bit-harmless here: every strict
+/// tier produces identical bits, which the assert below re-proves per
+/// level. Returns (ms per step, median per-pair speedup vs scalar).
+fn simd_training_ab(level: SimdLevel) -> (f64, f64) {
+    let entry = gemm::simd_level();
+    let steps = if smoke() { 1 } else { 6 };
+    let outer = if smoke() { 1 } else { 3 };
+    let run_at = |lvl: SimdLevel| {
+        assert!(
+            gemm::set_simd_level(lvl),
+            "level {} unsupported",
+            lvl.name()
+        );
+        run_training(steps, false, 1)
+    };
+    let mut level_times = Vec::with_capacity(outer);
+    let mut ratios = Vec::with_capacity(outer);
+    let (mut scalar_out, mut level_out) = (None, None);
+    for r in 0..outer {
+        let (scalar, at_level) = if r % 2 == 0 {
+            let s = run_at(SimdLevel::Scalar);
+            let l = run_at(level);
+            (s, l)
+        } else {
+            let l = run_at(level);
+            let s = run_at(SimdLevel::Scalar);
+            (s, l)
+        };
+        ratios.push(scalar.2 / at_level.2.max(1e-12));
+        level_times.push(at_level.2);
+        scalar_out = Some((scalar.0, scalar.1));
+        level_out = Some((at_level.0, at_level.1));
+    }
+    gemm::set_simd_level(entry);
+    let (sl, sp) = scalar_out.unwrap();
+    let (ll, lp) = level_out.unwrap();
+    assert_eq!(
+        sl.to_bits(),
+        ll.to_bits(),
+        "training loss diverged between scalar and {}",
+        level.name()
+    );
+    assert_eq!(
+        sp,
+        lp,
+        "trained parameters diverged between scalar and {}",
+        level.name()
+    );
+    (
+        median(level_times) / steps as f64,
+        if level == SimdLevel::Scalar {
+            1.0
+        } else {
+            median(ratios)
+        },
+    )
+}
+
+/// Measures the full `simd_scaling` section: one strict-mode curve per
+/// SIMD level this host supports (unsupported tiers are skipped with a
+/// printed label, never silently), headline recomputed from the tables.
+fn build_simd_scaling() -> SimdScaling {
+    let mut levels = Vec::new();
+    for level in SimdLevel::ALL {
+        if !level.is_supported() {
+            println!(
+                "simd_scaling: SKIPPED level {} — not supported on this host (detected {})",
+                level.name(),
+                gemm::detected_level().name()
+            );
+            continue;
+        }
+        let rows: Vec<SimdShapePerf> = SIMD_SHAPES
+            .iter()
+            .map(|&(op, m, k, n)| simd_shape_ab(level, op, m, k, n))
+            .collect();
+        for r in &rows {
+            println!(
+                "simd_scaling/{} {}/{}x{}x{}: {:.3} ms ({:.2} GF/s), {:.2}x vs scalar",
+                level.name(),
+                r.op,
+                r.m,
+                r.k,
+                r.n,
+                r.ms,
+                r.gflops(),
+                r.speedup_vs_scalar
+            );
+        }
+        let (training_ms, training_speedup) = simd_training_ab(level);
+        println!(
+            "simd_scaling/{}: training {:.1} ms/step ({:.2}x vs scalar)",
+            level.name(),
+            training_ms,
+            training_speedup
+        );
+        levels.push(SimdLevelPerf {
+            level: level.name().to_string(),
+            gemm: rows,
+            training_ms,
+            training_speedup_vs_scalar: training_speedup,
+        });
+    }
+    let mut scaling = SimdScaling {
+        levels,
+        headline: None,
+    };
+    scaling.headline = scaling.computed_headline();
+    scaling
+}
+
+/// The `simd_scaling` section plus its tentpole gate: the strict-mode
+/// GEMM headline over scalar must be ≥2x when this host detects AVX2
+/// (outside smoke mode); on narrower hosts the gate is skipped with a
+/// loud label. The heavy protocol runs once per process.
+fn bench_simd_scaling(c: &mut Criterion) {
+    static SCALING: OnceLock<SimdScaling> = OnceLock::new();
+    let mut group = c.benchmark_group("simd_scaling");
+    group.bench_function("levels", |b| {
+        b.iter(|| {
+            let scaling = SCALING.get_or_init(build_simd_scaling);
+            if let Some(h) = &scaling.headline {
+                println!(
+                    "simd_scaling: headline {}/{} {}x{}x{}: {:.2}x vs scalar",
+                    h.level, h.op, h.m, h.k, h.n, h.speedup
+                );
+            }
+            if gemm::detected_level() >= SimdLevel::Avx2 {
+                if !smoke() {
+                    let speedup = scaling.headline.as_ref().map_or(0.0, |h| h.speedup);
+                    assert!(
+                        speedup >= 2.0,
+                        "strict SIMD GEMM headline must be >=2x over scalar on AVX2, got {speedup:.2}x"
+                    );
+                }
+            } else {
+                println!(
+                    "simd_scaling: SKIPPED >=2x AVX2 headline gate — avx2 not detected on this host"
+                );
+            }
+            report().lock().unwrap().simd_scaling = Some(scaling.clone());
         })
     });
     group.finish();
@@ -378,6 +619,7 @@ fn bench_evaluate_batch(c: &mut Criterion) {
                 naive_ms: serial_ms,
                 fast_ms: pool_ms,
                 threads,
+                simd_level: gemm::simd_level().name(),
             });
         })
     });
@@ -631,6 +873,7 @@ criterion_group!(
     benches,
     bench_gemm_kernels,
     bench_training_step_w32,
+    bench_simd_scaling,
     bench_evaluate_batch,
     bench_thread_scaling,
     bench_incremental_point,

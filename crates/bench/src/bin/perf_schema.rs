@@ -11,6 +11,7 @@
 //! perf_schema [path]
 //!     [--expect-pool-threads N]
 //!     [--min-batch-speedup X --at-threads T]
+//!     [--min-simd-speedup X]
 //! ```
 //!
 //! `path` defaults to `results/bench_perf.json`.
@@ -19,8 +20,16 @@
 //! scaling curve has a point at exactly `T` threads whose headline
 //! speedup is at least `X` (wall or modeled per the point's recorded
 //! basis).
+//! `--min-simd-speedup X` asserts the strict-mode SIMD headline
+//! (`simd_scaling.headline.speedup`, already cross-checked against the
+//! per-level tables by the validator) is at least `X` — but only when
+//! the report's `cpu_features` lists `avx2`; on other hosts the gate is
+//! skipped with an explicit label and exit 0, never silently.
 
-use cv_bench::perf::{parse_json, scaling_speedup_at, validate_report, Json};
+use cv_bench::perf::{
+    parse_json, report_has_cpu_feature, scaling_speedup_at, simd_headline_speedup, validate_report,
+    Json,
+};
 
 fn fail(msg: &str) -> ! {
     eprintln!("perf_schema: {msg}");
@@ -32,6 +41,7 @@ fn main() {
     let mut expect_pool: Option<usize> = None;
     let mut min_speedup: Option<f64> = None;
     let mut at_threads: Option<usize> = None;
+    let mut min_simd: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -56,6 +66,13 @@ fn main() {
                     value("--at-threads")
                         .parse()
                         .unwrap_or_else(|e| fail(&format!("--at-threads: invalid count: {e}"))),
+                );
+            }
+            "--min-simd-speedup" => {
+                min_simd = Some(
+                    value("--min-simd-speedup")
+                        .parse()
+                        .unwrap_or_else(|e| fail(&format!("--min-simd-speedup: invalid: {e}"))),
                 );
             }
             flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
@@ -92,6 +109,29 @@ fn main() {
             None => fail(&format!(
                 "{path}: no evaluate_batch scaling point at {threads} threads"
             )),
+        }
+    }
+    if let Some(min) = min_simd {
+        if !report_has_cpu_feature(&doc, "avx2") {
+            // Loud, labeled, exit 0: the gate quantifies the AVX2 tier,
+            // which this host cannot measure. Never a silent pass.
+            println!(
+                "perf_schema: SKIPPED --min-simd-speedup {min:.2} — report's cpu_features \
+                 has no avx2 (the strict SIMD headline gate only applies to AVX2 hosts)"
+            );
+        } else {
+            match simd_headline_speedup(&doc) {
+                Some(s) if s >= min => {
+                    println!("perf_schema: strict SIMD headline speedup {s:.2}x >= {min:.2}x");
+                }
+                Some(s) => fail(&format!(
+                    "{path}: strict SIMD headline speedup is {s:.2}x, required >= {min:.2}x"
+                )),
+                None => fail(&format!(
+                    "{path}: cpu_features reports avx2 but the report carries no \
+                     simd_scaling headline"
+                )),
+            }
         }
     }
     println!("perf schema OK: {path}");

@@ -25,7 +25,18 @@ use std::fmt::Write as _;
 /// so a report produced on a 1-core container can never pass off
 /// timeshared wall clock, or quietly claim pool parallelism it didn't
 /// have.
-pub const PERF_SCHEMA: &str = "cv-bench-perf-v2";
+///
+/// v3 extends the same honesty to SIMD dispatch (DESIGN.md Contract 12):
+/// the report records the CPU features the machine actually exposes
+/// (`cpu_features`) and the SIMD level the kernels actually ran at
+/// (`simd_level`, top-level and per timed section — the level *used*,
+/// never the one requested), plus a `simd_scaling` section with
+/// per-level strict-mode GEMM/training curves and a recomputable
+/// headline (max per-shape strict speedup over scalar at the best
+/// level). On AVX2 hardware the headline is gated ≥2x by
+/// `perf_schema --min-simd-speedup`; hosts without AVX2 skip that gate
+/// with an explicit label, never silently.
+pub const PERF_SCHEMA: &str = "cv-bench-perf-v3";
 
 /// One GEMM kernel measurement (naive reference vs. compute core).
 #[derive(Debug, Clone)]
@@ -44,6 +55,10 @@ pub struct GemmPerf {
     pub fast_ms: f64,
     /// Worker-pool threads the fast kernel's timed region dispatched on.
     pub threads: usize,
+    /// SIMD level the fast kernel's timed region actually dispatched at
+    /// (`"scalar"`, `"sse2"`, or `"avx2"` — `cv_nn::gemm::simd_level()`
+    /// at measurement time, never the requested level).
+    pub simd_level: &'static str,
 }
 
 impl GemmPerf {
@@ -80,6 +95,8 @@ pub struct AbPerf {
     /// size. A `pool_threads: 1` report can therefore never describe a
     /// pooled run (and vice versa): each section carries its own truth.
     pub threads: usize,
+    /// SIMD level the fast path's timed region actually dispatched at.
+    pub simd_level: &'static str,
 }
 
 impl AbPerf {
@@ -148,6 +165,106 @@ pub struct ScalingCurve {
     pub points: Vec<ScalePoint>,
 }
 
+/// One strict-mode GEMM shape measured at one SIMD level (single
+/// thread, order-alternated against the scalar tier of the same shape).
+#[derive(Debug, Clone)]
+pub struct SimdShapePerf {
+    /// Kernel variant: `"nn"`, `"nt"`, or `"tn"`.
+    pub op: String,
+    /// Left rows.
+    pub m: usize,
+    /// Contraction size.
+    pub k: usize,
+    /// Right columns.
+    pub n: usize,
+    /// Wall-clock milliseconds per call at this level.
+    pub ms: f64,
+    /// Median of per-pair `scalar_ms / level_ms` ratios (the PR 5/6
+    /// order-alternated A/B methodology); 1.0 for the scalar row itself.
+    pub speedup_vs_scalar: f64,
+}
+
+impl SimdShapePerf {
+    /// GFLOP/s at this level.
+    pub fn gflops(&self) -> f64 {
+        if self.ms <= 0.0 {
+            0.0
+        } else {
+            (2.0 * self.m as f64 * self.k as f64 * self.n as f64) / (self.ms * 1e6)
+        }
+    }
+}
+
+/// All strict-mode measurements for one SIMD level.
+#[derive(Debug, Clone)]
+pub struct SimdLevelPerf {
+    /// The level (`"scalar"`, `"sse2"`, `"avx2"`).
+    pub level: String,
+    /// Per-shape GEMM measurements.
+    pub gemm: Vec<SimdShapePerf>,
+    /// Width-32 training-step milliseconds at this level.
+    pub training_ms: f64,
+    /// Median per-pair training-step speedup vs the scalar tier.
+    pub training_speedup_vs_scalar: f64,
+}
+
+/// The headline claim of the `simd_scaling` section: the single best
+/// per-shape strict GEMM speedup over scalar across all measured
+/// non-scalar levels (recomputed by the validator, gated by
+/// `perf_schema --min-simd-speedup` on AVX2 hosts).
+#[derive(Debug, Clone)]
+pub struct SimdHeadline {
+    /// Level the headline shape ran at.
+    pub level: String,
+    /// Kernel variant of the headline shape.
+    pub op: String,
+    /// Headline shape dimensions.
+    pub m: usize,
+    /// Contraction size.
+    pub k: usize,
+    /// Right columns.
+    pub n: usize,
+    /// The headline `speedup_vs_scalar`.
+    pub speedup: f64,
+}
+
+/// The strict-mode SIMD scaling section of a v3 report.
+#[derive(Debug, Clone)]
+pub struct SimdScaling {
+    /// Per-level curves, ascending in capability; always includes the
+    /// `"scalar"` baseline row.
+    pub levels: Vec<SimdLevelPerf>,
+    /// The best per-shape strict speedup (see [`SimdHeadline`]); `None`
+    /// only when scalar was the only measurable level.
+    pub headline: Option<SimdHeadline>,
+}
+
+impl SimdScaling {
+    /// Recomputes the headline from the per-level shape tables: the
+    /// maximum `speedup_vs_scalar` over every non-scalar level × shape.
+    pub fn computed_headline(&self) -> Option<SimdHeadline> {
+        let mut best: Option<SimdHeadline> = None;
+        for lvl in self.levels.iter().filter(|l| l.level != "scalar") {
+            for g in &lvl.gemm {
+                if best
+                    .as_ref()
+                    .map_or(true, |b| g.speedup_vs_scalar > b.speedup)
+                {
+                    best = Some(SimdHeadline {
+                        level: lvl.level.clone(),
+                        op: g.op.clone(),
+                        m: g.m,
+                        k: g.k,
+                        n: g.n,
+                        speedup: g.speedup_vs_scalar,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
 /// The full bench report serialized to `results/bench_perf.json`.
 #[derive(Debug, Clone, Default)]
 pub struct PerfReport {
@@ -157,6 +274,15 @@ pub struct PerfReport {
     /// CPU cores actually available to this process — the context every
     /// wall-clock number in the report must be read against.
     pub cpu_cores: usize,
+    /// The SIMD level the kernels dispatched at for the non-`simd_scaling`
+    /// sections (`cv_nn::gemm::simd_level()` — the level used, not the
+    /// one requested).
+    pub simd_level: String,
+    /// Dispatch-relevant CPU features the machine reports
+    /// (`cv_nn::gemm::cpu_features()`), so a reader can tell a
+    /// scalar-because-old-CPU report from a scalar-because-overridden
+    /// one.
+    pub cpu_features: Vec<String>,
     /// GEMM kernel measurements.
     pub gemm: Vec<GemmPerf>,
     /// Width-32 VAE training-step A/B.
@@ -167,6 +293,8 @@ pub struct PerfReport {
     pub batch_scaling: Option<ScalingCurve>,
     /// Training-step thread-scaling curve (1/2/4/8/16).
     pub training_scaling: Option<ScalingCurve>,
+    /// Strict-mode SIMD level scaling (scalar/sse2/avx2 curves).
+    pub simd_scaling: Option<SimdScaling>,
     /// Incremental-evaluation speedup (the `incremental` bench's gate
     /// quantity), when measured.
     pub incremental_speedup: Option<f64>,
@@ -188,12 +316,19 @@ impl PerfReport {
         let _ = writeln!(s, "  \"schema\": \"{PERF_SCHEMA}\",");
         let _ = writeln!(s, "  \"pool_threads\": {},", self.pool_threads);
         let _ = writeln!(s, "  \"cpu_cores\": {},", self.cpu_cores);
+        let _ = writeln!(s, "  \"simd_level\": \"{}\",", self.simd_level);
+        s.push_str("  \"cpu_features\": [");
+        for (i, f) in self.cpu_features.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(s, "{sep}\"{f}\"");
+        }
+        s.push_str("],\n");
         s.push_str("  \"gemm\": [\n");
         for (i, g) in self.gemm.iter().enumerate() {
             let _ = write!(
                 s,
-                "    {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \"naive_ms\": ",
-                g.op, g.m, g.k, g.n, g.threads
+                "    {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"threads\": {}, \"simd_level\": \"{}\", \"naive_ms\": ",
+                g.op, g.m, g.k, g.n, g.threads, g.simd_level
             );
             push_num(&mut s, g.naive_ms);
             s.push_str(", \"fast_ms\": ");
@@ -223,8 +358,8 @@ impl PerfReport {
                 Some(ab) => {
                     let _ = write!(
                         s,
-                        "  \"{key}\": {{\"width\": {}, \"threads\": {}, \"naive_ms\": ",
-                        ab.width, ab.threads
+                        "  \"{key}\": {{\"width\": {}, \"threads\": {}, \"simd_level\": \"{}\", \"naive_ms\": ",
+                        ab.width, ab.threads, ab.simd_level
                     );
                     push_num(&mut s, ab.naive_ms);
                     s.push_str(", \"fast_ms\": ");
@@ -284,6 +419,50 @@ impl PerfReport {
             }
         }
         s.push_str("  },\n");
+        s.push_str("  \"simd_scaling\": ");
+        match &self.simd_scaling {
+            Some(sc) => {
+                s.push_str("{\n    \"levels\": [\n");
+                for (i, lvl) in sc.levels.iter().enumerate() {
+                    let _ = writeln!(s, "      {{\"level\": \"{}\", \"gemm\": [", lvl.level);
+                    for (j, g) in lvl.gemm.iter().enumerate() {
+                        let _ = write!(
+                            s,
+                            "        {{\"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"ms\": ",
+                            g.op, g.m, g.k, g.n
+                        );
+                        push_num(&mut s, g.ms);
+                        s.push_str(", \"gflops\": ");
+                        push_num(&mut s, g.gflops());
+                        s.push_str(", \"speedup_vs_scalar\": ");
+                        push_num(&mut s, g.speedup_vs_scalar);
+                        s.push('}');
+                        s.push_str(if j + 1 < lvl.gemm.len() { ",\n" } else { "\n" });
+                    }
+                    s.push_str("      ], \"training_ms\": ");
+                    push_num(&mut s, lvl.training_ms);
+                    s.push_str(", \"training_speedup_vs_scalar\": ");
+                    push_num(&mut s, lvl.training_speedup_vs_scalar);
+                    s.push('}');
+                    s.push_str(if i + 1 < sc.levels.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("    ],\n    \"headline\": ");
+                match &sc.headline {
+                    Some(h) => {
+                        let _ = write!(
+                            s,
+                            "{{\"level\": \"{}\", \"op\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"speedup\": ",
+                            h.level, h.op, h.m, h.k, h.n
+                        );
+                        push_num(&mut s, h.speedup);
+                        s.push('}');
+                    }
+                    None => s.push_str("null"),
+                }
+                s.push_str("\n  },\n");
+            }
+            None => s.push_str("null,\n"),
+        }
         s.push_str("  \"incremental_speedup\": ");
         match self.incremental_speedup {
             Some(v) => push_num(&mut s, v),
@@ -560,18 +739,159 @@ fn require_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
     }
 }
 
+/// The SIMD level names a v3 report may record.
+const SIMD_LEVELS: [&str; 3] = ["scalar", "sse2", "avx2"];
+
+fn require_simd_level(obj: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    match obj.get(key) {
+        Some(Json::Str(s)) if SIMD_LEVELS.contains(&s.as_str()) => Ok(s.clone()),
+        other => Err(format!(
+            "{ctx}.{key}: expected one of {SIMD_LEVELS:?}, got {other:?}"
+        )),
+    }
+}
+
 fn check_ab(v: &Json, ctx: &str) -> Result<(), String> {
     match v {
         Json::Null => Ok(()),
         Json::Obj(_) => {
             require_num(v, "width", ctx)?;
             require_num(v, "threads", ctx)?;
+            require_simd_level(v, "simd_level", ctx)?;
             require_num(v, "naive_ms", ctx)?;
             require_num(v, "fast_ms", ctx)?;
             require_num(v, "speedup", ctx)?;
             Ok(())
         }
         other => Err(format!("{ctx}: expected object or null, got {other:?}")),
+    }
+}
+
+/// Validates the `simd_scaling` section and recomputes its headline
+/// against the per-level tables, so the number the CI gate reads can
+/// never drift from the measurements backing it. `has_avx2` is whether
+/// the report's `cpu_features` lists `avx2`: such a machine must have
+/// measured an `avx2` level (a silently narrower matrix would make the
+/// headline gate vacuous).
+fn check_simd_scaling(v: &Json, has_avx2: bool) -> Result<(), String> {
+    let ctx = "simd_scaling";
+    match v {
+        Json::Null => Ok(()),
+        Json::Obj(_) => {
+            let levels = match v.get("levels") {
+                Some(Json::Arr(levels)) if !levels.is_empty() => levels,
+                other => {
+                    return Err(format!(
+                        "{ctx}.levels: expected non-empty array, got {other:?}"
+                    ))
+                }
+            };
+            let mut names = Vec::new();
+            let mut best: Option<f64> = None;
+            for (i, lvl) in levels.iter().enumerate() {
+                let lctx = format!("{ctx}.levels[{i}]");
+                let name = require_simd_level(lvl, "level", &lctx)?;
+                if names.contains(&name) {
+                    return Err(format!("{lctx}.level: duplicate \"{name}\""));
+                }
+                let gemm = match lvl.get("gemm") {
+                    Some(Json::Arr(gemm)) if !gemm.is_empty() => gemm,
+                    other => {
+                        return Err(format!(
+                            "{lctx}.gemm: expected non-empty array, got {other:?}"
+                        ))
+                    }
+                };
+                for (j, g) in gemm.iter().enumerate() {
+                    let gctx = format!("{lctx}.gemm[{j}]");
+                    match g.get("op") {
+                        Some(Json::Str(op)) if matches!(op.as_str(), "nn" | "nt" | "tn") => {}
+                        other => {
+                            return Err(format!("{gctx}.op: expected nn|nt|tn, got {other:?}"))
+                        }
+                    }
+                    for key in ["m", "k", "n", "ms", "gflops", "speedup_vs_scalar"] {
+                        require_num(g, key, &gctx)?;
+                    }
+                    if name != "scalar" {
+                        let s = require_num(g, "speedup_vs_scalar", &gctx)?;
+                        if best.map_or(true, |b| s > b) {
+                            best = Some(s);
+                        }
+                    }
+                }
+                require_num(lvl, "training_ms", &lctx)?;
+                require_num(lvl, "training_speedup_vs_scalar", &lctx)?;
+                names.push(name);
+            }
+            if !names.iter().any(|n| n == "scalar") {
+                return Err(format!("{ctx}.levels: missing the \"scalar\" baseline"));
+            }
+            if has_avx2 && !names.iter().any(|n| n == "avx2") {
+                return Err(format!(
+                    "{ctx}.levels: cpu_features reports avx2 but no avx2 level was measured"
+                ));
+            }
+            match (v.get("headline"), best) {
+                (Some(Json::Null) | None, None) => Ok(()),
+                (Some(Json::Null) | None, Some(_)) => Err(format!(
+                    "{ctx}.headline: null although non-scalar levels were measured"
+                )),
+                (Some(h @ Json::Obj(_)), best) => {
+                    require_simd_level(h, "level", &format!("{ctx}.headline"))?;
+                    match h.get("op") {
+                        Some(Json::Str(op)) if matches!(op.as_str(), "nn" | "nt" | "tn") => {}
+                        other => {
+                            return Err(format!(
+                                "{ctx}.headline.op: expected nn|nt|tn, got {other:?}"
+                            ))
+                        }
+                    }
+                    for key in ["m", "k", "n"] {
+                        require_num(h, key, &format!("{ctx}.headline"))?;
+                    }
+                    let claimed = require_num(h, "speedup", &format!("{ctx}.headline"))?;
+                    let Some(best) = best else {
+                        return Err(format!(
+                            "{ctx}.headline: present although only scalar was measured"
+                        ));
+                    };
+                    // Serialized at 6 decimals; recompute with matching
+                    // tolerance.
+                    if (claimed - best).abs() > 1e-5 {
+                        return Err(format!(
+                            "{ctx}.headline.speedup: claims {claimed} but the level tables \
+                             support {best}"
+                        ));
+                    }
+                    Ok(())
+                }
+                (other, _) => Err(format!(
+                    "{ctx}.headline: expected object or null, got {other:?}"
+                )),
+            }
+        }
+        other => Err(format!("{ctx}: expected object or null, got {other:?}")),
+    }
+}
+
+/// The strict-mode SIMD headline speedup an already-parsed v3 report
+/// claims (`simd_scaling.headline.speedup`), or `None` when the section
+/// or headline is absent.
+pub fn simd_headline_speedup(doc: &Json) -> Option<f64> {
+    match doc.get("simd_scaling")?.get("headline")?.get("speedup") {
+        Some(Json::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// Whether an already-parsed report's `cpu_features` lists `feature`.
+pub fn report_has_cpu_feature(doc: &Json, feature: &str) -> bool {
+    match doc.get("cpu_features") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .any(|f| matches!(f, Json::Str(s) if s == feature)),
+        _ => false,
     }
 }
 
@@ -662,6 +982,18 @@ pub fn validate_report(text: &str) -> Result<(), String> {
     if cores < 1.0 {
         return Err("cpu_cores: must be >= 1".to_string());
     }
+    require_simd_level(&doc, "simd_level", "report")?;
+    let has_avx2 = match doc.get("cpu_features") {
+        Some(Json::Arr(items)) => {
+            for (i, f) in items.iter().enumerate() {
+                if !matches!(f, Json::Str(_)) {
+                    return Err(format!("cpu_features[{i}]: expected string, got {f:?}"));
+                }
+            }
+            report_has_cpu_feature(&doc, "avx2")
+        }
+        other => return Err(format!("cpu_features: expected array, got {other:?}")),
+    };
     match doc.get("gemm") {
         Some(Json::Arr(items)) => {
             if items.is_empty() {
@@ -673,6 +1005,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
                     Some(Json::Str(op)) if matches!(op.as_str(), "nn" | "nt" | "tn") => {}
                     other => return Err(format!("{ctx}.op: expected nn|nt|tn, got {other:?}")),
                 }
+                require_simd_level(item, "simd_level", &ctx)?;
                 for key in [
                     "m",
                     "k",
@@ -711,6 +1044,7 @@ pub fn validate_report(text: &str) -> Result<(), String> {
         }
         other => return Err(format!("scaling: expected object, got {other:?}")),
     }
+    check_simd_scaling(doc.get("simd_scaling").unwrap_or(&Json::Null), has_avx2)?;
     match doc.get("incremental_speedup") {
         Some(Json::Null) | Some(Json::Num(_)) => {}
         other => {
@@ -730,6 +1064,8 @@ mod tests {
         PerfReport {
             pool_threads: 4,
             cpu_cores: 2,
+            simd_level: "avx2".into(),
+            cpu_features: vec!["sse2".into(), "avx".into(), "avx2".into(), "fma".into()],
             gemm: vec![GemmPerf {
                 op: "nn".into(),
                 m: 64,
@@ -738,12 +1074,14 @@ mod tests {
                 naive_ms: 10.0,
                 fast_ms: 2.5,
                 threads: 4,
+                simd_level: "avx2",
             }],
             training_step: Some(AbPerf {
                 width: 32,
                 naive_ms: 500.0,
                 fast_ms: 100.0,
                 threads: 1,
+                simd_level: "avx2",
             }),
             evaluate_batch: None,
             batch_scaling: Some(ScalingCurve {
@@ -771,6 +1109,44 @@ mod tests {
                 ],
             }),
             training_scaling: None,
+            simd_scaling: Some(SimdScaling {
+                levels: vec![
+                    SimdLevelPerf {
+                        level: "scalar".into(),
+                        gemm: vec![SimdShapePerf {
+                            op: "nn".into(),
+                            m: 64,
+                            k: 768,
+                            n: 128,
+                            ms: 0.8,
+                            speedup_vs_scalar: 1.0,
+                        }],
+                        training_ms: 120.0,
+                        training_speedup_vs_scalar: 1.0,
+                    },
+                    SimdLevelPerf {
+                        level: "avx2".into(),
+                        gemm: vec![SimdShapePerf {
+                            op: "nn".into(),
+                            m: 64,
+                            k: 768,
+                            n: 128,
+                            ms: 0.32,
+                            speedup_vs_scalar: 2.5,
+                        }],
+                        training_ms: 60.0,
+                        training_speedup_vs_scalar: 2.0,
+                    },
+                ],
+                headline: Some(SimdHeadline {
+                    level: "avx2".into(),
+                    op: "nn".into(),
+                    m: 64,
+                    k: 768,
+                    n: 128,
+                    speedup: 2.5,
+                }),
+            }),
             incremental_speedup: Some(5.1),
         }
     }
@@ -834,19 +1210,21 @@ mod tests {
         assert!(validate_report(r#"{"schema": "wrong"}"#).is_err());
         // Right schema marker but an empty gemm section.
         let bad = format!(
-            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 1, "cpu_cores": 1, "gemm": [],
+            r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 1, "cpu_cores": 1,
+                "simd_level": "scalar", "cpu_features": [], "gemm": [],
                 "training_step": null, "evaluate_batch": null,
                 "scaling": {{"evaluate_batch": null, "training_step": null}},
-                "incremental_speedup": null}}"#
+                "simd_scaling": null, "incremental_speedup": null}}"#
         );
         assert!(validate_report(&bad).unwrap_err().contains("gemm"));
         // A gemm entry with a missing field.
         let bad = format!(
             r#"{{"schema": "{PERF_SCHEMA}", "pool_threads": 2, "cpu_cores": 1,
-                "gemm": [{{"op": "nn", "m": 1, "k": 2, "n": 3}}],
+                "simd_level": "scalar", "cpu_features": [],
+                "gemm": [{{"op": "nn", "simd_level": "scalar", "m": 1, "k": 2, "n": 3}}],
                 "training_step": null, "evaluate_batch": null,
                 "scaling": {{"evaluate_batch": null, "training_step": null}},
-                "incremental_speedup": null}}"#
+                "simd_scaling": null, "incremental_speedup": null}}"#
         );
         assert!(validate_report(&bad).unwrap_err().contains("threads"));
         // Thread-honesty requirements of v2: cpu_cores and the scaling
@@ -868,6 +1246,59 @@ mod tests {
         assert!(validate_report(&dishonest)
             .unwrap_err()
             .contains("modeled_ms"));
+    }
+
+    #[test]
+    fn v3_simd_fields_are_required_and_cross_checked() {
+        // The top-level SIMD level must be a recognized name.
+        let bad = sample().to_json().replacen(
+            "\"simd_level\": \"avx2\",\n",
+            "\"simd_level\": \"avx512\",\n",
+            1,
+        );
+        assert!(validate_report(&bad).unwrap_err().contains("simd_level"));
+        // A headline that drifts from the level tables is rejected: the
+        // gate quantity must be recomputable from the measurements.
+        let drifted =
+            sample()
+                .to_json()
+                .replacen("\"speedup\": 2.500000}", "\"speedup\": 9.000000}", 1);
+        let err = validate_report(&drifted).unwrap_err();
+        assert!(err.contains("headline"), "got: {err}");
+        // A machine reporting avx2 cannot commit a simd_scaling section
+        // that quietly skipped the avx2 leg.
+        let mut report = sample();
+        report.simd_scaling.as_mut().unwrap().levels.pop();
+        report.simd_scaling.as_mut().unwrap().headline = None;
+        let err = validate_report(&report.to_json()).unwrap_err();
+        assert!(err.contains("avx2"), "got: {err}");
+        // ...but the same section is fine on a machine without avx2.
+        report.cpu_features = vec!["sse2".into()];
+        report.simd_level = "sse2".into();
+        validate_report(&report.to_json()).expect("scalar-only section on a non-avx2 host");
+        // A non-scalar measurement with a null headline is dishonest.
+        let mut report = sample();
+        report.simd_scaling.as_mut().unwrap().headline = None;
+        let err = validate_report(&report.to_json()).unwrap_err();
+        assert!(err.contains("headline"), "got: {err}");
+    }
+
+    #[test]
+    fn simd_headline_helpers_read_the_committed_shape() {
+        let json = sample().to_json();
+        let doc = parse_json(&json).unwrap();
+        assert_eq!(simd_headline_speedup(&doc), Some(2.5));
+        assert!(report_has_cpu_feature(&doc, "avx2"));
+        assert!(!report_has_cpu_feature(&doc, "avx512f"));
+        assert_eq!(
+            sample()
+                .simd_scaling
+                .unwrap()
+                .computed_headline()
+                .unwrap()
+                .speedup,
+            2.5
+        );
     }
 
     /// Satellite guard: `results/bench_perf.json` is a committed artifact

@@ -32,10 +32,29 @@
 //!   dense training data).
 //!
 //! Inputs containing NaN/±inf are outside the contract (`0·inf = NaN`).
+//!
+//! # SIMD tiers (DESIGN.md Contract 12)
+//!
+//! The scalar block kernels in this file are one tier of a
+//! runtime-dispatched family: [`mod@simd`] adds explicit `std::arch`
+//! SSE2/AVX2 microkernels for the same inner loops, selected once per
+//! process by CPU capability (overridable with `CV_SIMD=scalar|sse2|avx2`
+//! or [`set_simd_level`]). The default **strict** tier preserves every
+//! accumulation chain, so Contract 9 bit-identity holds unchanged at
+//! every SIMD level; the opt-in **relaxed** tier
+//! ([`set_relaxed_kernels`]) trades chain order for FMA throughput on
+//! the GEMM entry points only — convolution always runs strict.
 
 use crate::arena::ScratchArena;
 use cv_pool::WorkerPool;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+pub mod simd;
+
+pub use simd::{
+    cpu_features, detected_level, gemm_nn_at, gemm_nt_at, gemm_tn_at, relaxed_kernels,
+    set_relaxed_kernels, set_simd_level, simd_level, stencil3_at, KernelMode, SimdLevel,
+};
 
 /// k-dimension cache block: 256 f32 rows of B keep the streamed panel
 /// comfortably in L1/L2 while the unrolled inner loops run.
@@ -81,9 +100,28 @@ pub fn planned_chunks(pool: &WorkerPool, rows: usize, flops: usize) -> usize {
 // NN: out[m,n] += a[m,k] × b[k,n]
 // ---------------------------------------------------------------------
 
-/// Row-block inner kernel: accumulates `a_rows × b` into `out_rows`,
-/// element chains in ascending-`p` order.
+/// Row-block inner kernel at the active SIMD tier and mode; chains per
+/// element stay in ascending-`p` reference order in strict mode.
 fn nn_block(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    simd::dispatch_nn(out, a, b, k, n);
+}
+
+/// [`nn_block`] pinned to strict mode regardless of the relaxed toggle:
+/// the conv lowerings use this so convolution stays bit-exact
+/// (Contract 9) even when the GEMM entry points opt into relaxed.
+fn nn_block_strict(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    simd::dispatch_nn_strict(out, a, b, k, n);
+}
+
+/// Scalar (autovectorized) tier of [`nn_block`]: accumulates
+/// `a_rows × b` into `out_rows`, element chains in ascending-`p` order.
+fn nn_block_scalar(out: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
     if n == 0 {
         return;
     }
@@ -271,7 +309,16 @@ fn nt_rows2(
     }
 }
 
+/// NT row-block kernel at the active SIMD tier and mode.
 fn nt_block(out: &mut [f32], g: &[f32], b: &[f32], n: usize, kk: usize) {
+    if kk == 0 {
+        return;
+    }
+    simd::dispatch_nt(out, g, b, n, kk);
+}
+
+/// Scalar (autovectorized) tier of [`nt_block`].
+fn nt_block_scalar(out: &mut [f32], g: &[f32], b: &[f32], n: usize, kk: usize) {
     if kk == 0 {
         return;
     }
@@ -349,9 +396,26 @@ pub fn gemm_nt(out: &mut [f32], g: &[f32], b: &[f32], m: usize, n: usize, kk: us
 // TN: out[k,n] += a[m,k]ᵀ × g[m,n]
 // ---------------------------------------------------------------------
 
-/// TN inner: `out` covers output rows `p_off..p_off + out.len()/n`;
-/// element chains ascend over `i = 0..m` (four fused links per pass).
+/// TN inner kernel at the active SIMD tier and mode: `out` covers
+/// output rows `p_off..p_off + out.len()/n`.
 fn tn_block(out: &mut [f32], a: &[f32], g: &[f32], p_off: usize, m: usize, k: usize, n: usize) {
+    if n == 0 {
+        return;
+    }
+    simd::dispatch_tn(out, a, g, p_off, m, k, n);
+}
+
+/// Scalar (autovectorized) tier of [`tn_block`]; element chains ascend
+/// over `i = 0..m` (four fused links per pass).
+fn tn_block_scalar(
+    out: &mut [f32],
+    a: &[f32],
+    g: &[f32],
+    p_off: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     if n == 0 {
         return;
     }
@@ -639,20 +703,32 @@ pub fn conv2d_forward_into(
                                 // the in-bounds taps, exactly the
                                 // reference's register chain.
                                 let (w0, w1, w2) = (wsl[ki * 3], wsl[ki * 3 + 1], wsl[ki * 3 + 2]);
+                                // Interior columns go through the SIMD
+                                // stencil (always strict: identical
+                                // per-element chains at every tier);
+                                // the two edge columns stay inline.
                                 if started {
                                     part[0] = (part[0] + xrow[0] * w1) + xrow[1] * w2;
-                                    for oj in 1..ow - 1 {
-                                        part[oj] = ((part[oj] + xrow[oj - 1] * w0) + xrow[oj] * w1)
-                                            + xrow[oj + 1] * w2;
-                                    }
+                                    simd::dispatch_stencil3(
+                                        true,
+                                        &mut part[1..ow - 1],
+                                        &xrow[..ow],
+                                        w0,
+                                        w1,
+                                        w2,
+                                    );
                                     part[ow - 1] =
                                         (part[ow - 1] + xrow[ow - 2] * w0) + xrow[ow - 1] * w1;
                                 } else {
                                     part[0] = xrow[0] * w1 + xrow[1] * w2;
-                                    for oj in 1..ow - 1 {
-                                        part[oj] =
-                                            (xrow[oj - 1] * w0 + xrow[oj] * w1) + xrow[oj + 1] * w2;
-                                    }
+                                    simd::dispatch_stencil3(
+                                        false,
+                                        &mut part[1..ow - 1],
+                                        &xrow[..ow],
+                                        w0,
+                                        w1,
+                                        w2,
+                                    );
                                     part[ow - 1] = xrow[ow - 2] * w0 + xrow[ow - 1] * w1;
                                     started = true;
                                 }
@@ -711,7 +787,7 @@ pub fn conv2d_forward_into(
         );
         let obi = &mut out[bi * s.cout * ohow..][..s.cout * ohow];
         if s.cin == 1 {
-            nn_block(
+            nn_block_strict(
                 obi,
                 &wpack[..s.cout * khkw],
                 &cols[..khkw * ohow],
@@ -721,7 +797,7 @@ pub fn conv2d_forward_into(
         } else {
             for ci in 0..s.cin {
                 part.fill(0.0);
-                nn_block(
+                nn_block_strict(
                     &mut part,
                     &wpack[ci * s.cout * khkw..][..s.cout * khkw],
                     &cols[ci * khkw * ohow..][..khkw * ohow],
@@ -1003,10 +1079,16 @@ fn conv2d_backward_3x3(
                                 let wb = ki * 3;
                                 let (w0, w1, w2) = (wsl[wb], wsl[wb + 1], wsl[wb + 2]);
                                 gxrow[0] = (gxrow[0] + grow[0] * w1) + grow[1] * w0;
-                                for jj in 1..ow - 1 {
-                                    gxrow[jj] = ((gxrow[jj] + grow[jj - 1] * w2) + grow[jj] * w1)
-                                        + grow[jj + 1] * w0;
-                                }
+                                // Interior: the strict SIMD 3-tap stencil
+                                // (taps reversed — correlation, not conv).
+                                simd::dispatch_stencil3(
+                                    true,
+                                    &mut gxrow[1..ow - 1],
+                                    &grow[..ow],
+                                    w2,
+                                    w1,
+                                    w0,
+                                );
                                 gxrow[ow - 1] =
                                     (gxrow[ow - 1] + grow[ow - 2] * w2) + grow[ow - 1] * w1;
                             }

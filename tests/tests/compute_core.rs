@@ -4,8 +4,15 @@
 //! across shapes (empty, 1×N, N×1, non-multiple-of-tile) and at every
 //! worker-pool size; and a whole training step is bit-identical whether
 //! the graph runs on the compute core or the reference kernels.
+//!
+//! The SIMD half (DESIGN.md Contract 12): every **strict**-mode kernel
+//! is bit-identical at every supported `CV_SIMD` level — scalar ↔ sse2
+//! ↔ avx2, through the race-free per-level entries, the public dispatch
+//! path, and the conv pipeline, at several pool sizes — while
+//! **relaxed** mode (explicit opt-in, FMA + reassociation) is held to a
+//! magnitude-scaled tolerance against strict.
 
-use cv_nn::gemm::{self, reference, ConvShape};
+use cv_nn::gemm::{self, reference, ConvShape, KernelMode, SimdLevel};
 use cv_nn::{GradAccumulator, Graph, ParamStore, ScratchArena, Tensor};
 use cv_pool::WorkerPool;
 use proptest::prelude::*;
@@ -266,6 +273,296 @@ fn training_step_is_bit_identical_across_kernel_paths() {
         params_ref, params_fast,
         "trained parameters must be bit-identical across kernel paths"
     );
+}
+
+/// The SIMD levels this host can actually execute (always at least
+/// scalar; sse2 on any x86-64; avx2 only when detected).
+fn supported_levels() -> Vec<SimdLevel> {
+    SimdLevel::ALL
+        .into_iter()
+        .filter(|l| l.is_supported())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Contract 12, strict tier: every SIMD level produces the exact
+    /// reference bits for NN/NT/TN, through the per-level entry points
+    /// (no global state, so every supported tier is exercised in one
+    /// process regardless of `CV_SIMD`).
+    #[test]
+    fn strict_simd_levels_match_reference_bitwise(
+        dims in (0usize..12, 0usize..80, 0usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        let a = vals(m * k, seed);
+        let b = vals(k * n, seed + 1);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_nn(&mut want, &a, &b, m, k, n);
+        for level in supported_levels() {
+            let mut got = vec![0.0f32; m * n];
+            gemm::gemm_nn_at(level, KernelMode::Strict, &mut got, &a, &b, m, k, n);
+            assert_bits_eq(&got, &want, &format!("nn strict {}", level.name()));
+        }
+
+        // NT: g [m,k] × b[n,k]ᵀ → [m,n] (k is the reduction axis here).
+        let g = vals(m * k, seed + 2);
+        let bt = vals(n * k, seed + 3);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_nt(&mut want, &g, &bt, m, k, n);
+        for level in supported_levels() {
+            let mut got = vec![0.0f32; m * n];
+            gemm::gemm_nt_at(level, KernelMode::Strict, &mut got, &g, &bt, m, k, n);
+            assert_bits_eq(&got, &want, &format!("nt strict {}", level.name()));
+        }
+
+        // TN: a[m,k]ᵀ × g[m,n] → [k,n].
+        let g2 = vals(m * n, seed + 4);
+        let mut want = vec![0.0f32; k * n];
+        reference::gemm_tn(&mut want, &a, &g2, m, k, n);
+        for level in supported_levels() {
+            let mut got = vec![0.0f32; k * n];
+            gemm::gemm_tn_at(level, KernelMode::Strict, &mut got, &a, &g2, m, k, n);
+            assert_bits_eq(&got, &want, &format!("tn strict {}", level.name()));
+        }
+    }
+
+    /// The conv 3-tap stencil is always strict: every level reproduces
+    /// the scalar chain bit-for-bit, in both accumulate and set modes,
+    /// across lengths straddling the vector width and its tails.
+    #[test]
+    fn stencil_simd_levels_match_scalar_bitwise(
+        len in 0usize..64,
+        extra in 0usize..5,
+        acc in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        let src = vals(len + 2 + extra, seed);
+        let taps_v = vals(3, seed + 1);
+        let taps = [taps_v[0], taps_v[1], taps_v[2]];
+        let init = vals(len, seed + 2);
+        let mut want = init.clone();
+        gemm::stencil3_at(SimdLevel::Scalar, acc, &mut want, &src, taps);
+        for level in supported_levels() {
+            let mut got = init.clone();
+            gemm::stencil3_at(level, acc, &mut got, &src, taps);
+            assert_bits_eq(&got, &want, &format!("stencil3 {} acc={acc}", level.name()));
+        }
+    }
+
+    /// Contract 12, relaxed tier: FMA + reassociation may change bits
+    /// but never meaning. Each element is held to a tolerance scaled by
+    /// its accumulated term magnitude Σ|aᵢₖ·bₖⱼ| (the standard backward
+    /// error bound for a reassociated dot product — a plain relative
+    /// bound would be vacuous under cancellation).
+    #[test]
+    fn relaxed_kernels_are_tolerance_equivalent(
+        dims in (1usize..8, 1usize..120, 1usize..20),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        for level in supported_levels() {
+            relaxed_vs_strict_case(level, m, k, n, seed);
+        }
+    }
+}
+
+/// One relaxed-vs-strict comparison for all three GEMM variants at
+/// `level`, with the magnitude-scaled bound described above.
+fn relaxed_vs_strict_case(level: SimdLevel, m: usize, k: usize, n: usize, seed: u64) {
+    let assert_close = |got: &[f32], want: &[f32], bound: &[f32], what: &str| {
+        for (i, ((g, w), s)) in got.iter().zip(want).zip(bound).enumerate() {
+            let tol = 1e-3 * (1.0 + s.abs());
+            assert!(
+                (g - w).abs() <= tol,
+                "{what}: element {i} off by {} (tol {tol}, strict {w}, relaxed {g})",
+                (g - w).abs()
+            );
+        }
+    };
+    let magnitude = |x: &[f32]| -> Vec<f32> { x.iter().map(|v| v.abs()).collect() };
+
+    let a = vals(m * k, seed);
+    let b = vals(k * n, seed + 1);
+    let (mut strict, mut relaxed, mut bound) = (
+        vec![0.0f32; m * n],
+        vec![0.0f32; m * n],
+        vec![0.0f32; m * n],
+    );
+    gemm::gemm_nn_at(level, KernelMode::Strict, &mut strict, &a, &b, m, k, n);
+    gemm::gemm_nn_at(level, KernelMode::Relaxed, &mut relaxed, &a, &b, m, k, n);
+    reference::gemm_nn(&mut bound, &magnitude(&a), &magnitude(&b), m, k, n);
+    assert_close(
+        &relaxed,
+        &strict,
+        &bound,
+        &format!("nn relaxed {}", level.name()),
+    );
+
+    let g = vals(m * k, seed + 2);
+    let bt = vals(n * k, seed + 3);
+    let (mut strict, mut relaxed, mut bound) = (
+        vec![0.0f32; m * n],
+        vec![0.0f32; m * n],
+        vec![0.0f32; m * n],
+    );
+    gemm::gemm_nt_at(level, KernelMode::Strict, &mut strict, &g, &bt, m, k, n);
+    gemm::gemm_nt_at(level, KernelMode::Relaxed, &mut relaxed, &g, &bt, m, k, n);
+    reference::gemm_nt(&mut bound, &magnitude(&g), &magnitude(&bt), m, k, n);
+    assert_close(
+        &relaxed,
+        &strict,
+        &bound,
+        &format!("nt relaxed {}", level.name()),
+    );
+
+    let g2 = vals(m * n, seed + 4);
+    let (mut strict, mut relaxed, mut bound) = (
+        vec![0.0f32; k * n],
+        vec![0.0f32; k * n],
+        vec![0.0f32; k * n],
+    );
+    gemm::gemm_tn_at(level, KernelMode::Strict, &mut strict, &a, &g2, m, k, n);
+    gemm::gemm_tn_at(level, KernelMode::Relaxed, &mut relaxed, &a, &g2, m, k, n);
+    reference::gemm_tn(&mut bound, &magnitude(&a), &magnitude(&g2), m, k, n);
+    assert_close(
+        &relaxed,
+        &strict,
+        &bound,
+        &format!("tn relaxed {}", level.name()),
+    );
+}
+
+/// Relaxed tier at the pinned worst-case shapes — the exact bench
+/// headline GEMMs (deep k=768 reduction chains, where reassociation
+/// error is largest).
+#[test]
+fn relaxed_kernels_hold_tolerance_at_bench_shapes() {
+    for level in supported_levels() {
+        relaxed_vs_strict_case(level, 64, 768, 128, 0xBEEF);
+        relaxed_vs_strict_case(level, 12, 54, 256, 0xCAFE);
+    }
+}
+
+/// Tiny, ragged, and degenerate shapes — 1×N, empty dims, lengths that
+/// are not a multiple of any vector width — through the **public**
+/// dispatch path at every supported level (`set_simd_level` toggling is
+/// bit-harmless in strict mode: every tier is bit-identical, which is
+/// exactly what this proves), including small worker pools.
+#[test]
+fn tiny_and_ragged_shapes_are_exact_at_every_level() {
+    use cv_pool::WorkerPool;
+    let entry = gemm::simd_level();
+    let shapes: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 0, 5),
+        (0, 3, 4),
+        (1, 3, 31),
+        (2, 5, 6),
+        (3, 17, 9),
+        (4, 8, 5),
+        (5, 257, 13),
+    ];
+    for level in supported_levels() {
+        assert!(gemm::set_simd_level(level), "{} unsupported", level.name());
+        for &(m, k, n) in shapes {
+            let a = vals(m * k, 21);
+            let b = vals(k * n, 22);
+            let g = vals(m * n, 23);
+            let mut fast = vec![0.0f32; m * n];
+            let mut naive = vec![0.0f32; m * n];
+            gemm::gemm_nn(&mut fast, &a, &b, m, k, n);
+            reference::gemm_nn(&mut naive, &a, &b, m, k, n);
+            assert_bits_eq(
+                &fast,
+                &naive,
+                &format!("tiny nn {}x{}x{} {}", m, k, n, level.name()),
+            );
+            let mut fast = vec![0.0f32; m * k];
+            let mut naive = vec![0.0f32; m * k];
+            gemm::gemm_nt(&mut fast, &g, &b, m, n, k);
+            reference::gemm_nt(&mut naive, &g, &b, m, n, k);
+            assert_bits_eq(
+                &fast,
+                &naive,
+                &format!("tiny nt {}x{}x{} {}", m, k, n, level.name()),
+            );
+            let mut fast = vec![0.0f32; k * n];
+            let mut naive = vec![0.0f32; k * n];
+            gemm::gemm_tn(&mut fast, &a, &g, m, k, n);
+            reference::gemm_tn(&mut naive, &a, &g, m, k, n);
+            assert_bits_eq(
+                &fast,
+                &naive,
+                &format!("tiny tn {}x{}x{} {}", m, k, n, level.name()),
+            );
+        }
+        // One moderate shape across pool sizes at this level.
+        let (m, k, n) = (6, 130, 10);
+        let a = vals(m * k, 31);
+        let b = vals(k * n, 32);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm_nn(&mut want, &a, &b, m, k, n);
+        for threads in [1usize, 2, 3] {
+            let pool = WorkerPool::new(threads);
+            let mut got = vec![0.0f32; m * n];
+            gemm::gemm_nn_with(&pool, &mut got, &a, &b, m, k, n);
+            assert_bits_eq(
+                &got,
+                &want,
+                &format!("pooled nn {} threads={threads}", level.name()),
+            );
+        }
+    }
+    gemm::set_simd_level(entry);
+}
+
+/// The conv pipeline (im2col forward, fused 3-tap backward) is
+/// bit-identical to the direct reference at every supported SIMD level
+/// — conv is always strict under Contract 12, no opt-out.
+#[test]
+fn conv_is_bit_identical_at_every_simd_level() {
+    let entry = gemm::simd_level();
+    for level in supported_levels() {
+        assert!(gemm::set_simd_level(level), "{} unsupported", level.name());
+        for &(batch, cin, cout, hw_dim, stride) in &[
+            (2usize, 1usize, 4usize, 9usize, 1usize),
+            (1, 3, 2, 12, 2),
+            (3, 2, 2, 7, 1),
+        ] {
+            let s = ConvShape {
+                batch,
+                cin,
+                h: hw_dim,
+                w: hw_dim,
+                cout,
+                kh: 3,
+                kw: 3,
+                stride,
+                pad: 1,
+            };
+            let x = vals(batch * cin * hw_dim * hw_dim, 41);
+            let wgt = vals(cout * cin * 9, 42);
+            let out_len = batch * cout * s.oh() * s.ow();
+            let gout = vals(out_len, 43);
+            let mut scratch = cv_nn::ScratchArena::new();
+            let mut fast = vec![0.0f32; out_len];
+            let mut naive = vec![0.0f32; out_len];
+            gemm::conv2d_forward_into(&mut fast, &x, &wgt, &s, &mut scratch);
+            reference::conv2d_forward(&mut naive, &x, &wgt, &s);
+            assert_bits_eq(&fast, &naive, &format!("conv forward {}", level.name()));
+            let (mut gx_f, mut gw_f) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+            let (mut gx_n, mut gw_n) = (vec![0.0f32; x.len()], vec![0.0f32; wgt.len()]);
+            gemm::conv2d_backward_into(&mut gx_f, &mut gw_f, &x, &wgt, &gout, &s, &mut scratch);
+            reference::conv2d_backward(&mut gx_n, &mut gw_n, &x, &wgt, &gout, &s);
+            assert_bits_eq(&gx_f, &gx_n, &format!("conv backward gx {}", level.name()));
+            assert_bits_eq(&gw_f, &gw_n, &format!("conv backward gw {}", level.name()));
+        }
+    }
+    gemm::set_simd_level(entry);
 }
 
 /// The persistent accumulator's merged gradients depend only on the
