@@ -6,42 +6,68 @@
 //! ```text
 //! campaignd serve --dir PATH [--addr 127.0.0.1:0] [--port-file PATH]
 //!                 [--threads N] [--checkpoint-every N]
-//!                 [--slice-steps N]
+//!                 [--slice-steps N] [--max-retries N]
+//!                 [--max-conns N] [--max-line-bytes N]
+//!                 [--queue-depth N] [--conn-timeout-secs N]
 //! ```
 //!
 //! Boots (or crash-recovers) the daemon over `--dir` and serves the
 //! line-delimited JSON protocol until a client sends `shutdown`. With
 //! `--port-file`, the bound port is written there once the listener is
-//! live — the rendezvous for ephemeral (`:0`) ports. Setting
-//! `CV_FAILPOINT=<ticks>` arms the `cv-journal` failpoint in real-kill
-//! mode, exactly as the `campaign` binary does: the process aborts once
-//! the durable write path has spent that many ticks. Restarting with
-//! the same `--dir` replays the service journal and resumes every job
-//! byte-identically (Contract 11; the CI `campaignd-smoke` job cycles
-//! kill points and `diff -r`s against a never-killed run).
+//! live — the rendezvous for ephemeral (`:0`) ports. The limits flags
+//! bound the ingress path: concurrent connections (`--max-conns`),
+//! request-line length (`--max-line-bytes`), queued commands
+//! (`--queue-depth`), and the per-connection socket timeouts
+//! (`--conn-timeout-secs`); load beyond them is shed with a structured
+//! `overloaded` error. `--max-retries` caps a failing job's automatic
+//! retries before quarantine.
+//!
+//! Fault injection (chaos harness levers):
+//!
+//! * `CV_FAILPOINT=<ticks>` arms the `cv-journal` failpoint in
+//!   real-kill mode, exactly as the `campaign` binary does: the process
+//!   aborts once the durable write path has spent that many ticks.
+//!   Restarting with the same `--dir` replays the service journal and
+//!   resumes every job byte-identically (Contract 11; the CI
+//!   `campaignd-smoke` job cycles kill points and `diff -r`s against a
+//!   never-killed run).
+//! * `CV_TRANSIENT_IO=<ticks>:<window>` opens a transient IO brown-out
+//!   instead: after `<ticks>` durable-write ticks, the next `<window>`
+//!   durable operations fail without killing the process. The daemon
+//!   parks affected jobs and keeps serving (Contract 13).
+//! * `CV_PANIC_JOB=<fragment>@<sims>` makes every job whose id contains
+//!   `<fragment>` panic at its first step at or past `<sims>`
+//!   simulations — deterministically across retries, so the job drains
+//!   its retry budget and lands quarantined.
 //!
 //! Client (all take `--port N` or `--port-file PATH`, with
-//! `--connect-timeout-secs` to wait for a booting daemon):
+//! `--connect-timeout-secs` to wait for a booting daemon; connects
+//! retry transient failures with bounded exponential backoff, and
+//! requests answered `"transient":true` or `"overloaded":true` are
+//! retried the same way until the connect deadline — both signals
+//! leave daemon state unchanged, so repeating is always safe):
 //!
 //! ```text
-//! campaignd submit   --kind adder --width 8 --tech nangate45
-//!                    --method sa --budget 64 --seed 1
-//!                    [--delay-weight 0.5]
-//! campaignd status   [--id JOB]
-//! campaignd wait     [--timeout-secs N]     # until no job is running
-//! campaignd pause    --id JOB
-//! campaignd resume   --id JOB
-//! campaignd cancel   --id JOB
-//! campaignd frontier --id JOB
+//! campaignd submit    --kind adder --width 8 --tech nangate45
+//!                     --method sa --budget 64 --seed 1
+//!                     [--delay-weight 0.5]
+//! campaignd status    [--id JOB]
+//! campaignd wait      [--timeout-secs N]  # until nothing runs or retries
+//! campaignd pause     --id JOB
+//! campaignd resume    --id JOB
+//! campaignd cancel    --id JOB
+//! campaignd frontier  --id JOB
+//! campaignd retry     --id JOB            # revive a failed/quarantined job
+//! campaignd fail-info --id JOB            # why it failed, retries, backoff
 //! campaignd ping
-//! campaignd shutdown                        # graceful: checkpoints all
+//! campaignd shutdown                      # graceful: checkpoints all
 //! ```
 //!
 //! Every client subcommand prints the daemon's raw JSON response line
 //! and exits nonzero when `ok` is false.
 
 use cv_bench::perf::{parse_json, Json};
-use cv_bench::service::{serve, Daemon, DaemonConfig, JobSpec, Request};
+use cv_bench::service::{serve_with, Daemon, DaemonConfig, JobSpec, Request, ServeOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
@@ -98,12 +124,18 @@ fn main() {
         "frontier" => client(Request::Frontier {
             id: required("--id"),
         }),
+        "retry" => client(Request::Retry {
+            id: required("--id"),
+        }),
+        "fail-info" => client(Request::FailInfo {
+            id: required("--id"),
+        }),
         "ping" => client(Request::Ping),
         "shutdown" => client(Request::Shutdown),
         "wait" => wait_drained(),
         other => {
             eprintln!(
-                "usage: campaignd serve|submit|status|wait|pause|resume|cancel|frontier|ping|shutdown (got `{other}`)"
+                "usage: campaignd serve|submit|status|wait|pause|resume|cancel|frontier|retry|fail-info|ping|shutdown (got `{other}`)"
             );
             std::process::exit(2);
         }
@@ -118,6 +150,12 @@ fn run_server() {
     if cv_journal::failpoint::arm_from_env() {
         eprintln!("campaignd: CV_FAILPOINT armed — this run will be killed mid-write");
     }
+    if cv_journal::failpoint::arm_transient_from_env() {
+        eprintln!("campaignd: CV_TRANSIENT_IO armed — a transient IO brown-out is scheduled");
+    }
+    if cv_bench::faults::arm_from_env() {
+        eprintln!("campaignd: CV_PANIC_JOB armed — matching jobs will panic mid-step");
+    }
     let dir: PathBuf = PathBuf::from(required("--dir"));
     let mut cfg = DaemonConfig::new(dir);
     if let Some(threads) = parsed_arg::<usize>("--threads") {
@@ -129,6 +167,23 @@ fn run_server() {
     if let Some(steps) = parsed_arg::<usize>("--slice-steps") {
         cfg.slice_steps = steps;
     }
+    if let Some(retries) = parsed_arg::<u32>("--max-retries") {
+        cfg.max_retries = retries;
+    }
+    let mut opts = ServeOptions::default();
+    if let Some(conns) = parsed_arg::<usize>("--max-conns") {
+        opts.max_connections = conns;
+    }
+    if let Some(bytes) = parsed_arg::<usize>("--max-line-bytes") {
+        opts.max_line_bytes = bytes;
+    }
+    if let Some(depth) = parsed_arg::<usize>("--queue-depth") {
+        opts.queue_depth = depth;
+    }
+    if let Some(secs) = parsed_arg::<u64>("--conn-timeout-secs") {
+        opts.read_timeout = Duration::from_secs(secs);
+        opts.write_timeout = Duration::from_secs(secs);
+    }
     let addr = arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
     let port_file = arg_value("--port-file").map(PathBuf::from);
 
@@ -136,7 +191,7 @@ fn run_server() {
         eprintln!("campaignd: failed to open state directory: {e}");
         std::process::exit(1);
     });
-    if let Err(e) = serve(daemon, &addr, port_file.as_deref()) {
+    if let Err(e) = serve_with(daemon, &addr, port_file.as_deref(), opts) {
         eprintln!("campaignd: serving failed: {e}");
         std::process::exit(1);
     }
@@ -171,8 +226,28 @@ fn submit_spec() -> JobSpec {
     }
 }
 
-/// Resolves the daemon port from `--port` or `--port-file`, waiting for
-/// the file to appear while the daemon boots.
+/// Bounded exponential backoff for the client's retry loops: starts at
+/// `start` and doubles per sleep up to `cap` — kind to a booting or
+/// momentarily overloaded daemon without hammering it at a fixed rate.
+struct Backoff {
+    next: Duration,
+    cap: Duration,
+}
+
+impl Backoff {
+    fn new(start: Duration, cap: Duration) -> Backoff {
+        Backoff { next: start, cap }
+    }
+
+    fn sleep(&mut self) {
+        std::thread::sleep(self.next);
+        self.next = (self.next * 2).min(self.cap);
+    }
+}
+
+/// Resolves the daemon port from `--port` or `--port-file`, waiting
+/// (with exponential backoff) for the file to appear while the daemon
+/// boots.
 fn resolve_port(deadline: Instant) -> u16 {
     if let Some(port) = parsed_arg::<u16>("--port") {
         return port;
@@ -181,6 +256,7 @@ fn resolve_port(deadline: Instant) -> u16 {
         eprintln!("error: --port or --port-file is required");
         std::process::exit(2);
     };
+    let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
     loop {
         if let Ok(text) = std::fs::read_to_string(&pf) {
             if let Ok(port) = text.trim().parse::<u16>() {
@@ -191,21 +267,30 @@ fn resolve_port(deadline: Instant) -> u16 {
             eprintln!("error: port file {} never appeared", pf.display());
             std::process::exit(1);
         }
-        std::thread::sleep(Duration::from_millis(50));
+        backoff.sleep();
     }
 }
 
+/// Connects to the daemon, retrying transient connect failures
+/// (refused while booting, reset, interrupted) with bounded exponential
+/// backoff until `deadline`; the final error reports every attempt.
 fn connect(deadline: Instant) -> TcpStream {
+    let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
+    let mut attempts = 0u32;
     loop {
         let port = resolve_port(deadline);
+        attempts += 1;
         match TcpStream::connect(("127.0.0.1", port)) {
             Ok(stream) => return stream,
             Err(e) => {
                 if Instant::now() >= deadline {
-                    eprintln!("error: cannot connect to campaignd on port {port}: {e}");
+                    eprintln!(
+                        "error: cannot connect to campaignd on port {port} after {attempts} \
+                         attempt(s); last error: {e}"
+                    );
                     std::process::exit(1);
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                backoff.sleep();
             }
         }
     }
@@ -216,7 +301,7 @@ fn connect_deadline() -> Instant {
     Instant::now() + Duration::from_secs(secs)
 }
 
-fn roundtrip(stream: &mut TcpStream, req: &Request, print: bool) -> Json {
+fn roundtrip(stream: &mut TcpStream, req: &Request) -> (String, Json) {
     let line = req.render();
     stream
         .write_all(line.as_bytes())
@@ -236,48 +321,76 @@ fn roundtrip(stream: &mut TcpStream, req: &Request, print: bool) -> Json {
         eprintln!("error: daemon closed the connection");
         std::process::exit(1);
     }
-    if print {
-        println!("{}", reply.trim_end());
-    }
-    parse_json(reply.trim()).unwrap_or_else(|e| {
+    let json = parse_json(reply.trim()).unwrap_or_else(|e| {
         eprintln!("error: malformed response: {e}");
         std::process::exit(1);
-    })
+    });
+    (reply.trim_end().to_string(), json)
+}
+
+/// Whether a reply is a structured "back off and retry" signal: the
+/// daemon shed the request under load (`"overloaded":true`) or hit a
+/// transient persistence brown-out (`"transient":true`). Both leave
+/// daemon state unchanged, so repeating the request is always safe.
+fn is_retryable(json: &Json) -> bool {
+    json.get("transient") == Some(&Json::Bool(true))
+        || json.get("overloaded") == Some(&Json::Bool(true))
 }
 
 fn client(req: Request) {
-    let mut stream = connect(connect_deadline());
-    let json = roundtrip(&mut stream, &req, true);
-    if json.get("ok") != Some(&Json::Bool(true)) {
-        std::process::exit(1);
+    let deadline = connect_deadline();
+    let mut backoff = Backoff::new(Duration::from_millis(10), Duration::from_millis(250));
+    loop {
+        let mut stream = connect(deadline);
+        let (raw, json) = roundtrip(&mut stream, &req);
+        if is_retryable(&json) && Instant::now() < deadline {
+            backoff.sleep();
+            continue;
+        }
+        println!("{raw}");
+        if json.get("ok") != Some(&Json::Bool(true)) {
+            std::process::exit(1);
+        }
+        return;
     }
 }
 
-/// Polls `status` until no job is running (all done or paused), the
-/// timeout expires (exit 1), or the daemon vanishes (exit 1).
+/// Polls `status` with exponential backoff until nothing is running or
+/// awaiting an automatic retry (failed jobs still count: they revive
+/// once their backoff drains), the timeout expires (exit 1), or the
+/// daemon vanishes (exit 1). Quarantined jobs do not count — they need
+/// a manual `retry`.
 fn wait_drained() {
     let timeout = parsed_arg::<u64>("--timeout-secs").unwrap_or(300);
     let deadline = Instant::now() + Duration::from_secs(timeout);
+    let mut backoff = Backoff::new(Duration::from_millis(50), Duration::from_secs(1));
     loop {
         let mut stream = connect(connect_deadline());
-        let json = roundtrip(&mut stream, &Request::Status { id: None }, false);
-        let running = match json.get("jobs") {
+        let (_, json) = roundtrip(&mut stream, &Request::Status { id: None });
+        if is_retryable(&json) {
+            backoff.sleep();
+            continue;
+        }
+        let pending = match json.get("jobs") {
             Some(Json::Arr(jobs)) => jobs
                 .iter()
-                .filter(|j| j.get("state") == Some(&Json::Str("running".to_string())))
+                .filter(|j| match j.get("state") {
+                    Some(Json::Str(s)) => s == "running" || s == "failed",
+                    _ => false,
+                })
                 .count(),
             _ => {
                 eprintln!("error: malformed status response");
                 std::process::exit(1);
             }
         };
-        if running == 0 {
+        if pending == 0 {
             return;
         }
         if Instant::now() >= deadline {
-            eprintln!("error: wait timed out with {running} jobs still running");
+            eprintln!("error: wait timed out with {pending} jobs still pending");
             std::process::exit(1);
         }
-        std::thread::sleep(Duration::from_millis(200));
+        backoff.sleep();
     }
 }

@@ -10,6 +10,7 @@
 
 pub mod campaign;
 pub mod driver;
+pub mod faults;
 pub mod harness;
 pub mod perf;
 mod persist;

@@ -525,6 +525,7 @@ impl RunningTask {
     ///
     /// Propagates persistence failures (including injected crashes).
     pub(crate) fn step(&mut self, checkpoint_every: usize) -> io::Result<TaskStep> {
+        crate::faults::maybe_panic(&self.id, self.driver.sims_used());
         match self.driver.step(&self.evaluator) {
             StepStatus::Done => {
                 self.evaluator.detach_archive();

@@ -30,6 +30,25 @@
 //! results never depend on which worker runs a slice). The serving loop
 //! interleaves rounds with command handling, so `pause`/`cancel`/
 //! `frontier` take effect at step granularity.
+//!
+//! **Failure lifecycle (Contract 13).** A job whose driver step panics,
+//! or whose durable writes fail *transiently* (anything short of an
+//! injected process death), is **parked**: its poisoned in-memory
+//! engine is discarded, a *failed* transition is journaled, and the
+//! scheduler retries it from its last durable checkpoint after an
+//! exponential, round-counted backoff (1, 2, 4, … rounds) — up to
+//! [`DaemonConfig::max_retries`] automatic retries, after which the job
+//! is **quarantined** until a manual `retry` (or an idempotent
+//! re-submit) resets its budget. Because retries resume the job's own
+//! deterministic driver/evaluator streams from durable state, a healed
+//! job's artifacts are byte-identical to a never-faulted run — and a
+//! fault never escapes the failing job: every other job's bytes,
+//! schedule, and archives are untouched, and the daemon keeps serving.
+//! Failure records are best-effort durable: losing one to the fault
+//! that caused it merely replays the job as running (an immediate
+//! retry). A transiently torn *service-journal* handle is discarded and
+//! lazily reopened + recompacted — the in-memory table is authoritative
+//! and never behind the journal's durable prefix.
 
 use crate::campaign::CampaignTask;
 use crate::persist::{
@@ -37,9 +56,12 @@ use crate::persist::{
 };
 use crate::service::protocol::{JobSpec, JobStatus, Request, Response};
 use cv_journal::{fs, Journal};
+use cv_pool::TaskOutcome;
 use cv_synth::ckpt::{CkptError, Dec, Enc};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Daemon execution policy.
 #[derive(Debug, Clone)]
@@ -54,6 +76,8 @@ pub struct DaemonConfig {
     pub slice_steps: usize,
     /// Rotate journals (service and per-task) past this many bytes.
     pub journal_max_bytes: u64,
+    /// Automatic retries a failing job gets before quarantine.
+    pub max_retries: u32,
 }
 
 impl DaemonConfig {
@@ -65,6 +89,7 @@ impl DaemonConfig {
             checkpoint_every: 16,
             slice_steps: 4,
             journal_max_bytes: crate::campaign::JOURNAL_MAX_BYTES,
+            max_retries: 3,
         }
     }
 }
@@ -78,6 +103,9 @@ const SJ_PAUSED: u8 = 2;
 const SJ_RESUMED: u8 = 3;
 const SJ_CANCELLED: u8 = 4;
 const SJ_FINISHED: u8 = 5;
+const SJ_FAILED: u8 = 6;
+const SJ_QUARANTINED: u8 = 7;
+const SJ_RETRYING: u8 = 8;
 
 fn method_tag(method: crate::harness::Method) -> u8 {
     use crate::harness::Method::*;
@@ -148,6 +176,19 @@ enum ServiceEvent {
     Resumed(String),
     Cancelled(String),
     Finished(String),
+    Failed {
+        id: String,
+        retries: u32,
+        sims: u64,
+        reason: String,
+    },
+    Quarantined {
+        id: String,
+        retries: u32,
+        sims: u64,
+        reason: String,
+    },
+    Retrying(String),
 }
 
 impl ServiceEvent {
@@ -180,6 +221,34 @@ impl ServiceEvent {
                 enc.u8(SJ_FINISHED);
                 enc.str(id);
             }
+            ServiceEvent::Failed {
+                id,
+                retries,
+                sims,
+                reason,
+            } => {
+                enc.u8(SJ_FAILED);
+                enc.str(id);
+                enc.u32(*retries);
+                enc.u64(*sims);
+                enc.str(reason);
+            }
+            ServiceEvent::Quarantined {
+                id,
+                retries,
+                sims,
+                reason,
+            } => {
+                enc.u8(SJ_QUARANTINED);
+                enc.str(id);
+                enc.u32(*retries);
+                enc.u64(*sims);
+                enc.str(reason);
+            }
+            ServiceEvent::Retrying(id) => {
+                enc.u8(SJ_RETRYING);
+                enc.str(id);
+            }
         }
         enc.finish()
     }
@@ -200,6 +269,19 @@ impl ServiceEvent {
             SJ_RESUMED => ServiceEvent::Resumed(dec.str()?),
             SJ_CANCELLED => ServiceEvent::Cancelled(dec.str()?),
             SJ_FINISHED => ServiceEvent::Finished(dec.str()?),
+            SJ_FAILED => ServiceEvent::Failed {
+                id: dec.str()?,
+                retries: dec.u32()?,
+                sims: dec.u64()?,
+                reason: dec.str()?,
+            },
+            SJ_QUARANTINED => ServiceEvent::Quarantined {
+                id: dec.str()?,
+                retries: dec.u32()?,
+                sims: dec.u64()?,
+                reason: dec.str()?,
+            },
+            SJ_RETRYING => ServiceEvent::Retrying(dec.str()?),
             _ => return Err(CkptError::Invalid("service event tag")),
         };
         dec.finish()?;
@@ -212,6 +294,17 @@ impl ServiceEvent {
 struct ReplayedJob {
     spec: JobSpec,
     paused: bool,
+    failure: Option<ReplayedFailure>,
+}
+
+/// A replayed *failed*/*quarantined* record: the job restarts parked,
+/// with its backoff recomputed from the retry count.
+#[derive(Debug)]
+struct ReplayedFailure {
+    quarantined: bool,
+    retries: u32,
+    sims: u64,
+    reason: String,
 }
 
 /// Replays the service journal's durable prefix into the job table it
@@ -236,6 +329,7 @@ fn replay_service(records: &[Vec<u8>]) -> (Vec<(String, ReplayedJob)>, Vec<Strin
                         ReplayedJob {
                             spec,
                             paused: false,
+                            failure: None,
                         },
                     ));
                 }
@@ -258,6 +352,41 @@ fn replay_service(records: &[Vec<u8>]) -> (Vec<(String, ReplayedJob)>, Vec<Strin
             // durable files are authoritative for its result, and
             // reopening them yields `Done` regardless.
             ServiceEvent::Finished(_) => {}
+            ServiceEvent::Failed {
+                id,
+                retries,
+                sims,
+                reason,
+            } => {
+                if let Some((_, job)) = jobs.iter_mut().find(|(j, _)| *j == id) {
+                    job.failure = Some(ReplayedFailure {
+                        quarantined: false,
+                        retries,
+                        sims,
+                        reason,
+                    });
+                }
+            }
+            ServiceEvent::Quarantined {
+                id,
+                retries,
+                sims,
+                reason,
+            } => {
+                if let Some((_, job)) = jobs.iter_mut().find(|(j, _)| *j == id) {
+                    job.failure = Some(ReplayedFailure {
+                        quarantined: true,
+                        retries,
+                        sims,
+                        reason,
+                    });
+                }
+            }
+            ServiceEvent::Retrying(id) => {
+                if let Some((_, job)) = jobs.iter_mut().find(|(j, _)| *j == id) {
+                    job.failure = None;
+                }
+            }
         }
     }
     (jobs, cancelled)
@@ -267,11 +396,40 @@ fn replay_service(records: &[Vec<u8>]) -> (Vec<(String, ReplayedJob)>, Vec<Strin
 // Job table
 // ---------------------------------------------------------------------
 
+/// Why a job is parked: the failure-lifecycle payload (DESIGN.md §10).
+#[derive(Debug, Clone)]
+struct FailureInfo {
+    /// Automatic retries burned before this failure.
+    retries: u32,
+    /// Scheduler rounds until the next automatic retry (0 = none
+    /// pending).
+    backoff: u32,
+    /// Simulations consumed when the job failed (best-effort: 0 if the
+    /// poisoned engine could not even report it).
+    sims: usize,
+    /// The failure reason (panic message or IO error).
+    reason: String,
+}
+
+/// The exponential, round-counted backoff before automatic retry
+/// `attempt` (1-indexed): 1, 2, 4, … rounds, capped at 64. Counted in
+/// scheduler rounds — not wall-clock — so recovery timing is as
+/// deterministic as the schedule itself.
+fn backoff_for(attempt: u32) -> u32 {
+    1 << attempt.saturating_sub(1).min(6)
+}
+
 /// A job's lifecycle state.
 enum JobState {
     Running(Box<RunningTask>),
     Paused(Box<RunningTask>),
     Done(TaskResult),
+    /// Parked after a panic or transient persistence failure; an
+    /// automatic retry is pending once the backoff drains.
+    Failed(FailureInfo),
+    /// Retry budget exhausted; only a manual `retry` (or idempotent
+    /// re-submit) revives it.
+    Quarantined(FailureInfo),
 }
 
 impl JobState {
@@ -280,6 +438,8 @@ impl JobState {
             JobState::Running(_) => "running",
             JobState::Paused(_) => "paused",
             JobState::Done(_) => "done",
+            JobState::Failed(_) => "failed",
+            JobState::Quarantined(_) => "quarantined",
         }
     }
 }
@@ -289,6 +449,9 @@ impl JobState {
 struct JobSlot {
     id: String,
     spec: JobSpec,
+    /// Automatic retries burned so far (reset by a manual retry; after
+    /// a restart, recovered from the replayed failure record).
+    retries: AtomicU32,
     state: parking_lot::Mutex<JobState>,
 }
 
@@ -339,10 +502,39 @@ impl Daemon {
 
         let mut jobs = Vec::with_capacity(replayed.len());
         for (id, job) in replayed {
-            let state = open_job(&job.spec, &id, &cfg, job.paused)?;
+            let ReplayedJob {
+                spec,
+                paused,
+                failure,
+            } = job;
+            // A replayed failure keeps the job parked (no reopen yet);
+            // its backoff is recomputed from the retry count.
+            let (state, retries) = match failure {
+                Some(f) => {
+                    let info = FailureInfo {
+                        retries: f.retries,
+                        backoff: if f.quarantined {
+                            0
+                        } else {
+                            backoff_for(f.retries + 1)
+                        },
+                        sims: f.sims as usize,
+                        reason: f.reason,
+                    };
+                    let retries = f.retries;
+                    let state = if f.quarantined {
+                        JobState::Quarantined(info)
+                    } else {
+                        JobState::Failed(info)
+                    };
+                    (state, retries)
+                }
+                None => (open_job(&spec, &id, &cfg, paused)?, 0),
+            };
             jobs.push(JobSlot {
                 id,
-                spec: job.spec,
+                spec,
+                retries: AtomicU32::new(retries),
                 state: parking_lot::Mutex::new(state),
             });
         }
@@ -366,11 +558,13 @@ impl Daemon {
         self.dead
     }
 
-    /// Whether any job is currently runnable.
+    /// Whether any job is currently runnable or awaiting an automatic
+    /// retry (failed jobs need scheduler rounds to drain their
+    /// backoff; quarantined jobs do not).
     pub fn has_running(&self) -> bool {
         self.jobs
             .iter()
-            .any(|j| matches!(&*j.state.lock(), JobState::Running(_)))
+            .any(|j| matches!(&*j.state.lock(), JobState::Running(_) | JobState::Failed(_)))
     }
 
     /// The daemon's state directory.
@@ -395,31 +589,94 @@ impl Daemon {
                 JobState::Done(_) => {
                     records.push(ServiceEvent::Finished(slot.id.clone()).encode());
                 }
+                JobState::Failed(info) => {
+                    records.push(
+                        ServiceEvent::Failed {
+                            id: slot.id.clone(),
+                            retries: info.retries,
+                            sims: info.sims as u64,
+                            reason: info.reason.clone(),
+                        }
+                        .encode(),
+                    );
+                }
+                JobState::Quarantined(info) => {
+                    records.push(
+                        ServiceEvent::Quarantined {
+                            id: slot.id.clone(),
+                            retries: info.retries,
+                            sims: info.sims as u64,
+                            reason: info.reason.clone(),
+                        }
+                        .encode(),
+                    );
+                }
             }
         }
         records
     }
 
-    /// Rotates the service journal down to canonical form.
+    /// Rotates the service journal down to canonical form. A `None`
+    /// journal handle (discarded after a transient tear) is healed
+    /// here: reopening truncates any torn tail, and the rotation
+    /// rewrites the canonical form from the authoritative in-memory
+    /// table. On error the handle stays `None` for the next attempt.
     fn rotate_canonical(&mut self) -> io::Result<()> {
+        let journal = match self.journal.take() {
+            Some(journal) => journal,
+            None => Journal::open(&self.cfg.dir.join(SERVICE_JOURNAL))?.journal,
+        };
         let records = self.canonical_records();
         let refs: Vec<&[u8]> = records.iter().map(Vec::as_slice).collect();
-        let journal = self.journal.take().expect("service journal open");
         self.journal = Some(journal.rotate(&refs)?);
         Ok(())
     }
 
-    /// Appends one transition event (rotating first if the segment has
-    /// outgrown its cap).
+    /// [`Daemon::rotate_canonical`], degraded: a transient rotation
+    /// failure is logged and deferred (the handle stays `None`, healed
+    /// on the next append) instead of failing the caller — used at GC
+    /// points *after* a transition has already been applied and must be
+    /// acknowledged.
+    fn rotate_canonical_degraded(&mut self) -> io::Result<()> {
+        match self.rotate_canonical() {
+            Err(e) if cv_journal::failpoint::is_crash(&e) => {
+                self.dead = true;
+                Err(e)
+            }
+            Err(e) => {
+                eprintln!(
+                    "campaignd: service journal rotation failed transiently ({e}); healing deferred"
+                );
+                Ok(())
+            }
+            Ok(()) => Ok(()),
+        }
+    }
+
+    /// Appends one transition event (healing a discarded journal handle
+    /// first, and rotating if the segment has outgrown its cap). On a
+    /// non-crash append error the handle is discarded: the tail may be
+    /// torn mid-frame, and appending further through it would write
+    /// records a scan can never reach.
     fn append_event(&mut self, ev: &ServiceEvent) -> io::Result<()> {
-        let journal = self.journal.as_mut().expect("service journal open");
+        if self.journal.is_none() {
+            self.rotate_canonical()?;
+        }
+        let journal = self.journal.as_mut().expect("healed above");
         if journal.len() > self.cfg.journal_max_bytes {
             self.rotate_canonical()?;
         }
-        self.journal
+        let result = self
+            .journal
             .as_mut()
             .expect("service journal open")
-            .append(&ev.encode())
+            .append(&ev.encode());
+        if let Err(e) = &result {
+            if !cv_journal::failpoint::is_crash(e) {
+                self.journal = None;
+            }
+        }
+        result
     }
 
     fn find(&self, id: &str) -> Option<usize> {
@@ -431,10 +688,13 @@ impl Daemon {
     ///
     /// # Errors
     ///
-    /// `Err` means the durable write path failed mid-command (the
-    /// in-memory table may be behind the journal, never ahead of it);
-    /// the daemon is dead from then on. Client-level failures (unknown
-    /// id, spec collision, invalid transition) are `Ok` with
+    /// `Err` means an injected process death killed the durable write
+    /// path mid-command (the in-memory table may be behind the journal,
+    /// never ahead of it); the daemon is dead from then on. Every
+    /// *other* persistence failure degrades: the affected job is parked
+    /// or the journal handle discarded for lazy healing, and the client
+    /// sees a retryable [`Response::Error`]. Client-level failures
+    /// (unknown id, spec collision, invalid transition) are `Ok` with
     /// [`Response::Error`] and change nothing.
     pub fn handle(&mut self, req: &Request) -> io::Result<Response> {
         if self.dead {
@@ -449,40 +709,95 @@ impl Daemon {
             Request::Resume { id } => self.resume(id),
             Request::Cancel { id } => self.cancel(id),
             Request::Frontier { id } => Ok(self.frontier(id)),
+            Request::Retry { id } => self.retry(id),
+            Request::FailInfo { id } => Ok(self.fail_info(id)),
             Request::Ping | Request::Shutdown => Ok(Response::Ok),
         };
-        if let Err(e) = &result {
-            if cv_journal::failpoint::is_crash(e) {
+        match result {
+            Err(e) if cv_journal::failpoint::is_crash(&e) => {
                 self.dead = true;
+                Err(e)
             }
+            Err(e) => {
+                // Transient degradation before the transition applied:
+                // state is unchanged (every command journals first),
+                // the possibly-torn journal handle is discarded, and
+                // the client may simply retry.
+                self.journal = None;
+                Ok(Response::Transient {
+                    message: format!("transient persistence failure: {e}; retry"),
+                })
+            }
+            ok => ok,
         }
-        result
     }
 
     fn submit(&mut self, spec: &JobSpec) -> io::Result<Response> {
         let id = spec.id();
         if let Some(idx) = self.find(&id) {
-            return Ok(if self.jobs[idx].spec == *spec {
-                // Idempotent re-submit: the crash-retry path.
-                Response::Submitted { id, existing: true }
-            } else {
-                Response::error(format!("job {id} exists with a different spec"))
-            });
+            if self.jobs[idx].spec != *spec {
+                return Ok(Response::error(format!(
+                    "job {id} exists with a different spec"
+                )));
+            }
+            // Idempotent re-submit: the crash-retry path. For a failed
+            // or quarantined job it doubles as the resubmit-to-retry
+            // path (retry budget reset, like a manual `retry`).
+            let parked = matches!(
+                &*self.jobs[idx].state.lock(),
+                JobState::Failed(_) | JobState::Quarantined(_)
+            );
+            if parked {
+                self.retry_job(idx, true)?;
+            }
+            return Ok(Response::Submitted { id, existing: true });
         }
         // Journal first, then build: a crash after the append replays
         // into exactly the submit the client will retry.
         self.append_event(&ServiceEvent::Submitted(spec.clone()))?;
-        let state = open_job(spec, &id, &self.cfg, false)?;
+        let state = match open_job(spec, &id, &self.cfg, false) {
+            Ok(state) => state,
+            Err(e) if cv_journal::failpoint::is_crash(&e) => return Err(e),
+            Err(e) => {
+                // The *submitted* record is already durable; park the
+                // job instead of desyncing the ack from the journal.
+                JobState::Failed(FailureInfo {
+                    retries: 0,
+                    backoff: backoff_for(1),
+                    sims: 0,
+                    reason: format!("open failed: {e}"),
+                })
+            }
+        };
         let finished = matches!(state, JobState::Done(_));
+        let failed_ev = match &state {
+            JobState::Failed(info) => Some(ServiceEvent::Failed {
+                id: id.clone(),
+                retries: 0,
+                sims: 0,
+                reason: info.reason.clone(),
+            }),
+            _ => None,
+        };
         self.jobs.push(JobSlot {
             id: id.clone(),
             spec: spec.clone(),
+            retries: AtomicU32::new(0),
             state: parking_lot::Mutex::new(state),
         });
+        if let Some(ev) = failed_ev {
+            // Best-effort: losing this record replays the job as
+            // running, which just retries the open.
+            match self.append_event(&ev) {
+                Err(e) if cv_journal::failpoint::is_crash(&e) => return Err(e),
+                Err(e) => eprintln!("campaignd: failed to journal failure of {id} ({e})"),
+                Ok(()) => {}
+            }
+        }
         if finished {
             // The job had already completed durably under this id (a
             // pre-crash life): record it as finished right away.
-            self.rotate_canonical()?;
+            self.rotate_canonical_degraded()?;
         }
         Ok(Response::Submitted {
             id,
@@ -505,6 +820,9 @@ impl Daemon {
                         r.outcome.history.last().map_or(0, |&(s, _)| s),
                         r.outcome.best_cost,
                     ),
+                    JobState::Failed(info) | JobState::Quarantined(info) => {
+                        (info.sims, f64::INFINITY)
+                    }
                 };
                 JobStatus {
                     id: j.id.clone(),
@@ -532,10 +850,31 @@ impl Daemon {
                 JobState::Done(_) => {
                     return Ok(Response::error(format!("job {id} already finished")))
                 }
+                JobState::Failed(_) | JobState::Quarantined(_) => {
+                    return Ok(Response::error(format!(
+                        "job {id} is {}; retry it first",
+                        state.label()
+                    )))
+                }
                 JobState::Running(rt) => {
                     // Persist progress before the durable transition, so
                     // a paused job survives a crash at its exact step.
-                    rt.checkpoint_now()?;
+                    match rt.checkpoint_now() {
+                        Ok(()) => {}
+                        Err(e) if cv_journal::failpoint::is_crash(&e) => return Err(e),
+                        Err(e) => {
+                            // The task journal may be torn: park the job
+                            // (discarding the handle); a retry reopens
+                            // from disk, which truncates any torn tail.
+                            let sims =
+                                catch_unwind(AssertUnwindSafe(|| rt.sims_used())).unwrap_or(0);
+                            drop(state);
+                            self.park_job(idx, sims, format!("checkpoint failed: {e}"))?;
+                            return Ok(Response::error(format!(
+                                "job {id} parked: transient checkpoint failure ({e})"
+                            )));
+                        }
+                    }
                 }
             }
         }
@@ -552,10 +891,21 @@ impl Daemon {
         let Some(idx) = self.find(id) else {
             return Ok(Response::error(format!("unknown job {id}")));
         };
-        match &*self.jobs[idx].state.lock() {
-            JobState::Running(_) => return Ok(Response::Ok), // idempotent
-            JobState::Done(_) => return Ok(Response::error(format!("job {id} already finished"))),
-            JobState::Paused(_) => {}
+        {
+            let state = self.jobs[idx].state.lock();
+            match &*state {
+                JobState::Running(_) => return Ok(Response::Ok), // idempotent
+                JobState::Done(_) => {
+                    return Ok(Response::error(format!("job {id} already finished")))
+                }
+                JobState::Failed(_) | JobState::Quarantined(_) => {
+                    return Ok(Response::error(format!(
+                        "job {id} is {}; retry it first",
+                        state.label()
+                    )))
+                }
+                JobState::Paused(_) => {}
+            }
         }
         self.append_event(&ServiceEvent::Resumed(id.to_string()))?;
         let mut state = self.jobs[idx].state.lock();
@@ -581,10 +931,14 @@ impl Daemon {
         let slot = self.jobs.remove(idx);
         match slot.state.into_inner() {
             JobState::Running(rt) | JobState::Paused(rt) => rt.remove_files(),
+            // A parked job holds no engine; GC its files directly.
+            JobState::Failed(_) | JobState::Quarantined(_) => {
+                remove_task_files(&self.cfg.dir, &slot.id)
+            }
             JobState::Done(_) => unreachable!("checked above"),
         }
         // GC point: drop the cancelled job's events from the journal.
-        self.rotate_canonical()?;
+        self.rotate_canonical_degraded()?;
         Ok(Response::Ok)
     }
 
@@ -592,9 +946,16 @@ impl Daemon {
         let Some(idx) = self.find(id) else {
             return Response::error(format!("unknown job {id}"));
         };
-        let front = match &*self.jobs[idx].state.lock() {
+        let state = self.jobs[idx].state.lock();
+        let front = match &*state {
             JobState::Running(rt) | JobState::Paused(rt) => rt.front(),
             JobState::Done(result) => result_front(result),
+            JobState::Failed(_) | JobState::Quarantined(_) => {
+                return Response::error(format!(
+                    "job {id} is {}; no live frontier (retry it first)",
+                    state.label()
+                ))
+            }
         };
         Response::Frontier {
             id: id.to_string(),
@@ -602,20 +963,187 @@ impl Daemon {
         }
     }
 
-    /// Runs one scheduling round: every running job advances by up to
-    /// [`DaemonConfig::slice_steps`] driver steps, dispatched onto the
-    /// shared worker pool. Jobs that complete trigger the finished-job
-    /// GC (journal compaction). Returns the number of jobs stepped
+    fn fail_info(&self, id: &str) -> Response {
+        let Some(idx) = self.find(id) else {
+            return Response::error(format!("unknown job {id}"));
+        };
+        let state = self.jobs[idx].state.lock();
+        match &*state {
+            JobState::Failed(info) | JobState::Quarantined(info) => Response::FailInfo {
+                id: id.to_string(),
+                state: state.label(),
+                retries: info.retries,
+                backoff_rounds: info.backoff,
+                reason: Some(info.reason.clone()),
+            },
+            other => Response::error(format!("job {id} is not failed (state: {})", other.label())),
+        }
+    }
+
+    fn retry(&mut self, id: &str) -> io::Result<Response> {
+        let Some(idx) = self.find(id) else {
+            return Ok(Response::error(format!("unknown job {id}")));
+        };
+        let parked = matches!(
+            &*self.jobs[idx].state.lock(),
+            JobState::Failed(_) | JobState::Quarantined(_)
+        );
+        if !parked {
+            return Ok(Response::error(format!("job {id} is not failed")));
+        }
+        self.retry_job(idx, true)?;
+        Ok(Response::Ok)
+    }
+
+    /// Revives a parked job from its last durable checkpoint: journals
+    /// the *retrying* transition, adjusts the retry budget (`manual`
+    /// resets it, an automatic retry burns one), and reopens the step
+    /// engine from disk — which truncates any transiently torn task
+    /// journal tail. A reopen failure parks the job again (counting
+    /// toward quarantine).
+    fn retry_job(&mut self, idx: usize, manual: bool) -> io::Result<()> {
+        let id = self.jobs[idx].id.clone();
+        let spec = self.jobs[idx].spec.clone();
+        match self.append_event(&ServiceEvent::Retrying(id.clone())) {
+            Err(e) if cv_journal::failpoint::is_crash(&e) => return Err(e),
+            Err(e) => eprintln!("campaignd: failed to journal retry of {id} ({e})"),
+            Ok(()) => {}
+        }
+        if manual {
+            self.jobs[idx].retries.store(0, Ordering::Relaxed);
+        } else {
+            self.jobs[idx].retries.fetch_add(1, Ordering::Relaxed);
+        }
+        eprintln!("campaignd: retrying job {id} from its last durable checkpoint");
+        match open_job(&spec, &id, &self.cfg, false) {
+            Ok(state) => {
+                let finished = matches!(state, JobState::Done(_));
+                *self.jobs[idx].state.lock() = state;
+                if finished {
+                    self.rotate_canonical_degraded()?;
+                }
+            }
+            Err(e) if cv_journal::failpoint::is_crash(&e) => return Err(e),
+            Err(e) => self.park_job(idx, self.parked_sims(idx), format!("reopen failed: {e}"))?,
+        }
+        Ok(())
+    }
+
+    /// The last known sims count of a parked job (0 otherwise).
+    fn parked_sims(&self, idx: usize) -> usize {
+        match &*self.jobs[idx].state.lock() {
+            JobState::Failed(info) | JobState::Quarantined(info) => info.sims,
+            _ => 0,
+        }
+    }
+
+    /// Parks job `idx` as failed — or quarantined once its retry budget
+    /// is exhausted — journaling the transition (best-effort) and
+    /// discarding the poisoned in-memory engine. Returns `Err` only for
+    /// injected process death.
+    fn park_job(&mut self, idx: usize, sims: usize, reason: String) -> io::Result<()> {
+        let id = self.jobs[idx].id.clone();
+        let retries = self.jobs[idx].retries.load(Ordering::Relaxed);
+        let quarantined = retries >= self.cfg.max_retries;
+        let info = FailureInfo {
+            retries,
+            backoff: if quarantined {
+                0
+            } else {
+                backoff_for(retries + 1)
+            },
+            sims,
+            reason,
+        };
+        let ev = if quarantined {
+            ServiceEvent::Quarantined {
+                id: id.clone(),
+                retries,
+                sims: sims as u64,
+                reason: info.reason.clone(),
+            }
+        } else {
+            ServiceEvent::Failed {
+                id: id.clone(),
+                retries,
+                sims: sims as u64,
+                reason: info.reason.clone(),
+            }
+        };
+        // Best-effort durability: an injected process death propagates,
+        // but a transient IO error must not stop the parking itself —
+        // losing the record only means a restart replays the job as
+        // running and retries immediately.
+        match self.append_event(&ev) {
+            Err(e) if cv_journal::failpoint::is_crash(&e) => {
+                self.dead = true;
+                return Err(e);
+            }
+            Err(e) => eprintln!("campaignd: failed to journal failure of {id} ({e})"),
+            Ok(()) => {}
+        }
+        eprintln!(
+            "campaignd: job {id} {}: {}",
+            if quarantined {
+                "quarantined"
+            } else {
+                "parked for retry"
+            },
+            info.reason
+        );
+        let mut state = self.jobs[idx].state.lock();
+        if let JobState::Running(rt) | JobState::Paused(rt) = &*state {
+            // Best-effort detach; a poisoned engine may panic even here.
+            let _ = catch_unwind(AssertUnwindSafe(|| rt.detach()));
+        }
+        *state = if quarantined {
+            JobState::Quarantined(info)
+        } else {
+            JobState::Failed(info)
+        };
+        Ok(())
+    }
+
+    /// Drains every failed job's backoff by one round, reviving the
+    /// jobs whose backoff reaches zero.
+    fn tick_retries(&mut self) -> io::Result<()> {
+        for idx in 0..self.jobs.len() {
+            let due = {
+                let mut state = self.jobs[idx].state.lock();
+                match &mut *state {
+                    JobState::Failed(info) => {
+                        info.backoff = info.backoff.saturating_sub(1);
+                        info.backoff == 0
+                    }
+                    _ => false,
+                }
+            };
+            if due {
+                self.retry_job(idx, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one scheduling round: failed jobs drain one round of
+    /// backoff (reviving the ones that reach zero), then every running
+    /// job advances by up to [`DaemonConfig::slice_steps`] driver
+    /// steps, dispatched onto the shared worker pool with **per-job
+    /// panic isolation** — a panicking or transiently-failing job is
+    /// parked (Contract 13) while every other job's slice proceeds
+    /// untouched. Jobs that complete trigger the finished-job GC
+    /// (journal compaction). Returns the number of jobs stepped
     /// (`0` = the daemon is idle).
     ///
     /// # Errors
     ///
-    /// The first persistence failure of the round (the daemon is dead
-    /// from then on).
+    /// Only an injected process death (the daemon is dead from then
+    /// on); every other failure degrades to parking.
     pub fn round(&mut self) -> io::Result<usize> {
         if self.dead {
             return Ok(0);
         }
+        self.tick_retries()?;
         let running: Vec<usize> = (0..self.jobs.len())
             .filter(|&i| matches!(&*self.jobs[i].state.lock(), JobState::Running(_)))
             .collect();
@@ -630,57 +1158,100 @@ impl Daemon {
         let jobs = &self.jobs;
         let (slice_steps, checkpoint_every) =
             (self.cfg.slice_steps.max(1), self.cfg.checkpoint_every);
-        cv_pool::WorkerPool::global().run_dynamic(running.len(), self.cfg.threads.max(1), |i| {
-            let mut state = jobs[running[i]].state.lock();
-            let JobState::Running(rt) = &mut *state else {
-                return;
-            };
-            for _ in 0..slice_steps {
-                match rt.step(checkpoint_every) {
-                    Ok(TaskStep::Running { .. }) => {}
-                    Ok(TaskStep::Done(result)) => {
-                        *state = JobState::Done(*result);
-                        *finished.lock() = true;
-                        break;
-                    }
-                    Err(e) => {
-                        *errors[i].lock() = Some(e);
-                        break;
+        let outcomes = cv_pool::WorkerPool::global().run_dynamic_isolated(
+            running.len(),
+            self.cfg.threads.max(1),
+            |i| {
+                let mut state = jobs[running[i]].state.lock();
+                let JobState::Running(rt) = &mut *state else {
+                    return;
+                };
+                for _ in 0..slice_steps {
+                    match rt.step(checkpoint_every) {
+                        Ok(TaskStep::Running { .. }) => {}
+                        Ok(TaskStep::Done(result)) => {
+                            *state = JobState::Done(*result);
+                            *finished.lock() = true;
+                            break;
+                        }
+                        Err(e) => {
+                            *errors[i].lock() = Some(e);
+                            break;
+                        }
                     }
                 }
+            },
+        );
+        let mut errs: Vec<Option<io::Error>> = errors.into_iter().map(|m| m.into_inner()).collect();
+        // Injected process death kills the daemon, exactly as before …
+        for e in errs.iter_mut() {
+            if e.as_ref().is_some_and(cv_journal::failpoint::is_crash) {
+                self.dead = true;
+                return Err(e.take().expect("checked some"));
             }
-        });
-        if let Some(e) = errors.into_iter().find_map(|m| m.into_inner()) {
-            self.dead = true;
-            return Err(e);
+        }
+        // … while panics and transient IO errors park only their job.
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let idx = running[i];
+            let reason = match outcome {
+                TaskOutcome::Panicked(msg) => Some(format!("panic: {msg}")),
+                TaskOutcome::Completed => {
+                    errs[i].take().map(|e| format!("persistence failure: {e}"))
+                }
+            };
+            let Some(reason) = reason else { continue };
+            let sims = {
+                let state = self.jobs[idx].state.lock();
+                match &*state {
+                    JobState::Running(rt) | JobState::Paused(rt) => {
+                        catch_unwind(AssertUnwindSafe(|| rt.sims_used())).unwrap_or(0)
+                    }
+                    _ => 0,
+                }
+            };
+            self.park_job(idx, sims, reason)?;
         }
         if finished.into_inner() {
             // Finished-job GC: compact the journal so completed jobs
             // occupy exactly their canonical *submitted* + *finished*
             // pair — and so a fully drained table always leaves the
             // same journal bytes, crash history or not.
-            self.rotate_canonical()?;
+            self.rotate_canonical_degraded()?;
         }
         Ok(running.len())
     }
 
     /// Durably checkpoints every running job (the graceful-shutdown
-    /// path; paused and done jobs are already durable).
+    /// path; paused, done, and parked jobs are already durable). A
+    /// transient checkpoint failure parks that job and continues with
+    /// the rest.
     ///
     /// # Errors
     ///
-    /// Propagates persistence failures (the daemon is dead from then
+    /// Only an injected process death (the daemon is dead from then
     /// on).
     pub fn checkpoint_all(&mut self) -> io::Result<()> {
         if self.dead {
             return Ok(());
         }
-        for slot in &self.jobs {
-            let mut state = slot.state.lock();
-            if let JobState::Running(rt) = &mut *state {
-                if let Err(e) = rt.checkpoint_now() {
+        for idx in 0..self.jobs.len() {
+            let result = {
+                let mut state = self.jobs[idx].state.lock();
+                match &mut *state {
+                    JobState::Running(rt) => rt
+                        .checkpoint_now()
+                        .map_err(|e| (e, catch_unwind(AssertUnwindSafe(|| rt.sims_used())))),
+                    _ => Ok(()),
+                }
+            };
+            match result {
+                Ok(()) => {}
+                Err((e, _)) if cv_journal::failpoint::is_crash(&e) => {
                     self.dead = true;
                     return Err(e);
+                }
+                Err((e, sims)) => {
+                    self.park_job(idx, sims.unwrap_or(0), format!("checkpoint failed: {e}"))?;
                 }
             }
         }

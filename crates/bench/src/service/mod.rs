@@ -24,4 +24,4 @@ pub mod server;
 
 pub use daemon::{Daemon, DaemonConfig, SERVICE_JOURNAL};
 pub use protocol::{JobSpec, JobStatus, Request, Response};
-pub use server::serve;
+pub use server::{active_connections, serve, serve_with, ServeOptions};

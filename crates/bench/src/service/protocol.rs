@@ -196,6 +196,18 @@ pub enum Request {
         /// The job to query.
         id: String,
     },
+    /// Manually restart a failed or quarantined job from its last
+    /// durable checkpoint, resetting its retry budget.
+    Retry {
+        /// The job to retry.
+        id: String,
+    },
+    /// Failure details (retry count, pending backoff, reason) for a
+    /// failed or quarantined job.
+    FailInfo {
+        /// The job to query.
+        id: String,
+    },
     /// Liveness probe.
     Ping,
     /// Checkpoint every running job durably and stop the daemon.
@@ -237,6 +249,8 @@ impl Request {
             "resume" => Ok(Request::Resume { id: id()? }),
             "cancel" => Ok(Request::Cancel { id: id()? }),
             "frontier" => Ok(Request::Frontier { id: id()? }),
+            "retry" => Ok(Request::Retry { id: id()? }),
+            "fail-info" => Ok(Request::FailInfo { id: id()? }),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd `{other}`")),
@@ -255,6 +269,8 @@ impl Request {
             Request::Resume { id } => format!(r#"{{"cmd":"resume","id":"{}"}}"#, escape(id)),
             Request::Cancel { id } => format!(r#"{{"cmd":"cancel","id":"{}"}}"#, escape(id)),
             Request::Frontier { id } => format!(r#"{{"cmd":"frontier","id":"{}"}}"#, escape(id)),
+            Request::Retry { id } => format!(r#"{{"cmd":"retry","id":"{}"}}"#, escape(id)),
+            Request::FailInfo { id } => format!(r#"{{"cmd":"fail-info","id":"{}"}}"#, escape(id)),
             Request::Ping => r#"{"cmd":"ping"}"#.to_string(),
             Request::Shutdown => r#"{"cmd":"shutdown"}"#.to_string(),
         }
@@ -266,7 +282,8 @@ impl Request {
 pub struct JobStatus {
     /// The job id.
     pub id: String,
-    /// Lifecycle state: `running`, `paused`, or `done`.
+    /// Lifecycle state: `running`, `paused`, `done`, `failed`, or
+    /// `quarantined`.
     pub state: &'static str,
     /// Simulations consumed so far.
     pub sims: usize,
@@ -301,9 +318,39 @@ pub enum Response {
         /// `(area_um2, delay_ns, sims)` per non-dominated point.
         front: Vec<(f64, f64, usize)>,
     },
+    /// Failure details of a failed or quarantined job.
+    FailInfo {
+        /// The queried job.
+        id: String,
+        /// `failed` or `quarantined`.
+        state: &'static str,
+        /// Automatic retries consumed so far.
+        retries: u32,
+        /// Scheduler rounds until the next automatic retry (0 when
+        /// none is pending — quarantined, or already due).
+        backoff_rounds: u32,
+        /// Why the last attempt failed, when known.
+        reason: Option<String>,
+    },
     /// The request failed; daemon state is unchanged.
     Error {
         /// What went wrong.
+        message: String,
+    },
+    /// The request failed because durable persistence is momentarily
+    /// unavailable (a transient IO error); daemon state is unchanged
+    /// and the same request will succeed once the brown-out clears.
+    /// Carries `"transient": true` on the wire so clients can back off
+    /// and retry instead of giving up.
+    Transient {
+        /// What went wrong.
+        message: String,
+    },
+    /// The daemon shed this request under load; the client should back
+    /// off and retry. Carries `"overloaded": true` on the wire so
+    /// clients can tell shed load from a rejected request.
+    Overloaded {
+        /// What limit was hit.
         message: String,
     },
 }
@@ -350,8 +397,36 @@ impl Response {
                     points.join(",")
                 )
             }
+            Response::FailInfo {
+                id,
+                state,
+                retries,
+                backoff_rounds,
+                reason,
+            } => {
+                let reason = match reason {
+                    Some(r) => format!("\"{}\"", escape(r)),
+                    None => "null".to_string(),
+                };
+                format!(
+                    r#"{{"ok":true,"id":"{}","state":"{state}","retries":{retries},"backoff_rounds":{backoff_rounds},"reason":{reason}}}"#,
+                    escape(id)
+                )
+            }
             Response::Error { message } => {
                 format!(r#"{{"ok":false,"error":"{}"}}"#, escape(message))
+            }
+            Response::Transient { message } => {
+                format!(
+                    r#"{{"ok":false,"transient":true,"error":"{}"}}"#,
+                    escape(message)
+                )
+            }
+            Response::Overloaded { message } => {
+                format!(
+                    r#"{{"ok":false,"overloaded":true,"error":"{}"}}"#,
+                    escape(message)
+                )
             }
         }
     }
@@ -422,6 +497,12 @@ mod tests {
             Request::Frontier {
                 id: "a_b".to_string(),
             },
+            Request::Retry {
+                id: "a_b".to_string(),
+            },
+            Request::FailInfo {
+                id: "a_b".to_string(),
+            },
             Request::Ping,
             Request::Shutdown,
         ];
@@ -478,5 +559,53 @@ mod tests {
             parsed.get("error"),
             Some(&Json::Str("boom \"x\"".to_string()))
         );
+    }
+
+    #[test]
+    fn failure_responses_render_expected_shapes() {
+        let line = Response::FailInfo {
+            id: "j".to_string(),
+            state: "failed",
+            retries: 2,
+            backoff_rounds: 4,
+            reason: Some("panic: boom".to_string()),
+        }
+        .render();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"id":"j","state":"failed","retries":2,"backoff_rounds":4,"reason":"panic: boom"}"#
+        );
+        let line = Response::FailInfo {
+            id: "j".to_string(),
+            state: "quarantined",
+            retries: 3,
+            backoff_rounds: 0,
+            reason: None,
+        }
+        .render();
+        assert_eq!(
+            line,
+            r#"{"ok":true,"id":"j","state":"quarantined","retries":3,"backoff_rounds":0,"reason":null}"#
+        );
+        let line = Response::Overloaded {
+            message: "scheduler queue full".to_string(),
+        }
+        .render();
+        assert_eq!(
+            line,
+            r#"{"ok":false,"overloaded":true,"error":"scheduler queue full"}"#
+        );
+        let parsed = crate::perf::parse_json(&line).unwrap();
+        assert_eq!(parsed.get("overloaded"), Some(&Json::Bool(true)));
+        let line = Response::Transient {
+            message: "disk hiccup".to_string(),
+        }
+        .render();
+        assert_eq!(
+            line,
+            r#"{"ok":false,"transient":true,"error":"disk hiccup"}"#
+        );
+        let parsed = crate::perf::parse_json(&line).unwrap();
+        assert_eq!(parsed.get("transient"), Some(&Json::Bool(true)));
     }
 }

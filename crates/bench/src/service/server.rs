@@ -7,14 +7,23 @@
 //! and running scheduling rounds, so commands take effect at driver-step
 //! granularity and job state never needs cross-thread sharing beyond
 //! the per-slot locks the rounds already use.
+//!
+//! **Ingress hardening.** Every connection gets read/write timeouts and
+//! a request-line length cap; the accept path enforces a connection
+//! limit, and the scheduler queue is bounded — load beyond any of these
+//! limits is *shed* with a structured `overloaded` error (or a clean
+//! close) instead of stalling the accept loop or growing without bound
+//! ([`ServeOptions`]). Socket-level failures (reset mid-line, EOF
+//! mid-request, a timed-out read) close only that connection, with the
+//! reason logged; the daemon and every other connection keep going.
 
 use crate::service::daemon::Daemon;
 use crate::service::protocol::{Request, Response};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,7 +31,75 @@ use std::time::Duration;
 /// polling again.
 const IDLE_WAIT: Duration = Duration::from_millis(25);
 
+/// Ingress limits and timeouts — the overload-protection policy.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-connection read timeout: a client that goes silent mid-line
+    /// for longer than this is disconnected.
+    pub read_timeout: Duration,
+    /// Per-connection write timeout: a client that stops draining its
+    /// responses is disconnected.
+    pub write_timeout: Duration,
+    /// Longest accepted request line in bytes; longer lines get an
+    /// error response and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Concurrent connection limit; further connects are told
+    /// `overloaded` and closed without a handler thread.
+    pub max_connections: usize,
+    /// Bound on commands queued toward the scheduler; requests beyond
+    /// it are shed with an `overloaded` error.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 64 * 1024,
+            max_connections: 64,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// Live connection count across every server in this process — lets
+/// tests prove torn or shed connections do not leak handler threads.
+static ACTIVE_CONNS: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of currently open connection handlers (process-wide).
+pub fn active_connections() -> usize {
+    ACTIVE_CONNS.load(Ordering::SeqCst)
+}
+
+/// Decrements the live-connection gauge when a handler exits, however
+/// it exits.
+struct ConnGuard;
+
+impl ConnGuard {
+    fn enter() -> ConnGuard {
+        ACTIVE_CONNS.fetch_add(1, Ordering::SeqCst);
+        ConnGuard
+    }
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        ACTIVE_CONNS.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 type Command = (Request, Sender<String>);
+
+/// Serves `daemon` on `addr` with the default [`ServeOptions`]. See
+/// [`serve_with`].
+///
+/// # Errors
+///
+/// As [`serve_with`].
+pub fn serve(daemon: Daemon, addr: &str, port_file: Option<&Path>) -> io::Result<()> {
+    serve_with(daemon, addr, port_file, ServeOptions::default())
+}
 
 /// Serves `daemon` on `addr` (e.g. `127.0.0.1:0`) until a client sends
 /// `shutdown`. When `port_file` is given, the bound port is written
@@ -35,9 +112,15 @@ type Command = (Request, Sender<String>);
 ///
 /// # Errors
 ///
-/// Binding/IO failures on the listener, or a daemon persistence failure
-/// (the daemon refuses further work once its durable write path fails).
-pub fn serve(mut daemon: Daemon, addr: &str, port_file: Option<&Path>) -> io::Result<()> {
+/// Binding/IO failures on the listener (including a failed accept-
+/// thread spawn), or a daemon persistence failure (the daemon refuses
+/// further work once its durable write path fails).
+pub fn serve_with(
+    mut daemon: Daemon,
+    addr: &str,
+    port_file: Option<&Path>,
+    opts: ServeOptions,
+) -> io::Result<()> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     if let Some(pf) = port_file {
@@ -48,13 +131,19 @@ pub fn serve(mut daemon: Daemon, addr: &str, port_file: Option<&Path>) -> io::Re
     eprintln!("campaignd: listening on {local}");
 
     let stop = Arc::new(AtomicBool::new(false));
-    let (cmd_tx, cmd_rx) = mpsc::channel::<Command>();
+    let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Command>(opts.queue_depth.max(1));
     let accept = {
         let stop = Arc::clone(&stop);
+        let opts = opts.clone();
         std::thread::Builder::new()
             .name("campaignd-accept".to_string())
-            .spawn(move || accept_loop(listener, cmd_tx, stop))
-            .expect("spawn accept thread")
+            .spawn(move || accept_loop(listener, cmd_tx, stop, opts))
+            .map_err(|e| {
+                io::Error::new(
+                    e.kind(),
+                    format!("campaignd: cannot spawn accept thread: {e}"),
+                )
+            })?
     };
 
     let result = scheduler_loop(&mut daemon, &cmd_rx);
@@ -65,42 +154,170 @@ pub fn serve(mut daemon: Daemon, addr: &str, port_file: Option<&Path>) -> io::Re
     result
 }
 
-fn accept_loop(listener: TcpListener, cmd_tx: Sender<Command>, stop: Arc<AtomicBool>) {
+fn accept_loop(
+    listener: TcpListener,
+    cmd_tx: SyncSender<Command>,
+    stop: Arc<AtomicBool>,
+    opts: ServeOptions,
+) {
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if active_connections() >= opts.max_connections {
+            // Shed the connection without a handler thread: tell the
+            // client why (bounded by the write timeout so a slow client
+            // cannot stall the accept loop) and close.
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(opts.write_timeout));
+            let reply = Response::Overloaded {
+                message: format!("connection limit ({}) reached", opts.max_connections),
+            }
+            .render();
+            let _ = stream.write_all(reply.as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue;
+        }
         let cmd_tx = cmd_tx.clone();
-        let _ = std::thread::Builder::new()
+        let opts = opts.clone();
+        let guard = ConnGuard::enter();
+        let spawned = std::thread::Builder::new()
             .name("campaignd-conn".to_string())
-            .spawn(move || connection_loop(stream, cmd_tx));
+            .spawn(move || {
+                let _guard = guard;
+                connection_loop(stream, cmd_tx, &opts);
+            });
+        if let Err(e) = spawned {
+            // Thread exhaustion is load shedding too: log and move on;
+            // the guard moved into the closure only on success, so the
+            // gauge self-corrects either way.
+            eprintln!("campaignd: cannot spawn connection thread: {e}");
+        }
     }
 }
 
-fn connection_loop(stream: TcpStream, cmd_tx: Sender<Command>) {
+/// One capped request-line read.
+enum LineRead {
+    /// A complete line (without the terminator), within the cap.
+    Line(String),
+    /// The line outgrew the cap before its terminator arrived.
+    TooLong,
+    /// Clean end of stream at a line boundary.
+    Closed,
+    /// The peer vanished mid-request (EOF between terminators).
+    TornRequest,
+    /// A socket error or read timeout.
+    Failed(io::Error),
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. Never buffers
+/// more than `cap +` one BufReader block, no matter what the peer
+/// sends.
+fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> LineRead {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok([]) => {
+                return if line.is_empty() {
+                    LineRead::Closed
+                } else {
+                    LineRead::TornRequest
+                }
+            }
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return LineRead::Failed(e),
+        };
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&chunk[..pos]);
+            reader.consume(pos + 1);
+            if line.len() > cap {
+                return LineRead::TooLong;
+            }
+            // Invalid UTF-8 is malformed input, not a socket failure:
+            // lossily decode and let the request parser reject it.
+            return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+        let n = chunk.len();
+        line.extend_from_slice(chunk);
+        reader.consume(n);
+        if line.len() > cap {
+            return LineRead::TooLong;
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, cmd_tx: SyncSender<Command>, opts: &ServeOptions) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "<unknown>".to_string(), |a| a.to_string());
+    if stream.set_read_timeout(Some(opts.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(opts.write_timeout)).is_err()
+    {
+        eprintln!("campaignd: closing {peer}: cannot set socket timeouts");
+        return;
+    }
     let Ok(read_half) = stream.try_clone() else {
+        eprintln!("campaignd: closing {peer}: cannot clone stream");
         return;
     };
     let mut writer = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = match Request::parse(&line) {
-            // Malformed input never reaches the daemon.
-            Err(msg) => Response::error(msg).render(),
-            Ok(req) => {
-                let (reply_tx, reply_rx) = mpsc::channel();
-                if cmd_tx.send((req, reply_tx)).is_err() {
-                    break; // scheduler gone: daemon shut down
-                }
-                match reply_rx.recv() {
-                    Ok(reply) => reply,
-                    Err(_) => break,
-                }
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let (reply, close_after) = match read_line_capped(&mut reader, opts.max_line_bytes) {
+            LineRead::Closed => return,
+            LineRead::TornRequest => {
+                eprintln!("campaignd: closing {peer}: EOF mid-request");
+                return;
             }
+            LineRead::Failed(e) => {
+                let reason = match e.kind() {
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => {
+                        "read timed out".to_string()
+                    }
+                    _ => format!("read failed: {e}"),
+                };
+                eprintln!("campaignd: closing {peer}: {reason}");
+                return;
+            }
+            LineRead::TooLong => (
+                Response::error(format!(
+                    "request line exceeds {} bytes; closing",
+                    opts.max_line_bytes
+                ))
+                .render(),
+                // The rest of the oversized line is still in flight;
+                // there is no request boundary to resynchronize on.
+                true,
+            ),
+            LineRead::Line(line) if line.trim().is_empty() => continue,
+            LineRead::Line(line) => match Request::parse(&line) {
+                // Malformed input never reaches the daemon.
+                Err(msg) => (Response::error(msg).render(), false),
+                Ok(req) => {
+                    let (reply_tx, reply_rx) = mpsc::channel();
+                    match cmd_tx.try_send((req, reply_tx)) {
+                        Ok(()) => match reply_rx.recv() {
+                            Ok(reply) => (reply, false),
+                            Err(_) => return, // scheduler gone: daemon shut down
+                        },
+                        // Backpressure: shed the request, keep the
+                        // connection — the client may retry later.
+                        Err(mpsc::TrySendError::Full(_)) => (
+                            Response::Overloaded {
+                                message: format!(
+                                    "scheduler queue full ({} pending)",
+                                    opts.queue_depth
+                                ),
+                            }
+                            .render(),
+                            false,
+                        ),
+                        Err(mpsc::TrySendError::Disconnected(_)) => return,
+                    }
+                }
+            },
         };
         if writer
             .write_all(reply.as_bytes())
@@ -108,7 +325,11 @@ fn connection_loop(stream: TcpStream, cmd_tx: Sender<Command>) {
             .and_then(|()| writer.flush())
             .is_err()
         {
-            break;
+            eprintln!("campaignd: closing {peer}: write failed");
+            return;
+        }
+        if close_after {
+            return;
         }
     }
 }

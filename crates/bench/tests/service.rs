@@ -11,12 +11,15 @@
 use circuitvae::driver::SearchDriver;
 use cv_bench::harness::{build_evaluator, Method, TechLibrary};
 use cv_bench::make_driver;
-use cv_bench::service::{serve, Daemon, DaemonConfig, JobSpec, Request, Response};
+use cv_bench::service::{
+    active_connections, serve_with, Daemon, DaemonConfig, JobSpec, Request, Response, ServeOptions,
+};
 use cv_prefix::CircuitKind;
 use cv_synth::ParetoArchive;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 fn base_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("cv_service_{}_{name}", std::process::id()));
@@ -43,6 +46,7 @@ fn cfg(dir: &Path) -> DaemonConfig {
         checkpoint_every: 5,
         slice_steps: 3,
         journal_max_bytes: 1 << 20,
+        max_retries: 3,
     }
 }
 
@@ -412,19 +416,27 @@ proptest! {
 // TCP end to end
 // ---------------------------------------------------------------------
 
-#[test]
-fn tcp_server_end_to_end() {
-    use std::io::{BufRead, BufReader, Write};
-    use std::net::TcpStream;
+/// TCP tests share the process-wide connection gauge (and the ephemeral
+/// port rendezvous): serialize them so limits and leak checks are
+/// deterministic.
+fn net_serialize() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
 
-    let dir = base_dir("tcp");
+/// Boots a daemon server over `dir` with `opts`; returns the bound port
+/// and the serving thread.
+fn spawn_server(
+    dir: &Path,
+    opts: ServeOptions,
+) -> (u16, std::thread::JoinHandle<std::io::Result<()>>) {
     let port_file = dir.join("port");
-    std::fs::create_dir_all(&dir).expect("mkdir");
-    let daemon = Daemon::open(cfg(&dir)).expect("open");
+    std::fs::create_dir_all(dir).expect("mkdir");
+    let daemon = Daemon::open(cfg(dir)).expect("open");
     let pf = port_file.clone();
-    let server = std::thread::spawn(move || serve(daemon, "127.0.0.1:0", Some(&pf)));
-
-    // Wait for the listener, then connect.
+    let server = std::thread::spawn(move || serve_with(daemon, "127.0.0.1:0", Some(&pf), opts));
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     let port: u16 = loop {
         if let Ok(text) = std::fs::read_to_string(&port_file) {
@@ -438,6 +450,17 @@ fn tcp_server_end_to_end() {
         );
         std::thread::sleep(std::time::Duration::from_millis(20));
     };
+    (port, server)
+}
+
+#[test]
+fn tcp_server_end_to_end() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let _net = net_serialize();
+    let dir = base_dir("tcp");
+    let (port, server) = spawn_server(&dir, ServeOptions::default());
     let stream = TcpStream::connect(("127.0.0.1", port)).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut writer = stream;
@@ -505,5 +528,230 @@ fn tcp_server_end_to_end() {
         .join()
         .expect("server thread")
         .expect("serve returns cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Ingress hardening: fuzz frames, torn connections, overload shedding
+// ---------------------------------------------------------------------
+
+/// A raw line-protocol client for the fuzz tests.
+struct Client {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl Client {
+    fn connect(port: u16) -> Client {
+        let stream = std::net::TcpStream::connect(("127.0.0.1", port)).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .expect("read timeout");
+        Client {
+            reader: std::io::BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    /// Sends `frame` (arbitrary bytes) terminated by a newline, as one
+    /// write. Fails the test if the connection is gone.
+    fn send_raw(&mut self, frame: &[u8]) {
+        self.try_send_raw(frame).expect("send");
+    }
+
+    /// Like [`Client::send_raw`], but surfaces a dead connection
+    /// (shed/closed by the server) instead of failing the test.
+    fn try_send_raw(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut line = Vec::with_capacity(frame.len() + 1);
+        line.extend_from_slice(frame);
+        line.push(b'\n');
+        self.writer.write_all(&line)?;
+        self.writer.flush()
+    }
+
+    /// Reads one response line; `None` means the server closed the
+    /// connection (a reset counts: the server tearing down a connection
+    /// with bytes still in flight surfaces as ECONNRESET client-side).
+    fn recv(&mut self) -> Option<String> {
+        use std::io::BufRead;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim().to_string()),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => None,
+            Err(e) => panic!("recv failed: {e}"),
+        }
+    }
+
+    /// Round-trips a well-formed request and asserts `"ok":true`.
+    fn expect_ok(&mut self, req: &Request) {
+        self.send_raw(req.render().as_bytes());
+        let reply = self.recv().expect("server closed on a valid request");
+        assert!(reply.contains("\"ok\":true"), "request rejected: {reply}");
+    }
+}
+
+/// Polls until every connection handler in this process has exited.
+fn assert_connections_drain() {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while active_connections() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "{} connection handler(s) leaked",
+            active_connections()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn malformed_frames_get_errors_and_never_kill_the_daemon() {
+    let _net = net_serialize();
+    let dir = base_dir("fuzz");
+    let opts = ServeOptions {
+        max_line_bytes: 512,
+        ..ServeOptions::default()
+    };
+    let (port, server) = spawn_server(&dir, opts);
+
+    // Every malformed frame must answer a structured error on the same
+    // connection — never a panic, never a silent close.
+    let bad: &[&[u8]] = &[
+        b"{\"cmd\":\"explode\"}",   // unknown verb
+        b"{\"cmd\":\"submit\"",     // truncated JSON
+        b"not json at all",         // garbage text
+        b"{}",                      // missing cmd
+        b"[1,2,3]",                 // wrong JSON shape
+        b"\"cmd\"",                 // bare string
+        b"{\"cmd\":42}",            // wrong cmd type
+        b"{\"cmd\":\"retry\"}",     // verb missing its id
+        b"\xff\xfe\x00garbage\x80", // invalid UTF-8 binary
+    ];
+    let mut client = Client::connect(port);
+    for frame in bad {
+        client.send_raw(frame);
+        let reply = client
+            .recv()
+            .unwrap_or_else(|| panic!("connection died on malformed frame {frame:?}"));
+        assert!(
+            reply.contains("\"ok\":false"),
+            "malformed frame {frame:?} must error, got: {reply}"
+        );
+    }
+    // The same connection still serves real requests afterwards.
+    client.expect_ok(&Request::Ping);
+
+    // An oversized line ends the connection — with an error naming the
+    // cap when the reply outruns the teardown (the server may close
+    // while oversized bytes are still in flight, which resets the
+    // stream before the reply is readable).
+    // A missing reply is fine too — reset-before-reply means the
+    // connection is gone either way.
+    let assert_capped = |client: &mut Client, what: &str| {
+        if let Some(reply) = client.recv() {
+            assert!(
+                reply.contains("\"ok\":false") && reply.contains("exceeds"),
+                "{what} must name the cap: {reply}"
+            );
+            assert!(client.recv().is_none(), "server must close after {what}");
+        }
+    };
+    client.send_raw(&vec![b'a'; 600]);
+    assert_capped(&mut client, "an oversized line");
+
+    // A torn connection — half a frame, then the peer vanishes — must
+    // only tear down that connection.
+    {
+        use std::io::Write;
+        let mut torn = Client::connect(port);
+        torn.writer
+            .write_all(b"{\"cmd\":\"stat")
+            .expect("partial frame");
+        torn.writer.flush().expect("flush");
+    } // dropped mid-request
+
+    // A newline-free binary flood is capped and the connection ends.
+    let mut flood = Client::connect(port);
+    flood.send_raw(&vec![0u8; 2048]);
+    assert_capped(&mut flood, "a binary flood");
+
+    // After all of the above the daemon still serves and shuts down
+    // cleanly, and no handler thread leaked.
+    let mut survivor = Client::connect(port);
+    survivor.expect_ok(&Request::Ping);
+    survivor.expect_ok(&Request::Shutdown);
+    server
+        .join()
+        .expect("server thread")
+        .expect("serve survives fuzzed ingress");
+    // Handlers exit on their client's EOF: close ours, then the gauge
+    // must drain — no thread leaked for any of the abuse above.
+    drop(client);
+    drop(survivor);
+    assert_connections_drain();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connection_limit_sheds_with_structured_overload() {
+    let _net = net_serialize();
+    let dir = base_dir("conn_limit");
+    let opts = ServeOptions {
+        max_connections: 2,
+        ..ServeOptions::default()
+    };
+    let (port, server) = spawn_server(&dir, opts);
+
+    // Fill the admission limit (each ping proves the handler is live,
+    // so the next accept sees the updated gauge).
+    let mut c1 = Client::connect(port);
+    c1.expect_ok(&Request::Ping);
+    let mut c2 = Client::connect(port);
+    c2.expect_ok(&Request::Ping);
+
+    // The third connection is shed with a structured overload notice
+    // and closed — without ever getting a handler thread.
+    let mut c3 = Client::connect(port);
+    let reply = c3.recv().expect("shed connections are told why");
+    assert!(
+        reply.contains("\"overloaded\":true") && reply.contains("connection limit"),
+        "expected a structured overload notice: {reply}"
+    );
+    assert!(c3.recv().is_none(), "shed connections must be closed");
+
+    // Freeing a slot restores admission.
+    drop(c1);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let mut admitted = loop {
+        let mut c = Client::connect(port);
+        // A still-full server may have already shed (and closed) this
+        // connection, so the write itself can fail — that is a retry,
+        // not an error.
+        if c.try_send_raw(Request::Ping.render().as_bytes()).is_ok() {
+            match c.recv() {
+                Some(reply) if reply.contains("\"ok\":true") => break c,
+                Some(reply) => assert!(
+                    reply.contains("overloaded"),
+                    "unexpected admission failure: {reply}"
+                ),
+                None => {}
+            }
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "freed connection slot was never reclaimed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+
+    admitted.expect_ok(&Request::Shutdown);
+    server
+        .join()
+        .expect("server thread")
+        .expect("serve returns cleanly");
+    drop(c2);
+    drop(admitted);
+    assert_connections_drain();
     let _ = std::fs::remove_dir_all(&dir);
 }

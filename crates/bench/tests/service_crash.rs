@@ -69,6 +69,7 @@ fn cfg(dir: &Path) -> DaemonConfig {
         slice_steps: 2,
         // Small cap: long runs force service-journal rotation too.
         journal_max_bytes: 4096,
+        max_retries: 3,
     }
 }
 

@@ -17,7 +17,7 @@
 //!   before a `Rename` (tmp file complete but never published), and so
 //!   on.
 //!
-//! Two crash modes:
+//! Three failure modes:
 //!
 //! * [`Mode::Abort`] — the process dies via [`std::process::abort`].
 //!   This is the real-kill mode the CI `crash-smoke` job drives through
@@ -27,6 +27,15 @@
 //!   test observes exactly the on-disk state a killed process would
 //!   have left behind. The harness stays in this dead state until
 //!   [`disarm`] is called.
+//! * [`Mode::TransientError`] — a bounded IO brown-out rather than a
+//!   death: once the trigger fires, the next `window` announced
+//!   operations (including the firing one, which may tear a write at
+//!   its byte boundary) fail with a *transient* error, then the harness
+//!   disarms itself and durable writes succeed again. [`crashed`] stays
+//!   `false` throughout, and the injected errors answer to
+//!   [`is_transient`], not [`is_crash`] — callers are expected to
+//!   degrade (park the affected work, heal torn journal tails) instead
+//!   of treating the process as dead.
 //!
 //! The global tick counter runs even while disarmed (at negligible
 //! cost), so a test can measure the tick length of a clean run with
@@ -55,7 +64,13 @@ pub enum FailOp {
 #[derive(Debug, Clone, Copy)]
 enum Trigger {
     Ticks(u64),
-    Op { op: FailOp, remaining: u64 },
+    Op {
+        op: FailOp,
+        remaining: u64,
+    },
+    /// A fired [`Mode::TransientError`] window: this many more announced
+    /// operations fail transiently, then the harness disarms itself.
+    Window(u64),
 }
 
 /// What happens when an armed failpoint fires.
@@ -65,17 +80,31 @@ pub enum Mode {
     Abort,
     /// Fail the operation and every later one — a simulated crash.
     Error,
+    /// Fail the operation and a bounded window of later ones, then
+    /// recover — a simulated IO brown-out, not a death.
+    TransientError,
 }
 
 #[derive(Debug)]
 struct Armed {
     trigger: Trigger,
     mode: Mode,
+    /// Total ops that fail once a [`Mode::TransientError`] trigger
+    /// fires, counting the firing op itself. Unused in other modes.
+    window: u64,
 }
 
 static ARMED: Mutex<Option<Armed>> = Mutex::new(None);
 static CRASHED: AtomicBool = AtomicBool::new(false);
 static TICKS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Whether the most recent fired verdict on this thread came from a
+    /// transient window (each op's `begin_op`/`enforce_crash` pair runs
+    /// on one thread, so this safely routes the error kind between
+    /// them).
+    static FIRED_TRANSIENT: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
 
 /// The verdict for one announced operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +126,7 @@ pub(crate) fn begin_op(op: FailOp, bytes: usize) -> Verdict {
         _ => 1,
     };
     TICKS.fetch_add(cost, Ordering::Relaxed);
+    FIRED_TRANSIENT.with(|f| f.set(false));
     if CRASHED.load(Ordering::SeqCst) {
         // The simulated process is already dead: nothing else lands.
         return Verdict::Crash;
@@ -105,6 +135,16 @@ pub(crate) fn begin_op(op: FailOp, bytes: usize) -> Verdict {
     let Some(state) = armed.as_mut() else {
         return Verdict::Proceed;
     };
+    if let Trigger::Window(remaining) = &mut state.trigger {
+        // An open transient window: this op fails cleanly; the harness
+        // disarms itself once the window is spent.
+        *remaining = remaining.saturating_sub(1);
+        if *remaining == 0 {
+            *armed = None;
+        }
+        FIRED_TRANSIENT.with(|f| f.set(true));
+        return Verdict::Crash;
+    }
     let verdict = match &mut state.trigger {
         Trigger::Ticks(remaining) => {
             if *remaining > cost {
@@ -130,9 +170,20 @@ pub(crate) fn begin_op(op: FailOp, bytes: usize) -> Verdict {
                 Verdict::Crash
             }
         }
+        Trigger::Window(_) => unreachable!("handled above"),
     };
     if verdict != Verdict::Proceed {
-        CRASHED.store(true, Ordering::SeqCst);
+        if state.mode == Mode::TransientError {
+            // The firing op consumes the first slot of the window.
+            FIRED_TRANSIENT.with(|f| f.set(true));
+            if state.window <= 1 {
+                *armed = None;
+            } else {
+                state.trigger = Trigger::Window(state.window - 1);
+            }
+        } else {
+            CRASHED.store(true, Ordering::SeqCst);
+        }
     }
     verdict
 }
@@ -143,6 +194,9 @@ pub(crate) fn begin_op(op: FailOp, bytes: usize) -> Verdict {
 /// prefix of a write, so a real kill and a simulated one leave the same
 /// bytes on disk.
 pub(crate) fn enforce_crash(op: FailOp) -> std::io::Error {
+    if FIRED_TRANSIENT.with(std::cell::Cell::get) {
+        return transient_error();
+    }
     let mode = {
         let armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
         armed.as_ref().map_or(Mode::Error, |a| a.mode)
@@ -154,16 +208,20 @@ pub(crate) fn enforce_crash(op: FailOp) -> std::io::Error {
     crash_error()
 }
 
-fn arm(trigger: Trigger, mode: Mode) {
+fn arm(trigger: Trigger, mode: Mode, window: u64) {
     let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
     CRASHED.store(false, Ordering::SeqCst);
-    *armed = Some(Armed { trigger, mode });
+    *armed = Some(Armed {
+        trigger,
+        mode,
+        window,
+    });
 }
 
 /// Arms a tick-budget failpoint: the run crashes once `ticks` durable
 /// ticks have been spent (writes cost one tick per byte).
 pub fn arm_ticks(ticks: u64, mode: Mode) {
-    arm(Trigger::Ticks(ticks.max(1)), mode);
+    arm(Trigger::Ticks(ticks.max(1)), mode, 1);
 }
 
 /// Arms an operation failpoint: the run crashes immediately before the
@@ -175,6 +233,20 @@ pub fn arm_op(op: FailOp, nth: u64, mode: Mode) {
             remaining: nth.max(1),
         },
         mode,
+        1,
+    );
+}
+
+/// Arms a transient IO brown-out: once `ticks` durable ticks have been
+/// spent, the next `window` announced operations (including the firing
+/// one) fail with a transient error — see [`is_transient`] — then the
+/// harness disarms itself and durable writes succeed again. [`crashed`]
+/// never becomes `true` on this path.
+pub fn arm_transient_ticks(ticks: u64, window: u64) {
+    arm(
+        Trigger::Ticks(ticks.max(1)),
+        Mode::TransientError,
+        window.max(1),
     );
 }
 
@@ -185,7 +257,9 @@ pub fn disarm() {
     CRASHED.store(false, Ordering::SeqCst);
 }
 
-/// Whether an armed failpoint has fired since the last [`disarm`].
+/// Whether an armed [`Mode::Abort`]/[`Mode::Error`] failpoint has fired
+/// since the last [`disarm`] (transient windows never set this — the
+/// simulated process survives them).
 pub fn crashed() -> bool {
     CRASHED.load(Ordering::SeqCst)
 }
@@ -218,16 +292,61 @@ pub fn arm_from_env() -> bool {
     }
 }
 
+/// Arms a transient IO brown-out from the `CV_TRANSIENT_IO` environment
+/// variable (`<ticks>:<window>`), as the `campaignd` binary does on
+/// startup for the CI `chaos-smoke` job. Returns `true` when a
+/// failpoint was armed.
+///
+/// # Panics
+///
+/// Panics when `CV_TRANSIENT_IO` is set but not `<ticks>:<window>` with
+/// two positive integers — a misconfigured harness must fail loudly,
+/// not run clean.
+pub fn arm_transient_from_env() -> bool {
+    match std::env::var("CV_TRANSIENT_IO") {
+        Ok(v) => {
+            let parsed = v
+                .split_once(':')
+                .and_then(|(t, w)| Some((t.parse::<u64>().ok()?, w.parse::<u64>().ok()?)));
+            let Some((ticks, window)) = parsed else {
+                panic!("CV_TRANSIENT_IO must be `<ticks>:<window>`, got `{v}`");
+            };
+            assert!(
+                ticks > 0 && window > 0,
+                "CV_TRANSIENT_IO ticks and window must be positive"
+            );
+            arm_transient_ticks(ticks, window);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
 /// The error payload carried by crash-injected [`std::io::Error`]s.
 pub(crate) const CRASH_MSG: &str = "cv-journal failpoint: injected crash";
+
+/// The error payload carried by transient-injected [`std::io::Error`]s.
+pub(crate) const TRANSIENT_MSG: &str = "cv-journal failpoint: injected transient IO error";
 
 /// The `io::Error` a torn/crashed operation reports in [`Mode::Error`].
 pub(crate) fn crash_error() -> std::io::Error {
     std::io::Error::other(CRASH_MSG)
 }
 
+/// The `io::Error` an operation reports inside a transient window.
+pub(crate) fn transient_error() -> std::io::Error {
+    std::io::Error::other(TRANSIENT_MSG)
+}
+
 /// Whether `err` is a crash injected by this harness (as opposed to a
 /// genuine filesystem failure).
 pub fn is_crash(err: &std::io::Error) -> bool {
     err.get_ref().is_some_and(|e| e.to_string() == CRASH_MSG)
+}
+
+/// Whether `err` was injected by a [`Mode::TransientError`] window — an
+/// IO failure the caller should degrade around, not die from.
+pub fn is_transient(err: &std::io::Error) -> bool {
+    err.get_ref()
+        .is_some_and(|e| e.to_string() == TRANSIENT_MSG)
 }

@@ -275,6 +275,87 @@ fn crashed_harness_fails_every_subsequent_operation() {
 }
 
 #[test]
+fn transient_window_fails_boundedly_then_recovers() {
+    let _guard = serialize();
+    let dir = tmp_dir("transient");
+    let path = dir.join("state.bin");
+    fs::write_atomic(&path, b"old").unwrap();
+
+    // Fire on the first durable op of the next write, with a window of
+    // 3 ops: the write fails (destination keeps the old content, the
+    // staging file is cleaned up — the process is alive), and once the
+    // window is spent the harness disarms itself.
+    failpoint::arm_transient_ticks(1, 3);
+    let err = fs::write_atomic(&path, b"new").unwrap_err();
+    assert!(
+        failpoint::is_transient(&err),
+        "transient, not a crash: {err}"
+    );
+    assert!(!failpoint::is_crash(&err));
+    assert!(
+        !failpoint::crashed(),
+        "a transient window must not mark the harness dead"
+    );
+    assert_eq!(std::fs::read(&path).unwrap(), b"old");
+    assert_eq!(
+        fs::sweep_tmp(&dir).unwrap(),
+        0,
+        "a surviving process cleans its own staging file"
+    );
+
+    // write_atomic consumed create(1) + its error; the window still has
+    // ops left, so the next attempt fails too...
+    let err = fs::write_atomic(&path, b"new").unwrap_err();
+    assert!(failpoint::is_transient(&err));
+    // ...and after the window is exhausted, writes succeed unaided.
+    let mut ok = false;
+    for _ in 0..4 {
+        if fs::write_atomic(&path, b"new").is_ok() {
+            ok = true;
+            break;
+        }
+    }
+    assert!(ok, "the window must close on its own");
+    assert_eq!(std::fs::read(&path).unwrap(), b"new");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_mid_append_tears_the_tail_and_reopen_heals_it() {
+    let _guard = serialize();
+    let dir = tmp_dir("transientappend");
+    let path = dir.join("task.journal");
+    let mut j = Journal::open(&path).unwrap().journal;
+    let first = vec![5u8; 64];
+    j.append(&first).unwrap();
+    let durable_len = j.len();
+
+    // Tear the second append mid-write, transiently (window of one op:
+    // the recovery truncate below must run outside the brown-out).
+    let second = vec![6u8; 128];
+    failpoint::arm_transient_ticks(20, 1);
+    let err = j.append(&second).unwrap_err();
+    assert!(failpoint::is_transient(&err));
+    assert!(!failpoint::crashed());
+    drop(j);
+    assert!(
+        std::fs::metadata(&path).unwrap().len() > durable_len,
+        "the torn partial frame is on disk"
+    );
+
+    // The degraded caller's recovery move: reopen, which truncates the
+    // torn tail back to the durable prefix; appends work again.
+    let opened = Journal::open(&path).unwrap();
+    assert_eq!(opened.records, vec![first.clone()]);
+    assert!(opened.truncated_bytes > 0);
+    let mut j = opened.journal;
+    j.append(&second).unwrap();
+    drop(j);
+    assert_eq!(Journal::read_back(&path).unwrap(), vec![first, second]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn ticks_advance_even_while_disarmed() {
     let _guard = serialize();
     let dir = tmp_dir("ticks");
